@@ -1,0 +1,244 @@
+//! Higher-order tensor kernels (paper §7.2).
+//!
+//! The four kernels the paper evaluates against CTF, each with the schedule
+//! strategy §7.2.2 describes:
+//!
+//! * **TTV** `A(i,j) = B(i,j,k) · c(k)` — element-wise over the distributed
+//!   `i` dimension, vector replicated: no inter-node communication;
+//! * **Innerprod** `a = B(i,j,k) · C(i,j,k)` — node-level reduction then a
+//!   global reduction;
+//! * **TTM** `A(i,j,l) = B(i,j,k) · C(k,l)` — parallel local
+//!   matrix-multiplications with the small matrix replicated: no inter-node
+//!   communication;
+//! * **MTTKRP** `A(i,l) = B(i,j,k) · C(j,l) · D(k,l)` — the algorithm of
+//!   Ballard et al.: the 3-tensor stays in place on a 3D grid and partial
+//!   results reduce into the output.
+
+use distal_core::Schedule;
+use distal_format::Format;
+use distal_machine::grid::Grid;
+use distal_machine::spec::MemKind;
+
+/// One of the §7.2 kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HigherOrderKernel {
+    /// Tensor-times-vector.
+    Ttv,
+    /// Inner product of two 3-tensors.
+    Innerprod,
+    /// Tensor-times-matrix.
+    Ttm,
+    /// Matricized tensor times Khatri-Rao product.
+    Mttkrp,
+}
+
+impl HigherOrderKernel {
+    /// All four kernels.
+    pub fn all() -> [HigherOrderKernel; 4] {
+        [
+            HigherOrderKernel::Ttv,
+            HigherOrderKernel::Innerprod,
+            HigherOrderKernel::Ttm,
+            HigherOrderKernel::Mttkrp,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HigherOrderKernel::Ttv => "TTV",
+            HigherOrderKernel::Innerprod => "Innerprod",
+            HigherOrderKernel::Ttm => "TTM",
+            HigherOrderKernel::Mttkrp => "MTTKRP",
+        }
+    }
+
+    /// The tensor index notation statement (paper §7.2 list).
+    pub fn expression(&self) -> &'static str {
+        match self {
+            HigherOrderKernel::Ttv => "A(i,j) = B(i,j,k) * c(k)",
+            HigherOrderKernel::Innerprod => "a = B(i,j,k) * C(i,j,k)",
+            HigherOrderKernel::Ttm => "A(i,j,l) = B(i,j,k) * C(k,l)",
+            HigherOrderKernel::Mttkrp => "A(i,l) = B(i,j,k) * C(j,l) * D(k,l)",
+        }
+    }
+
+    /// True when the kernel is bandwidth-bound and reported in GB/s
+    /// (Figure 16a/b) rather than GFLOP/s.
+    pub fn bandwidth_bound(&self) -> bool {
+        matches!(self, HigherOrderKernel::Ttv | HigherOrderKernel::Innerprod)
+    }
+
+    /// The machine grid for `p` processors: 1-D for the first three
+    /// kernels, near-cubic 3-D for MTTKRP (Ballard et al.).
+    pub fn grid(&self, p: i64) -> Grid {
+        match self {
+            HigherOrderKernel::Mttkrp => near_cubic_3d(p),
+            _ => Grid::line(p),
+        }
+    }
+
+    /// Tensor shapes for a side length `n`: `(name, dims)` pairs, output
+    /// first.
+    pub fn shapes(&self, n: i64) -> Vec<(&'static str, Vec<i64>)> {
+        match self {
+            HigherOrderKernel::Ttv => vec![
+                ("A", vec![n, n]),
+                ("B", vec![n, n, n]),
+                ("c", vec![n]),
+            ],
+            HigherOrderKernel::Innerprod => vec![
+                ("a", vec![]),
+                ("B", vec![n, n, n]),
+                ("C", vec![n, n, n]),
+            ],
+            HigherOrderKernel::Ttm => {
+                // The paper uses a small dense matrix C (k x l with modest l).
+                let l = 32.min(n);
+                vec![("A", vec![n, n, l]), ("B", vec![n, n, n]), ("C", vec![n, l])]
+            }
+            HigherOrderKernel::Mttkrp => {
+                let l = 32.min(n);
+                vec![
+                    ("A", vec![n, l]),
+                    ("B", vec![n, n, n]),
+                    ("C", vec![n, l]),
+                    ("D", vec![n, l]),
+                ]
+            }
+        }
+    }
+
+    /// Formats per tensor (same order as [`HigherOrderKernel::shapes`]),
+    /// distributed to match the schedule so data starts at rest (§7.2:
+    /// "input tensors were distributed in a manner that matched the chosen
+    /// schedule").
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the notations are all valid.
+    pub fn formats(&self, mem: MemKind) -> Vec<Format> {
+        let f = |s: &str| Format::parse(s, mem).unwrap();
+        match self {
+            // Row-distributed tensors, replicated vector.
+            HigherOrderKernel::Ttv => vec![f("xy->x"), f("xyz->x"), f("x->*")],
+            HigherOrderKernel::Innerprod => {
+                vec![Format::undistributed(), f("xyz->x"), f("xyz->x")]
+            }
+            HigherOrderKernel::Ttm => vec![f("xyz->x"), f("xyz->x"), f("xy->*")],
+            // MTTKRP: B tiled on the 3-D grid; C/D partitioned along their
+            // contraction dims and replicated elsewhere; A reduced onto the
+            // (x, 0, 0) line of the grid.
+            HigherOrderKernel::Mttkrp => {
+                vec![f("xy->x00"), f("xyz->xyz"), f("xy->*x*"), f("xy->**x")]
+            }
+        }
+    }
+
+    /// The schedule for `p` processors (§7.2.2 strategies).
+    pub fn schedule(&self, p: i64) -> Schedule {
+        match self {
+            // Element-wise: distribute i, everything local.
+            HigherOrderKernel::Ttv => Schedule::new()
+                .distribute_onto(&["i"], &["io"], &["ii"], &[p])
+                .communicate(&["A", "B", "c"], "io")
+                .parallelize("ii"),
+            // Local reduction then global reduction.
+            HigherOrderKernel::Innerprod => Schedule::new()
+                .distribute_onto(&["i"], &["io"], &["ii"], &[p])
+                .communicate(&["a", "B", "C"], "io")
+                .parallelize("ii"),
+            // Independent local matmuls.
+            HigherOrderKernel::Ttm => Schedule::new()
+                .distribute_onto(&["i"], &["io"], &["ii"], &[p])
+                .communicate(&["A", "B", "C"], "io")
+                .parallelize("ii"),
+            // Ballard et al.: 3-D grid, B in place, reduce into A. The
+            // free variable `l` must be reordered below the distributed
+            // loops, so the compound `distribute` is spelled out.
+            HigherOrderKernel::Mttkrp => {
+                let g = near_cubic_3d(p);
+                let (gi, gj, gk) = (g.extent(0), g.extent(1), g.extent(2));
+                Schedule::new()
+                    .divide("i", "io", "ii", gi)
+                    .divide("j", "jo", "ji", gj)
+                    .divide("k", "ko", "ki", gk)
+                    .reorder(&["io", "jo", "ko", "ii", "l", "ji", "ki"])
+                    .distribute(&["io", "jo", "ko"])
+                    .communicate(&["A", "B", "C", "D"], "ko")
+            }
+        }
+    }
+
+    /// Logical bytes the kernel streams (for GB/s reporting): the dominant
+    /// 3-tensor(s) once each.
+    pub fn logical_bytes(&self, n: i64) -> u64 {
+        let cube = (n * n * n) as u64 * 8;
+        match self {
+            HigherOrderKernel::Ttv => cube,
+            HigherOrderKernel::Innerprod => 2 * cube,
+            HigherOrderKernel::Ttm | HigherOrderKernel::Mttkrp => cube,
+        }
+    }
+}
+
+/// A near-cubic 3-D factorization of `p` (gi ≥ gj ≥ gk as balanced as
+/// possible).
+pub fn near_cubic_3d(p: i64) -> Grid {
+    let mut best = (p, 1, 1);
+    let mut best_score = i64::MAX;
+    let mut gx = 1;
+    while gx <= p {
+        if p % gx == 0 {
+            let rest = p / gx;
+            let mut gy = 1;
+            while gy <= rest {
+                if rest % gy == 0 {
+                    let gz = rest / gy;
+                    let score = (gx - gy).abs() + (gy - gz).abs() + (gx - gz).abs();
+                    if score < best_score {
+                        best_score = score;
+                        best = (gx, gy, gz);
+                    }
+                }
+                gy += 1;
+            }
+        }
+        gx += 1;
+    }
+    Grid::grid3(best.0, best.1, best.2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn near_cubic_factorizations() {
+        assert_eq!(near_cubic_3d(8), Grid::grid3(2, 2, 2));
+        assert_eq!(near_cubic_3d(27).size(), 27);
+        assert_eq!(near_cubic_3d(12).size(), 12);
+        assert_eq!(near_cubic_3d(7).size(), 7);
+    }
+
+    #[test]
+    fn expressions_parse_and_match_shapes() {
+        for k in HigherOrderKernel::all() {
+            let a = distal_ir::expr::Assignment::parse(k.expression()).unwrap();
+            let shapes = k.shapes(16);
+            // Output first, then each RHS tensor exactly once.
+            assert_eq!(shapes[0].0, a.lhs.tensor);
+            assert_eq!(shapes.len(), 1 + a.input_accesses().len());
+            let formats = k.formats(MemKind::Sys);
+            assert_eq!(formats.len(), shapes.len());
+        }
+    }
+
+    #[test]
+    fn grids_and_bandwidth_flags() {
+        assert!(HigherOrderKernel::Ttv.bandwidth_bound());
+        assert!(!HigherOrderKernel::Ttm.bandwidth_bound());
+        assert_eq!(HigherOrderKernel::Ttv.grid(8), Grid::line(8));
+        assert_eq!(HigherOrderKernel::Mttkrp.grid(8), Grid::grid3(2, 2, 2));
+    }
+}

@@ -1,0 +1,17 @@
+//! The algorithm case studies of the paper.
+//!
+//! * [`matmul`] — the six distributed matrix-multiplication algorithms of
+//!   Figure 9 (Cannon, PUMMA, SUMMA, Johnson, Solomonik 2.5D, COSMA), each
+//!   expressed exactly as a target machine grid + tensor distribution
+//!   notation + schedule;
+//! * [`higher_order`] — the §7.2 kernels (TTV, Innerprod, TTM, MTTKRP) with
+//!   the communication-minimizing schedules the paper describes;
+//! * [`setup`] — helpers that build ready-to-run [`distal_core::Session`]s
+//!   for either family.
+
+pub mod higher_order;
+pub mod matmul;
+pub mod setup;
+
+pub use higher_order::HigherOrderKernel;
+pub use matmul::MatmulAlgorithm;

@@ -1,0 +1,217 @@
+//! Session builders for the algorithm case studies.
+
+use crate::higher_order::HigherOrderKernel;
+use crate::matmul::MatmulAlgorithm;
+use distal_core::{CompileError, CompiledKernel, DistalMachine, Session, TensorSpec};
+use distal_machine::spec::{MachineSpec, MemKind, ProcKind};
+use distal_runtime::Mode;
+
+/// Configuration shared by the benchmark drivers.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Physical machine.
+    pub spec: MachineSpec,
+    /// CPU sockets or GPUs as abstract processors.
+    pub proc_kind: ProcKind,
+    /// Memory kind tiles live in (Sys for CPU runs, Fb for GPU runs).
+    pub mem: MemKind,
+    /// Execution mode.
+    pub mode: Mode,
+}
+
+impl RunConfig {
+    /// A CPU-socket configuration on a Lassen-like machine.
+    pub fn cpu(nodes: usize, mode: Mode) -> Self {
+        RunConfig {
+            spec: MachineSpec::lassen(nodes),
+            proc_kind: ProcKind::Cpu,
+            mem: MemKind::Sys,
+            mode,
+        }
+    }
+
+    /// A GPU configuration on a Lassen-like machine.
+    pub fn gpu(nodes: usize, mode: Mode) -> Self {
+        RunConfig {
+            spec: MachineSpec::lassen(nodes),
+            proc_kind: ProcKind::Gpu,
+            mem: MemKind::Fb,
+            mode,
+        }
+    }
+
+    /// Abstract processors available under this configuration.
+    pub fn processors(&self) -> i64 {
+        match self.proc_kind {
+            ProcKind::Cpu => self.spec.total_cpu_sockets() as i64,
+            ProcKind::Gpu => self.spec.total_gpus() as i64,
+        }
+    }
+}
+
+/// Builds a session + compiled kernel for a Figure 9 matmul algorithm on
+/// `n × n` matrices.
+///
+/// In functional mode the inputs are seeded with deterministic random data;
+/// in model mode they are marked valid.
+///
+/// # Errors
+///
+/// Propagates compile errors (oversized grids, bad formats).
+pub fn matmul_session(
+    alg: MatmulAlgorithm,
+    config: &RunConfig,
+    n: i64,
+    chunk: i64,
+) -> Result<(Session, CompiledKernel), CompileError> {
+    let p = config.processors();
+    let grid = alg.grid(p);
+    let machine = DistalMachine::flat(grid, config.proc_kind);
+    let mut session = Session::new(config.spec.clone(), machine, config.mode);
+    let formats = alg.formats(config.mem);
+    for (name, format) in ["A", "B", "C"].iter().zip(formats) {
+        session.tensor(TensorSpec::new(*name, vec![n, n], format))?;
+    }
+    match config.mode {
+        Mode::Functional => {
+            session.fill_random("B", 0xB);
+            session.fill_random("C", 0xC);
+        }
+        Mode::Model => {
+            session.fill("B", 0.0)?;
+            session.fill("C", 0.0)?;
+        }
+    }
+    let schedule = alg.schedule(p, n, chunk);
+    let kernel = session.compile("A(i,j) = B(i,k) * C(k,j)", &schedule)?;
+    Ok((session, kernel))
+}
+
+/// Builds a session + compiled kernel for a §7.2 higher-order kernel with
+/// side length `n`.
+///
+/// # Errors
+///
+/// Propagates compile errors.
+pub fn higher_order_session(
+    kernel: HigherOrderKernel,
+    config: &RunConfig,
+    n: i64,
+) -> Result<(Session, CompiledKernel), CompileError> {
+    let p = config.processors();
+    let machine = DistalMachine::flat(kernel.grid(p), config.proc_kind);
+    let mut session = Session::new(config.spec.clone(), machine, config.mode);
+    let shapes = kernel.shapes(n);
+    let formats = kernel.formats(config.mem);
+    for ((name, dims), format) in shapes.iter().zip(formats) {
+        session.tensor(TensorSpec::new(*name, dims.clone(), format))?;
+    }
+    for (idx, (name, _)) in shapes.iter().enumerate().skip(1) {
+        match config.mode {
+            Mode::Functional => session.fill_random(name, 0x51ED + idx as u64),
+            Mode::Model => session.fill(name, 0.0)?,
+        }
+    }
+    let schedule = kernel.schedule(p);
+    let compiled = session.compile(kernel.expression(), &schedule)?;
+    Ok((session, compiled))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distal_core::oracle;
+    use std::collections::BTreeMap;
+
+    fn check_matmul(alg: MatmulAlgorithm, nodes: usize, n: i64) {
+        let mut config = RunConfig::cpu(nodes, Mode::Functional);
+        config.spec = MachineSpec::small(nodes);
+        let (mut session, kernel) = matmul_session(alg, &config, n, (n / 2).max(1)).unwrap();
+        session.run(&kernel).unwrap();
+        let got = session.read("A").unwrap();
+        let mut dims = BTreeMap::new();
+        for t in ["A", "B", "C"] {
+            dims.insert(t.to_string(), vec![n, n]);
+        }
+        let mut inputs = BTreeMap::new();
+        inputs.insert("B".to_string(), session.read("B").unwrap());
+        inputs.insert("C".to_string(), session.read("C").unwrap());
+        let want = oracle::evaluate(&kernel.assignment, &dims, &inputs).unwrap();
+        for (idx, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+            assert!((g - w).abs() < 1e-9, "{alg:?} at {idx}: {g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn summa_correct_on_4_sockets() {
+        check_matmul(MatmulAlgorithm::Summa, 2, 12);
+    }
+
+    #[test]
+    fn cannon_correct_on_4_sockets() {
+        check_matmul(MatmulAlgorithm::Cannon, 2, 12);
+    }
+
+    #[test]
+    fn pumma_correct_on_4_sockets() {
+        check_matmul(MatmulAlgorithm::Pumma, 2, 12);
+    }
+
+    #[test]
+    fn johnson_correct_on_8_sockets() {
+        check_matmul(MatmulAlgorithm::Johnson, 4, 12);
+    }
+
+    #[test]
+    fn solomonik_correct_on_8_sockets() {
+        check_matmul(MatmulAlgorithm::Solomonik { c: 2 }, 4, 12);
+    }
+
+    #[test]
+    fn cosma_correct_on_8_sockets() {
+        check_matmul(MatmulAlgorithm::Cosma, 4, 12);
+    }
+
+    fn check_higher_order(k: HigherOrderKernel, nodes: usize, n: i64) {
+        let mut config = RunConfig::cpu(nodes, Mode::Functional);
+        config.spec = MachineSpec::small(nodes);
+        let (mut session, kernel) = higher_order_session(k, &config, n).unwrap();
+        session.run(&kernel).unwrap();
+        let got = session.read(&kernel.output).unwrap();
+        let mut dims = BTreeMap::new();
+        let mut inputs = BTreeMap::new();
+        for (name, d) in k.shapes(n) {
+            dims.insert(name.to_string(), d);
+            if name != kernel.output {
+                inputs.insert(name.to_string(), session.read(name).unwrap());
+            }
+        }
+        let want = oracle::evaluate(&kernel.assignment, &dims, &inputs).unwrap();
+        for (idx, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+            assert!(
+                (g - w).abs() < 1e-6 * (1.0 + w.abs()),
+                "{k:?} at {idx}: {g} vs {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn ttv_correct() {
+        check_higher_order(HigherOrderKernel::Ttv, 2, 8);
+    }
+
+    #[test]
+    fn innerprod_correct() {
+        check_higher_order(HigherOrderKernel::Innerprod, 2, 8);
+    }
+
+    #[test]
+    fn ttm_correct() {
+        check_higher_order(HigherOrderKernel::Ttm, 2, 8);
+    }
+
+    #[test]
+    fn mttkrp_correct() {
+        check_higher_order(HigherOrderKernel::Mttkrp, 2, 8);
+    }
+}

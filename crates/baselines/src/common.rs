@@ -1,0 +1,127 @@
+//! Shared baseline machinery: phased runs and barrier insertion.
+
+use distal_core::{CompiledKernel, Session};
+use distal_runtime::program::{Op, Program};
+use distal_runtime::stats::RunStats;
+use distal_runtime::RuntimeError;
+
+/// The comparison systems of §7.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BaselineSystem {
+    /// ScaLAPACK's SUMMA (bulk-synchronous).
+    ScaLapack,
+    /// Cyclops Tensor Framework (2.5D GEMM; matricized higher-order ops).
+    Ctf,
+    /// COSMA (communication-optimal grid, full overlap, 40 cores).
+    Cosma,
+    /// COSMA restricted to DISTAL's 36 worker cores (Figure 15a).
+    CosmaRestrictedCpus,
+}
+
+impl BaselineSystem {
+    /// Figure legend name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BaselineSystem::ScaLapack => "SCALAPACK",
+            BaselineSystem::Ctf => "CTF",
+            BaselineSystem::Cosma => "COSMA",
+            BaselineSystem::CosmaRestrictedCpus => "COSMA (Restricted CPUs)",
+        }
+    }
+}
+
+/// One phase of a multi-phase baseline run.
+#[allow(clippy::large_enum_variant)] // kernels dominate; phases are few
+pub enum Phase {
+    /// A compiled kernel: placement then compute.
+    Kernel(CompiledKernel),
+    /// A raw runtime program (redistributions/reshapes).
+    Raw(Program),
+    /// A raw program whose time is excluded from the measured total (input
+    /// staging that the paper's timers also exclude).
+    Untimed(Program),
+}
+
+/// A session plus an ordered list of phases (CTF-style pipelines).
+pub struct PhasedRun {
+    /// The session owning all regions.
+    pub session: Session,
+    /// Phases, run in order.
+    pub phases: Vec<Phase>,
+    /// Name of the output tensor (for correctness checks).
+    pub output: String,
+}
+
+impl PhasedRun {
+    /// Runs all phases, summing the measured statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors from any phase.
+    pub fn run(&mut self) -> Result<RunStats, RuntimeError> {
+        let mut total = RunStats::default();
+        for phase in &self.phases {
+            match phase {
+                Phase::Kernel(k) => {
+                    let p = self.session.place(k)?;
+                    total.merge(&p);
+                    let c = self.session.execute(k)?;
+                    total.merge(&c);
+                }
+                Phase::Raw(p) => {
+                    let s = self.session.runtime_mut().run(p)?;
+                    total.merge(&s);
+                }
+                Phase::Untimed(p) => {
+                    self.session.runtime_mut().run(p)?;
+                }
+            }
+        }
+        Ok(total)
+    }
+}
+
+/// Inserts a barrier after every index launch: the bulk-synchronous
+/// execution style of ScaLAPACK and CTF (§7.1.1 — they cannot hide
+/// communication behind computation).
+pub fn make_bulk_synchronous(program: &mut Program) {
+    let mut ops = Vec::with_capacity(program.ops.len() * 2);
+    for op in program.ops.drain(..) {
+        let is_launch = matches!(op, Op::IndexLaunch(_));
+        ops.push(op);
+        if is_launch {
+            ops.push(Op::Barrier);
+        }
+    }
+    program.ops = ops;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_insertion() {
+        let mut p = Program::new();
+        p.push(Op::IndexLaunch(distal_runtime::program::IndexLaunch {
+            name: "l".into(),
+            tasks: vec![],
+        }));
+        p.push(Op::Fill {
+            region: distal_runtime::RegionId(0),
+            value: 0.0,
+        });
+        make_bulk_synchronous(&mut p);
+        assert_eq!(p.ops.len(), 3);
+        assert!(matches!(p.ops[1], Op::Barrier));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(BaselineSystem::Ctf.name(), "CTF");
+        assert_eq!(
+            BaselineSystem::CosmaRestrictedCpus.name(),
+            "COSMA (Restricted CPUs)"
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Runs every figure harness at paper scale and prints the tables
+//! EXPERIMENTS.md records.
+//!
+//! Usage: `cargo run --release -p distal-bench --bin all [max_nodes]`
+
+use distal_algs::higher_order::HigherOrderKernel;
+use distal_bench::{fig15, fig16, fig9, headline};
+
+fn main() {
+    let max_nodes: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+
+    println!("==== Figure 9 (16 nodes) ====");
+    print!("{}", fig9::render(&fig9::figure9(16.min(max_nodes), 8192)));
+    println!();
+
+    for panel in [fig15::Panel::Cpu, fig15::Panel::Gpu] {
+        let base = fig15::base_problem_side(panel);
+        let fig = fig15::figure15(panel, max_nodes, base);
+        println!("==== {} ====", fig.title);
+        print!("{}", fig.to_table());
+        println!();
+    }
+
+    for kernel in HigherOrderKernel::all() {
+        for panel in [fig16::Panel::Cpu, fig16::Panel::Gpu] {
+            let base = fig16::base_problem_side(panel, kernel);
+            let fig = fig16::figure16(kernel, panel, max_nodes, base);
+            println!("==== {} ====", fig.title);
+            print!("{}", fig.to_table());
+            println!();
+        }
+    }
+
+    println!("==== Headline speedups (at {} nodes) ====", 64.min(max_nodes));
+    print!(
+        "{}",
+        headline::render(&headline::headlines(64.min(max_nodes), 8192, 1024))
+    );
+}

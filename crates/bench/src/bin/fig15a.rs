@@ -1,0 +1,16 @@
+//! Regenerates Figure 15a (CPU weak-scaling matrix-multiplication).
+//!
+//! Usage: `cargo run --release -p distal-bench --bin fig15a [max_nodes] [base_n]`
+
+use distal_bench::fig15::{base_problem_side, figure15, Panel};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let max_nodes: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(256);
+    let base_n: i64 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| base_problem_side(Panel::Cpu));
+    let fig = figure15(Panel::Cpu, max_nodes, base_n);
+    print!("{}", fig.to_table());
+}

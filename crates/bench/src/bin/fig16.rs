@@ -1,0 +1,19 @@
+//! Regenerates Figures 16a-d (higher-order tensor kernels vs CTF).
+//!
+//! Usage: `cargo run --release -p distal-bench --bin fig16 [max_nodes]`
+
+use distal_algs::higher_order::HigherOrderKernel;
+use distal_bench::fig16::{base_problem_side, figure16, Panel};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let max_nodes: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(256);
+    for kernel in HigherOrderKernel::all() {
+        for panel in [Panel::Cpu, Panel::Gpu] {
+            let base = base_problem_side(panel, kernel);
+            let fig = figure16(kernel, panel, max_nodes, base);
+            print!("{}", fig.to_table());
+            println!();
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates the Figure 9 communication-pattern table.
+//!
+//! Usage: `cargo run --release -p distal-bench --bin fig9 [nodes] [n]`
+
+use distal_bench::fig9;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let nodes: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
+    let n: i64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(8192);
+    println!("# Figure 9: matrix-multiplication algorithms on {nodes} nodes, n = {n}");
+    let profiles = fig9::figure9(nodes, n);
+    print!("{}", fig9::render(&profiles));
+}

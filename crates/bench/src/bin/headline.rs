@@ -1,0 +1,14 @@
+//! Regenerates the headline speedup table (abstract / §7).
+//!
+//! Usage: `cargo run --release -p distal-bench --bin headline [max_nodes]`
+
+use distal_bench::headline;
+
+fn main() {
+    let max_nodes: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let rows = headline::headlines(max_nodes, 8192, 1024);
+    print!("{}", headline::render(&rows));
+}

@@ -1,0 +1,27 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (§7).
+//!
+//! Each module reproduces one artifact:
+//!
+//! * [`fig9`] — the Figure 9 algorithm table: per-algorithm communication
+//!   pattern (broadcast-tree vs systolic neighbour traffic) + correctness;
+//! * [`fig15`] — Figures 15a/15b: weak-scaling GEMM on CPUs and GPUs
+//!   against ScaLAPACK, CTF, and COSMA;
+//! * [`fig16`] — Figures 16a–d: weak-scaling TTV / Innerprod / TTM / MTTKRP
+//!   against CTF;
+//! * [`headline`] — the abstract's headline numbers (speedups vs CTF,
+//!   ScaLAPACK, COSMA);
+//! * [`ablations`] — design-choice studies: `rotate` on/off, `communicate`
+//!   granularity, overlap vs bulk-synchronous execution;
+//! * [`series`] — sweep infrastructure and table rendering.
+//!
+//! Binaries: `fig9`, `fig15a`, `fig15b`, `fig16`, `headline`, `all`.
+//! Criterion benches (`benches/paper_figures.rs`) run reduced-scale
+//! versions of the same harnesses.
+
+pub mod ablations;
+pub mod fig15;
+pub mod fig16;
+pub mod fig9;
+pub mod headline;
+pub mod series;

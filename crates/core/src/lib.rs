@@ -1,0 +1,68 @@
+//! The DISTAL compiler: from tensor index notation + formats + schedules to
+//! distributed task programs.
+//!
+//! This crate ties the workspace together, mirroring the pipeline of paper
+//! Figure 3:
+//!
+//! ```text
+//! tensor index notation ──► concrete index notation ──► scheduling rewrites
+//!        (distal-ir)               (distal-ir)             (distal-ir)
+//!                                                                │
+//! tensor distribution notation ──► placement map                 ▼
+//!        (distal-format)                └──────────► task creation + comm.
+//!                                                    analysis (this crate)
+//!                                                                │
+//!                                                                ▼
+//!                                       Legion-like runtime program
+//!                                             (distal-runtime)
+//! ```
+//!
+//! The main entry points are:
+//!
+//! * [`Session`] — owns a runtime and tensors, compiles and runs kernels;
+//! * [`Schedule`] — the chainable scheduling language of Figure 2
+//!   (`divide`, `split`, `reorder`, `distribute`, `communicate`, `rotate`);
+//! * [`compile`] — lowers a scheduled statement to placement + compute
+//!   [`distal_runtime::Program`]s.
+//!
+//! # Example: Figure 2 (SUMMA on a 2×2 grid)
+//!
+//! ```
+//! use distal_core::{DistalMachine, Schedule, Session, TensorSpec};
+//! use distal_format::Format;
+//! use distal_machine::{Grid, spec::{MachineSpec, MemKind, ProcKind}};
+//! use distal_runtime::Mode;
+//!
+//! let machine = DistalMachine::flat(Grid::grid2(2, 2), ProcKind::Cpu);
+//! let mut session = Session::new(MachineSpec::small(2), machine, Mode::Functional);
+//! let tiled = Format::parse("xy->xy", MemKind::Sys).unwrap();
+//! let n = 8;
+//! for name in ["A", "B", "C"] {
+//!     session.tensor(TensorSpec::new(name, vec![n, n], tiled.clone())).unwrap();
+//! }
+//! session.fill_random("B", 1);
+//! session.fill_random("C", 2);
+//!
+//! let schedule = Schedule::summa(2, 2, 4);
+//! let compiled = session.compile("A(i,j) = B(i,k) * C(k,j)", &schedule).unwrap();
+//! session.place(&compiled).unwrap();
+//! session.execute(&compiled).unwrap();
+//! let a = session.read("A").unwrap();
+//! assert_eq!(a.len(), 64);
+//! ```
+
+pub mod error;
+pub mod kernels;
+pub mod lower;
+pub mod machine;
+pub mod mapper;
+pub mod oracle;
+pub mod schedule;
+pub mod session;
+
+pub use error::CompileError;
+pub use lower::{compile, CompileOptions, CompiledKernel};
+pub use machine::DistalMachine;
+pub use mapper::GridMapper;
+pub use schedule::{LeafKind, SchedCmd, Schedule};
+pub use session::{Session, TensorSpec};

@@ -1,0 +1,619 @@
+//! Lowering scheduled statements to runtime programs (paper §6.2).
+//!
+//! Code generation walks the scheduled concrete index notation:
+//!
+//! * the outermost *distributed* loops become the index-launch domain (one
+//!   point task per processor coordinate; directly nested distributed loops
+//!   flatten into one multi-dimensional launch);
+//! * sequential loops that carry (or sit above) `communicate` relations are
+//!   emitted as program-level loops of index launches — each iteration
+//!   re-fetches the tensors communicated at that level, which is exactly how
+//!   aggregated communication manifests in a Legion program;
+//! * everything below becomes the leaf kernel, with per-task rectangles
+//!   derived by the bounds analysis in [`distal_ir::provenance`];
+//! * scratch discards after each sequential iteration bound the memory of
+//!   systolic/pipelined schedules to double buffering.
+//!
+//! Privileges on the output tensor follow the schedule: reductions over
+//! *distributed* variables use `Reduce` (Legion reduction instances,
+//! Johnson's and 2.5D algorithms); reductions over sequential variables use
+//! `ReadWrite` accumulation; pure element-wise statements use `Write`.
+
+use crate::error::CompileError;
+use crate::kernels::{is_matmul, is_streaming, leaf_kernel_for};
+use crate::machine::DistalMachine;
+use crate::mapper::GridMapper;
+use crate::schedule::Schedule;
+use distal_format::semantics::hierarchical_pieces;
+use distal_format::Format;
+use distal_ir::cin::ConcreteNotation;
+use distal_ir::expr::{Assignment, IndexVar};
+use distal_machine::geom::{Point, Rect};
+use distal_runtime::kernel::NoopKernel;
+use distal_runtime::program::{IndexLaunch, Op, Privilege, Program, RegionReq, TaskDesc};
+use distal_runtime::region::RegionId;
+use distal_runtime::topology::PhysicalMachine;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// A tensor bound to a region with a format.
+#[derive(Clone, Debug)]
+pub struct TensorBinding {
+    /// Dimension sizes.
+    pub dims: Vec<i64>,
+    /// Distribution + memory kind.
+    pub format: Format,
+    /// The backing runtime region.
+    pub region: RegionId,
+}
+
+/// Compile-time options.
+#[derive(Clone, Debug)]
+pub struct CompileOptions {
+    /// Fraction of peak the leaf kernel achieves (model mode). `None`
+    /// selects 0.95 for matmul-shaped leaves and 0.85 otherwise.
+    pub leaf_efficiency: Option<f64>,
+    /// Zero-fill the output before computing. `None` = automatic (filled
+    /// when the statement accumulates).
+    pub fill_output: Option<bool>,
+    /// Generations of scratch instances kept by per-iteration discards
+    /// (1 = double buffering, matching systolic forwarding).
+    pub discard_keep: u64,
+    /// Emit a final owner-gather launch that folds distributed reductions
+    /// into the output's placed tiles.
+    pub final_gather: bool,
+    /// Memory kind compute tasks materialize data in, overriding the
+    /// tensors' format memory. COSMA's out-of-core GPU mode keeps tensors in
+    /// host memory (`Sys` formats) and stages chunks into `Fb` per task
+    /// (§7.1.2).
+    pub compute_mem: Option<distal_machine::spec::MemKind>,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            leaf_efficiency: None,
+            fill_output: None,
+            discard_keep: 1,
+            final_gather: true,
+            compute_mem: None,
+        }
+    }
+}
+
+/// A compiled kernel: placement and compute programs plus metadata.
+#[derive(Clone)]
+pub struct CompiledKernel {
+    /// The scheduled concrete index notation (inspect with `Display`).
+    pub cin: ConcreteNotation,
+    /// Moves tensors into their formats' distributions.
+    pub placement: Program,
+    /// The computation itself.
+    pub compute: Program,
+    /// Extents of the distributed launch domain (empty = single task).
+    pub launch_domain: Vec<i64>,
+    /// Total floating-point work of the compute program.
+    pub total_flops: f64,
+    /// The output tensor's name.
+    pub output: String,
+    /// The statement being computed.
+    pub assignment: Assignment,
+}
+
+impl std::fmt::Debug for CompiledKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "CompiledKernel {{")?;
+        writeln!(f, "  cin: {}", self.cin)?;
+        writeln!(f, "  launch domain: {:?}", self.launch_domain)?;
+        writeln!(f, "  placement tasks: {}", self.placement.task_count())?;
+        writeln!(f, "  compute tasks: {}", self.compute.task_count())?;
+        writeln!(f, "  flops: {:.3e}", self.total_flops)?;
+        write!(f, "}}")
+    }
+}
+
+/// Compiles a scheduled statement against tensor bindings and a machine.
+///
+/// # Errors
+///
+/// Reports unknown tensors, inconsistent extents, failing schedule
+/// commands, and launch domains larger than the machine.
+pub fn compile(
+    assignment: &Assignment,
+    tensors: &BTreeMap<String, TensorBinding>,
+    machine: &DistalMachine,
+    phys: &PhysicalMachine,
+    schedule: &Schedule,
+    options: &CompileOptions,
+) -> Result<CompiledKernel, CompileError> {
+    // Extents from tensor dims.
+    let mut dims_map = BTreeMap::new();
+    for acc in assignment.accesses() {
+        let b = tensors
+            .get(&acc.tensor)
+            .ok_or_else(|| CompileError::UnknownTensor(acc.tensor.clone()))?;
+        dims_map.insert(acc.tensor.clone(), b.dims.clone());
+    }
+    let extents = assignment
+        .infer_extents(&dims_map)
+        .ok_or(CompileError::InconsistentExtents)?;
+
+    // Lower to CIN and apply the schedule.
+    let mut cin = ConcreteNotation::from_assignment(assignment.clone(), &extents)
+        .map_err(|e| CompileError::Expression(e.to_string()))?;
+    schedule.apply(&mut cin)?;
+
+    let mapper = GridMapper::new(machine, phys)?;
+
+    // Split the nest: distributed prefix / sequential program loops / leaf.
+    let n_dist = cin.distributed_prefix().map_or(0, |p| p.len());
+    let launch_domain: Vec<i64> = cin.loops[..n_dist]
+        .iter()
+        .map(|l| cin.solver.extent(&l.var))
+        .collect();
+    let domain_size: i64 = launch_domain.iter().product::<i64>().max(1);
+    if domain_size > mapper.len() as i64 {
+        return Err(CompileError::GridTooLarge {
+            required: domain_size,
+            available: mapper.len() as i64,
+        });
+    }
+    // The cut: deepest loop carrying a communicate tag (distributed loops
+    // are always above the cut). Loops past the cut form the leaf kernel.
+    let mut cut = n_dist;
+    for (pos, l) in cin.loops.iter().enumerate() {
+        if !l.communicate.is_empty() {
+            cut = cut.max(pos + 1);
+        }
+    }
+    let seq_loops: Vec<IndexVar> = cin.loops[n_dist..cut].iter().map(|l| l.var.clone()).collect();
+    let seq_extents: Vec<i64> = seq_loops.iter().map(|v| cin.solver.extent(v)).collect();
+
+    // Output privilege.
+    let reduction_roots: BTreeSet<IndexVar> = assignment.reduction_vars().into_iter().collect();
+    let dist_reduces = cin.loops[..n_dist].iter().any(|l| {
+        cin.solver
+            .roots_of(&l.var)
+            .iter()
+            .any(|r| reduction_roots.contains(r))
+    });
+    let seq_reduces = seq_loops.iter().any(|v| {
+        cin.solver
+            .roots_of(v)
+            .iter()
+            .any(|r| reduction_roots.contains(r))
+    });
+    let leaf_reduces = assignment.is_reduction();
+    let out_priv = if dist_reduces {
+        Privilege::Reduce
+    } else if seq_reduces {
+        Privilege::ReadWrite
+    } else {
+        Privilege::Write
+    };
+    // Zero-fill whenever the leaf accumulates into pre-existing values.
+    let fill_output = options
+        .fill_output
+        .unwrap_or(leaf_reduces && out_priv != Privilege::Write);
+
+    let efficiency = options.leaf_efficiency.unwrap_or(if is_matmul(assignment) {
+        0.95
+    } else {
+        0.85
+    });
+    let streaming = is_streaming(assignment);
+
+    // Tensors discarded per sequential iteration: those communicated at a
+    // sequential program loop.
+    let mut seq_comm_tensors: BTreeSet<String> = BTreeSet::new();
+    for l in cin.loops[n_dist..cut].iter() {
+        for t in &l.communicate {
+            if *t != assignment.lhs.tensor {
+                seq_comm_tensors.insert(t.clone());
+            }
+        }
+    }
+
+    // ---- Compute program ----
+    let mut compute = Program::new();
+    let out_binding = &tensors[&assignment.lhs.tensor];
+    if fill_output {
+        compute.push(Op::Fill {
+            region: out_binding.region,
+            value: 0.0,
+        });
+    }
+    // Leaf kernel: a `substitute` command overrides the automatic choice
+    // (Figure 2 line 40 substitutes a vendor GEMM at the leaves).
+    let leaf_kernel: Arc<dyn distal_runtime::kernel::Kernel> = match schedule.leaf_choice() {
+        Some((_, crate::schedule::LeafKind::Gemm)) => {
+            if !is_matmul(assignment) {
+                return Err(CompileError::BadSubstitution(format!(
+                    "the GEMM leaf requires a matmul-shaped statement, got `{assignment}`"
+                )));
+            }
+            Arc::new(crate::kernels::GemmKernel)
+        }
+        Some((_, crate::schedule::LeafKind::Interpreter)) => Arc::new(
+            crate::kernels::InterpreterKernel::new(assignment.clone()),
+        ),
+        Some((_, crate::schedule::LeafKind::Auto)) | None => Arc::from(leaf_kernel_for(assignment)),
+    };
+    let leaf = compute.register_kernel(leaf_kernel);
+    let all_vars = assignment.all_vars();
+    let flops_per_point = assignment.flops_per_point();
+
+    let domain_rect = Rect::sized(&if launch_domain.is_empty() {
+        vec![1]
+    } else {
+        launch_domain.clone()
+    });
+    let seq_rect = Rect::sized(&if seq_extents.is_empty() {
+        vec![1]
+    } else {
+        seq_extents.clone()
+    });
+    let mut total_flops = 0.0;
+    for seq_point in seq_rect.points() {
+        // Retire stale forwarding buffers *before* the launch: instances
+        // fetched this iteration then carry a strictly newer generation
+        // than home tiles, which steers systolic schedules to pull from
+        // their neighbours' buffers (Figure 12) rather than the owners.
+        if !seq_extents.is_empty() {
+            for t in &seq_comm_tensors {
+                compute.push(Op::DiscardScratch {
+                    region: tensors[t].region,
+                    keep_recent: options.discard_keep,
+                });
+            }
+        }
+        let mut tasks = Vec::new();
+        for point in domain_rect.points() {
+            let mut env: BTreeMap<IndexVar, i64> = BTreeMap::new();
+            for (d, l) in cin.loops[..n_dist].iter().enumerate() {
+                env.insert(l.var.clone(), point[d]);
+            }
+            for (d, v) in seq_loops.iter().enumerate() {
+                env.insert(v.clone(), seq_point[d]);
+            }
+            let rank = if launch_domain.is_empty() {
+                0
+            } else {
+                domain_rect.linearize(&point) as i64
+            };
+            // Leaf bounds per original variable.
+            let mut scalars = Vec::with_capacity(all_vars.len() * 2);
+            let mut iter_points = 1.0f64;
+            let mut empty = false;
+            for v in &all_vars {
+                let iv = cin.solver.interval(v, &env);
+                scalars.push(iv.lo);
+                scalars.push(iv.hi);
+                if iv.is_empty() {
+                    empty = true;
+                }
+                iter_points *= iv.len() as f64;
+            }
+            if empty {
+                continue;
+            }
+            // Region requirements: destination first, then inputs.
+            let mut reqs = Vec::new();
+            let mut bytes = 0.0f64;
+            {
+                let rect = access_rect(&assignment.lhs.indices, &cin, &env, &out_binding.dims);
+                bytes += rect.volume() as f64 * 8.0;
+                let mem_kind = options.compute_mem.unwrap_or(out_binding.format.mem);
+                reqs.push(RegionReq::new(
+                    out_binding.region,
+                    rect,
+                    out_priv,
+                    mapper.mem_for(rank, mem_kind),
+                ));
+            }
+            for acc in assignment.input_accesses() {
+                let b = &tensors[&acc.tensor];
+                let rect = access_rect(&acc.indices, &cin, &env, &b.dims);
+                bytes += rect.volume() as f64 * 8.0;
+                let mem_kind = options.compute_mem.unwrap_or(b.format.mem);
+                reqs.push(RegionReq::new(
+                    b.region,
+                    rect,
+                    Privilege::Read,
+                    mapper.mem_for(rank, mem_kind),
+                ));
+            }
+            let flops = flops_per_point * iter_points;
+            total_flops += flops;
+            let mut task = TaskDesc::new(leaf, mapper.proc_for_rank(rank), point.clone(), reqs);
+            task.flops = flops;
+            task.bytes = if streaming { bytes } else { 0.0 };
+            task.efficiency = efficiency;
+            task.scalars = scalars;
+            tasks.push(task);
+        }
+        if !tasks.is_empty() {
+            compute.push(Op::IndexLaunch(IndexLaunch {
+                name: format!("compute{:?}", seq_point),
+                tasks,
+            }));
+        }
+    }
+    // Retire the final iteration's buffers.
+    if !seq_extents.is_empty() {
+        for t in &seq_comm_tensors {
+            compute.push(Op::DiscardScratch {
+                region: tensors[t].region,
+                keep_recent: options.discard_keep,
+            });
+        }
+    }
+
+    // Final gather: fold distributed reductions into the output's placed
+    // tiles (Johnson's "sum reduces A_ijk to P_ij0").
+    if out_priv == Privilege::Reduce && options.final_gather {
+        let gather = compute.register_kernel(Arc::new(NoopKernel));
+        let tasks = if out_binding.format.is_distributed() {
+            placement_tasks(gather, out_binding, machine, &mapper, Privilege::Read, true)
+        } else {
+            // Undistributed (e.g. scalar) output: a single owner on rank 0
+            // folds all reduction contributions.
+            let mut req = RegionReq::new(
+                out_binding.region,
+                Rect::sized(&out_binding.dims),
+                Privilege::Read,
+                mapper.mem_for(0, out_binding.format.mem),
+            );
+            req.pin = true;
+            vec![TaskDesc::new(
+                gather,
+                mapper.proc_for_rank(0),
+                Point::zeros(1),
+                vec![req],
+            )]
+        };
+        if !tasks.is_empty() {
+            compute.push(Op::IndexLaunch(IndexLaunch {
+                name: "reduce-gather".into(),
+                tasks,
+            }));
+        }
+    }
+
+    // ---- Placement program ----
+    let mut placement = Program::new();
+    let place = placement.register_kernel(Arc::new(NoopKernel));
+    let mut placed: BTreeSet<String> = BTreeSet::new();
+    for acc in assignment.accesses() {
+        let name = &acc.tensor;
+        if !placed.insert(name.clone()) {
+            continue; // each tensor is placed once
+        }
+        let b = &tensors[name.as_str()];
+        if !b.format.is_distributed() {
+            continue;
+        }
+        // Output-only tensors are placed with Write (no data to move);
+        // inputs (and increment outputs) are pulled with pinned reads.
+        let is_input = assignment.input_accesses().iter().any(|a| &a.tensor == name)
+            || (name == &assignment.lhs.tensor && assignment.increment);
+        let privilege = if is_input { Privilege::Read } else { Privilege::Write };
+        let tasks = placement_tasks(place, b, machine, &mapper, privilege, true);
+        if !tasks.is_empty() {
+            placement.push(Op::IndexLaunch(IndexLaunch {
+                name: format!("place-{name}"),
+                tasks,
+            }));
+        }
+    }
+
+    Ok(CompiledKernel {
+        cin,
+        placement,
+        compute,
+        launch_domain,
+        total_flops,
+        output: assignment.lhs.tensor.clone(),
+        assignment: assignment.clone(),
+    })
+}
+
+/// The rectangle an access touches under a loop-variable environment.
+fn access_rect(
+    indices: &[IndexVar],
+    cin: &ConcreteNotation,
+    env: &BTreeMap<IndexVar, i64>,
+    dims: &[i64],
+) -> Rect {
+    let mut lo = Vec::with_capacity(indices.len());
+    let mut hi = Vec::with_capacity(indices.len());
+    for (d, v) in indices.iter().enumerate() {
+        let iv = cin.solver.interval(v, env).clamp_extent(dims[d]);
+        lo.push(iv.lo);
+        hi.push(iv.hi);
+    }
+    Rect::new(Point::new(lo), Point::new(hi))
+}
+
+/// Builds a standalone placement program for a set of tensors: inputs are
+/// pulled into their format's distribution with pinned reads, outputs are
+/// established with writes. Used by baselines whose pipelines place user
+/// data before their own redistribution phases.
+///
+/// # Errors
+///
+/// Propagates mapper construction failures (oversized grids).
+pub fn placement_program(
+    tensors: &BTreeMap<String, TensorBinding>,
+    names: &[(&str, bool)],
+    machine: &DistalMachine,
+    phys: &PhysicalMachine,
+) -> Result<Program, CompileError> {
+    let mapper = GridMapper::new(machine, phys)?;
+    let mut program = Program::new();
+    let kernel = program.register_kernel(Arc::new(NoopKernel));
+    for (name, is_input) in names {
+        let b = tensors
+            .get(*name)
+            .ok_or_else(|| CompileError::UnknownTensor(name.to_string()))?;
+        if !b.format.is_distributed() {
+            continue;
+        }
+        let privilege = if *is_input { Privilege::Read } else { Privilege::Write };
+        let tasks = placement_tasks(kernel, b, machine, &mapper, privilege, true);
+        if !tasks.is_empty() {
+            program.push(Op::IndexLaunch(IndexLaunch {
+                name: format!("place-{name}"),
+                tasks,
+            }));
+        }
+    }
+    Ok(program)
+}
+
+/// One placement/gather task per owning grid point of a tensor's format,
+/// with one region requirement per owned piece (blocked formats own a
+/// single tile; cyclic and block-cyclic formats own a set of stripes).
+fn placement_tasks(
+    kernel: distal_runtime::program::KernelId,
+    binding: &TensorBinding,
+    machine: &DistalMachine,
+    mapper: &GridMapper,
+    privilege: Privilege,
+    pin: bool,
+) -> Vec<TaskDesc> {
+    let rect = Rect::sized(&binding.dims);
+    let mut tasks = Vec::new();
+    for point in machine.grid().points() {
+        let pieces = hierarchical_pieces(
+            &binding.format.distributions,
+            &rect,
+            &machine.hierarchy,
+            &point,
+        );
+        if pieces.is_empty() {
+            continue;
+        }
+        let rank = mapper.rank(&point);
+        let mem = mapper.mem_for(rank, binding.format.mem);
+        let reqs = pieces
+            .into_iter()
+            .map(|piece| {
+                let mut req = RegionReq::new(binding.region, piece, privilege, mem);
+                req.pin = pin;
+                req
+            })
+            .collect();
+        tasks.push(TaskDesc::new(
+            kernel,
+            mapper.proc_for_rank(rank),
+            point.clone(),
+            reqs,
+        ));
+    }
+    tasks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distal_machine::grid::Grid;
+    use distal_machine::spec::{MachineSpec, MemKind, ProcKind};
+
+    fn bindings(n: i64) -> BTreeMap<String, TensorBinding> {
+        let f = Format::parse("xy->xy", MemKind::Sys).unwrap();
+        ["A", "B", "C"]
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                (
+                    name.to_string(),
+                    TensorBinding {
+                        dims: vec![n, n],
+                        format: f.clone(),
+                        region: RegionId(i as u32),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn summa_compiles_to_expected_structure() {
+        let machine = DistalMachine::flat(Grid::grid2(2, 2), ProcKind::Cpu);
+        let phys = PhysicalMachine::new(MachineSpec::small(2));
+        let a = distal_ir::expr::kernels::matmul();
+        let k = compile(
+            &a,
+            &bindings(16),
+            &machine,
+            &phys,
+            &Schedule::summa(2, 2, 8),
+            &CompileOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(k.launch_domain, vec![2, 2]);
+        // k=16 in chunks of 8: two sequential iterations x 4 point tasks,
+        // plus the fill.
+        assert_eq!(k.compute.task_count(), 8);
+        // 2 * 16^3 flops.
+        assert!((k.total_flops - 2.0 * 16.0f64.powi(3)).abs() < 1.0);
+        // Placement: 3 tensors x 4 tiles.
+        assert_eq!(k.placement.task_count(), 12);
+        // Discards for B and C before each sequential iteration plus the
+        // trailing cleanup: (2 iterations + 1) x 2 tensors.
+        let discards = k
+            .compute
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::DiscardScratch { .. }))
+            .count();
+        assert_eq!(discards, 6);
+    }
+
+    #[test]
+    fn unknown_tensor_rejected() {
+        let machine = DistalMachine::flat(Grid::grid2(2, 2), ProcKind::Cpu);
+        let phys = PhysicalMachine::new(MachineSpec::small(2));
+        let a = distal_ir::expr::Assignment::parse("Z(i,j) = B(i,k) * C(k,j)").unwrap();
+        assert!(matches!(
+            compile(&a, &bindings(8), &machine, &phys, &Schedule::new(), &CompileOptions::default()),
+            Err(CompileError::UnknownTensor(t)) if t == "Z"
+        ));
+    }
+
+    #[test]
+    fn oversized_grid_rejected() {
+        let machine = DistalMachine::flat(Grid::grid2(8, 8), ProcKind::Cpu);
+        let phys = PhysicalMachine::new(MachineSpec::small(2)); // 4 sockets
+        let a = distal_ir::expr::kernels::matmul();
+        let err = compile(
+            &a,
+            &bindings(64),
+            &machine,
+            &phys,
+            &Schedule::summa(8, 8, 8),
+            &CompileOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CompileError::GridTooLarge { required: 64, .. }));
+    }
+
+    #[test]
+    fn unscheduled_statement_is_single_task() {
+        let machine = DistalMachine::flat(Grid::grid2(1, 1), ProcKind::Cpu);
+        let phys = PhysicalMachine::new(MachineSpec::small(1));
+        let a = distal_ir::expr::kernels::matmul();
+        let k = compile(
+            &a,
+            &bindings(8),
+            &machine,
+            &phys,
+            &Schedule::new(),
+            &CompileOptions::default(),
+        )
+        .unwrap();
+        assert!(k.launch_domain.is_empty());
+        assert_eq!(k.compute.task_count(), 1);
+    }
+}

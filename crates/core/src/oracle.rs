@@ -1,0 +1,214 @@
+//! A sequential reference evaluator — the correctness oracle for tests.
+
+use distal_ir::expr::{Assignment, Expr};
+use std::collections::BTreeMap;
+
+/// Evaluates a tensor index notation statement sequentially.
+///
+/// `dims` gives each tensor's dimension sizes; `inputs` gives row-major
+/// data for every right-hand-side tensor. Returns the output tensor's
+/// row-major data.
+///
+/// # Errors
+///
+/// Reports missing tensors, inconsistent extents, and size mismatches as
+/// strings (this is a test utility, not part of the compiler surface).
+pub fn evaluate(
+    assignment: &Assignment,
+    dims: &BTreeMap<String, Vec<i64>>,
+    inputs: &BTreeMap<String, Vec<f64>>,
+) -> Result<Vec<f64>, String> {
+    let extents = assignment
+        .infer_extents(dims)
+        .ok_or_else(|| "missing tensor dims or inconsistent extents".to_string())?;
+    let vars = assignment.all_vars();
+    let var_extents: Vec<i64> = vars.iter().map(|v| extents[v]).collect();
+
+    // Validate input sizes.
+    for acc in assignment.input_accesses() {
+        let d = dims.get(&acc.tensor).ok_or(format!("missing dims for {}", acc.tensor))?;
+        let expect: i64 = d.iter().product();
+        let data = inputs
+            .get(&acc.tensor)
+            .ok_or(format!("missing data for {}", acc.tensor))?;
+        if data.len() as i64 != expect {
+            return Err(format!(
+                "tensor {} has {} elements, expected {}",
+                acc.tensor,
+                data.len(),
+                expect
+            ));
+        }
+    }
+
+    let out_dims = dims
+        .get(&assignment.lhs.tensor)
+        .ok_or(format!("missing dims for {}", assignment.lhs.tensor))?;
+    let out_len: i64 = out_dims.iter().product::<i64>().max(1);
+    let mut out = vec![0.0; out_len as usize];
+
+    // Precompute access metadata: variable positions and strides.
+    struct AccessInfo<'a> {
+        var_pos: Vec<usize>,
+        strides: Vec<i64>,
+        data: &'a [f64],
+    }
+    let mut infos: Vec<AccessInfo> = Vec::new();
+    for acc in assignment.input_accesses() {
+        let d = &dims[&acc.tensor];
+        let mut strides = vec![1i64; d.len()];
+        for i in (0..d.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * d[i + 1];
+        }
+        infos.push(AccessInfo {
+            var_pos: acc
+                .indices
+                .iter()
+                .map(|v| vars.iter().position(|x| x == v).unwrap())
+                .collect(),
+            strides,
+            data: &inputs[&acc.tensor],
+        });
+    }
+    let mut out_strides = vec![1i64; out_dims.len()];
+    for i in (0..out_dims.len().saturating_sub(1)).rev() {
+        out_strides[i] = out_strides[i + 1] * out_dims[i + 1];
+    }
+    let out_pos: Vec<usize> = assignment
+        .lhs
+        .indices
+        .iter()
+        .map(|v| vars.iter().position(|x| x == v).unwrap())
+        .collect();
+
+    let mut point = vec![0i64; vars.len()];
+    if var_extents.contains(&0) {
+        return Ok(out);
+    }
+    let mut values = vec![0.0f64; infos.len()];
+    loop {
+        for (vi, info) in infos.iter().enumerate() {
+            let mut idx = 0;
+            for (d, &p) in info.var_pos.iter().enumerate() {
+                idx += point[p] * info.strides[d];
+            }
+            values[vi] = info.data[idx as usize];
+        }
+        let mut it = values.iter().copied();
+        let v = eval_expr(&assignment.rhs, &mut it);
+        let mut idx = 0;
+        for (d, &p) in out_pos.iter().enumerate() {
+            idx += point[p] * out_strides[d];
+        }
+        if assignment.is_reduction() {
+            out[idx as usize] += v;
+        } else {
+            out[idx as usize] = v;
+        }
+        // Odometer.
+        let mut d = vars.len();
+        loop {
+            if d == 0 {
+                return Ok(out);
+            }
+            d -= 1;
+            point[d] += 1;
+            if point[d] < var_extents[d] {
+                break;
+            }
+            point[d] = 0;
+            if d == 0 {
+                return Ok(out);
+            }
+        }
+    }
+}
+
+fn eval_expr(e: &Expr, values: &mut impl Iterator<Item = f64>) -> f64 {
+    match e {
+        Expr::Access(_) => values.next().expect("missing value"),
+        Expr::Literal(c) => *c,
+        Expr::Add(l, r) => {
+            let a = eval_expr(l, values);
+            let b = eval_expr(r, values);
+            a + b
+        }
+        Expr::Mul(l, r) => {
+            let a = eval_expr(l, values);
+            let b = eval_expr(r, values);
+            a * b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distal_ir::expr::kernels;
+
+    fn dims_of(pairs: &[(&str, &[i64])]) -> BTreeMap<String, Vec<i64>> {
+        pairs.iter().map(|(n, d)| (n.to_string(), d.to_vec())).collect()
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let n = 3i64;
+        let dims = dims_of(&[("A", &[n, n]), ("B", &[n, n]), ("C", &[n, n])]);
+        let ident: Vec<f64> = (0..n * n)
+            .map(|x| if x / n == x % n { 1.0 } else { 0.0 })
+            .collect();
+        let b: Vec<f64> = (0..n * n).map(|x| x as f64).collect();
+        let mut inputs = BTreeMap::new();
+        inputs.insert("B".into(), b.clone());
+        inputs.insert("C".into(), ident);
+        let out = evaluate(&kernels::matmul(), &dims, &inputs).unwrap();
+        assert_eq!(out, b);
+    }
+
+    #[test]
+    fn ttv_small() {
+        // B is 2x2x2 of ones, c = [1, 2]; A(i,j) = sum_k B(i,j,k) c(k) = 3.
+        let dims = dims_of(&[("A", &[2, 2]), ("B", &[2, 2, 2]), ("c", &[2])]);
+        let mut inputs = BTreeMap::new();
+        inputs.insert("B".into(), vec![1.0; 8]);
+        inputs.insert("c".into(), vec![1.0, 2.0]);
+        let out = evaluate(&kernels::ttv(), &dims, &inputs).unwrap();
+        assert_eq!(out, vec![3.0; 4]);
+    }
+
+    #[test]
+    fn innerprod_scalar() {
+        let dims = dims_of(&[("a", &[]), ("B", &[2, 2, 2]), ("C", &[2, 2, 2])]);
+        let mut inputs = BTreeMap::new();
+        inputs.insert("B".into(), vec![2.0; 8]);
+        inputs.insert("C".into(), vec![3.0; 8]);
+        let out = evaluate(&kernels::innerprod(), &dims, &inputs).unwrap();
+        assert_eq!(out, vec![48.0]);
+    }
+
+    #[test]
+    fn mttkrp_hand_checked() {
+        // 2x2x2 B of ones; C, D 2x2 of ones: A(i,l) = sum_{j,k} 1 = 4.
+        let dims = dims_of(&[
+            ("A", &[2, 2]),
+            ("B", &[2, 2, 2]),
+            ("C", &[2, 2]),
+            ("D", &[2, 2]),
+        ]);
+        let mut inputs = BTreeMap::new();
+        inputs.insert("B".into(), vec![1.0; 8]);
+        inputs.insert("C".into(), vec![1.0; 4]);
+        inputs.insert("D".into(), vec![1.0; 4]);
+        let out = evaluate(&kernels::mttkrp(), &dims, &inputs).unwrap();
+        assert_eq!(out, vec![4.0; 4]);
+    }
+
+    #[test]
+    fn size_mismatch_reported() {
+        let dims = dims_of(&[("A", &[2]), ("B", &[2])]);
+        let mut inputs = BTreeMap::new();
+        inputs.insert("B".into(), vec![1.0; 3]);
+        let a = distal_ir::expr::Assignment::parse("A(i) = B(i)").unwrap();
+        assert!(evaluate(&a, &dims, &inputs).unwrap_err().contains("elements"));
+    }
+}

@@ -1,0 +1,384 @@
+//! The scheduling language (paper §3.3 and Figure 2).
+//!
+//! A [`Schedule`] is a recorded chain of scheduling commands applied to a
+//! statement's concrete index notation at compile time. The API mirrors the
+//! C++ surface of Figure 2:
+//!
+//! ```
+//! use distal_core::Schedule;
+//! let s = Schedule::new()
+//!     .divide("i", "io", "ii", 2)
+//!     .divide("j", "jo", "ji", 2)
+//!     .reorder(&["io", "jo", "ii", "ji"])
+//!     .distribute(&["io", "jo"])
+//!     .split("k", "ko", "ki", 256)
+//!     .reorder(&["io", "jo", "ko", "ii", "ji", "ki"])
+//!     .communicate(&["A"], "jo")
+//!     .communicate(&["B", "C"], "ko");
+//! assert_eq!(s.commands().len(), 8);
+//! ```
+
+use distal_ir::cin::ConcreteNotation;
+use distal_ir::expr::IndexVar;
+use distal_ir::transform::ScheduleError;
+
+/// One scheduling command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SchedCmd {
+    /// `divide(var, outer, inner, parts)`.
+    Divide {
+        /// Variable to divide.
+        var: String,
+        /// Outer (block index) variable.
+        outer: String,
+        /// Inner (within block) variable.
+        inner: String,
+        /// Number of blocks.
+        parts: i64,
+    },
+    /// `split(var, outer, inner, chunk)`.
+    Split {
+        /// Variable to split.
+        var: String,
+        /// Outer (chunk index) variable.
+        outer: String,
+        /// Inner (within chunk) variable.
+        inner: String,
+        /// Chunk size.
+        chunk: i64,
+    },
+    /// `reorder(vars)`.
+    Reorder(Vec<String>),
+    /// `distribute(vars)`.
+    Distribute(Vec<String>),
+    /// The compound `distribute(targets, dist, local, grid)` of §3.3.
+    DistributeOnto {
+        /// Variables to distribute.
+        targets: Vec<String>,
+        /// Their distributed (outer) halves.
+        dist: Vec<String>,
+        /// Their local (inner) halves.
+        local: Vec<String>,
+        /// Machine grid dimensions.
+        dims: Vec<i64>,
+    },
+    /// `communicate(tensors, var)`.
+    Communicate {
+        /// Tensors whose communication aggregates at the loop.
+        tensors: Vec<String>,
+        /// The loop variable.
+        var: String,
+    },
+    /// `rotate(target, over, result)`.
+    Rotate {
+        /// Variable to rotate.
+        target: String,
+        /// Variables whose sum offsets the rotation.
+        over: Vec<String>,
+        /// The new loop variable.
+        result: String,
+    },
+    /// `parallelize(var)`.
+    Parallelize(String),
+    /// `collapse(a, b, fused)`.
+    Collapse {
+        /// Outer loop.
+        a: String,
+        /// Inner loop (directly nested under `a`).
+        b: String,
+        /// The fused loop variable.
+        fused: String,
+    },
+    /// `substitute(vars, kernel)` — Figure 2 line 40: replace the loops
+    /// over `vars` with an optimized leaf kernel.
+    Substitute {
+        /// The leaf loop variables the kernel absorbs.
+        vars: Vec<String>,
+        /// Which kernel to substitute.
+        leaf: LeafKind,
+    },
+}
+
+/// The leaf kernel named by a `substitute` command.
+///
+/// The original system substitutes vendor kernels (`CuBLAS::GeMM`); this
+/// reproduction substitutes its native blocked GEMM, with the generic
+/// dense-loop interpreter as the no-substitution default.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LeafKind {
+    /// Pick automatically from the statement's shape (the default).
+    Auto,
+    /// The blocked dense GEMM (the `CuBLAS::GeMM` stand-in). Only valid
+    /// for matmul-shaped statements.
+    Gemm,
+    /// The generic dense-loop interpreter.
+    Interpreter,
+}
+
+/// A chain of scheduling commands.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Schedule {
+    cmds: Vec<SchedCmd>,
+}
+
+fn ivs(names: &[&str]) -> Vec<IndexVar> {
+    names.iter().map(|n| IndexVar::new(*n)).collect()
+}
+
+fn ivs_owned(names: &[String]) -> Vec<IndexVar> {
+    names.iter().map(IndexVar::new).collect()
+}
+
+impl Schedule {
+    /// An empty schedule (runs the default loop nest on one processor).
+    pub fn new() -> Self {
+        Schedule::default()
+    }
+
+    /// The recorded commands.
+    pub fn commands(&self) -> &[SchedCmd] {
+        &self.cmds
+    }
+
+    /// Appends `divide`.
+    #[must_use]
+    pub fn divide(mut self, var: &str, outer: &str, inner: &str, parts: i64) -> Self {
+        self.cmds.push(SchedCmd::Divide {
+            var: var.into(),
+            outer: outer.into(),
+            inner: inner.into(),
+            parts,
+        });
+        self
+    }
+
+    /// Appends `split`.
+    #[must_use]
+    pub fn split(mut self, var: &str, outer: &str, inner: &str, chunk: i64) -> Self {
+        self.cmds.push(SchedCmd::Split {
+            var: var.into(),
+            outer: outer.into(),
+            inner: inner.into(),
+            chunk,
+        });
+        self
+    }
+
+    /// Appends `reorder`.
+    #[must_use]
+    pub fn reorder(mut self, order: &[&str]) -> Self {
+        self.cmds
+            .push(SchedCmd::Reorder(order.iter().map(|s| s.to_string()).collect()));
+        self
+    }
+
+    /// Appends `distribute`.
+    #[must_use]
+    pub fn distribute(mut self, vars: &[&str]) -> Self {
+        self.cmds
+            .push(SchedCmd::Distribute(vars.iter().map(|s| s.to_string()).collect()));
+        self
+    }
+
+    /// Appends the compound `distribute(targets, dist, local, grid)`.
+    #[must_use]
+    pub fn distribute_onto(
+        mut self,
+        targets: &[&str],
+        dist: &[&str],
+        local: &[&str],
+        dims: &[i64],
+    ) -> Self {
+        self.cmds.push(SchedCmd::DistributeOnto {
+            targets: targets.iter().map(|s| s.to_string()).collect(),
+            dist: dist.iter().map(|s| s.to_string()).collect(),
+            local: local.iter().map(|s| s.to_string()).collect(),
+            dims: dims.to_vec(),
+        });
+        self
+    }
+
+    /// Appends `communicate`.
+    #[must_use]
+    pub fn communicate(mut self, tensors: &[&str], var: &str) -> Self {
+        self.cmds.push(SchedCmd::Communicate {
+            tensors: tensors.iter().map(|s| s.to_string()).collect(),
+            var: var.into(),
+        });
+        self
+    }
+
+    /// Appends `rotate`.
+    #[must_use]
+    pub fn rotate(mut self, target: &str, over: &[&str], result: &str) -> Self {
+        self.cmds.push(SchedCmd::Rotate {
+            target: target.into(),
+            over: over.iter().map(|s| s.to_string()).collect(),
+            result: result.into(),
+        });
+        self
+    }
+
+    /// Appends `parallelize`.
+    #[must_use]
+    pub fn parallelize(mut self, var: &str) -> Self {
+        self.cmds.push(SchedCmd::Parallelize(var.into()));
+        self
+    }
+
+    /// Appends `collapse`.
+    #[must_use]
+    pub fn collapse(mut self, a: &str, b: &str, fused: &str) -> Self {
+        self.cmds.push(SchedCmd::Collapse {
+            a: a.into(),
+            b: b.into(),
+            fused: fused.into(),
+        });
+        self
+    }
+
+    /// Appends `substitute` (Figure 2 line 40): absorb the leaf loops over
+    /// `vars` into the named kernel.
+    #[must_use]
+    pub fn substitute(mut self, vars: &[&str], leaf: LeafKind) -> Self {
+        self.cmds.push(SchedCmd::Substitute {
+            vars: vars.iter().map(|s| s.to_string()).collect(),
+            leaf,
+        });
+        self
+    }
+
+    /// The leaf kernel chosen by the last `substitute` command, if any.
+    pub fn leaf_choice(&self) -> Option<(&[String], LeafKind)> {
+        self.cmds.iter().rev().find_map(|c| match c {
+            SchedCmd::Substitute { vars, leaf } => Some((vars.as_slice(), *leaf)),
+            _ => None,
+        })
+    }
+
+    /// Applies all commands to a concrete index notation statement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing command's [`ScheduleError`].
+    pub fn apply(&self, cin: &mut ConcreteNotation) -> Result<(), ScheduleError> {
+        for cmd in &self.cmds {
+            match cmd {
+                SchedCmd::Divide { var, outer, inner, parts } => {
+                    cin.divide(&IndexVar::new(var), IndexVar::new(outer), IndexVar::new(inner), *parts)?;
+                }
+                SchedCmd::Split { var, outer, inner, chunk } => {
+                    cin.split(&IndexVar::new(var), IndexVar::new(outer), IndexVar::new(inner), *chunk)?;
+                }
+                SchedCmd::Reorder(order) => {
+                    cin.reorder(&ivs_owned(order))?;
+                }
+                SchedCmd::Distribute(vars) => {
+                    cin.distribute(&ivs_owned(vars))?;
+                }
+                SchedCmd::DistributeOnto { targets, dist, local, dims } => {
+                    cin.distribute_onto(
+                        &ivs_owned(targets),
+                        &ivs_owned(dist),
+                        &ivs_owned(local),
+                        dims,
+                    )?;
+                }
+                SchedCmd::Communicate { tensors, var } => {
+                    let names: Vec<&str> = tensors.iter().map(String::as_str).collect();
+                    cin.communicate(&names, &IndexVar::new(var))?;
+                }
+                SchedCmd::Rotate { target, over, result } => {
+                    cin.rotate(&IndexVar::new(target), &ivs_owned(over), IndexVar::new(result))?;
+                }
+                SchedCmd::Parallelize(var) => {
+                    cin.parallelize(&IndexVar::new(var))?;
+                }
+                SchedCmd::Collapse { a, b, fused } => {
+                    cin.collapse(&IndexVar::new(a), &IndexVar::new(b), IndexVar::new(fused))?;
+                }
+                SchedCmd::Substitute { vars, leaf } => {
+                    // A backend directive, not a loop rewrite: validate the
+                    // named loops exist and record it in the s.t. trail.
+                    for v in vars {
+                        let iv = IndexVar::new(v);
+                        if !cin.solver.knows(&iv) {
+                            return Err(ScheduleError::UnknownLoopVar(v.clone()));
+                        }
+                    }
+                    cin.note(format!("substitute({}, {leaf:?})", vars.join(", ")));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The SUMMA schedule of Figure 2 for `A(i,j) = B(i,k) * C(k,j)` on a
+    /// `gx × gy` grid, stepping `k` in chunks of `chunk` — including the
+    /// line-40 substitution of the optimized GEMM at the leaves.
+    pub fn summa(gx: i64, gy: i64, chunk: i64) -> Self {
+        let _ = ivs(&[]); // keep helper referenced for symmetric style
+        Schedule::new()
+            .distribute_onto(&["i", "j"], &["io", "jo"], &["ii", "ji"], &[gx, gy])
+            .split("k", "ko", "ki", chunk)
+            .reorder(&["io", "jo", "ko", "ii", "ji", "ki"])
+            .communicate(&["A"], "jo")
+            .communicate(&["B", "C"], "ko")
+            .substitute(&["ii", "ji", "ki"], LeafKind::Gemm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distal_ir::cin::ConcreteNotation;
+    use distal_ir::expr::kernels;
+    use std::collections::BTreeMap;
+
+    fn matmul_cin(n: i64) -> ConcreteNotation {
+        let extents: BTreeMap<IndexVar, i64> = [("i", n), ("j", n), ("k", n)]
+            .iter()
+            .map(|(v, e)| (IndexVar::new(*v), *e))
+            .collect();
+        ConcreteNotation::from_assignment(kernels::matmul(), &extents).unwrap()
+    }
+
+    #[test]
+    fn summa_schedule_applies() {
+        let mut cin = matmul_cin(64);
+        Schedule::summa(2, 2, 16).apply(&mut cin).unwrap();
+        let vars: Vec<String> = cin.loop_vars().iter().map(|v| v.0.clone()).collect();
+        assert_eq!(vars, vec!["io", "jo", "ko", "ii", "ji", "ki"]);
+        assert_eq!(cin.distributed_prefix().unwrap().len(), 2);
+        // The substitution shows in the s.t. trail (Figure 2 line 40).
+        assert!(format!("{cin}").contains("substitute(ii, ji, ki"));
+    }
+
+    #[test]
+    fn substitute_validates_loop_vars() {
+        let mut cin = matmul_cin(8);
+        let s = Schedule::new().substitute(&["nope"], LeafKind::Gemm);
+        assert!(s.apply(&mut cin).is_err());
+        assert_eq!(
+            Schedule::summa(2, 2, 4).leaf_choice().map(|(_, l)| l),
+            Some(LeafKind::Gemm)
+        );
+        assert_eq!(Schedule::new().leaf_choice(), None);
+    }
+
+    #[test]
+    fn bad_schedule_surfaces_error() {
+        let mut cin = matmul_cin(8);
+        let s = Schedule::new().divide("zz", "a", "b", 2);
+        assert!(s.apply(&mut cin).is_err());
+    }
+
+    #[test]
+    fn builder_records_commands() {
+        let s = Schedule::new()
+            .rotate("ko", &["io", "jo"], "kos")
+            .parallelize("ii");
+        assert_eq!(s.commands().len(), 2);
+        assert!(matches!(&s.commands()[0], SchedCmd::Rotate { target, .. } if target == "ko"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Tensor formats: distribution + target memory kind (paper Figure 2).
+//!
+//! In DISTAL a tensor's format carries both its (dense) dimension layout and
+//! its distribution onto the machine, plus the memory kind each piece should
+//! live in — e.g. `Memory::GPU_MEM` in Figure 2 line 11.
+
+use crate::notation::{NotationError, TensorDistribution};
+use distal_machine::spec::MemKind;
+
+/// A dense tensor format: one distribution per machine-hierarchy level and
+/// the memory kind holding each local tile.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Format {
+    /// Distributions, outermost machine level first. Empty means the tensor
+    /// is not distributed (kept whole in staging memory).
+    pub distributions: Vec<TensorDistribution>,
+    /// Which memory kind tiles reside in.
+    pub mem: MemKind,
+}
+
+impl Format {
+    /// A format with a single-level distribution.
+    pub fn new(distribution: TensorDistribution, mem: MemKind) -> Self {
+        Format {
+            distributions: vec![distribution],
+            mem,
+        }
+    }
+
+    /// A hierarchical format (one distribution per machine level).
+    pub fn hierarchical(distributions: Vec<TensorDistribution>, mem: MemKind) -> Self {
+        Format {
+            distributions,
+            mem,
+        }
+    }
+
+    /// Parses a single-level format from compact notation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NotationError`] from the notation parser.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use distal_format::Format;
+    /// use distal_machine::spec::MemKind;
+    /// let f = Format::parse("xy->xy", MemKind::Fb).unwrap();
+    /// assert_eq!(f.mem, MemKind::Fb);
+    /// ```
+    pub fn parse(notation: &str, mem: MemKind) -> Result<Self, NotationError> {
+        Ok(Format::new(TensorDistribution::parse(notation)?, mem))
+    }
+
+    /// An undistributed format (whole tensor in staging memory).
+    pub fn undistributed() -> Self {
+        Format {
+            distributions: Vec::new(),
+            mem: MemKind::Global,
+        }
+    }
+
+    /// True when the tensor is distributed onto the machine.
+    pub fn is_distributed(&self) -> bool {
+        !self.distributions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let f = Format::parse("xy->xy", MemKind::Sys).unwrap();
+        assert!(f.is_distributed());
+        assert_eq!(f.distributions.len(), 1);
+        let u = Format::undistributed();
+        assert!(!u.is_distributed());
+    }
+
+    #[test]
+    fn hierarchical_format() {
+        let f = Format::hierarchical(
+            vec![
+                TensorDistribution::parse("xy->xy").unwrap(),
+                TensorDistribution::parse("xy->x").unwrap(),
+            ],
+            MemKind::Fb,
+        );
+        assert_eq!(f.distributions.len(), 2);
+    }
+
+    #[test]
+    fn parse_error_propagates() {
+        assert!(Format::parse("xy->zz", MemKind::Sys).is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! Lowering tensor distribution notation to concrete index notation
+//! (paper §5.3).
+//!
+//! A distribution `T X ↦ Y M` is implemented by a CIN statement that
+//! accesses the tensor in the described orientation:
+//!
+//! 1. take an index variable per name in `X ∪ Y`;
+//! 2. build a ∀ nest accessing `T`, restricting fixed dimensions;
+//! 3. reorder the machine-named variables outermost;
+//! 4. `divide` each partitioned variable by its machine dimension and
+//!    `distribute` the outer halves;
+//! 5. `communicate` the tensor beneath the distributed variables.
+//!
+//! The paper's example: `T xy ↦ x M` lowers to
+//! `∀xo ∀xi ∀y T(x, y) s.t. divide(x, xo, xi, gx), distribute(xo),
+//! communicate(T, xo)`.
+
+use crate::notation::{DimName, TensorDistribution};
+use distal_ir::cin::ConcreteNotation;
+use distal_ir::expr::{Access, Assignment, Expr, IndexVar};
+use distal_machine::geom::Rect;
+use distal_machine::grid::Grid;
+use std::collections::BTreeMap;
+
+/// Errors from lowering a distribution.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LowerError {
+    /// The notation doesn't match the tensor/machine shape.
+    Notation(crate::notation::NotationError),
+    /// An internal scheduling rewrite failed (should not happen for valid
+    /// notation; surfaced for debuggability).
+    Schedule(String),
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LowerError::Notation(e) => write!(f, "{e}"),
+            LowerError::Schedule(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Lowers a distribution statement for tensor `name` over `rect` onto
+/// `machine` into the concrete index notation statement that places it
+/// (§5.3). The result is primarily useful for inspection and testing; the
+/// compiler materializes placements directly from
+/// [`TensorDistribution::placement`].
+///
+/// # Errors
+///
+/// Fails when the notation's arity doesn't match `rect`/`machine`.
+pub fn lower_distribution(
+    dist: &TensorDistribution,
+    name: &str,
+    rect: &Rect,
+    machine: &Grid,
+) -> Result<ConcreteNotation, LowerError> {
+    dist.check_arity(rect.dim(), machine.dim())
+        .map_err(LowerError::Notation)?;
+
+    // Step 1-2: a placement statement T(x, y, ...) = T(x, y, ...) over the
+    // tensor's variables.
+    let vars: Vec<IndexVar> = dist.tensor_dims.iter().map(IndexVar::new).collect();
+    let access = Access::new(name, vars.clone());
+    let assignment = Assignment::new(access.clone(), Expr::Access(access), false)
+        .map_err(|e| LowerError::Schedule(e.to_string()))?;
+    let mut extents: BTreeMap<IndexVar, i64> = BTreeMap::new();
+    for (d, v) in vars.iter().enumerate() {
+        extents.insert(v.clone(), rect.extent(d));
+    }
+    let mut cin = ConcreteNotation::from_assignment(assignment, &extents)
+        .map_err(|e| LowerError::Schedule(e.to_string()))?;
+
+    // Step 3: machine-named variables outermost, in machine-dimension order.
+    let mut outer: Vec<IndexVar> = Vec::new();
+    for d in &dist.machine_dims {
+        if let DimName::Var(v) = d {
+            outer.push(IndexVar::new(v.clone()));
+        }
+    }
+    let mut order = outer.clone();
+    for v in &vars {
+        if !order.contains(v) {
+            order.push(v.clone());
+        }
+    }
+    cin.reorder(&order)
+        .map_err(|e| LowerError::Schedule(e.to_string()))?;
+
+    // Step 4: divide partitioned variables by machine extents; distribute
+    // the outer halves.
+    let mut dist_vars = Vec::new();
+    for (ti, mi) in dist.partitioned_pairs() {
+        let v = IndexVar::new(dist.tensor_dims[ti].clone());
+        let vo = IndexVar::new(format!("{}o", v.0));
+        let vi = IndexVar::new(format!("{}i", v.0));
+        cin.divide(&v, vo.clone(), vi.clone(), machine.extent(mi))
+            .map_err(|e| LowerError::Schedule(e.to_string()))?;
+        dist_vars.push(vo);
+    }
+    let mut order: Vec<IndexVar> = dist_vars.clone();
+    for l in cin.loop_vars() {
+        if !order.contains(&l) {
+            order.push(l);
+        }
+    }
+    cin.reorder(&order)
+        .map_err(|e| LowerError::Schedule(e.to_string()))?;
+    if !dist_vars.is_empty() {
+        cin.distribute(&dist_vars)
+            .map_err(|e| LowerError::Schedule(e.to_string()))?;
+        // Step 5: communicate the tensor beneath the distributed variables.
+        let innermost_dist = dist_vars.last().unwrap().clone();
+        cin.communicate(&[name], &innermost_dist)
+            .map_err(|e| LowerError::Schedule(e.to_string()))?;
+    }
+    Ok(cin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_row_partition() {
+        // T xy ↦ x M lowers to ∀xo ∀xi ∀y T(x,y) s.t. divide, distribute,
+        // communicate (paper §5.3).
+        let d = TensorDistribution::parse("xy->x").unwrap();
+        let cin = lower_distribution(&d, "T", &Rect::sized(&[8, 8]), &Grid::line(4)).unwrap();
+        let vars: Vec<String> = cin.loop_vars().iter().map(|v| v.0.clone()).collect();
+        assert_eq!(vars, vec!["xo", "xi", "y"]);
+        let shown = format!("{cin}");
+        assert!(shown.contains("divide(x, xo, xi, 4)"), "{shown}");
+        assert!(shown.contains("distribute(xo)"), "{shown}");
+        assert!(shown.contains("communicate({T}, xo)"), "{shown}");
+    }
+
+    #[test]
+    fn tiled_lowering_distributes_two_vars() {
+        let d = TensorDistribution::parse("xy->xy").unwrap();
+        let cin =
+            lower_distribution(&d, "T", &Rect::sized(&[8, 8]), &Grid::grid2(2, 2)).unwrap();
+        let vars: Vec<String> = cin.loop_vars().iter().map(|v| v.0.clone()).collect();
+        assert_eq!(vars, vec!["xo", "yo", "xi", "yi"]);
+        assert_eq!(cin.distributed_prefix().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let d = TensorDistribution::parse("xy->xy").unwrap();
+        assert!(matches!(
+            lower_distribution(&d, "T", &Rect::sized(&[8]), &Grid::grid2(2, 2)),
+            Err(LowerError::Notation(_))
+        ));
+    }
+}

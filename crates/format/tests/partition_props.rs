@@ -1,0 +1,158 @@
+//! Property tests for the partitioning functions of tensor distribution
+//! notation (paper §3.2): for every [`PartitionKind`], a distribution's
+//! pieces must tile the tensor exactly (modulo broadcast replication), and
+//! ownership queries must agree with the pieces.
+
+use distal_format::notation::{DimName, PartitionKind, TensorDistribution};
+use distal_machine::geom::{Point, Rect};
+use distal_machine::grid::Grid;
+use proptest::prelude::*;
+
+fn kind_strategy() -> impl Strategy<Value = PartitionKind> {
+    prop_oneof![
+        Just(PartitionKind::Blocked),
+        Just(PartitionKind::Cyclic),
+        (1i64..5).prop_map(|block| PartitionKind::BlockCyclic { block }),
+    ]
+}
+
+/// A random valid 2-D-tensor distribution onto a 2-D machine, including
+/// partial partitions (`xy->x`) via the third case.
+fn dist_strategy() -> impl Strategy<Value = (TensorDistribution, &'static str)> {
+    (0usize..3, kind_strategy()).prop_map(|(shape, kind)| {
+        let spec = ["xy->xy", "xy->yx", "xy->x*"][shape];
+        let d = TensorDistribution::parse(spec)
+            .unwrap()
+            .with_partition(kind)
+            .unwrap();
+        (d, spec)
+    })
+}
+
+proptest! {
+    /// Every tensor coordinate is owned by exactly `replication` machine
+    /// coordinates, where replication is the product of broadcast extents.
+    #[test]
+    fn owners_cover_exactly(
+        (dist, _spec) in dist_strategy(),
+        nx in 1i64..20,
+        ny in 1i64..20,
+        gx in 1i64..5,
+        gy in 1i64..5,
+    ) {
+        let t = Rect::sized(&[nx, ny]);
+        let m = Grid::grid2(gx, gy);
+        let replication: i64 = dist
+            .machine_dims
+            .iter()
+            .enumerate()
+            .map(|(mi, d)| match d {
+                DimName::Broadcast => m.extent(mi),
+                _ => 1,
+            })
+            .product();
+        for c in t.points() {
+            let owners = dist.owners_of(&t, &m, &c);
+            prop_assert_eq!(owners.len() as i64, replication);
+        }
+    }
+
+    /// The pieces across all machine points partition the tensor: total
+    /// volume = tensor volume × replication, and each piece's points are
+    /// owned by the piece's processor.
+    #[test]
+    fn pieces_tile_the_tensor(
+        (dist, spec) in dist_strategy(),
+        nx in 1i64..16,
+        ny in 1i64..16,
+        gx in 1i64..4,
+        gy in 1i64..4,
+    ) {
+        let t = Rect::sized(&[nx, ny]);
+        let m = Grid::grid2(gx, gy);
+        let replication: i64 = dist
+            .machine_dims
+            .iter()
+            .enumerate()
+            .map(|(mi, d)| match d {
+                DimName::Broadcast => m.extent(mi),
+                _ => 1,
+            })
+            .product();
+        let mut total = 0i64;
+        for p in m.points() {
+            let pieces = dist.pieces_of(&t, &m, &p);
+            // Pieces are pairwise disjoint.
+            for (i, a) in pieces.iter().enumerate() {
+                for b in pieces.iter().skip(i + 1) {
+                    prop_assert!(!a.overlaps(b), "{spec}: {a} overlaps {b}");
+                }
+            }
+            for piece in &pieces {
+                total += piece.volume();
+                for c in piece.points() {
+                    prop_assert!(
+                        dist.owners_of(&t, &m, &c).contains(&p),
+                        "{spec}: {c} in piece of {p} but not owned"
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(total, nx * ny * replication);
+    }
+
+    /// `placement` agrees with `pieces_of`, and for blocked kinds each
+    /// owning processor holds exactly one piece (the tile).
+    #[test]
+    fn placement_consistency(
+        kind in kind_strategy(),
+        n in 1i64..24,
+        g in 1i64..6,
+    ) {
+        let dist = TensorDistribution::parse("x->x")
+            .unwrap()
+            .with_partition(kind)
+            .unwrap();
+        let t = Rect::sized(&[n]);
+        let m = Grid::line(g);
+        let placement = dist.placement(&t, &m);
+        let by_pieces: usize = m
+            .points()
+            .map(|p| dist.pieces_of(&t, &m, &p).len())
+            .sum();
+        prop_assert_eq!(placement.len(), by_pieces);
+        if kind == PartitionKind::Blocked {
+            for p in m.points() {
+                prop_assert!(dist.pieces_of(&t, &m, &p).len() <= 1);
+            }
+        }
+        // Stripes are never wider than the block width.
+        let width = kind.block_width(n, g);
+        for (_, piece) in &placement {
+            prop_assert!(piece.extent(0) <= width);
+        }
+    }
+
+    /// Coloring is stable under rect translation: the color of a coordinate
+    /// depends only on its offset within the tensor rect.
+    #[test]
+    fn color_translation_invariant(
+        kind in kind_strategy(),
+        n in 1i64..16,
+        g in 1i64..4,
+        shift in 0i64..10,
+        x in 0i64..16,
+    ) {
+        prop_assume!(x < n);
+        let dist = TensorDistribution::parse("x->x")
+            .unwrap()
+            .with_partition(kind)
+            .unwrap();
+        let m = Grid::line(g);
+        let base = Rect::sized(&[n]);
+        let moved = Rect::new(Point::new(vec![shift]), Point::new(vec![shift + n - 1]));
+        let c0 = dist.color_of(&base, &m, &Point::new(vec![x]));
+        let c1 = dist.color_of(&moved, &m, &Point::new(vec![shift + x]));
+        prop_assert_eq!(c0, c1);
+    }
+}

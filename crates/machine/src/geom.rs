@@ -1,0 +1,647 @@
+//! Points, rectangles, and blocked partitioning arithmetic.
+//!
+//! All index spaces in the workspace (tensor index spaces, machine grids,
+//! launch domains) are hyper-rectangles of `i64` coordinates with *inclusive*
+//! bounds. [`Rect`] supports intersection, containment, lexicographic point
+//! iteration, difference (for coherence tracking in the runtime) and the
+//! blocked partitioning function used by tensor distribution notation
+//! (paper §3.2: "tensor dimensions partitioned across machine dimensions are
+//! divided into equal-sized contiguous pieces").
+
+use std::fmt;
+
+/// A point in an n-dimensional integer space.
+///
+/// # Example
+///
+/// ```
+/// use distal_machine::geom::Point;
+/// let p = Point::new(vec![1, 2, 3]);
+/// assert_eq!(p.dim(), 3);
+/// assert_eq!(p[1], 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Point(pub Vec<i64>);
+
+impl Point {
+    /// Creates a point from its coordinates.
+    pub fn new(coords: Vec<i64>) -> Self {
+        Point(coords)
+    }
+
+    /// The origin of a `dim`-dimensional space.
+    pub fn zeros(dim: usize) -> Self {
+        Point(vec![0; dim])
+    }
+
+    /// Number of dimensions.
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Coordinates as a slice.
+    pub fn coords(&self) -> &[i64] {
+        &self.0
+    }
+
+    /// Returns a new point with `value` appended as a trailing coordinate.
+    pub fn extended(&self, value: i64) -> Point {
+        let mut c = self.0.clone();
+        c.push(value);
+        Point(c)
+    }
+
+    /// Concatenates two points (used to flatten hierarchical machine
+    /// coordinates).
+    pub fn concat(&self, other: &Point) -> Point {
+        let mut c = self.0.clone();
+        c.extend_from_slice(&other.0);
+        Point(c)
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl std::ops::Index<usize> for Point {
+    type Output = i64;
+    fn index(&self, i: usize) -> &i64 {
+        &self.0[i]
+    }
+}
+
+impl std::ops::IndexMut<usize> for Point {
+    fn index_mut(&mut self, i: usize) -> &mut i64 {
+        &mut self.0[i]
+    }
+}
+
+impl From<Vec<i64>> for Point {
+    fn from(v: Vec<i64>) -> Self {
+        Point(v)
+    }
+}
+
+/// An n-dimensional hyper-rectangle with inclusive bounds.
+///
+/// A rectangle is *empty* when any `hi[d] < lo[d]`.
+///
+/// # Example
+///
+/// ```
+/// use distal_machine::geom::Rect;
+/// let r = Rect::sized(&[4, 4]);
+/// assert_eq!(r.volume(), 16);
+/// let tile = r.block(0, 2, 1); // second of two row blocks
+/// assert_eq!(tile.lo().coords(), &[2, 0]);
+/// assert_eq!(tile.hi().coords(), &[3, 3]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rect {
+    lo: Point,
+    hi: Point,
+}
+
+impl fmt::Debug for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:?}..{:?}]", self.lo, self.hi)
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl Rect {
+    /// Creates a rectangle from inclusive bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo` and `hi` have different dimensionality.
+    pub fn new(lo: Point, hi: Point) -> Self {
+        assert_eq!(lo.dim(), hi.dim(), "rect bounds must share dimensionality");
+        Rect { lo, hi }
+    }
+
+    /// The rectangle `[0, extents[d] - 1]` in every dimension.
+    pub fn sized(extents: &[i64]) -> Self {
+        let lo = Point::zeros(extents.len());
+        let hi = Point::new(extents.iter().map(|e| e - 1).collect());
+        Rect { lo, hi }
+    }
+
+    /// A canonical empty rectangle of the given dimensionality.
+    pub fn empty(dim: usize) -> Self {
+        Rect {
+            lo: Point::new(vec![0; dim]),
+            hi: Point::new(vec![-1; dim]),
+        }
+    }
+
+    /// Lower bound (inclusive).
+    pub fn lo(&self) -> &Point {
+        &self.lo
+    }
+
+    /// Upper bound (inclusive).
+    pub fn hi(&self) -> &Point {
+        &self.hi
+    }
+
+    /// Number of dimensions.
+    pub fn dim(&self) -> usize {
+        self.lo.dim()
+    }
+
+    /// True when the rectangle contains no points.
+    pub fn is_empty(&self) -> bool {
+        (0..self.dim()).any(|d| self.hi[d] < self.lo[d])
+    }
+
+    /// Extent (number of points) along dimension `d`; zero when empty.
+    pub fn extent(&self, d: usize) -> i64 {
+        (self.hi[d] - self.lo[d] + 1).max(0)
+    }
+
+    /// All extents.
+    pub fn extents(&self) -> Vec<i64> {
+        (0..self.dim()).map(|d| self.extent(d)).collect()
+    }
+
+    /// Total number of points.
+    pub fn volume(&self) -> i64 {
+        if self.is_empty() {
+            return 0;
+        }
+        (0..self.dim()).map(|d| self.extent(d)).product()
+    }
+
+    /// True when `p` lies inside the rectangle.
+    pub fn contains_point(&self, p: &Point) -> bool {
+        p.dim() == self.dim()
+            && (0..self.dim()).all(|d| self.lo[d] <= p[d] && p[d] <= self.hi[d])
+    }
+
+    /// True when `other` lies entirely inside `self` (empty rects are
+    /// contained everywhere).
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        (0..self.dim()).all(|d| self.lo[d] <= other.lo[d] && other.hi[d] <= self.hi[d])
+    }
+
+    /// Intersection of two rectangles (possibly empty).
+    pub fn intersection(&self, other: &Rect) -> Rect {
+        assert_eq!(self.dim(), other.dim());
+        let lo = Point::new(
+            (0..self.dim())
+                .map(|d| self.lo[d].max(other.lo[d]))
+                .collect(),
+        );
+        let hi = Point::new(
+            (0..self.dim())
+                .map(|d| self.hi[d].min(other.hi[d]))
+                .collect(),
+        );
+        Rect { lo, hi }
+    }
+
+    /// True when the rectangles share at least one point.
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        !self.intersection(other).is_empty()
+    }
+
+    /// The smallest rectangle containing both inputs.
+    pub fn union_bb(&self, other: &Rect) -> Rect {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        let lo = Point::new(
+            (0..self.dim())
+                .map(|d| self.lo[d].min(other.lo[d]))
+                .collect(),
+        );
+        let hi = Point::new(
+            (0..self.dim())
+                .map(|d| self.hi[d].max(other.hi[d]))
+                .collect(),
+        );
+        Rect { lo, hi }
+    }
+
+    /// `self \ other` as a set of disjoint rectangles.
+    ///
+    /// Used by the runtime's coherence machinery to subtract invalidated
+    /// sub-rectangles from an instance's valid set. Produces at most `2·dim`
+    /// pieces via axis-by-axis guillotine cuts.
+    pub fn difference(&self, other: &Rect) -> Vec<Rect> {
+        if self.is_empty() {
+            return vec![];
+        }
+        let inter = self.intersection(other);
+        if inter.is_empty() {
+            return vec![self.clone()];
+        }
+        if inter == *self {
+            return vec![];
+        }
+        let mut pieces = Vec::new();
+        let mut remaining = self.clone();
+        for d in 0..self.dim() {
+            // Piece below the intersection along dimension d.
+            if remaining.lo[d] < inter.lo[d] {
+                let mut hi = remaining.hi.clone();
+                hi[d] = inter.lo[d] - 1;
+                pieces.push(Rect::new(remaining.lo.clone(), hi));
+                remaining.lo[d] = inter.lo[d];
+            }
+            // Piece above the intersection along dimension d.
+            if remaining.hi[d] > inter.hi[d] {
+                let mut lo = remaining.lo.clone();
+                lo[d] = inter.hi[d] + 1;
+                pieces.push(Rect::new(lo, remaining.hi.clone()));
+                remaining.hi[d] = inter.hi[d];
+            }
+        }
+        pieces
+    }
+
+    /// Lexicographic iteration over all points (last dimension fastest).
+    pub fn points(&self) -> PointIter {
+        PointIter {
+            rect: self.clone(),
+            next: if self.is_empty() {
+                None
+            } else {
+                Some(self.lo.clone())
+            },
+        }
+    }
+
+    /// The `index`-th of `parts` equal-sized contiguous blocks along
+    /// dimension `d` — the paper's blocked partitioning function.
+    ///
+    /// Block sizes are `ceil(extent / parts)`; trailing blocks may be smaller
+    /// or empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts == 0` or `index >= parts`.
+    pub fn block(&self, d: usize, parts: i64, index: i64) -> Rect {
+        assert!(parts > 0, "cannot split into zero parts");
+        assert!(
+            (0..parts).contains(&index),
+            "block index {index} out of range for {parts} parts"
+        );
+        let extent = self.extent(d);
+        let size = div_ceil(extent, parts);
+        let mut lo = self.lo.clone();
+        let mut hi = self.hi.clone();
+        lo[d] = self.lo[d] + index * size;
+        hi[d] = (self.lo[d] + (index + 1) * size - 1).min(self.hi[d]);
+        Rect::new(lo, hi)
+    }
+
+    /// Restricts dimension `d` to the inclusive range `[lo, hi]`, clipping to
+    /// the rectangle's own bounds.
+    pub fn restrict(&self, d: usize, lo: i64, hi: i64) -> Rect {
+        let mut r = self.clone();
+        r.lo[d] = r.lo[d].max(lo);
+        r.hi[d] = r.hi[d].min(hi);
+        r
+    }
+
+    /// Linear (row-major) offset of a point inside the rectangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when the point is outside the rectangle.
+    pub fn linearize(&self, p: &Point) -> usize {
+        debug_assert!(self.contains_point(p), "{p:?} outside {self:?}");
+        let mut idx: i64 = 0;
+        for d in 0..self.dim() {
+            idx = idx * self.extent(d) + (p[d] - self.lo[d]);
+        }
+        idx as usize
+    }
+
+    /// Inverse of [`Rect::linearize`].
+    pub fn delinearize(&self, mut idx: i64) -> Point {
+        let mut coords = vec![0; self.dim()];
+        for d in (0..self.dim()).rev() {
+            let e = self.extent(d);
+            coords[d] = self.lo[d] + idx % e;
+            idx /= e;
+        }
+        Point::new(coords)
+    }
+}
+
+/// Ceiling division for positive divisors.
+pub fn div_ceil(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    (a + b - 1) / b
+}
+
+/// Iterator over the points of a [`Rect`] in lexicographic order.
+pub struct PointIter {
+    rect: Rect,
+    next: Option<Point>,
+}
+
+impl Iterator for PointIter {
+    type Item = Point;
+
+    fn next(&mut self) -> Option<Point> {
+        let current = self.next.take()?;
+        // Advance like an odometer, last dimension fastest.
+        let mut succ = current.clone();
+        let dim = self.rect.dim();
+        let mut d = dim;
+        loop {
+            if d == 0 {
+                self.next = None;
+                break;
+            }
+            d -= 1;
+            if succ[d] < self.rect.hi[d] {
+                succ[d] += 1;
+                for coord in d + 1..dim {
+                    succ[coord] = self.rect.lo[coord];
+                }
+                self.next = Some(succ);
+                break;
+            }
+        }
+        Some(current)
+    }
+}
+
+/// A set of disjoint rectangles, used to track which sub-rectangles of a
+/// region are valid in a physical instance.
+///
+/// # Example
+///
+/// ```
+/// use distal_machine::geom::{Rect, RectSet};
+/// let mut s = RectSet::new();
+/// s.add(Rect::sized(&[4, 4]));
+/// s.subtract(&Rect::sized(&[2, 2]));
+/// assert!(!s.covers(&Rect::sized(&[2, 2])));
+/// assert!(s.covers(&Rect::sized(&[4, 4]).restrict(0, 2, 3)));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RectSet {
+    rects: Vec<Rect>,
+}
+
+impl RectSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        RectSet { rects: Vec::new() }
+    }
+
+    /// A set containing a single rectangle.
+    pub fn from_rect(r: Rect) -> Self {
+        let mut s = RectSet::new();
+        s.add(r);
+        s
+    }
+
+    /// The rectangles of the set (disjoint, unordered).
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// True when the set covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.rects.iter().all(Rect::is_empty)
+    }
+
+    /// Adds a rectangle, keeping members disjoint by subtracting existing
+    /// coverage from the newcomer.
+    pub fn add(&mut self, r: Rect) {
+        if r.is_empty() {
+            return;
+        }
+        let mut pending = vec![r];
+        for existing in &self.rects {
+            let mut next = Vec::new();
+            for p in pending {
+                next.extend(p.difference(existing));
+            }
+            pending = next;
+            if pending.is_empty() {
+                return;
+            }
+        }
+        self.rects.extend(pending);
+    }
+
+    /// Removes a rectangle from the set.
+    pub fn subtract(&mut self, r: &Rect) {
+        if r.is_empty() {
+            return;
+        }
+        let mut out = Vec::with_capacity(self.rects.len());
+        for existing in self.rects.drain(..) {
+            out.extend(existing.difference(r));
+        }
+        self.rects = out;
+    }
+
+    /// True when every point of `r` is covered by the set.
+    pub fn covers(&self, r: &Rect) -> bool {
+        if r.is_empty() {
+            return true;
+        }
+        let mut missing = vec![r.clone()];
+        for existing in &self.rects {
+            let mut next = Vec::new();
+            for m in missing {
+                next.extend(m.difference(existing));
+            }
+            missing = next;
+            if missing.is_empty() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// True when the set covers at least one point of `r`.
+    pub fn overlaps(&self, r: &Rect) -> bool {
+        self.rects.iter().any(|e| e.overlaps(r))
+    }
+
+    /// Total covered volume.
+    pub fn volume(&self) -> i64 {
+        self.rects.iter().map(Rect::volume).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_basics() {
+        let p = Point::new(vec![3, 4]);
+        assert_eq!(p.dim(), 2);
+        assert_eq!(p[0], 3);
+        assert_eq!(p.extended(5).coords(), &[3, 4, 5]);
+        assert_eq!(
+            p.concat(&Point::new(vec![7])).coords(),
+            &[3, 4, 7]
+        );
+        assert_eq!(format!("{p}"), "(3, 4)");
+    }
+
+    #[test]
+    fn rect_volume_and_extent() {
+        let r = Rect::sized(&[3, 5]);
+        assert_eq!(r.volume(), 15);
+        assert_eq!(r.extent(0), 3);
+        assert_eq!(r.extent(1), 5);
+        assert!(!r.is_empty());
+        assert!(Rect::empty(2).is_empty());
+        assert_eq!(Rect::empty(2).volume(), 0);
+    }
+
+    #[test]
+    fn rect_contains_and_intersection() {
+        let a = Rect::sized(&[10, 10]);
+        let b = Rect::new(Point::new(vec![5, 5]), Point::new(vec![14, 14]));
+        let i = a.intersection(&b);
+        assert_eq!(i, Rect::new(Point::new(vec![5, 5]), Point::new(vec![9, 9])));
+        assert!(a.contains_rect(&i));
+        assert!(b.contains_rect(&i));
+        assert!(a.overlaps(&b));
+        let far = Rect::new(Point::new(vec![20, 20]), Point::new(vec![25, 25]));
+        assert!(!a.overlaps(&far));
+        assert!(a.contains_rect(&Rect::empty(2)));
+    }
+
+    #[test]
+    fn rect_union_bb() {
+        let a = Rect::sized(&[2, 2]);
+        let b = Rect::new(Point::new(vec![5, 5]), Point::new(vec![6, 6]));
+        let u = a.union_bb(&b);
+        assert_eq!(u, Rect::new(Point::zeros(2), Point::new(vec![6, 6])));
+        assert_eq!(Rect::empty(2).union_bb(&a), a);
+    }
+
+    #[test]
+    fn rect_difference_covers_complement() {
+        let a = Rect::sized(&[6, 6]);
+        let hole = Rect::new(Point::new(vec![2, 2]), Point::new(vec![3, 3]));
+        let pieces = a.difference(&hole);
+        let total: i64 = pieces.iter().map(Rect::volume).sum();
+        assert_eq!(total, 36 - 4);
+        // Pieces must be disjoint from the hole and from each other.
+        for p in &pieces {
+            assert!(!p.overlaps(&hole));
+        }
+        for (i, p) in pieces.iter().enumerate() {
+            for q in &pieces[i + 1..] {
+                assert!(!p.overlaps(q), "{p:?} overlaps {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rect_difference_disjoint_and_total() {
+        let a = Rect::sized(&[4]);
+        assert_eq!(a.difference(&Rect::new(Point::new(vec![10]), Point::new(vec![12]))), vec![a.clone()]);
+        assert!(a.difference(&a).is_empty());
+    }
+
+    #[test]
+    fn rect_point_iteration_order() {
+        let r = Rect::sized(&[2, 2]);
+        let pts: Vec<_> = r.points().collect();
+        assert_eq!(
+            pts,
+            vec![
+                Point::new(vec![0, 0]),
+                Point::new(vec![0, 1]),
+                Point::new(vec![1, 0]),
+                Point::new(vec![1, 1]),
+            ]
+        );
+        assert_eq!(Rect::empty(2).points().count(), 0);
+    }
+
+    #[test]
+    fn rect_blocking_matches_paper() {
+        // 100 elements over 10 processors: 10 components each (paper §3.2).
+        let r = Rect::sized(&[100]);
+        for i in 0..10 {
+            let b = r.block(0, 10, i);
+            assert_eq!(b.volume(), 10);
+            assert_eq!(b.lo()[0], i * 10);
+        }
+        // Uneven split: ceil sizes with a short tail.
+        let r = Rect::sized(&[10]);
+        assert_eq!(r.block(0, 3, 0).volume(), 4);
+        assert_eq!(r.block(0, 3, 1).volume(), 4);
+        assert_eq!(r.block(0, 3, 2).volume(), 2);
+        // Over-decomposition yields empty trailing blocks.
+        let r = Rect::sized(&[2]);
+        assert!(r.block(0, 3, 2).is_empty());
+    }
+
+    #[test]
+    fn rect_linearize_roundtrip() {
+        let r = Rect::new(Point::new(vec![2, 3]), Point::new(vec![4, 7]));
+        for (i, p) in r.points().enumerate() {
+            assert_eq!(r.linearize(&p), i);
+            assert_eq!(r.delinearize(i as i64), p);
+        }
+    }
+
+    #[test]
+    fn rectset_add_subtract_cover() {
+        let mut s = RectSet::new();
+        assert!(s.is_empty());
+        s.add(Rect::sized(&[4, 4]));
+        assert!(s.covers(&Rect::sized(&[4, 4])));
+        assert_eq!(s.volume(), 16);
+        // Adding an overlapping rect keeps the set disjoint.
+        s.add(Rect::new(Point::new(vec![2, 2]), Point::new(vec![5, 5])));
+        assert_eq!(s.volume(), 16 + 16 - 4);
+        s.subtract(&Rect::sized(&[2, 2]));
+        assert!(!s.covers(&Rect::sized(&[2, 2])));
+        assert!(!s.covers(&Rect::sized(&[4, 4])));
+        assert!(s.covers(&Rect::new(Point::new(vec![4, 4]), Point::new(vec![5, 5]))));
+    }
+
+    #[test]
+    fn rectset_overlap() {
+        let s = RectSet::from_rect(Rect::sized(&[3, 3]));
+        assert!(s.overlaps(&Rect::new(Point::new(vec![2, 2]), Point::new(vec![8, 8]))));
+        assert!(!s.overlaps(&Rect::new(Point::new(vec![5, 5]), Point::new(vec![8, 8]))));
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the geometry substrate: rectangle algebra must be
+//! exact, since the runtime's coherence machinery depends on it.
+
+use distal_machine::geom::{Point, Rect, RectSet};
+use proptest::prelude::*;
+
+fn rect_strategy(dim: usize, max: i64) -> impl Strategy<Value = Rect> {
+    prop::collection::vec((0..max, 0..max), dim).prop_map(|bounds| {
+        let lo: Vec<i64> = bounds.iter().map(|(a, b)| *a.min(b)).collect();
+        let hi: Vec<i64> = bounds.iter().map(|(a, b)| *a.max(b)).collect();
+        Rect::new(Point::new(lo), Point::new(hi))
+    })
+}
+
+proptest! {
+    /// difference() partitions: |a \ b| + |a ∩ b| = |a|, all disjoint.
+    #[test]
+    fn difference_partitions(a in rect_strategy(2, 12), b in rect_strategy(2, 12)) {
+        let pieces = a.difference(&b);
+        let inter = a.intersection(&b);
+        let total: i64 = pieces.iter().map(Rect::volume).sum();
+        prop_assert_eq!(total + inter.volume(), a.volume());
+        for p in &pieces {
+            prop_assert!(!p.overlaps(&b));
+            prop_assert!(a.contains_rect(p));
+        }
+        for (i, p) in pieces.iter().enumerate() {
+            for q in &pieces[i + 1..] {
+                prop_assert!(!p.overlaps(q));
+            }
+        }
+    }
+
+    /// Blocked partitioning covers the rect exactly, in order, disjointly.
+    #[test]
+    fn blocks_tile_exactly(extent in 1i64..40, parts in 1i64..10) {
+        let r = Rect::sized(&[extent]);
+        let mut total = 0;
+        let mut next_lo = 0;
+        for i in 0..parts {
+            let b = r.block(0, parts, i);
+            total += b.volume();
+            if !b.is_empty() {
+                prop_assert_eq!(b.lo()[0], next_lo);
+                next_lo = b.hi()[0] + 1;
+            }
+        }
+        prop_assert_eq!(total, extent);
+    }
+
+    /// RectSet add/subtract maintains exact coverage volume.
+    #[test]
+    fn rectset_volume_is_exact(
+        rects in prop::collection::vec(rect_strategy(2, 10), 1..6),
+        sub in rect_strategy(2, 10),
+    ) {
+        let mut s = RectSet::new();
+        for r in &rects {
+            s.add(r.clone());
+        }
+        // Volume equals the number of covered lattice points.
+        let bb = rects.iter().fold(Rect::empty(2), |acc, r| acc.union_bb(r));
+        let mut count = 0;
+        for p in bb.points() {
+            if rects.iter().any(|r| r.contains_point(&p)) {
+                count += 1;
+            }
+        }
+        prop_assert_eq!(s.volume(), count);
+        // Subtracting removes exactly the covered intersection.
+        let mut count_after = 0;
+        for p in bb.points() {
+            if rects.iter().any(|r| r.contains_point(&p)) && !sub.contains_point(&p) {
+                count_after += 1;
+            }
+        }
+        s.subtract(&sub);
+        prop_assert_eq!(s.volume(), count_after);
+    }
+
+    /// covers() agrees with pointwise membership.
+    #[test]
+    fn rectset_covers_agrees_with_points(
+        rects in prop::collection::vec(rect_strategy(2, 8), 1..5),
+        probe in rect_strategy(2, 8),
+    ) {
+        let mut s = RectSet::new();
+        for r in &rects {
+            s.add(r.clone());
+        }
+        let pointwise = probe
+            .points()
+            .all(|p| rects.iter().any(|r| r.contains_point(&p)));
+        prop_assert_eq!(s.covers(&probe), pointwise);
+    }
+
+    /// linearize/delinearize round-trip on arbitrary rects.
+    #[test]
+    fn linearize_roundtrip(r in rect_strategy(3, 6)) {
+        for (i, p) in r.points().enumerate() {
+            prop_assert_eq!(r.linearize(&p), i);
+            prop_assert_eq!(r.delinearize(i as i64), p);
+        }
+    }
+}

@@ -1,0 +1,488 @@
+//! The runtime facade: owns regions and instances, runs programs.
+
+use crate::graph::GraphBuilder;
+use crate::program::Program;
+use crate::region::{Instance, InstanceId, InstanceRole, LogicalRegion, RegionId, ELEM_BYTES};
+use crate::sim::simulate;
+use crate::stats::RunStats;
+use crate::topology::{MemId, PhysicalMachine};
+use distal_machine::geom::{Rect, RectSet};
+use distal_machine::spec::MemKind;
+use std::fmt;
+
+/// Execution mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Real buffers, real copies, real leaf kernels.
+    Functional,
+    /// Timing/communication model only — no data is touched.
+    Model,
+}
+
+/// Errors reported by the runtime.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RuntimeError {
+    /// A memory's capacity was exceeded (e.g. Johnson's algorithm replicating
+    /// tiles beyond the 16 GB GPU framebuffer, §7.1.2).
+    OutOfMemory {
+        /// Kind of the exhausted memory.
+        mem_kind: MemKind,
+        /// Node holding the memory.
+        node: usize,
+        /// Bytes the failed allocation requested.
+        requested: u64,
+        /// Bytes already in use.
+        in_use: u64,
+        /// The memory's capacity.
+        capacity: u64,
+    },
+    /// A task read a rectangle for which no valid data exists anywhere.
+    UninitializedData {
+        /// Region name.
+        region: String,
+        /// The rectangle that could not be sourced.
+        rect: Rect,
+    },
+    /// A requirement referenced coordinates outside its region.
+    InvalidRequirement {
+        /// Region name.
+        region: String,
+        /// The offending rectangle.
+        rect: Rect,
+    },
+    /// `set_region_data` was given a buffer of the wrong length.
+    DataSizeMismatch {
+        /// Expected element count.
+        expected: usize,
+        /// Provided element count.
+        got: usize,
+    },
+    /// An operation required functional mode.
+    NotFunctional,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::OutOfMemory { mem_kind, node, requested, in_use, capacity } => write!(
+                f,
+                "out of memory in {mem_kind} on node {node}: requested {requested} B with {in_use}/{capacity} B in use"
+            ),
+            RuntimeError::UninitializedData { region, rect } => {
+                write!(f, "no valid data for region '{region}' rect {rect:?}")
+            }
+            RuntimeError::InvalidRequirement { region, rect } => {
+                write!(f, "requirement rect {rect:?} outside region '{region}'")
+            }
+            RuntimeError::DataSizeMismatch { expected, got } => {
+                write!(f, "data size mismatch: expected {expected} elements, got {got}")
+            }
+            RuntimeError::NotFunctional => write!(f, "operation requires functional mode"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Persistent region/instance state (survives across program runs so that a
+/// placement phase can feed a compute phase).
+#[derive(Debug, Default)]
+pub(crate) struct Store {
+    pub regions: Vec<LogicalRegion>,
+    pub instances: Vec<Instance>,
+    /// Data instances per region (home + scratch).
+    pub by_region: Vec<Vec<InstanceId>>,
+    /// Pending reduction instances per region.
+    pub reductions_by_region: Vec<Vec<InstanceId>>,
+    /// Scratch generation counter per region (see `Op::DiscardScratch`).
+    pub scratch_gen: Vec<u64>,
+    /// Live bytes per memory.
+    pub used_bytes: Vec<u64>,
+    /// Peak live bytes per memory.
+    pub peak_bytes: Vec<u64>,
+}
+
+impl Store {
+    pub(crate) fn region(&self, id: RegionId) -> &LogicalRegion {
+        &self.regions[id.0 as usize]
+    }
+
+    pub(crate) fn instance(&self, id: InstanceId) -> &Instance {
+        &self.instances[id.0 as usize]
+    }
+
+    pub(crate) fn instance_mut(&mut self, id: InstanceId) -> &mut Instance {
+        &mut self.instances[id.0 as usize]
+    }
+
+    /// Allocates an instance, enforcing memory capacity.
+    pub(crate) fn create_instance(
+        &mut self,
+        machine: &PhysicalMachine,
+        region: RegionId,
+        mem: MemId,
+        rect: Rect,
+        role: InstanceRole,
+        functional: bool,
+    ) -> Result<InstanceId, RuntimeError> {
+        let bytes = rect.volume() as u64 * ELEM_BYTES;
+        let m = machine.mem(mem);
+        let used = &mut self.used_bytes[mem.0 as usize];
+        if m.capacity != u64::MAX && *used + bytes > m.capacity {
+            return Err(RuntimeError::OutOfMemory {
+                mem_kind: m.kind,
+                node: m.node,
+                requested: bytes,
+                in_use: *used,
+                capacity: m.capacity,
+            });
+        }
+        *used += bytes;
+        let peak = &mut self.peak_bytes[mem.0 as usize];
+        *peak = (*peak).max(self.used_bytes[mem.0 as usize]);
+        let id = InstanceId(self.instances.len() as u32);
+        let data = if functional {
+            Some(vec![0.0; rect.volume() as usize])
+        } else {
+            None
+        };
+        self.instances.push(Instance {
+            id,
+            region,
+            mem,
+            rect,
+            valid: RectSet::new(),
+            role,
+            gen: self.scratch_gen[region.0 as usize],
+            depth: 0,
+            data,
+        });
+        match role {
+            InstanceRole::Reduction => self.reductions_by_region[region.0 as usize].push(id),
+            _ => self.by_region[region.0 as usize].push(id),
+        }
+        Ok(id)
+    }
+
+    /// Frees an instance's accounting and hides it from coherence, keeping
+    /// its buffer alive for kernels already scheduled against it.
+    pub(crate) fn retire_instance(&mut self, id: InstanceId) {
+        let inst = &mut self.instances[id.0 as usize];
+        let bytes = inst.bytes();
+        let mem = inst.mem.0 as usize;
+        inst.valid = RectSet::new();
+        let region = inst.region.0 as usize;
+        self.used_bytes[mem] = self.used_bytes[mem].saturating_sub(bytes);
+        self.by_region[region].retain(|i| *i != id);
+        self.reductions_by_region[region].retain(|i| *i != id);
+    }
+}
+
+/// The runtime: a physical machine plus persistent region state.
+///
+/// See the crate-level docs for an overview and example.
+pub struct Runtime {
+    machine: PhysicalMachine,
+    mode: Mode,
+    record_copies: bool,
+    pub(crate) store: Store,
+}
+
+impl Runtime {
+    /// Creates a runtime for `machine` in the given mode.
+    pub fn new(machine: PhysicalMachine, mode: Mode) -> Self {
+        let mems = machine.mems().len();
+        Runtime {
+            machine,
+            mode,
+            record_copies: false,
+            store: Store {
+                used_bytes: vec![0; mems],
+                peak_bytes: vec![0; mems],
+                ..Store::default()
+            },
+        }
+    }
+
+    /// Enables per-copy logging in [`RunStats::copy_log`].
+    pub fn record_copies(&mut self, on: bool) -> &mut Self {
+        self.record_copies = on;
+        self
+    }
+
+    /// The physical machine.
+    pub fn machine(&self) -> &PhysicalMachine {
+        &self.machine
+    }
+
+    /// The execution mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Creates a logical region over `rect`.
+    pub fn create_region(&mut self, name: impl Into<String>, rect: Rect) -> RegionId {
+        let id = RegionId(self.store.regions.len() as u32);
+        self.store.regions.push(LogicalRegion {
+            id,
+            name: name.into(),
+            rect,
+        });
+        self.store.by_region.push(Vec::new());
+        self.store.reductions_by_region.push(Vec::new());
+        self.store.scratch_gen.push(0);
+        id
+    }
+
+    /// Seeds a region with row-major data in the staging memory
+    /// (functional mode only).
+    ///
+    /// # Errors
+    ///
+    /// Fails when not in functional mode or when `data` has the wrong length.
+    pub fn set_region_data(&mut self, region: RegionId, data: Vec<f64>) -> Result<(), RuntimeError> {
+        if self.mode != Mode::Functional {
+            return Err(RuntimeError::NotFunctional);
+        }
+        let rect = self.store.region(region).rect.clone();
+        let expected = rect.volume() as usize;
+        if data.len() != expected {
+            return Err(RuntimeError::DataSizeMismatch {
+                expected,
+                got: data.len(),
+            });
+        }
+        self.seed_region(region, Some(data))
+    }
+
+    /// Marks a region as holding `value` everywhere (both modes). In model
+    /// mode this only establishes validity for the dependence analysis.
+    pub fn fill_region(&mut self, region: RegionId, value: f64) -> Result<(), RuntimeError> {
+        let rect = self.store.region(region).rect.clone();
+        let data = if self.mode == Mode::Functional {
+            Some(vec![value; rect.volume() as usize])
+        } else {
+            None
+        };
+        self.seed_region(region, data)
+    }
+
+    fn seed_region(&mut self, region: RegionId, data: Option<Vec<f64>>) -> Result<(), RuntimeError> {
+        let rect = self.store.region(region).rect.clone();
+        // Invalidate all existing instances of the region.
+        let existing: Vec<InstanceId> = self.store.by_region[region.0 as usize].clone();
+        for id in existing {
+            self.store.instance_mut(id).valid = RectSet::new();
+        }
+        let pending: Vec<InstanceId> = self.store.reductions_by_region[region.0 as usize].clone();
+        for id in pending {
+            self.store.retire_instance(id);
+        }
+        let global = self.machine.global_mem();
+        let id = self.store.create_instance(
+            &self.machine,
+            region,
+            global,
+            rect.clone(),
+            InstanceRole::Home,
+            false,
+        )?;
+        let inst = self.store.instance_mut(id);
+        inst.data = data;
+        inst.valid = RectSet::from_rect(rect);
+        Ok(())
+    }
+
+    /// Runs a program and returns its statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuntimeError::OutOfMemory`] (the Johnson/COSMA GPU
+    /// behaviour in Figure 15b), uninitialized reads, and malformed
+    /// requirements.
+    pub fn run(&mut self, program: &Program) -> Result<RunStats, RuntimeError> {
+        let functional = self.mode == Mode::Functional;
+        let graph = GraphBuilder::build(&self.machine, &mut self.store, program, functional)?;
+        let mut stats = simulate(
+            &self.machine,
+            &mut self.store,
+            &graph,
+            &program.kernels,
+            functional,
+            self.record_copies,
+        );
+        // Report peak memory by kind.
+        for mem in self.machine.mems() {
+            let peak = self.store.peak_bytes[mem.id.0 as usize];
+            let entry = stats
+                .peak_mem_bytes
+                .entry(mem.kind.to_string())
+                .or_insert(0);
+            *entry = (*entry).max(peak);
+        }
+        Ok(stats)
+    }
+
+    /// Gathers a region's current contents into a row-major buffer,
+    /// folding any pending reductions (functional mode only).
+    ///
+    /// # Errors
+    ///
+    /// Fails when not in functional mode or when parts of the region have
+    /// never been written.
+    pub fn read_region(&self, region: RegionId) -> Result<Vec<f64>, RuntimeError> {
+        if self.mode != Mode::Functional {
+            return Err(RuntimeError::NotFunctional);
+        }
+        let lr = self.store.region(region);
+        let rect = lr.rect.clone();
+        let mut out = vec![0.0; rect.volume() as usize];
+        let mut covered = RectSet::new();
+        for id in &self.store.by_region[region.0 as usize] {
+            let inst = self.store.instance(*id);
+            for vr in inst.valid.rects().to_vec() {
+                let mut fresh = RectSet::from_rect(vr.clone());
+                for c in covered.rects().to_vec() {
+                    fresh.subtract(&c);
+                }
+                for piece in fresh.rects().to_vec() {
+                    for p in piece.points() {
+                        out[rect.linearize(&p)] = inst.read(&p);
+                    }
+                    covered.add(piece);
+                }
+            }
+        }
+        if !covered.covers(&rect) {
+            return Err(RuntimeError::UninitializedData {
+                region: lr.name.clone(),
+                rect,
+            });
+        }
+        // Fold pending reductions.
+        for id in &self.store.reductions_by_region[region.0 as usize] {
+            let inst = self.store.instance(*id);
+            if let Some(data) = &inst.data {
+                for p in inst.rect.points() {
+                    out[rect.linearize(&p)] += data[inst.rect.linearize(&p)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// A human-readable summary of a region's physical instances (memory,
+    /// role, allocation bounds, valid pieces) — for debugging placements.
+    pub fn describe_region(&self, region: RegionId) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let lr = self.store.region(region);
+        let _ = writeln!(out, "region '{}' over {:?}:", lr.name, lr.rect);
+        for id in &self.store.by_region[region.0 as usize] {
+            let inst = self.store.instance(*id);
+            let _ = writeln!(
+                out,
+                "  {:?} in {:?} ({:?}, alloc {:?}) valid {:?}",
+                inst.id,
+                inst.mem,
+                inst.role,
+                inst.rect,
+                inst.valid.rects()
+            );
+        }
+        for id in &self.store.reductions_by_region[region.0 as usize] {
+            let inst = self.store.instance(*id);
+            let _ = writeln!(out, "  {:?} reduction in {:?} over {:?}", inst.id, inst.mem, inst.rect);
+        }
+        out
+    }
+
+    /// Current live bytes in a memory (for tests of the discard machinery).
+    pub fn used_bytes(&self, mem: MemId) -> u64 {
+        self.store.used_bytes[mem.0 as usize]
+    }
+
+    /// Peak live bytes observed in a memory.
+    pub fn peak_bytes(&self, mem: MemId) -> u64 {
+        self.store.peak_bytes[mem.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distal_machine::spec::MachineSpec;
+
+    fn rt() -> Runtime {
+        Runtime::new(
+            PhysicalMachine::new(MachineSpec::small(2)),
+            Mode::Functional,
+        )
+    }
+
+    #[test]
+    fn seed_and_read_roundtrip() {
+        let mut rt = rt();
+        let r = rt.create_region("A", Rect::sized(&[4, 4]));
+        let data: Vec<f64> = (0..16).map(|x| x as f64).collect();
+        rt.set_region_data(r, data.clone()).unwrap();
+        assert_eq!(rt.read_region(r).unwrap(), data);
+    }
+
+    #[test]
+    fn wrong_data_size_rejected() {
+        let mut rt = rt();
+        let r = rt.create_region("A", Rect::sized(&[4]));
+        let err = rt.set_region_data(r, vec![0.0; 3]).unwrap_err();
+        assert_eq!(
+            err,
+            RuntimeError::DataSizeMismatch { expected: 4, got: 3 }
+        );
+    }
+
+    #[test]
+    fn uninitialized_read_errors() {
+        let mut rt = rt();
+        let r = rt.create_region("A", Rect::sized(&[4]));
+        assert!(matches!(
+            rt.read_region(r),
+            Err(RuntimeError::UninitializedData { .. })
+        ));
+    }
+
+    #[test]
+    fn model_mode_rejects_data_access() {
+        let mut rt = Runtime::new(
+            PhysicalMachine::new(MachineSpec::small(1)),
+            Mode::Model,
+        );
+        let r = rt.create_region("A", Rect::sized(&[4]));
+        assert_eq!(rt.set_region_data(r, vec![0.0; 4]), Err(RuntimeError::NotFunctional));
+        assert_eq!(rt.read_region(r), Err(RuntimeError::NotFunctional));
+        // fill_region is allowed: it establishes validity for the analysis.
+        rt.fill_region(r, 0.0).unwrap();
+    }
+
+    #[test]
+    fn fill_overwrites_previous_data() {
+        let mut rt = rt();
+        let r = rt.create_region("A", Rect::sized(&[2, 2]));
+        rt.set_region_data(r, vec![5.0; 4]).unwrap();
+        rt.fill_region(r, 1.5).unwrap();
+        assert_eq!(rt.read_region(r).unwrap(), vec![1.5; 4]);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = RuntimeError::OutOfMemory {
+            mem_kind: distal_machine::spec::MemKind::Fb,
+            node: 3,
+            requested: 100,
+            in_use: 50,
+            capacity: 120,
+        };
+        let msg = format!("{e}");
+        assert!(msg.contains("node 3"));
+        assert!(msg.contains("GPU_FB_MEM"));
+    }
+}

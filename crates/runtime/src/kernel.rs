@@ -1,0 +1,145 @@
+//! Leaf kernels and the functional-mode execution context.
+//!
+//! A [`Kernel`] is the body of a task: it receives views over the physical
+//! instances backing each of the task's region requirements and computes on
+//! them. Kernels are registered per [`crate::program::Program`] and invoked
+//! only in [`crate::exec::Mode::Functional`]; model mode uses the cost fields
+//! of [`crate::program::TaskDesc`] instead.
+
+use crate::program::Privilege;
+use distal_machine::geom::{Point, Rect};
+
+/// A view over one region requirement's backing instance.
+///
+/// The view exposes the requirement rectangle (`rect`) and the instance's
+/// allocation bounds (`alloc`); elements are addressed by *global* tensor
+/// coordinates and mapped to the row-major layout over `alloc`.
+#[derive(Debug)]
+pub struct KernelArg {
+    /// The privilege the task holds on this argument.
+    pub privilege: Privilege,
+    /// The rectangle the task may touch.
+    pub rect: Rect,
+    /// Allocation bounds of the backing instance.
+    pub alloc: Rect,
+    /// The backing buffer (row-major over `alloc`), temporarily moved out of
+    /// the instance for the duration of the kernel.
+    pub data: Vec<f64>,
+}
+
+impl KernelArg {
+    /// Reads the element at global coordinates `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `p` is outside the allocation.
+    #[inline]
+    pub fn at(&self, p: &[i64]) -> f64 {
+        self.data[self.offset(p)]
+    }
+
+    /// Writes the element at global coordinates `p`.
+    #[inline]
+    pub fn set(&mut self, p: &[i64], v: f64) {
+        let off = self.offset(p);
+        self.data[off] = v;
+    }
+
+    /// Adds `v` to the element at global coordinates `p`.
+    #[inline]
+    pub fn add(&mut self, p: &[i64], v: f64) {
+        let off = self.offset(p);
+        self.data[off] += v;
+    }
+
+    /// Row-major offset of global coordinates `p` within the allocation.
+    #[inline]
+    pub fn offset(&self, p: &[i64]) -> usize {
+        debug_assert_eq!(p.len(), self.alloc.dim());
+        let mut idx: i64 = 0;
+        for d in 0..self.alloc.dim() {
+            debug_assert!(
+                self.alloc.lo()[d] <= p[d] && p[d] <= self.alloc.hi()[d],
+                "coordinate {p:?} outside allocation {:?}",
+                self.alloc
+            );
+            idx = idx * self.alloc.extent(d) + (p[d] - self.alloc.lo()[d]);
+        }
+        idx as usize
+    }
+
+    /// Row stride of the last dimension (for blocked inner loops).
+    #[inline]
+    pub fn last_dim_stride(&self) -> usize {
+        1
+    }
+}
+
+/// The context handed to a kernel: one [`KernelArg`] per region requirement
+/// (in requirement order) plus the task's launch point and scalars.
+#[derive(Debug)]
+pub struct KernelCtx {
+    /// Views over the task's region requirements, in requirement order.
+    pub args: Vec<KernelArg>,
+    /// The task's launch-domain point.
+    pub point: Point,
+    /// Scalar arguments from the task descriptor.
+    pub scalars: Vec<i64>,
+}
+
+/// A leaf computation run by tasks in functional mode.
+pub trait Kernel: Send + Sync {
+    /// Human-readable kernel name (appears in debug output).
+    fn name(&self) -> &str;
+
+    /// Executes the kernel over the views in `ctx`.
+    fn execute(&self, ctx: &mut KernelCtx);
+}
+
+/// A kernel that does nothing; useful for placement launches, whose only
+/// purpose is to force instances to materialize in mapper-chosen memories.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopKernel;
+
+impl Kernel for NoopKernel {
+    fn name(&self) -> &str {
+        "noop"
+    }
+
+    fn execute(&self, _ctx: &mut KernelCtx) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distal_machine::geom::{Point, Rect};
+
+    #[test]
+    fn kernel_arg_addressing() {
+        let alloc = Rect::new(Point::new(vec![2, 4]), Point::new(vec![3, 7]));
+        let mut arg = KernelArg {
+            privilege: Privilege::ReadWrite,
+            rect: alloc.clone(),
+            alloc,
+            data: vec![0.0; 8],
+        };
+        arg.set(&[2, 4], 1.0);
+        arg.set(&[3, 7], 9.0);
+        arg.add(&[3, 7], 1.0);
+        assert_eq!(arg.at(&[2, 4]), 1.0);
+        assert_eq!(arg.at(&[3, 7]), 10.0);
+        assert_eq!(arg.offset(&[2, 4]), 0);
+        assert_eq!(arg.offset(&[3, 7]), 7);
+    }
+
+    #[test]
+    fn noop_kernel_runs() {
+        let mut ctx = KernelCtx {
+            args: vec![],
+            point: Point::zeros(1),
+            scalars: vec![],
+        };
+        NoopKernel.execute(&mut ctx);
+        assert_eq!(NoopKernel.name(), "noop");
+    }
+}

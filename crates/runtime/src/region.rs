@@ -1,0 +1,241 @@
+//! Logical regions and physical instances.
+//!
+//! Regions are Legion's abstraction for distributed data structures; we use
+//! them to represent dense tensors (paper §6.1). A *logical* region is just
+//! an index space; *physical instances* materialize (sub-)rectangles of a
+//! region in a concrete memory and track which of their sub-rectangles hold
+//! current data.
+
+use crate::topology::MemId;
+use distal_machine::geom::{Point, Rect, RectSet};
+use std::fmt;
+
+/// Identifier of a logical region.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub u32);
+
+impl fmt::Debug for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// Identifier of a physical instance.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstanceId(pub u32);
+
+impl fmt::Debug for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "I{}", self.0)
+    }
+}
+
+/// A logical region: a named, dense, `f64`-element index space.
+#[derive(Clone, Debug)]
+pub struct LogicalRegion {
+    /// This region's id.
+    pub id: RegionId,
+    /// Debug name (usually the tensor name).
+    pub name: String,
+    /// The region's index space.
+    pub rect: Rect,
+}
+
+/// Element size in bytes (all tensors are `f64`, as in the paper).
+pub const ELEM_BYTES: u64 = 8;
+
+impl LogicalRegion {
+    /// Size of the full region in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.rect.volume() as u64 * ELEM_BYTES
+    }
+}
+
+/// How an instance came to exist; home instances are pinned, scratch
+/// instances may be discarded by [`crate::program::Op::DiscardScratch`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InstanceRole {
+    /// Created by a write-privilege task (data placement); never discarded.
+    Home,
+    /// Created to satisfy a read requirement; discardable.
+    Scratch,
+    /// A reduction buffer awaiting folding.
+    Reduction,
+}
+
+/// A physical instance: storage for a sub-rectangle of a region in one
+/// memory.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// This instance's id.
+    pub id: InstanceId,
+    /// The region this instance caches.
+    pub region: RegionId,
+    /// The memory holding the instance.
+    pub mem: MemId,
+    /// Bounds of the allocation (row-major layout over this rect).
+    pub rect: Rect,
+    /// Which sub-rectangles currently hold up-to-date data.
+    pub valid: RectSet,
+    /// Home, scratch, or reduction buffer.
+    pub role: InstanceRole,
+    /// Scratch generation (incremented by `DiscardScratch`); used to retire
+    /// old systolic forwarding buffers while keeping the latest.
+    pub gen: u64,
+    /// Forwarding depth: 0 for data produced here (home writes, fills),
+    /// `src.depth + 1` for copied data. Together with the per-instance
+    /// served-copy count, it shapes one-to-many transfers into binomial
+    /// trees instead of linear chains.
+    pub depth: u32,
+    /// Backing data in functional mode (`None` in model mode).
+    pub data: Option<Vec<f64>>,
+}
+
+impl Instance {
+    /// Allocation size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.rect.volume() as u64 * ELEM_BYTES
+    }
+
+    /// Reads the element at `p` (functional mode only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance has no data or `p` is outside its bounds.
+    pub fn read(&self, p: &Point) -> f64 {
+        let idx = self.rect.linearize(p);
+        self.data.as_ref().expect("instance has no data")[idx]
+    }
+
+    /// Writes the element at `p` (functional mode only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance has no data or `p` is outside its bounds.
+    pub fn write(&mut self, p: &Point, v: f64) {
+        let idx = self.rect.linearize(p);
+        self.data.as_mut().expect("instance has no data")[idx] = v;
+    }
+}
+
+/// Copies `rect` of `src` into `dst` element-wise (functional mode).
+///
+/// Both instances must cover `rect`. `reduce` folds with `+=` instead of
+/// overwriting (used when applying reduction buffers).
+pub fn copy_rect(src: &Instance, dst: &mut Instance, rect: &Rect, reduce: bool) {
+    debug_assert!(src.rect.contains_rect(rect));
+    debug_assert!(dst.rect.contains_rect(rect));
+    if src.data.is_none() || dst.data.is_none() {
+        return;
+    }
+    // Fast path: copy contiguous runs along the last dimension.
+    let dim = rect.dim();
+    if rect.is_empty() {
+        return;
+    }
+    if dim == 0 {
+        // Scalar (0-dimensional) regions hold exactly one element.
+        let v = src.data.as_ref().unwrap()[0];
+        let d = &mut dst.data.as_mut().unwrap()[0];
+        if reduce {
+            *d += v;
+        } else {
+            *d = v;
+        }
+        return;
+    }
+    let row_len = rect.extent(dim - 1) as usize;
+    // Iterate over all but the last dimension.
+    let outer_rect = if dim == 1 {
+        Rect::sized(&[1])
+    } else {
+        Rect::new(
+            Point::new(rect.lo().coords()[..dim - 1].to_vec()),
+            Point::new(rect.hi().coords()[..dim - 1].to_vec()),
+        )
+    };
+    for prefix in outer_rect.points() {
+        let mut start = Vec::with_capacity(dim);
+        if dim == 1 {
+            start.push(rect.lo()[0]);
+        } else {
+            start.extend_from_slice(prefix.coords());
+            start.push(rect.lo()[dim - 1]);
+        }
+        let start = Point::new(start);
+        let s_off = src.rect.linearize(&start);
+        let d_off = dst.rect.linearize(&start);
+        let src_data = src.data.as_ref().unwrap();
+        let dst_data = dst.data.as_mut().unwrap();
+        if reduce {
+            for i in 0..row_len {
+                dst_data[d_off + i] += src_data[s_off + i];
+            }
+        } else {
+            dst_data[d_off..d_off + row_len].copy_from_slice(&src_data[s_off..s_off + row_len]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(id: u32, rect: Rect, data: Vec<f64>) -> Instance {
+        Instance {
+            id: InstanceId(id),
+            region: RegionId(0),
+            mem: MemId(0),
+            valid: RectSet::from_rect(rect.clone()),
+            rect,
+            role: InstanceRole::Home,
+            gen: 0,
+            depth: 0,
+            data: Some(data),
+        }
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let r = Rect::sized(&[2, 3]);
+        let mut i = inst(0, r.clone(), vec![0.0; 6]);
+        i.write(&Point::new(vec![1, 2]), 7.5);
+        assert_eq!(i.read(&Point::new(vec![1, 2])), 7.5);
+        assert_eq!(i.bytes(), 48);
+    }
+
+    #[test]
+    fn copy_rect_full_and_sub() {
+        let r = Rect::sized(&[4, 4]);
+        let src = inst(0, r.clone(), (0..16).map(|x| x as f64).collect());
+        let mut dst = inst(1, r.clone(), vec![0.0; 16]);
+        copy_rect(&src, &mut dst, &r, false);
+        assert_eq!(dst.data.as_ref().unwrap(), src.data.as_ref().unwrap());
+
+        // Sub-rectangle copy into an instance with different bounds.
+        let sub = Rect::new(Point::new(vec![1, 1]), Point::new(vec![2, 2]));
+        let mut small = inst(2, sub.clone(), vec![0.0; 4]);
+        copy_rect(&src, &mut small, &sub, false);
+        assert_eq!(small.read(&Point::new(vec![1, 1])), 5.0);
+        assert_eq!(small.read(&Point::new(vec![2, 2])), 10.0);
+    }
+
+    #[test]
+    fn copy_rect_reduce_accumulates() {
+        let r = Rect::sized(&[2, 2]);
+        let src = inst(0, r.clone(), vec![1.0; 4]);
+        let mut dst = inst(1, r.clone(), vec![2.0; 4]);
+        copy_rect(&src, &mut dst, &r, true);
+        assert_eq!(dst.data.as_ref().unwrap(), &vec![3.0; 4]);
+    }
+
+    #[test]
+    fn copy_rect_1d() {
+        let r = Rect::sized(&[5]);
+        let src = inst(0, r.clone(), (0..5).map(|x| x as f64).collect());
+        let mut dst = inst(1, r.clone(), vec![0.0; 5]);
+        let sub = Rect::new(Point::new(vec![1]), Point::new(vec![3]));
+        copy_rect(&src, &mut dst, &sub, false);
+        assert_eq!(dst.data.as_ref().unwrap(), &vec![0.0, 1.0, 2.0, 3.0, 0.0]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Chrome-tracing export of simulated executions.
+//!
+//! Converts a [`RunStats`] copy log (and optional task log) into the Chrome
+//! trace-event JSON format, viewable in `chrome://tracing` or
+//! [Perfetto](https://ui.perfetto.dev): one row per memory/NIC channel,
+//! copies as duration events. Handy for understanding why a schedule's
+//! communication does or does not overlap with computation.
+
+use crate::stats::{CopyKind, RunStats};
+use std::fmt::Write as _;
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the run's copy log as Chrome trace-event JSON.
+///
+/// Each copy becomes a complete ("X") event on a track identified by its
+/// source→destination memory pair; times are microseconds. Returns an empty
+/// trace when the run was executed without `record_copies`.
+pub fn chrome_trace(stats: &RunStats) -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+    if let Some(log) = &stats.copy_log {
+        for c in log {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let name = match c.kind {
+                CopyKind::Data => format!("copy {:?}", c.region),
+                CopyKind::ReduceApply => format!("reduce {:?}", c.region),
+            };
+            let track = if c.src_node == usize::MAX {
+                "staging".to_string()
+            } else if c.src_node == c.dst_node {
+                format!("node{} local", c.src_node)
+            } else {
+                format!("node{}->node{}", c.src_node, c.dst_node)
+            };
+            let _ = write!(
+                out,
+                "  {{\"name\": \"{}\", \"cat\": \"copy\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": 0, \"tid\": \"{}\", \"args\": {{\"bytes\": {}}}}}",
+                escape(&name),
+                c.start_s * 1e6,
+                (c.end_s - c.start_s).max(0.0) * 1e6,
+                escape(&track),
+                c.bytes
+            );
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::CopyLogEntry;
+    use crate::{MemId, RegionId};
+
+    #[test]
+    fn trace_renders_events() {
+        let stats = RunStats {
+            copy_log: Some(vec![CopyLogEntry {
+            region: RegionId(3),
+            src_mem: MemId(0),
+            dst_mem: MemId(1),
+            src_node: 0,
+            dst_node: 1,
+            bytes: 4096,
+            start_s: 0.001,
+            end_s: 0.002,
+                kind: CopyKind::Data,
+            }]),
+            ..RunStats::default()
+        };
+        let json = chrome_trace(&stats);
+        assert!(json.contains("\"copy R3\""));
+        assert!(json.contains("node0->node1"));
+        assert!(json.contains("\"bytes\": 4096"));
+        // Must be valid-ish JSON array.
+        assert!(json.trim_start().starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn empty_log_yields_empty_array() {
+        let stats = RunStats::default();
+        let json = chrome_trace(&stats);
+        assert_eq!(json.trim(), "[\n\n]".trim());
+    }
+}

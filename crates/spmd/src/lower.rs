@@ -1,0 +1,549 @@
+//! Static lowering: from (statement, formats, machine, schedule) to
+//! per-rank SPMD programs with exact compile-time communication.
+//!
+//! The analysis mirrors the Legion-style backend's nest split (distributed
+//! prefix → sequential communicate loops → leaf), but instead of emitting
+//! region requirements for a dynamic runtime to analyze, it *solves* the
+//! communication statically:
+//!
+//! * The bounds analysis of [`distal_ir::provenance`] gives the exact
+//!   rectangle of each tensor every rank touches at every sequential step.
+//! * A holdings dataflow tracks which ranks hold valid copies of which
+//!   rectangles at each step: home pieces (from the tensor's distribution
+//!   notation) are always valid; received scratch is valid for the next
+//!   step only (double buffering).
+//! * Each needed rectangle is sourced from the *nearest* rank holding a
+//!   valid copy (torus distance, ties by rank id), falling back to home
+//!   owners — this is the policy under which systolic schedules generate
+//!   neighbour-only traffic (Figure 8b) while broadcast schedules source
+//!   from owners (Figure 8a).
+
+use crate::ops::{Message, SpmdOp};
+use crate::program::SpmdProgram;
+use distal_core::Schedule;
+use distal_format::Format;
+use distal_ir::cin::ConcreteNotation;
+use distal_ir::expr::{Assignment, IndexVar};
+use distal_machine::geom::{Point, Rect, RectSet};
+use distal_machine::grid::Grid;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A tensor visible to the SPMD backend: name, shape, and format.
+#[derive(Clone, Debug)]
+pub struct SpmdTensor {
+    /// Name used in expressions.
+    pub name: String,
+    /// Dimension sizes.
+    pub dims: Vec<i64>,
+    /// Distribution (single-level) + memory kind.
+    pub format: Format,
+}
+
+impl SpmdTensor {
+    /// Creates a tensor description.
+    pub fn new(name: impl Into<String>, dims: Vec<i64>, format: Format) -> Self {
+        SpmdTensor {
+            name: name.into(),
+            dims,
+            format,
+        }
+    }
+}
+
+/// Errors from SPMD lowering and execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpmdError {
+    /// A tensor in the expression has no description.
+    UnknownTensor(String),
+    /// Tensor shapes disagree about a variable's extent.
+    InconsistentExtents,
+    /// A scheduling command failed.
+    Schedule(String),
+    /// The schedule/machine combination is outside this backend's scope.
+    Unsupported(String),
+    /// Input data missing or mis-sized at execution time.
+    Data(String),
+}
+
+impl fmt::Display for SpmdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpmdError::UnknownTensor(t) => write!(f, "unknown tensor '{t}'"),
+            SpmdError::InconsistentExtents => write!(f, "inconsistent index extents"),
+            SpmdError::Schedule(m) => write!(f, "schedule error: {m}"),
+            SpmdError::Unsupported(m) => write!(f, "unsupported by the SPMD backend: {m}"),
+            SpmdError::Data(m) => write!(f, "data error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SpmdError {}
+
+/// Which ranks own which home pieces of one tensor.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Ownership {
+    /// `pieces[rank]` = the home rectangles rank holds.
+    pub pieces: Vec<Vec<Rect>>,
+}
+
+impl Ownership {
+    /// Home owners intersecting `rect`, with the owned sub-rectangles.
+    pub fn owners_of(&self, rect: &Rect) -> Vec<(usize, Rect)> {
+        let mut out = Vec::new();
+        for (rank, pieces) in self.pieces.iter().enumerate() {
+            for p in pieces {
+                let inter = p.intersection(rect);
+                if !inter.is_empty() {
+                    out.push((rank, inter));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Builds the home-piece table of a tensor: distributed formats follow
+/// their distribution notation; undistributed tensors live whole on rank 0.
+fn ownership(tensor: &SpmdTensor, grid: &Grid) -> Result<Ownership, SpmdError> {
+    let ranks = grid.size() as usize;
+    let rect = Rect::sized(&tensor.dims);
+    let mut pieces = vec![Vec::new(); ranks];
+    if !tensor.format.is_distributed() {
+        pieces[0].push(rect);
+        return Ok(Ownership { pieces });
+    }
+    if tensor.format.distributions.len() != 1 {
+        return Err(SpmdError::Unsupported(format!(
+            "tensor '{}' has a hierarchical format; the SPMD backend targets flat machines",
+            tensor.name
+        )));
+    }
+    let dist = &tensor.format.distributions[0];
+    dist.check_arity(tensor.dims.len(), grid.dim())
+        .map_err(|e| SpmdError::Schedule(format!("tensor '{}': {e}", tensor.name)))?;
+    for point in grid.points() {
+        let rank = grid.linearize(&point) as usize;
+        pieces[rank] = dist.pieces_of(&rect, grid, &point);
+    }
+    Ok(Ownership { pieces })
+}
+
+/// Torus hop distance between two grid coordinates (systolic machines wrap
+/// around, so Cannon's leftward shift from column 0 to column `g-1` is one
+/// hop).
+pub fn torus_distance(grid: &Grid, a: &Point, b: &Point) -> i64 {
+    (0..grid.dim())
+        .map(|d| {
+            let e = grid.extent(d);
+            let diff = (a[d] - b[d]).abs();
+            diff.min(e - diff)
+        })
+        .sum()
+}
+
+/// The rectangle an access touches under a loop-variable environment.
+fn access_rect(
+    indices: &[IndexVar],
+    cin: &ConcreteNotation,
+    env: &BTreeMap<IndexVar, i64>,
+    dims: &[i64],
+) -> Rect {
+    let mut lo = Vec::with_capacity(indices.len());
+    let mut hi = Vec::with_capacity(indices.len());
+    for (d, v) in indices.iter().enumerate() {
+        let iv = cin.solver.interval(v, env).clamp_extent(dims[d]);
+        lo.push(iv.lo);
+        hi.push(iv.hi);
+    }
+    Rect::new(Point::new(lo), Point::new(hi))
+}
+
+/// Per-(tensor, rank) scratch holdings valid at the current step.
+type Holdings = BTreeMap<String, Vec<RectSet>>;
+
+/// Lowers a scheduled statement to an [`SpmdProgram`] with statically
+/// resolved communication.
+///
+/// # Errors
+///
+/// * [`SpmdError::UnknownTensor`] / [`SpmdError::InconsistentExtents`] for
+///   malformed inputs;
+/// * [`SpmdError::Schedule`] when a scheduling command fails;
+/// * [`SpmdError::Unsupported`] for hierarchical formats or schedules whose
+///   distributed launch domain does not match the machine grid.
+pub fn lower(
+    assignment: &Assignment,
+    tensors: &[SpmdTensor],
+    grid: &Grid,
+    schedule: &Schedule,
+) -> Result<SpmdProgram, SpmdError> {
+    let by_name: BTreeMap<&str, &SpmdTensor> =
+        tensors.iter().map(|t| (t.name.as_str(), t)).collect();
+    let mut dims_map = BTreeMap::new();
+    for acc in assignment.accesses() {
+        let t = by_name
+            .get(acc.tensor.as_str())
+            .ok_or_else(|| SpmdError::UnknownTensor(acc.tensor.clone()))?;
+        dims_map.insert(acc.tensor.clone(), t.dims.clone());
+    }
+    let extents = assignment
+        .infer_extents(&dims_map)
+        .ok_or(SpmdError::InconsistentExtents)?;
+
+    let mut cin = ConcreteNotation::from_assignment(assignment.clone(), &extents)
+        .map_err(|e| SpmdError::Schedule(e.to_string()))?;
+    schedule
+        .apply(&mut cin)
+        .map_err(|e| SpmdError::Schedule(e.to_string()))?;
+
+    // Nest split (same cut rule as the Legion-style backend).
+    let n_dist = cin.distributed_prefix().map_or(0, |p| p.len());
+    let launch_domain: Vec<i64> = cin.loops[..n_dist]
+        .iter()
+        .map(|l| cin.solver.extent(&l.var))
+        .collect();
+    if n_dist > 0 && launch_domain != grid.dims() {
+        return Err(SpmdError::Unsupported(format!(
+            "distributed launch domain {launch_domain:?} must match the machine grid {:?} \
+             (the SPMD backend identifies ranks with grid points)",
+            grid.dims()
+        )));
+    }
+    let ranks = grid.size() as usize;
+    let mut cut = n_dist;
+    for (pos, l) in cin.loops.iter().enumerate() {
+        if !l.communicate.is_empty() {
+            cut = cut.max(pos + 1);
+        }
+    }
+    let seq_loops: Vec<IndexVar> = cin.loops[n_dist..cut].iter().map(|l| l.var.clone()).collect();
+    let seq_extents: Vec<i64> = seq_loops.iter().map(|v| cin.solver.extent(v)).collect();
+
+    // Ownership tables.
+    let mut owners: BTreeMap<String, Ownership> = BTreeMap::new();
+    for name in dims_map.keys() {
+        owners.insert(name.clone(), ownership(by_name[name.as_str()], grid)?);
+    }
+
+    // Output reduction classification (distributed reductions fold at the
+    // end; sequential reductions accumulate rank-locally).
+    let reduction_roots: BTreeSet<IndexVar> = assignment.reduction_vars().into_iter().collect();
+    let dist_reduces = cin.loops[..n_dist].iter().any(|l| {
+        cin.solver
+            .roots_of(&l.var)
+            .iter()
+            .any(|r| reduction_roots.contains(r))
+    });
+
+    let all_vars = assignment.all_vars();
+    let flops_per_point = assignment.flops_per_point();
+    let out_name = assignment.lhs.tensor.clone();
+    let out_dims = dims_map[&out_name].clone();
+
+    let domain_rect = Rect::sized(&if launch_domain.is_empty() {
+        vec![1]
+    } else {
+        launch_domain.clone()
+    });
+    let seq_rect = Rect::sized(&if seq_extents.is_empty() {
+        vec![1]
+    } else {
+        seq_extents.clone()
+    });
+
+    let mut programs: Vec<Vec<SpmdOp>> = vec![Vec::new(); ranks];
+    let mut global: Vec<(usize, SpmdOp)> = Vec::new();
+    let mut tag = 0u64;
+    let push = |programs: &mut Vec<Vec<SpmdOp>>,
+                    global: &mut Vec<(usize, SpmdOp)>,
+                    rank: usize,
+                    op: SpmdOp| {
+        programs[rank].push(op.clone());
+        global.push((rank, op));
+    };
+
+    // Scratch holdings valid at the current sequential step.
+    let mut scratch: Holdings = dims_map
+        .keys()
+        .map(|n| (n.clone(), vec![RectSet::new(); ranks]))
+        .collect();
+    let mut out_written: Vec<RectSet> = vec![RectSet::new(); ranks];
+    let mut total_flops = 0.0f64;
+
+    for seq_point in seq_rect.points() {
+        // Receives of this step become valid holdings for the *next* step.
+        let mut received: BTreeMap<String, Vec<Vec<Rect>>> = dims_map
+            .keys()
+            .map(|n| (n.clone(), vec![Vec::new(); ranks]))
+            .collect();
+
+        for point in domain_rect.points() {
+            let rank = if launch_domain.is_empty() {
+                0
+            } else {
+                grid.linearize(&point) as usize
+            };
+            let mut env: BTreeMap<IndexVar, i64> = BTreeMap::new();
+            for (d, l) in cin.loops[..n_dist].iter().enumerate() {
+                env.insert(l.var.clone(), point[d]);
+            }
+            for (d, v) in seq_loops.iter().enumerate() {
+                env.insert(v.clone(), seq_point[d]);
+            }
+
+            // Leaf bounds per original variable.
+            let mut bounds = Vec::with_capacity(all_vars.len());
+            let mut iter_points = 1.0f64;
+            let mut empty = false;
+            for v in &all_vars {
+                let iv = cin.solver.interval(v, &env);
+                bounds.push((iv.lo, iv.hi));
+                if iv.is_empty() {
+                    empty = true;
+                }
+                iter_points *= iv.len() as f64;
+            }
+            if empty {
+                continue;
+            }
+
+            // Source every input rectangle not already held locally.
+            for acc in assignment.input_accesses() {
+                let t = by_name[acc.tensor.as_str()];
+                let need_rect = access_rect(&acc.indices, &cin, &env, &t.dims);
+                if need_rect.is_empty() {
+                    continue;
+                }
+                let mut needs = RectSet::from_rect(need_rect);
+                for home in &owners[&acc.tensor].pieces[rank] {
+                    needs.subtract(home);
+                }
+                for held in scratch[&acc.tensor][rank].rects().to_vec() {
+                    needs.subtract(&held);
+                }
+                if needs.is_empty() {
+                    continue;
+                }
+                // Candidate supplies sorted by (torus distance, scratch
+                // before home, rank). Preferring a forwarded scratch copy
+                // over an equally distant home owner is what makes systolic
+                // schedules systolic — it spreads load off the owners,
+                // which is the paper's stated rationale for `rotate`
+                // ("avoiding contention for the same pieces of data",
+                // §3.3).
+                let dest_point = grid.delinearize(rank as i64);
+                let mut supplies: Vec<(i64, u8, usize, Rect)> = Vec::new();
+                for q in (0..ranks).filter(|q| *q != rank) {
+                    let d = torus_distance(grid, &grid.delinearize(q as i64), &dest_point);
+                    for s in scratch[&acc.tensor][q].rects() {
+                        supplies.push((d, 0, q, s.clone()));
+                    }
+                    for s in &owners[&acc.tensor].pieces[q] {
+                        supplies.push((d, 1, q, s.clone()));
+                    }
+                }
+                supplies.sort_by(|a, b| (a.0, a.1, a.2).cmp(&(b.0, b.1, b.2)));
+                for (_dist, _class, q, s) in supplies {
+                    if needs.is_empty() {
+                        break;
+                    }
+                    for need in needs.rects().to_vec() {
+                        let inter = s.intersection(&need);
+                        if inter.is_empty() {
+                            continue;
+                        }
+                        let msg = Message {
+                            tag,
+                            from: q,
+                            to: rank,
+                            tensor: acc.tensor.clone(),
+                            rect: inter.clone(),
+                        };
+                        tag += 1;
+                        push(&mut programs, &mut global, q, SpmdOp::Send(msg.clone()));
+                        push(&mut programs, &mut global, rank, SpmdOp::Recv(msg));
+                        needs.subtract(&inter);
+                        received.get_mut(&acc.tensor).unwrap()[rank].push(inter);
+                    }
+                }
+                debug_assert!(
+                    needs.is_empty(),
+                    "home pieces must cover every tensor coordinate"
+                );
+            }
+
+            // Record output coverage and emit the leaf.
+            let out_rect = access_rect(&assignment.lhs.indices, &cin, &env, &out_dims);
+            if !out_rect.is_empty() {
+                out_written[rank].add(out_rect);
+            }
+            let flops = flops_per_point * iter_points;
+            total_flops += flops;
+            push(
+                &mut programs,
+                &mut global,
+                rank,
+                SpmdOp::Compute {
+                    bounds,
+                    env,
+                    flops,
+                },
+            );
+        }
+
+        // Step boundary: retire old scratch, promote this step's receives.
+        if !seq_extents.is_empty() {
+            for rank in 0..ranks {
+                push(&mut programs, &mut global, rank, SpmdOp::RetireScratch { keep: 1 });
+            }
+        }
+        for (tensor, per_rank) in received {
+            for (rank, rects) in per_rank.into_iter().enumerate() {
+                let set = &mut scratch.get_mut(&tensor).unwrap()[rank];
+                *set = RectSet::new();
+                for r in rects {
+                    set.add(r);
+                }
+            }
+        }
+    }
+
+    // Final gather: move computed output to its home owners. Distributed
+    // reductions fold (Johnson's "sum reduces A_ijk to P_ij0"); others
+    // overwrite. Local contributions fold without messages.
+    let out_owners = owners[&out_name].clone();
+    for rank in 0..ranks {
+        for rect in out_written[rank].rects().to_vec() {
+            for (owner, piece) in out_owners.owners_of(&rect) {
+                if owner == rank {
+                    continue;
+                }
+                let msg = Message {
+                    tag,
+                    from: rank,
+                    to: owner,
+                    tensor: out_name.clone(),
+                    rect: piece,
+                };
+                tag += 1;
+                if dist_reduces {
+                    push(&mut programs, &mut global, rank, SpmdOp::ReduceSend(msg.clone()));
+                    push(&mut programs, &mut global, owner, SpmdOp::ReduceRecv(msg));
+                } else {
+                    push(&mut programs, &mut global, rank, SpmdOp::Send(msg.clone()));
+                    push(&mut programs, &mut global, owner, SpmdOp::Recv(msg));
+                }
+            }
+        }
+    }
+
+    Ok(SpmdProgram {
+        assignment: assignment.clone(),
+        grid: grid.clone(),
+        tensors: tensors.to_vec(),
+        programs,
+        global,
+        out_written,
+        owners: owners.into_iter().collect(),
+        all_vars,
+        total_flops,
+        dist_reduces,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distal_machine::spec::MemKind;
+
+    fn tiled_tensors(n: i64) -> Vec<SpmdTensor> {
+        let f = Format::parse("xy->xy", MemKind::Sys).unwrap();
+        ["A", "B", "C"]
+            .iter()
+            .map(|name| SpmdTensor::new(*name, vec![n, n], f.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn torus_distance_wraps() {
+        let g = Grid::grid2(4, 4);
+        let a = Point::new(vec![0, 0]);
+        let b = Point::new(vec![0, 3]);
+        assert_eq!(torus_distance(&g, &a, &b), 1); // wraps around
+        let c = Point::new(vec![2, 2]);
+        assert_eq!(torus_distance(&g, &a, &c), 4);
+        assert_eq!(torus_distance(&g, &a, &a), 0);
+    }
+
+    #[test]
+    fn summa_lowering_structure() {
+        let a = Assignment::parse("A(i,j) = B(i,k) * C(k,j)").unwrap();
+        let p = lower(
+            &a,
+            &tiled_tensors(8),
+            &Grid::grid2(2, 2),
+            &Schedule::summa(2, 2, 4),
+        )
+        .unwrap();
+        // 4 ranks, each computes 2 sequential chunks.
+        assert_eq!(p.programs.len(), 4);
+        for r in 0..4 {
+            let computes = p.programs[r]
+                .iter()
+                .filter(|o| matches!(o, SpmdOp::Compute { .. }))
+                .count();
+            assert_eq!(computes, 2);
+        }
+        // A is stationary (communicate(A, jo)): no messages carry A.
+        assert!(p
+            .messages()
+            .iter()
+            .all(|m| m.tensor != "A"));
+        assert!((p.total_flops - 2.0 * 8.0f64.powi(3)).abs() < 1.0);
+    }
+
+    #[test]
+    fn mismatched_grid_rejected() {
+        let a = Assignment::parse("A(i,j) = B(i,k) * C(k,j)").unwrap();
+        let err = lower(
+            &a,
+            &tiled_tensors(8),
+            &Grid::grid2(4, 1),
+            &Schedule::summa(2, 2, 4),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SpmdError::Unsupported(_)));
+    }
+
+    #[test]
+    fn unknown_tensor_rejected() {
+        let a = Assignment::parse("Z(i,j) = B(i,k) * C(k,j)").unwrap();
+        let err = lower(&a, &tiled_tensors(8), &Grid::grid2(2, 2), &Schedule::new()).unwrap_err();
+        assert_eq!(err, SpmdError::UnknownTensor("Z".into()));
+    }
+
+    #[test]
+    fn unscheduled_runs_on_rank_zero() {
+        let a = Assignment::parse("A(i,j) = B(i,k) * C(k,j)").unwrap();
+        let p = lower(&a, &tiled_tensors(8), &Grid::grid2(2, 2), &Schedule::new()).unwrap();
+        // Rank 0 computes everything, pulling remote tiles.
+        let computes: Vec<usize> = (0..4)
+            .map(|r| {
+                p.programs[r]
+                    .iter()
+                    .filter(|o| matches!(o, SpmdOp::Compute { .. }))
+                    .count()
+            })
+            .collect();
+        assert_eq!(computes, vec![1, 0, 0, 0]);
+        // B and C tiles held by ranks 1-3 flow to rank 0; computed A tiles
+        // flow back out to their owners.
+        let msgs = p.messages();
+        assert!(msgs
+            .iter()
+            .all(|m| if m.tensor == "A" { m.from == 0 } else { m.to == 0 }));
+        // 3 remote ranks x 2 input tensors + 3 output tiles returned.
+        assert_eq!(msgs.len(), 9);
+    }
+}

@@ -1,0 +1,266 @@
+//! The compiled SPMD program and its deterministic execution.
+
+use crate::lower::{Ownership, SpmdError, SpmdTensor};
+use crate::ops::{Message, SpmdOp};
+use crate::stats::CommStats;
+use crate::vm::{Buf, RankStore};
+use distal_ir::expr::{Assignment, IndexVar};
+use distal_machine::geom::{Point, Rect, RectSet};
+use distal_machine::grid::Grid;
+use std::collections::BTreeMap;
+
+/// A fully lowered SPMD program: per-rank operation lists plus the global
+/// execution order and the metadata needed to run and analyze it.
+#[derive(Clone, Debug)]
+pub struct SpmdProgram {
+    /// The statement being computed.
+    pub assignment: Assignment,
+    /// The machine grid (ranks are its linearized points).
+    pub grid: Grid,
+    /// Tensor descriptions.
+    pub tensors: Vec<SpmdTensor>,
+    /// Per-rank operation lists (the "MPI program" of each rank).
+    pub programs: Vec<Vec<SpmdOp>>,
+    /// The global execution order (rank, op) — compile-time determinism
+    /// makes deadlock impossible.
+    pub global: Vec<(usize, SpmdOp)>,
+    /// Output rectangles each rank computes.
+    pub out_written: Vec<RectSet>,
+    pub(crate) owners: BTreeMap<String, Ownership>,
+    /// Original statement variables, in leaf-bounds order.
+    pub all_vars: Vec<IndexVar>,
+    /// Total floating-point work.
+    pub total_flops: f64,
+    /// True when distributed loops reduce (the final gather folds).
+    pub dist_reduces: bool,
+}
+
+/// The result of executing an SPMD program.
+#[derive(Clone, Debug)]
+pub struct SpmdResult {
+    /// The output tensor, row-major.
+    pub output: Vec<f64>,
+    /// Communication statistics of the run.
+    pub stats: CommStats,
+    /// Peak bytes of live scratch across ranks (double-buffering bound).
+    pub peak_scratch_bytes: u64,
+}
+
+impl SpmdProgram {
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// One rank's operations.
+    pub fn rank_ops(&self, rank: usize) -> &[SpmdOp] {
+        &self.programs[rank]
+    }
+
+    /// All messages, in tag order (each transfer counted once).
+    pub fn messages(&self) -> Vec<&Message> {
+        self.global
+            .iter()
+            .filter(|(_, op)| op.is_send())
+            .filter_map(|(_, op)| op.message())
+            .collect()
+    }
+
+    /// Communication statistics of the static program.
+    pub fn stats(&self) -> CommStats {
+        CommStats::from_messages(&self.grid, self.ranks(), &self.messages())
+    }
+
+    /// The tensor description of `name`.
+    fn tensor(&self, name: &str) -> Result<&SpmdTensor, SpmdError> {
+        self.tensors
+            .iter()
+            .find(|t| t.name == name)
+            .ok_or_else(|| SpmdError::UnknownTensor(name.to_string()))
+    }
+
+    /// Executes the program on the rank VM.
+    ///
+    /// `inputs` supplies row-major data for every right-hand-side tensor.
+    /// Returns the output tensor assembled from its home owners.
+    ///
+    /// # Errors
+    ///
+    /// [`SpmdError::Data`] for missing or mis-sized inputs, and internal
+    /// consistency failures (a send whose payload is not locally valid).
+    pub fn execute(&self, inputs: &BTreeMap<String, Vec<f64>>) -> Result<SpmdResult, SpmdError> {
+        let ranks = self.ranks();
+        let out_name = &self.assignment.lhs.tensor;
+        let mut stores: Vec<RankStore> = vec![RankStore::default(); ranks];
+
+        // Install home pieces: inputs from the provided data, outputs as
+        // zeros (data starts "at rest" in its distribution).
+        for t in &self.tensors {
+            let rect = Rect::sized(&t.dims);
+            let data = if &t.name == out_name {
+                None
+            } else {
+                let d = inputs
+                    .get(&t.name)
+                    .ok_or_else(|| SpmdError::Data(format!("missing input '{}'", t.name)))?;
+                if d.len() as i64 != rect.volume() {
+                    return Err(SpmdError::Data(format!(
+                        "input '{}' has {} values, expected {}",
+                        t.name,
+                        d.len(),
+                        rect.volume()
+                    )));
+                }
+                Some(d)
+            };
+            for (rank, pieces) in self.owners[&t.name].pieces.iter().enumerate() {
+                for piece in pieces {
+                    let mut buf = Buf::zeros(piece.clone());
+                    if let Some(d) = data {
+                        for (i, p) in piece.points().enumerate() {
+                            buf.data[i] = d[rect.linearize(&p)];
+                        }
+                    }
+                    stores[rank].add_home(&t.name, buf);
+                }
+            }
+        }
+
+        // Execute in global (tag) order. Payloads are snapshotted at send
+        // time; `pending` carries them to the matching receive.
+        let mut pending: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
+        let mut peak_scratch = 0u64;
+        for (rank, op) in &self.global {
+            let rank = *rank;
+            match op {
+                SpmdOp::Send(m) | SpmdOp::ReduceSend(m) => {
+                    let payload = self.read_payload(&stores[rank], m, out_name)?;
+                    pending.insert(m.tag, payload);
+                }
+                SpmdOp::Recv(m) | SpmdOp::ReduceRecv(m) => {
+                    let payload = pending
+                        .remove(&m.tag)
+                        .ok_or_else(|| SpmdError::Data(format!("recv before send: {m}")))?;
+                    if &m.tensor == out_name {
+                        // Gather messages fold into home output pieces.
+                        stores[rank].fold_into_home(&m.tensor, &m.rect, &payload);
+                    } else {
+                        let mut buf = Buf::zeros(m.rect.clone());
+                        buf.data = payload;
+                        stores[rank].receive(&m.tensor, buf);
+                    }
+                }
+                SpmdOp::Compute { bounds, .. } => {
+                    self.compute(&mut stores[rank], bounds)?;
+                    peak_scratch = peak_scratch.max(stores[rank].scratch_bytes());
+                }
+                SpmdOp::RetireScratch { keep } => {
+                    stores[rank].retire_scratch(*keep);
+                }
+            }
+        }
+
+        // Fold each rank's local contributions into its own home pieces.
+        for store in &mut stores {
+            let accs: Vec<Buf> = store.acc_bufs().to_vec();
+            for acc in accs {
+                store.fold_into_home(out_name, &acc.rect, &acc.data);
+            }
+        }
+
+        // Assemble the output from its home owners.
+        let out_t = self.tensor(out_name)?;
+        let out_rect = Rect::sized(&out_t.dims);
+        let mut output = vec![0.0; out_rect.volume().max(1) as usize];
+        for (rank, pieces) in self.owners[out_name].pieces.iter().enumerate() {
+            for piece in pieces {
+                for p in piece.points() {
+                    if let Some(v) = stores[rank].lookup(out_name, &p) {
+                        output[out_rect.linearize(&p)] = v;
+                    }
+                }
+            }
+        }
+
+        Ok(SpmdResult {
+            output,
+            stats: self.stats(),
+            peak_scratch_bytes: peak_scratch,
+        })
+    }
+
+    /// Reads a message payload from the sender's store: output-tensor
+    /// payloads come from the local accumulator, input payloads from
+    /// scratch/home.
+    fn read_payload(
+        &self,
+        store: &RankStore,
+        m: &Message,
+        out_name: &str,
+    ) -> Result<Vec<f64>, SpmdError> {
+        let mut payload = Vec::with_capacity(m.rect.volume().max(0) as usize);
+        for p in m.rect.points() {
+            let v = if m.tensor == out_name {
+                store.acc_lookup(&p)
+            } else {
+                store.lookup(&m.tensor, &p)
+            };
+            payload.push(v.ok_or_else(|| {
+                SpmdError::Data(format!("send of {m}: no valid local copy at {p}"))
+            })?);
+        }
+        Ok(payload)
+    }
+
+    /// Runs the leaf kernel over the iteration sub-box `bounds` (inclusive
+    /// per-variable), reading inputs from the store and accumulating into
+    /// the output accumulator.
+    fn compute(&self, store: &mut RankStore, bounds: &[(i64, i64)]) -> Result<(), SpmdError> {
+        let a = &self.assignment;
+        let inputs = a.input_accesses();
+        // Output accumulator covering this block's output rectangle.
+        let var_pos: BTreeMap<&IndexVar, usize> =
+            self.all_vars.iter().enumerate().map(|(i, v)| (v, i)).collect();
+        let out_lo: Vec<i64> = a.lhs.indices.iter().map(|v| bounds[var_pos[v]].0).collect();
+        let out_hi: Vec<i64> = a.lhs.indices.iter().map(|v| bounds[var_pos[v]].1).collect();
+        let out_rect = Rect::new(Point::new(out_lo), Point::new(out_hi));
+
+        // Iterate the sub-box (odometer over all statement variables).
+        let mut idx: Vec<i64> = bounds.iter().map(|(lo, _)| *lo).collect();
+        let n = bounds.len();
+        let mut vals: Vec<f64> = Vec::with_capacity(inputs.len());
+        loop {
+            // Evaluate the RHS at this point.
+            vals.clear();
+            for acc in &inputs {
+                let p = Point::new(acc.indices.iter().map(|v| idx[var_pos[v]]).collect());
+                vals.push(store.lookup(&acc.tensor, &p).ok_or_else(|| {
+                    SpmdError::Data(format!(
+                        "compute reads {}{p} with no valid local copy",
+                        acc.tensor
+                    ))
+                })?);
+            }
+            let mut it = vals.iter().copied();
+            let v = a.rhs.eval(&mut it);
+            let out_p = Point::new(a.lhs.indices.iter().map(|v| idx[var_pos[v]]).collect());
+            store.acc_buf(&out_rect).add(&out_p, v);
+
+            // Advance the odometer (last variable fastest).
+            let mut d = n;
+            loop {
+                if d == 0 {
+                    return Ok(());
+                }
+                d -= 1;
+                if idx[d] < bounds[d].1 {
+                    idx[d] += 1;
+                    for t in d + 1..n {
+                        idx[t] = bounds[t].0;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+}

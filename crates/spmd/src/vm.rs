@@ -1,0 +1,243 @@
+//! The rank virtual machine: executes SPMD programs with real numerics.
+//!
+//! Each rank owns a store of rectangular buffers:
+//!
+//! * *home* buffers — the tensor pieces the rank's data distribution
+//!   assigns it, filled from the global inputs before execution ("data at
+//!   rest": placement is free in the SPMD model);
+//! * *scratch* generations — received payloads, valid until retired by
+//!   [`SpmdOp::RetireScratch`](crate::ops::SpmdOp::RetireScratch) (newest
+//!   generation searched first, which is what makes systolic forwarding
+//!   read the freshly shifted tile rather than a stale one);
+//! * an *accumulator* for locally computed output contributions, folded
+//!   into home pieces (locally or through reduce messages) at the end.
+
+use distal_machine::geom::{Point, Rect};
+use std::collections::{BTreeMap, VecDeque};
+
+/// A rectangular buffer: `rect` in tensor space, row-major `data`.
+#[derive(Clone, Debug)]
+pub struct Buf {
+    /// The tensor-space rectangle this buffer covers.
+    pub rect: Rect,
+    /// Row-major values within `rect`.
+    pub data: Vec<f64>,
+}
+
+impl Buf {
+    /// A zero-filled buffer covering `rect`.
+    pub fn zeros(rect: Rect) -> Self {
+        let n = rect.volume().max(0) as usize;
+        Buf {
+            rect,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Row-major offset of `p` inside the buffer.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when `p` lies outside the buffer's rectangle.
+    pub fn offset(&self, p: &Point) -> usize {
+        debug_assert!(self.rect.contains_point(p), "{p} outside {}", self.rect);
+        let mut idx = 0i64;
+        for d in 0..self.rect.dim() {
+            idx = idx * self.rect.extent(d) + (p[d] - self.rect.lo()[d]);
+        }
+        idx as usize
+    }
+
+    /// The value at tensor-space point `p`.
+    pub fn get(&self, p: &Point) -> f64 {
+        self.data[self.offset(p)]
+    }
+
+    /// Adds `v` at tensor-space point `p`.
+    pub fn add(&mut self, p: &Point, v: f64) {
+        let o = self.offset(p);
+        self.data[o] += v;
+    }
+
+    /// Extracts the values of `rect ⊆ self.rect`, row-major.
+    pub fn read_rect(&self, rect: &Rect) -> Vec<f64> {
+        rect.points().map(|p| self.get(&p)).collect()
+    }
+}
+
+/// One rank's buffers.
+#[derive(Clone, Debug, Default)]
+pub struct RankStore {
+    home: BTreeMap<String, Vec<Buf>>,
+    scratch: BTreeMap<String, VecDeque<Vec<Buf>>>,
+    acc: Vec<Buf>,
+}
+
+impl RankStore {
+    /// Installs a home buffer for `tensor`.
+    pub fn add_home(&mut self, tensor: &str, buf: Buf) {
+        self.home.entry(tensor.to_string()).or_default().push(buf);
+    }
+
+    /// The home buffers of `tensor`.
+    pub fn home(&self, tensor: &str) -> &[Buf] {
+        self.home.get(tensor).map_or(&[], Vec::as_slice)
+    }
+
+    /// Mutable home buffers of `tensor`.
+    pub fn home_mut(&mut self, tensor: &str) -> &mut Vec<Buf> {
+        self.home.entry(tensor.to_string()).or_default()
+    }
+
+    /// Pushes a received buffer into the current scratch generation.
+    pub fn receive(&mut self, tensor: &str, buf: Buf) {
+        let gens = self
+            .scratch
+            .entry(tensor.to_string())
+            .or_insert_with(|| VecDeque::from([Vec::new()]));
+        if gens.is_empty() {
+            gens.push_front(Vec::new());
+        }
+        gens[0].push(buf);
+    }
+
+    /// Retires scratch: keeps the newest `keep` generations of every tensor
+    /// and opens a fresh accumulating generation.
+    pub fn retire_scratch(&mut self, keep: usize) {
+        for gens in self.scratch.values_mut() {
+            gens.truncate(keep);
+            gens.push_front(Vec::new());
+        }
+    }
+
+    /// Total bytes of live scratch (for the memory-bound assertions).
+    pub fn scratch_bytes(&self) -> u64 {
+        self.scratch
+            .values()
+            .flat_map(|gens| gens.iter().flatten())
+            .map(|b| b.data.len() as u64 * 8)
+            .sum()
+    }
+
+    /// Looks up the value of `tensor` at `p`: newest scratch first, then
+    /// home pieces.
+    pub fn lookup(&self, tensor: &str, p: &Point) -> Option<f64> {
+        if let Some(gens) = self.scratch.get(tensor) {
+            for gen in gens {
+                for buf in gen {
+                    if buf.rect.contains_point(p) {
+                        return Some(buf.get(p));
+                    }
+                }
+            }
+        }
+        self.home(tensor)
+            .iter()
+            .find(|b| b.rect.contains_point(p))
+            .map(|b| b.get(p))
+    }
+
+    /// Looks up an output value in the accumulator.
+    pub fn acc_lookup(&self, p: &Point) -> Option<f64> {
+        self.acc
+            .iter()
+            .find(|b| b.rect.contains_point(p))
+            .map(|b| b.get(p))
+    }
+
+    /// The accumulator buffer covering `rect`, created on first use.
+    pub fn acc_buf(&mut self, rect: &Rect) -> &mut Buf {
+        if let Some(i) = self.acc.iter().position(|b| b.rect.contains_rect(rect)) {
+            return &mut self.acc[i];
+        }
+        self.acc.push(Buf::zeros(rect.clone()));
+        self.acc.last_mut().expect("just pushed")
+    }
+
+    /// All accumulator buffers.
+    pub fn acc_bufs(&self) -> &[Buf] {
+        &self.acc
+    }
+
+    /// Folds `values` over `rect` into the home buffers of `tensor`
+    /// (elementwise add); points outside every home piece are ignored.
+    pub fn fold_into_home(&mut self, tensor: &str, rect: &Rect, values: &[f64]) {
+        let bufs = self.home_mut(tensor);
+        for (i, p) in rect.points().enumerate() {
+            for buf in bufs.iter_mut() {
+                if buf.rect.contains_point(&p) {
+                    buf.add(&p, values[i]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(c: &[i64]) -> Point {
+        Point::new(c.to_vec())
+    }
+
+    #[test]
+    fn buf_offsets_row_major() {
+        let r = Rect::new(pt(&[2, 4]), pt(&[3, 7]));
+        let b = Buf::zeros(r);
+        assert_eq!(b.data.len(), 8);
+        assert_eq!(b.offset(&pt(&[2, 4])), 0);
+        assert_eq!(b.offset(&pt(&[2, 7])), 3);
+        assert_eq!(b.offset(&pt(&[3, 4])), 4);
+    }
+
+    #[test]
+    fn scratch_generations_newest_first() {
+        let mut s = RankStore::default();
+        let mut old = Buf::zeros(Rect::sized(&[2]));
+        old.data = vec![1.0, 1.0];
+        s.receive("B", old);
+        s.retire_scratch(1);
+        let mut new = Buf::zeros(Rect::sized(&[2]));
+        new.data = vec![2.0, 2.0];
+        s.receive("B", new);
+        // Both generations alive; newest wins.
+        assert_eq!(s.lookup("B", &pt(&[0])), Some(2.0));
+        // After another retire with keep=1, the old generation is gone and
+        // the newer one remains.
+        s.retire_scratch(1);
+        assert_eq!(s.lookup("B", &pt(&[0])), Some(2.0));
+        s.retire_scratch(0);
+        assert_eq!(s.lookup("B", &pt(&[0])), None);
+    }
+
+    #[test]
+    fn lookup_prefers_scratch_over_home() {
+        let mut s = RankStore::default();
+        let mut home = Buf::zeros(Rect::sized(&[4]));
+        home.data = vec![5.0; 4];
+        s.add_home("B", home);
+        let mut recv = Buf::zeros(Rect::new(pt(&[1]), pt(&[2])));
+        recv.data = vec![9.0, 9.0];
+        s.receive("B", recv);
+        assert_eq!(s.lookup("B", &pt(&[0])), Some(5.0));
+        assert_eq!(s.lookup("B", &pt(&[1])), Some(9.0));
+        assert_eq!(s.lookup("Z", &pt(&[0])), None);
+    }
+
+    #[test]
+    fn fold_into_home_ignores_foreign_points() {
+        let mut s = RankStore::default();
+        s.add_home("A", Buf::zeros(Rect::new(pt(&[0]), pt(&[1]))));
+        s.fold_into_home("A", &Rect::sized(&[4]), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.lookup("A", &pt(&[1])), Some(2.0));
+        assert_eq!(s.lookup("A", &pt(&[3])), None);
+    }
+
+    #[test]
+    fn scalar_rect_buffer() {
+        // Order-0 tensors (innerprod's output) use dim-0 rects.
+        let b = Buf::zeros(Rect::sized(&[]));
+        assert_eq!(b.data.len(), 1);
+    }
+}

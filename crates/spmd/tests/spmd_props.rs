@@ -1,0 +1,189 @@
+//! Property tests for the static SPMD backend: across random problem
+//! sizes, grids, and chunkings, the statically lowered program must agree
+//! with the sequential oracle, and its structural invariants must hold
+//! (send/recv pairing, coverage, bounded scratch).
+
+use distal_core::{oracle, Schedule};
+use distal_format::Format;
+use distal_ir::expr::Assignment;
+use distal_machine::grid::Grid;
+use distal_machine::spec::MemKind;
+use distal_spmd::{lower, SpmdOp, SpmdTensor};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn random_data(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    (0..n)
+        .map(|_| {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect()
+}
+
+fn summa_like(gx: i64, gy: i64, chunk: i64, rotate: bool) -> Schedule {
+    let s = Schedule::new()
+        .distribute_onto(&["i", "j"], &["io", "jo"], &["ii", "ji"], &[gx, gy]);
+    if rotate {
+        s.divide("k", "ko", "ki", gx)
+            .reorder(&["io", "jo", "ko", "ii", "ji", "ki"])
+            .rotate("ko", &["io", "jo"], "kos")
+            .communicate(&["A"], "jo")
+            .communicate(&["B", "C"], "kos")
+    } else {
+        s.split("k", "ko", "ki", chunk)
+            .reorder(&["io", "jo", "ko", "ii", "ji", "ki"])
+            .communicate(&["A"], "jo")
+            .communicate(&["B", "C"], "ko")
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random matmul shapes, grids and chunkings: the SPMD execution equals
+    /// the oracle, tags pair exactly, and no rank reads data it was never
+    /// sent.
+    #[test]
+    fn random_matmul_matches_oracle(
+        n in 2i64..14,
+        gx in 1i64..4,
+        gy in 1i64..4,
+        chunk in 1i64..8,
+        rotate in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let grid = Grid::grid2(gx, gy);
+        let tiled = Format::parse("xy->xy", MemKind::Sys).unwrap();
+        let tensors: Vec<SpmdTensor> = ["A", "B", "C"]
+            .iter()
+            .map(|t| SpmdTensor::new(*t, vec![n, n], tiled.clone()))
+            .collect();
+        let assignment = Assignment::parse("A(i,j) = B(i,k) * C(k,j)").unwrap();
+        let schedule = summa_like(gx, gy, chunk, rotate);
+        let program = lower(&assignment, &tensors, &grid, &schedule).unwrap();
+
+        // Structural invariant: every send has exactly one matching recv
+        // with the same tag, and vice versa.
+        let mut sends = BTreeSet::new();
+        let mut recvs = BTreeSet::new();
+        for (_, op) in &program.global {
+            if let Some(m) = op.message() {
+                if op.is_send() {
+                    prop_assert!(sends.insert(m.tag), "duplicate send tag {}", m.tag);
+                } else {
+                    prop_assert!(recvs.insert(m.tag), "duplicate recv tag {}", m.tag);
+                }
+            }
+        }
+        prop_assert_eq!(&sends, &recvs);
+
+        let mut inputs = BTreeMap::new();
+        inputs.insert("B".to_string(), random_data((n * n) as usize, seed));
+        inputs.insert("C".to_string(), random_data((n * n) as usize, seed + 1));
+        let result = program.execute(&inputs).unwrap();
+
+        let mut dims = BTreeMap::new();
+        for t in ["A", "B", "C"] {
+            dims.insert(t.to_string(), vec![n, n]);
+        }
+        let want = oracle::evaluate(&assignment, &dims, &inputs).unwrap();
+        for (g, w) in result.output.iter().zip(want.iter()) {
+            prop_assert!((g - w).abs() < 1e-9 * (1.0 + w.abs()), "{g} vs {w}");
+        }
+    }
+
+    /// Rectangular matmuls (m x k times k x n) through a row-distributed
+    /// owner-computes schedule.
+    #[test]
+    fn rectangular_matmul_row_distribution(
+        m in 2i64..12,
+        k in 1i64..10,
+        n in 1i64..10,
+        p in 1i64..5,
+        seed in 0u64..1000,
+    ) {
+        let grid = Grid::line(p);
+        let rows = Format::parse("xy->x", MemKind::Sys).unwrap();
+        let repl = Format::parse("xy->*", MemKind::Sys).unwrap();
+        let tensors = vec![
+            SpmdTensor::new("A", vec![m, n], rows.clone()),
+            SpmdTensor::new("B", vec![m, k], rows),
+            SpmdTensor::new("C", vec![k, n], repl),
+        ];
+        let assignment = Assignment::parse("A(i,j) = B(i,k) * C(k,j)").unwrap();
+        let schedule = Schedule::new()
+            .divide("i", "io", "ii", p)
+            .reorder(&["io", "ii"])
+            .distribute(&["io"])
+            .communicate(&["A", "B", "C"], "io");
+        let program = lower(&assignment, &tensors, &grid, &schedule).unwrap();
+        // Matching formats: fully communication-free.
+        prop_assert_eq!(program.stats().messages, 0);
+
+        let mut inputs = BTreeMap::new();
+        inputs.insert("B".to_string(), random_data((m * k) as usize, seed));
+        inputs.insert("C".to_string(), random_data((k * n) as usize, seed + 7));
+        let result = program.execute(&inputs).unwrap();
+        let mut dims = BTreeMap::new();
+        dims.insert("A".to_string(), vec![m, n]);
+        dims.insert("B".to_string(), vec![m, k]);
+        dims.insert("C".to_string(), vec![k, n]);
+        let want = oracle::evaluate(&assignment, &dims, &inputs).unwrap();
+        for (g, w) in result.output.iter().zip(want.iter()) {
+            prop_assert!((g - w).abs() < 1e-9 * (1.0 + w.abs()));
+        }
+    }
+
+    /// Scratch stays within the double-buffer bound for systolic schedules
+    /// at every size.
+    #[test]
+    fn systolic_scratch_bound(n in 4i64..16, g in 2i64..4) {
+        let grid = Grid::grid2(g, g);
+        let tiled = Format::parse("xy->xy", MemKind::Sys).unwrap();
+        let tensors: Vec<SpmdTensor> = ["A", "B", "C"]
+            .iter()
+            .map(|t| SpmdTensor::new(*t, vec![n, n], tiled.clone()))
+            .collect();
+        let assignment = Assignment::parse("A(i,j) = B(i,k) * C(k,j)").unwrap();
+        let program = lower(&assignment, &tensors, &grid, &summa_like(g, g, 1, true)).unwrap();
+        let mut inputs = BTreeMap::new();
+        inputs.insert("B".to_string(), random_data((n * n) as usize, 3));
+        inputs.insert("C".to_string(), random_data((n * n) as usize, 4));
+        let result = program.execute(&inputs).unwrap();
+        // Two tensors x two generations x one ceil(n/g)^2 tile, with 2x
+        // slack for boundary fragments.
+        let tile = (n + g - 1) / g;
+        let bound = 2 * 2 * (tile * tile) as u64 * 8 * 2;
+        prop_assert!(
+            result.peak_scratch_bytes <= bound,
+            "{} > {bound}",
+            result.peak_scratch_bytes
+        );
+    }
+}
+
+#[test]
+fn retire_ops_bound_generation_count() {
+    // The generated programs interleave retire ops so the VM never holds
+    // more than two scratch generations per tensor.
+    let grid = Grid::grid2(3, 3);
+    let tiled = Format::parse("xy->xy", MemKind::Sys).unwrap();
+    let tensors: Vec<SpmdTensor> = ["A", "B", "C"]
+        .iter()
+        .map(|t| SpmdTensor::new(*t, vec![9, 9], tiled.clone()))
+        .collect();
+    let assignment = Assignment::parse("A(i,j) = B(i,k) * C(k,j)").unwrap();
+    let program = lower(&assignment, &tensors, &grid, &summa_like(3, 3, 3, true)).unwrap();
+    for rank in 0..program.ranks() {
+        let retires = program
+            .rank_ops(rank)
+            .iter()
+            .filter(|o| matches!(o, SpmdOp::RetireScratch { keep: 1 }))
+            .count();
+        assert_eq!(retires, 3, "one retire per sequential step");
+    }
+}

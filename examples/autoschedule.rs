@@ -1,0 +1,70 @@
+//! Automatic schedule and format selection (the paper's §9 future work):
+//! ask the search for the best (machine grid, tensor formats, schedule)
+//! for a matmul and a TTV on a CPU machine, print the ranked candidates,
+//! and show the memory cliff that knocks replication-heavy candidates out
+//! on small GPU framebuffers (the Figure 15b OOM behaviour).
+//!
+//! Run with: `cargo run --example autoschedule`
+
+use distal::prelude::*;
+use distal_autosched::{AutoScheduler, SearchConfig};
+use std::collections::BTreeMap;
+
+fn matmul_dims(n: i64) -> BTreeMap<String, Vec<i64>> {
+    ["A", "B", "C"]
+        .iter()
+        .map(|t| (t.to_string(), vec![n, n]))
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- CPU matmul ---------------------------------------------------
+    let n = 8192i64;
+    let scheduler = AutoScheduler::new(SearchConfig::cpu(MachineSpec::lassen(4)));
+    println!(
+        "auto-scheduling A(i,j) = B(i,k) * C(k,j), n={n}, {} CPU sockets\n",
+        scheduler.config().processors()
+    );
+    let result = scheduler.search("A(i,j) = B(i,k) * C(k,j)", &matmul_dims(n))?;
+    for e in result.evaluations.iter().take(8) {
+        println!("  {e}");
+    }
+    let best = result.best().expect("feasible candidate");
+    println!("\nwinner: {}", best.candidate.name);
+    for (t, f) in &best.candidate.formats {
+        println!("  format {t}: {}", f.distributions[0]);
+    }
+
+    // --- TTV: the auto-formatter finds the communication-free layout ---
+    let mut dims = BTreeMap::new();
+    dims.insert("A".to_string(), vec![256, 256]);
+    dims.insert("B".to_string(), vec![256, 256, 256]);
+    dims.insert("c".to_string(), vec![256]);
+    let result = scheduler.search("A(i,j) = B(i,j,k) * c(k)", &dims)?;
+    let best = result.best().expect("feasible candidate");
+    println!(
+        "\nTTV winner: {} ({} compute-phase bytes moved)",
+        best.candidate.name, best.comm_bytes
+    );
+
+    // --- GPU memory cliff ----------------------------------------------
+    let n = 16384i64;
+    let mut tight = MachineSpec::lassen(4);
+    tight.node.fb_bytes = 512 * (1 << 20);
+    let gpu = AutoScheduler::new(SearchConfig::gpu(tight));
+    let result = gpu.search("A(i,j) = B(i,k) * C(k,j)", &matmul_dims(n))?;
+    let (ok, oom): (Vec<_>, Vec<_>) = result.evaluations.iter().partition(|e| e.feasible());
+    println!(
+        "\nGPU with 512 MiB framebuffers, n={n}: {} feasible, {} infeasible",
+        ok.len(),
+        oom.len()
+    );
+    for e in oom.iter().take(4) {
+        println!("  {e}");
+    }
+    println!(
+        "winner under memory pressure: {}",
+        result.best().expect("2D family survives").candidate.name
+    );
+    Ok(())
+}

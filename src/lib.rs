@@ -1,0 +1,73 @@
+//! # DISTAL: The Distributed Tensor Algebra Compiler
+//!
+//! A Rust reproduction of *DISTAL: The Distributed Tensor Algebra Compiler*
+//! (Yadav, Aiken, Kjolstad — PLDI 2022), including the Legion-like
+//! task-based runtime substrate it targets, the ScaLAPACK/CTF/COSMA
+//! comparison systems, and the full evaluation harness.
+//!
+//! This crate is a façade re-exporting the workspace's crates:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`machine`] | `distal-machine` | machine grids, hierarchies, cost model |
+//! | [`runtime`] | `distal-runtime` | Legion-like runtime (regions, tasks, mapper, simulator) |
+//! | [`ir`] | `distal-ir` | tensor index notation, concrete index notation, scheduling rewrites |
+//! | [`mod@format`] | `distal-format` | tensor distribution notation (`T xy ↦ xy0 M`) |
+//! | [`core`] | `distal-core` | the compiler: sessions, schedules, lowering |
+//! | [`algs`] | `distal-algs` | Figure 9 algorithms + §7.2 higher-order kernels |
+//! | [`baselines`] | `distal-baselines` | ScaLAPACK / CTF / COSMA re-implementations |
+//! | [`spmd`] | `distal-spmd` | static SPMD/MPI-style backend with compile-time communication (§8) |
+//! | [`autosched`] | `distal-autosched` | automatic schedule + format selection (§9) |
+//!
+//! # Quickstart (Figure 2)
+//!
+//! ```
+//! use distal::prelude::*;
+//!
+//! // A 2x2 grid of abstract processors over one node's CPU sockets.
+//! let machine = DistalMachine::flat(Grid::grid2(2, 2), ProcKind::Cpu);
+//! let mut session = Session::new(MachineSpec::small(2), machine, Mode::Functional);
+//!
+//! // Tensors are distributed in 2D tiles (the `Distribution tiles` of
+//! // Figure 2, lines 4-15).
+//! let tiles = Format::parse("xy->xy", MemKind::Sys)?;
+//! for name in ["A", "B", "C"] {
+//!     session.tensor(TensorSpec::new(name, vec![64, 64], tiles.clone()))?;
+//! }
+//! session.fill_random("B", 1);
+//! session.fill_random("C", 2);
+//!
+//! // The SUMMA schedule of Figure 2, lines 23-40.
+//! let schedule = Schedule::summa(2, 2, 16);
+//! let kernel = session.compile("A(i,j) = B(i,k) * C(k,j)", &schedule)?;
+//! session.run(&kernel)?;
+//! let a = session.read("A")?;
+//! assert_eq!(a.len(), 64 * 64);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use distal_algs as algs;
+pub use distal_baselines as baselines;
+pub use distal_core as core;
+pub use distal_format as format;
+pub use distal_ir as ir;
+pub use distal_machine as machine;
+pub use distal_autosched as autosched;
+pub use distal_runtime as runtime;
+pub use distal_spmd as spmd;
+
+/// Commonly used items for examples and applications.
+pub mod prelude {
+    pub use distal_algs::higher_order::HigherOrderKernel;
+    pub use distal_algs::matmul::MatmulAlgorithm;
+    pub use distal_algs::setup::RunConfig;
+    pub use distal_core::{
+        CompileError, CompiledKernel, DistalMachine, LeafKind, Schedule, Session, TensorSpec,
+    };
+    pub use distal_format::{Format, TensorDistribution};
+    pub use distal_ir::expr::Assignment;
+    pub use distal_machine::geom::{Point, Rect};
+    pub use distal_machine::grid::{Grid, MachineHierarchy};
+    pub use distal_machine::spec::{MachineSpec, MemKind, ProcKind};
+    pub use distal_runtime::{Mode, Runtime, RunStats};
+}

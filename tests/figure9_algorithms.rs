@@ -1,0 +1,83 @@
+//! Integration test: every Figure 9 algorithm computes the same product,
+//! on square and awkward (non-dividing) sizes and machine shapes.
+
+use distal::algs::matmul::MatmulAlgorithm;
+use distal::algs::setup::{matmul_session, RunConfig};
+use distal::prelude::*;
+
+fn reference_product(session: &Session, n: i64) -> Vec<f64> {
+    let b = session.read("B").unwrap();
+    let c = session.read("C").unwrap();
+    let n = n as usize;
+    let mut a = vec![0.0; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let bv = b[i * n + k];
+            for j in 0..n {
+                a[i * n + j] += bv * c[k * n + j];
+            }
+        }
+    }
+    a
+}
+
+fn check(alg: MatmulAlgorithm, nodes: usize, n: i64, chunk: i64) {
+    let mut config = RunConfig::cpu(nodes, Mode::Functional);
+    config.spec = MachineSpec::small(nodes);
+    let (mut session, kernel) = matmul_session(alg, &config, n, chunk)
+        .unwrap_or_else(|e| panic!("{alg:?} compile: {e}"));
+    session.run(&kernel).unwrap_or_else(|e| panic!("{alg:?} run: {e}"));
+    let got = session.read("A").unwrap();
+    let want = reference_product(&session, n);
+    for (idx, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        assert!(
+            (g - w).abs() < 1e-9,
+            "{alg:?} nodes={nodes} n={n}: mismatch at {idx}: {g} vs {w}"
+        );
+    }
+}
+
+#[test]
+fn all_algorithms_on_awkward_size() {
+    // n = 13 does not divide evenly by any grid dimension; tail blocks and
+    // empty launch points must all be handled.
+    for alg in MatmulAlgorithm::all(8) {
+        check(alg, 4, 13, 5);
+    }
+}
+
+#[test]
+fn all_algorithms_on_even_size() {
+    for alg in MatmulAlgorithm::all(8) {
+        check(alg, 4, 16, 8);
+    }
+}
+
+#[test]
+fn two_d_algorithms_on_rectangular_grid() {
+    // 6 sockets -> 2x3 grid: rotation extents differ per dimension.
+    for alg in [
+        MatmulAlgorithm::Summa,
+        MatmulAlgorithm::Cannon,
+        MatmulAlgorithm::Pumma,
+    ] {
+        check(alg, 3, 12, 4);
+    }
+}
+
+#[test]
+fn johnson_on_perfect_cube() {
+    check(MatmulAlgorithm::Johnson, 4, 12, 4); // 8 sockets = 2x2x2
+}
+
+#[test]
+fn solomonik_with_replication() {
+    check(MatmulAlgorithm::Solomonik { c: 2 }, 4, 16, 4); // 2x2x2
+}
+
+#[test]
+fn chunk_size_does_not_change_results() {
+    for chunk in [1, 3, 8, 16] {
+        check(MatmulAlgorithm::Summa, 2, 16, chunk);
+    }
+}

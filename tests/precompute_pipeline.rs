@@ -1,0 +1,140 @@
+//! End-to-end `precompute` (paper §2): factoring a statement through a
+//! workspace tensor must preserve the result while (for chain products)
+//! reducing asymptotic work.
+
+use distal::prelude::*;
+use distal::core::oracle;
+use std::collections::BTreeMap;
+
+fn dist_1d(p: i64) -> Schedule {
+    Schedule::new()
+        .divide("i", "io", "ii", p)
+        .reorder(&["io", "ii"])
+        .distribute(&["io"])
+}
+
+#[test]
+fn triple_product_precompute_matches_oracle_and_saves_flops() {
+    let (n, p) = (12i64, 4i64);
+    let machine = DistalMachine::flat(Grid::line(p), ProcKind::Cpu);
+    let mut s = Session::new(MachineSpec::small(2), machine, Mode::Functional);
+    let rows = Format::parse("xy->x", MemKind::Sys).unwrap();
+    for t in ["A", "B", "C", "D"] {
+        s.tensor(TensorSpec::new(t, vec![n, n], rows.clone())).unwrap();
+        if t != "A" {
+            s.fill_random(t, t.len() as u64 + 3);
+        }
+    }
+
+    // Fused reference compile (for the flops comparison).
+    let fused = s
+        .compile("A(i,l) = B(i,j) * C(j,k) * D(k,l)", &dist_1d(p))
+        .unwrap();
+
+    // Staged pipeline through the workspace T(i,k) = B(i,j) * C(j,k).
+    let (ws, rest) = s
+        .compile_with_precompute(
+            "A(i,l) = B(i,j) * C(j,k) * D(k,l)",
+            &["B", "C"],
+            "T",
+            &["i", "k"],
+            rows,
+            &dist_1d(p),
+            &dist_1d(p),
+        )
+        .unwrap();
+    // O(n^3) + O(n^3) << O(n^4).
+    assert!(
+        ws.total_flops + rest.total_flops < fused.total_flops / 2.0,
+        "staged {} + {} vs fused {}",
+        ws.total_flops,
+        rest.total_flops,
+        fused.total_flops
+    );
+
+    s.run(&ws).unwrap();
+    s.run(&rest).unwrap();
+    let got = s.read("A").unwrap();
+
+    let mut dims = BTreeMap::new();
+    let mut inputs = BTreeMap::new();
+    for t in ["A", "B", "C", "D"] {
+        dims.insert(t.to_string(), vec![n, n]);
+        if t != "A" {
+            inputs.insert(t.to_string(), s.read(t).unwrap());
+        }
+    }
+    let want = oracle::evaluate(&fused.assignment, &dims, &inputs).unwrap();
+    for (g, w) in got.iter().zip(want.iter()) {
+        assert!((g - w).abs() < 1e-9 * (1.0 + w.abs()), "{g} vs {w}");
+    }
+}
+
+#[test]
+fn mttkrp_workspace_formulation_matches_fused() {
+    let (n, l, p) = (8i64, 4i64, 2i64);
+    let machine = DistalMachine::flat(Grid::line(p), ProcKind::Cpu);
+    let mut s = Session::new(MachineSpec::small(1), machine, Mode::Functional);
+    let f3 = Format::parse("xyz->x", MemKind::Sys).unwrap();
+    let f2 = Format::parse("xy->x", MemKind::Sys).unwrap();
+    s.tensor(TensorSpec::new("A", vec![n, l], f2.clone())).unwrap();
+    s.tensor(TensorSpec::new("B", vec![n, n, n], f3.clone())).unwrap();
+    s.tensor(TensorSpec::new("C", vec![n, l], f2.clone())).unwrap();
+    s.tensor(TensorSpec::new("D", vec![n, l], f2.clone())).unwrap();
+    for t in ["B", "C", "D"] {
+        s.fill_random(t, 0xD0 + t.len() as u64);
+    }
+
+    let (ws, rest) = s
+        .compile_with_precompute(
+            "A(i,l) = B(i,j,k) * C(j,l) * D(k,l)",
+            &["B", "D"],
+            "T",
+            &["i", "j", "l"],
+            f3,
+            &dist_1d(p),
+            &dist_1d(p),
+        )
+        .unwrap();
+    assert_eq!(format!("{}", ws.assignment), "T(i, j, l) = B(i, j, k) * D(k, l)");
+    s.run(&ws).unwrap();
+    s.run(&rest).unwrap();
+    let got = s.read("A").unwrap();
+
+    let fused = distal::ir::expr::Assignment::parse("A(i,l) = B(i,j,k) * C(j,l) * D(k,l)").unwrap();
+    let mut dims = BTreeMap::new();
+    dims.insert("A".to_string(), vec![n, l]);
+    dims.insert("B".to_string(), vec![n, n, n]);
+    dims.insert("C".to_string(), vec![n, l]);
+    dims.insert("D".to_string(), vec![n, l]);
+    let mut inputs = BTreeMap::new();
+    for t in ["B", "C", "D"] {
+        inputs.insert(t.to_string(), s.read(t).unwrap());
+    }
+    let want = oracle::evaluate(&fused, &dims, &inputs).unwrap();
+    for (g, w) in got.iter().zip(want.iter()) {
+        assert!((g - w).abs() < 1e-9 * (1.0 + w.abs()), "{g} vs {w}");
+    }
+}
+
+#[test]
+fn workspace_name_collision_rejected() {
+    let machine = DistalMachine::flat(Grid::line(2), ProcKind::Cpu);
+    let mut s = Session::new(MachineSpec::small(1), machine, Mode::Functional);
+    let rows = Format::parse("xy->x", MemKind::Sys).unwrap();
+    for t in ["A", "B", "C", "D"] {
+        s.tensor(TensorSpec::new(t, vec![4, 4], rows.clone())).unwrap();
+    }
+    let err = s
+        .compile_with_precompute(
+            "A(i,l) = B(i,j) * C(j,k) * D(k,l)",
+            &["B", "C"],
+            "D", // collides
+            &["i", "k"],
+            rows,
+            &Schedule::new(),
+            &Schedule::new(),
+        )
+        .unwrap_err();
+    assert!(matches!(err, CompileError::Expression(_)));
+}

@@ -1,0 +1,199 @@
+//! Property-based integration tests: compiled distributed execution always
+//! agrees with the sequential oracle, across randomized shapes, grids,
+//! schedules, and distribution notations.
+
+use distal::core::oracle;
+use distal::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn oracle_inputs(
+    session: &Session,
+    assignment: &Assignment,
+    dims: &[(&str, Vec<i64>)],
+) -> (BTreeMap<String, Vec<i64>>, BTreeMap<String, Vec<f64>>) {
+    let mut d = BTreeMap::new();
+    let mut inputs = BTreeMap::new();
+    for (name, dd) in dims {
+        d.insert(name.to_string(), dd.clone());
+        if *name != assignment.lhs.tensor {
+            inputs.insert(name.to_string(), session.read(name).unwrap());
+        }
+    }
+    (d, inputs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Rectangular matmul with a random grid and chunk always matches the
+    /// oracle.
+    #[test]
+    fn summa_rectangular_matches_oracle(
+        m in 2i64..14,
+        n in 2i64..14,
+        k in 2i64..14,
+        gx in 1i64..3,
+        gy in 1i64..3,
+        chunk in 1i64..8,
+    ) {
+        let machine = DistalMachine::flat(Grid::grid2(gx, gy), ProcKind::Cpu);
+        let mut session = Session::new(MachineSpec::small(2), machine, Mode::Functional);
+        let f = Format::parse("xy->xy", MemKind::Sys).unwrap();
+        session.tensor(TensorSpec::new("A", vec![m, n], f.clone())).unwrap();
+        session.tensor(TensorSpec::new("B", vec![m, k], f.clone())).unwrap();
+        session.tensor(TensorSpec::new("C", vec![k, n], f)).unwrap();
+        session.fill_random("B", 3);
+        session.fill_random("C", 4);
+        let schedule = Schedule::summa(gx, gy, chunk);
+        let kernel = session.compile("A(i,j) = B(i,k) * C(k,j)", &schedule).unwrap();
+        session.run(&kernel).unwrap();
+        let got = session.read("A").unwrap();
+        let (dims, inputs) = oracle_inputs(
+            &session,
+            &kernel.assignment,
+            &[("A", vec![m, n]), ("B", vec![m, k]), ("C", vec![k, n])],
+        );
+        let want = oracle::evaluate(&kernel.assignment, &dims, &inputs).unwrap();
+        for (g, w) in got.iter().zip(want.iter()) {
+            prop_assert!((g - w).abs() < 1e-9, "{g} vs {w}");
+        }
+    }
+
+    /// TTV with random extents and processor counts moves no inter-node
+    /// bytes and matches the oracle.
+    #[test]
+    fn ttv_random_extents(n in 2i64..8, procs in 1i64..5) {
+        let machine = DistalMachine::flat(Grid::line(procs), ProcKind::Cpu);
+        let mut session = Session::new(MachineSpec::small(4), machine, Mode::Functional);
+        session.tensor(TensorSpec::new("A", vec![n, n], Format::parse("xy->x", MemKind::Sys).unwrap())).unwrap();
+        session.tensor(TensorSpec::new("B", vec![n, n, n], Format::parse("xyz->x", MemKind::Sys).unwrap())).unwrap();
+        session.tensor(TensorSpec::new("c", vec![n], Format::parse("x->*", MemKind::Sys).unwrap())).unwrap();
+        session.fill_random("B", 5);
+        session.fill_random("c", 6);
+        let schedule = Schedule::new()
+            .distribute_onto(&["i"], &["io"], &["ii"], &[procs])
+            .communicate(&["A", "B", "c"], "io");
+        let kernel = session.compile("A(i,j) = B(i,j,k) * c(k)", &schedule).unwrap();
+        session.place(&kernel).unwrap();
+        let stats = session.execute(&kernel).unwrap();
+        prop_assert_eq!(stats.inter_node_bytes(), 0);
+        let got = session.read("A").unwrap();
+        let (dims, inputs) = oracle_inputs(
+            &session,
+            &kernel.assignment,
+            &[("A", vec![n, n]), ("B", vec![n, n, n]), ("c", vec![n])],
+        );
+        let want = oracle::evaluate(&kernel.assignment, &dims, &inputs).unwrap();
+        for (g, w) in got.iter().zip(want.iter()) {
+            prop_assert!((g - w).abs() < 1e-9);
+        }
+    }
+
+    /// Random valid distribution notations partition the tensor exactly:
+    /// every coordinate is owned, and total tile volume is the tensor
+    /// volume times the product of broadcast dimension extents.
+    #[test]
+    fn distribution_notation_partitions_exactly(
+        tx in 2i64..7,
+        ty in 2i64..7,
+        mx in 1i64..4,
+        my in 1i64..4,
+        style in 0usize..4,
+    ) {
+        let (notation, machine, replication) = match style {
+            0 => ("xy->xy".to_string(), Grid::grid2(mx, my), 1),
+            1 => ("xy->x".to_string(), Grid::line(mx), 1),
+            2 => ("xy->xy*".to_string(), Grid::grid3(mx, my, 2), 2),
+            _ => ("xy->xy0".to_string(), Grid::grid3(mx, my, 2), 1),
+        };
+        let dist = TensorDistribution::parse(&notation).unwrap();
+        let rect = Rect::sized(&[tx, ty]);
+        let placement = dist.placement(&rect, &machine);
+        let total: i64 = placement.iter().map(|(_, t)| t.volume()).sum();
+        prop_assert_eq!(total, rect.volume() * replication);
+        // Every coordinate has at least one owner.
+        for c in rect.points() {
+            prop_assert!(!dist.owners_of(&rect, &machine, &c).is_empty());
+        }
+    }
+
+    /// Substituting the interpreter for the GEMM leaf (and vice versa where
+    /// legal) never changes results — substitution affects the leaf
+    /// implementation only.
+    #[test]
+    fn leaf_substitution_is_semantically_inert(n in 2i64..12, chunk in 1i64..6) {
+        let run = |leaf: LeafKind| -> Vec<f64> {
+            let machine = DistalMachine::flat(Grid::grid2(2, 2), ProcKind::Cpu);
+            let mut session = Session::new(MachineSpec::small(2), machine, Mode::Functional);
+            let f = Format::parse("xy->xy", MemKind::Sys).unwrap();
+            for name in ["A", "B", "C"] {
+                session.tensor(TensorSpec::new(name, vec![n, n], f.clone())).unwrap();
+            }
+            session.fill_random("B", 9);
+            session.fill_random("C", 10);
+            let schedule = Schedule::new()
+                .distribute_onto(&["i", "j"], &["io", "jo"], &["ii", "ji"], &[2, 2])
+                .split("k", "ko", "ki", chunk)
+                .reorder(&["io", "jo", "ko", "ii", "ji", "ki"])
+                .communicate(&["A"], "jo")
+                .communicate(&["B", "C"], "ko")
+                .substitute(&["ii", "ji", "ki"], leaf);
+            let kernel = session.compile("A(i,j) = B(i,k) * C(k,j)", &schedule).unwrap();
+            session.run(&kernel).unwrap();
+            session.read("A").unwrap()
+        };
+        let gemm = run(LeafKind::Gemm);
+        let interp = run(LeafKind::Interpreter);
+        let auto = run(LeafKind::Auto);
+        for ((g, i), a) in gemm.iter().zip(interp.iter()).zip(auto.iter()) {
+            prop_assert!((g - i).abs() < 1e-12);
+            prop_assert!((g - a).abs() < 1e-12);
+        }
+    }
+
+    /// The generic interpreter handles arbitrary two-operand element-wise
+    /// expressions with add and mul.
+    #[test]
+    fn elementwise_expressions_match_oracle(n in 2i64..10, use_add in proptest::bool::ANY) {
+        let machine = DistalMachine::flat(Grid::line(2), ProcKind::Cpu);
+        let mut session = Session::new(MachineSpec::small(2), machine, Mode::Functional);
+        let f = Format::parse("x->x", MemKind::Sys).unwrap();
+        for name in ["A", "B", "C"] {
+            session.tensor(TensorSpec::new(name, vec![n], f.clone())).unwrap();
+        }
+        session.fill_random("B", 7);
+        session.fill_random("C", 8);
+        let expr = if use_add { "A(i) = B(i) + C(i)" } else { "A(i) = B(i) * C(i)" };
+        let schedule = Schedule::new()
+            .distribute_onto(&["i"], &["io"], &["ii"], &[2])
+            .communicate(&["A", "B", "C"], "io");
+        let kernel = session.compile(expr, &schedule).unwrap();
+        session.run(&kernel).unwrap();
+        let got = session.read("A").unwrap();
+        let (dims, inputs) = oracle_inputs(
+            &session,
+            &kernel.assignment,
+            &[("A", vec![n]), ("B", vec![n]), ("C", vec![n])],
+        );
+        let want = oracle::evaluate(&kernel.assignment, &dims, &inputs).unwrap();
+        for (g, w) in got.iter().zip(want.iter()) {
+            prop_assert!((g - w).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn gemm_substitution_on_non_matmul_is_rejected() {
+    // Figure 2's CuBLAS substitution is only legal for matmul-shaped
+    // statements; the compiler must refuse it elsewhere.
+    let machine = DistalMachine::flat(Grid::line(2), ProcKind::Cpu);
+    let mut session = Session::new(MachineSpec::small(1), machine, Mode::Functional);
+    let f = Format::parse("xy->x", MemKind::Sys).unwrap();
+    for name in ["A", "B", "C"] {
+        session.tensor(TensorSpec::new(name, vec![4, 4], f.clone())).unwrap();
+    }
+    let schedule = Schedule::new().substitute(&["i", "j"], LeafKind::Gemm);
+    let err = session.compile("A(i,j) = B(i,j) + C(i,j)", &schedule).unwrap_err();
+    assert!(matches!(err, CompileError::BadSubstitution(_)), "{err}");
+}

@@ -82,20 +82,18 @@ impl HigherOrderKernel {
     /// first.
     pub fn shapes(&self, n: i64) -> Vec<(&'static str, Vec<i64>)> {
         match self {
-            HigherOrderKernel::Ttv => vec![
-                ("A", vec![n, n]),
-                ("B", vec![n, n, n]),
-                ("c", vec![n]),
-            ],
-            HigherOrderKernel::Innerprod => vec![
-                ("a", vec![]),
-                ("B", vec![n, n, n]),
-                ("C", vec![n, n, n]),
-            ],
+            HigherOrderKernel::Ttv => vec![("A", vec![n, n]), ("B", vec![n, n, n]), ("c", vec![n])],
+            HigherOrderKernel::Innerprod => {
+                vec![("a", vec![]), ("B", vec![n, n, n]), ("C", vec![n, n, n])]
+            }
             HigherOrderKernel::Ttm => {
                 // The paper uses a small dense matrix C (k x l with modest l).
                 let l = 32.min(n);
-                vec![("A", vec![n, n, l]), ("B", vec![n, n, n]), ("C", vec![n, l])]
+                vec![
+                    ("A", vec![n, n, l]),
+                    ("B", vec![n, n, n]),
+                    ("C", vec![n, l]),
+                ]
             }
             HigherOrderKernel::Mttkrp => {
                 let l = 32.min(n);

@@ -110,9 +110,7 @@ impl MatmulAlgorithm {
                 // A on the z=0 face; B on the y=0 face; C on the x=0 face.
                 [f("xy->xy0"), f("xz->x0z"), f("zy->0yz")]
             }
-            MatmulAlgorithm::Solomonik { .. } => {
-                [f("xy->xy0"), f("xy->xy0"), f("xy->xy0")]
-            }
+            MatmulAlgorithm::Solomonik { .. } => [f("xy->xy0"), f("xy->xy0"), f("xy->xy0")],
         }
     }
 
@@ -152,15 +150,16 @@ impl MatmulAlgorithm {
             }
             MatmulAlgorithm::Johnson => {
                 let (gx, gy, gz) = (grid.extent(0), grid.extent(1), grid.extent(2));
-                Schedule::new().distribute_onto(
-                    &["i", "j", "k"],
-                    &["io", "jo", "ko"],
-                    &["ii", "ji", "ki"],
-                    &[gx, gy, gz],
-                )
-                // communicate({A,B,C}, ko): at the innermost distributed
-                // loop — the default launch-level aggregation.
-                .communicate(&["A", "B", "C"], "ko")
+                Schedule::new()
+                    .distribute_onto(
+                        &["i", "j", "k"],
+                        &["io", "jo", "ko"],
+                        &["ii", "ji", "ki"],
+                        &[gx, gy, gz],
+                    )
+                    // communicate({A,B,C}, ko): at the innermost distributed
+                    // loop — the default launch-level aggregation.
+                    .communicate(&["A", "B", "C"], "ko")
             }
             MatmulAlgorithm::Solomonik { c } => {
                 let (gx, gy) = (grid.extent(0), grid.extent(1));
@@ -177,7 +176,8 @@ impl MatmulAlgorithm {
                     .divide("ki", "kio", "kii", steps)
                     .reorder(&["kio", "ii", "ji", "kii"]);
                 if steps > 1 {
-                    s = s.rotate("kio", &["io", "jo"], "kios")
+                    s = s
+                        .rotate("kio", &["io", "jo"], "kios")
                         .communicate(&["A"], "jo")
                         .communicate(&["B", "C"], "kios");
                 } else {
@@ -218,11 +218,7 @@ pub fn cosma_schedule(gx: i64, gy: i64, gz: i64, steps: i64) -> Schedule {
 /// COSMA's "sequential split" (Figure 9 footnote 4). Returns `None` when
 /// even the output tile alone does not fit.
 pub fn cosma_steps_for_memory(n: i64, gx: i64, gy: i64, gz: i64, budget_bytes: u64) -> Option<i64> {
-    let (bm, bn, bk) = (
-        (n + gx - 1) / gx,
-        (n + gy - 1) / gy,
-        (n + gz - 1) / gz,
-    );
+    let (bm, bn, bk) = ((n + gx - 1) / gx, (n + gy - 1) / gy, (n + gz - 1) / gz);
     let out_tile = (bm * bn * 8) as u64;
     if out_tile >= budget_bytes {
         return None;
@@ -272,11 +268,7 @@ pub fn cosma_grid(p: i64, mem_limit_bytes: u64) -> (i64, i64, i64, i64) {
             while gy <= rest {
                 if rest % gy == 0 {
                     let gz = rest / gy;
-                    let (bm, bn, bk) = (
-                        1.0 / gx as f64,
-                        1.0 / gy as f64,
-                        1.0 / gz as f64,
-                    );
+                    let (bm, bn, bk) = (1.0 / gx as f64, 1.0 / gy as f64, 1.0 / gz as f64);
                     let mut cost = bm * bk + bk * bn;
                     if gz > 1 {
                         cost += bm * bn;

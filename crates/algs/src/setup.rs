@@ -4,7 +4,7 @@ use crate::higher_order::HigherOrderKernel;
 use crate::matmul::MatmulAlgorithm;
 use distal_core::{CompileError, CompiledKernel, DistalMachine, Session, TensorSpec};
 use distal_machine::spec::{MachineSpec, MemKind, ProcKind};
-use distal_runtime::Mode;
+use distal_runtime::{ExecutorKind, Mode};
 
 /// Configuration shared by the benchmark drivers.
 #[derive(Clone, Debug)]
@@ -17,6 +17,8 @@ pub struct RunConfig {
     pub mem: MemKind,
     /// Execution mode.
     pub mode: Mode,
+    /// How the runtime executes DAG nodes (serial, parallel, or auto).
+    pub executor: ExecutorKind,
 }
 
 impl RunConfig {
@@ -27,6 +29,7 @@ impl RunConfig {
             proc_kind: ProcKind::Cpu,
             mem: MemKind::Sys,
             mode,
+            executor: ExecutorKind::Auto,
         }
     }
 
@@ -37,6 +40,7 @@ impl RunConfig {
             proc_kind: ProcKind::Gpu,
             mem: MemKind::Fb,
             mode,
+            executor: ExecutorKind::Auto,
         }
     }
 
@@ -68,6 +72,7 @@ pub fn matmul_session(
     let grid = alg.grid(p);
     let machine = DistalMachine::flat(grid, config.proc_kind);
     let mut session = Session::new(config.spec.clone(), machine, config.mode);
+    session.set_executor(config.executor);
     let formats = alg.formats(config.mem);
     for (name, format) in ["A", "B", "C"].iter().zip(formats) {
         session.tensor(TensorSpec::new(*name, vec![n, n], format))?;
@@ -101,6 +106,7 @@ pub fn higher_order_session(
     let p = config.processors();
     let machine = DistalMachine::flat(kernel.grid(p), config.proc_kind);
     let mut session = Session::new(config.spec.clone(), machine, config.mode);
+    session.set_executor(config.executor);
     let shapes = kernel.shapes(n);
     let formats = kernel.formats(config.mem);
     for ((name, dims), format) in shapes.iter().zip(formats) {

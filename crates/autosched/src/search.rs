@@ -250,10 +250,22 @@ mod tests {
     #[test]
     fn determinism() {
         let scheduler = AutoScheduler::new(SearchConfig::cpu(MachineSpec::small(2)));
-        let a = scheduler.search("A(i,j) = B(i,k) * C(k,j)", &matmul_dims(64)).unwrap();
-        let b = scheduler.search("A(i,j) = B(i,k) * C(k,j)", &matmul_dims(64)).unwrap();
-        let names_a: Vec<&str> = a.evaluations.iter().map(|e| e.candidate.name.as_str()).collect();
-        let names_b: Vec<&str> = b.evaluations.iter().map(|e| e.candidate.name.as_str()).collect();
+        let a = scheduler
+            .search("A(i,j) = B(i,k) * C(k,j)", &matmul_dims(64))
+            .unwrap();
+        let b = scheduler
+            .search("A(i,j) = B(i,k) * C(k,j)", &matmul_dims(64))
+            .unwrap();
+        let names_a: Vec<&str> = a
+            .evaluations
+            .iter()
+            .map(|e| e.candidate.name.as_str())
+            .collect();
+        let names_b: Vec<&str> = b
+            .evaluations
+            .iter()
+            .map(|e| e.candidate.name.as_str())
+            .collect();
         assert_eq!(names_a, names_b);
     }
 }

@@ -128,9 +128,7 @@ fn balanced(p: i64, d: usize) -> Vec<i64> {
 /// Positional dimension names for a tensor of the given order ("a", "b"...).
 fn dim_names(order: usize) -> Vec<String> {
     (0..order)
-        .map(|i| {
-            char::from(b'a' + i as u8).to_string()
-        })
+        .map(|i| char::from(b'a' + i as u8).to_string())
         .collect()
 }
 
@@ -293,10 +291,7 @@ pub fn enumerate_candidates(
     let free = assignment.free_vars();
     let reductions = assignment.reduction_vars();
     // The reduction variable streamed sequentially: the largest one.
-    let stream = reductions
-        .iter()
-        .max_by_key(|v| extents[*v])
-        .cloned();
+    let stream = reductions.iter().max_by_key(|v| extents[*v]).cloned();
 
     let mut candidates = Vec::new();
 
@@ -371,7 +366,12 @@ fn owner_computes_family(
     options: &SpaceOptions,
 ) -> Vec<Candidate> {
     let grid = Grid::new(gdims.to_vec());
-    let tiled = formats_for(assignment, subset, AbsentPolicy::PartitionSpare, options.mem);
+    let tiled = formats_for(
+        assignment,
+        subset,
+        AbsentPolicy::PartitionSpare,
+        options.mem,
+    );
     let replicated = formats_for(assignment, subset, AbsentPolicy::Broadcast, options.mem);
     let variants: Vec<(&str, &BTreeMap<String, Format>)> = if tiled == replicated {
         vec![("", &tiled)]
@@ -452,9 +452,7 @@ fn owner_computes_family(
                     .communicate(&refs(&input_names), &ro);
                 for (suffix, formats) in &variants {
                     out.push(Candidate {
-                        name: format!(
-                            "owner[{subset_label}] {grid_label} chunk={chunk}{suffix}"
-                        ),
+                        name: format!("owner[{subset_label}] {grid_label} chunk={chunk}{suffix}"),
                         grid: grid.clone(),
                         formats: (*formats).clone(),
                         schedule: schedule.clone(),
@@ -552,7 +550,10 @@ mod tests {
 
     #[test]
     fn helpers() {
-        assert_eq!(subsequences(&[1, 2, 3], 2), vec![vec![1, 2], vec![1, 3], vec![2, 3]]);
+        assert_eq!(
+            subsequences(&[1, 2, 3], 2),
+            vec![vec![1, 2], vec![1, 3], vec![2, 3]]
+        );
         assert_eq!(factorizations(12, 2).len(), 6);
         assert_eq!(balanced(16, 2), vec![4, 4]);
         assert_eq!(balanced(8, 3), vec![2, 2, 2]);
@@ -567,12 +568,18 @@ mod tests {
             enumerate_candidates("A(i,j) = B(i,k) * C(k,j)", &matmul_dims(64), 16, &opts).unwrap();
         let names: Vec<&str> = cands.iter().map(|c| c.name.as_str()).collect();
         // SUMMA's shape: owner-computes over (i, j) on the square grid.
-        assert!(names.iter().any(|n| n.starts_with("owner[i,j] 4x4")), "{names:?}");
+        assert!(
+            names.iter().any(|n| n.starts_with("owner[i,j] 4x4")),
+            "{names:?}"
+        );
         // Cannon's shape.
         assert!(names.contains(&"systolic[i,j] 4x4"), "{names:?}");
         // Johnson's shape needs a cube; at p=16 the balanced 3d grid is
         // non-cubic but still present.
-        assert!(names.iter().any(|n| n.starts_with("reduce3d[i,j,k]")), "{names:?}");
+        assert!(
+            names.iter().any(|n| n.starts_with("reduce3d[i,j,k]")),
+            "{names:?}"
+        );
         assert!(names.contains(&"sequential"));
         // Every candidate name is unique.
         let mut sorted = names.clone();
@@ -593,9 +600,18 @@ mod tests {
         // The classic SUMMA layout of Figure 9: all three matrices tiled
         // (B's and C's reduction dimension covers the machine dim their
         // missing free variable would have).
-        assert_eq!(format!("{}", summa.formats["A"].distributions[0]), "ab ↦ ab");
-        assert_eq!(format!("{}", summa.formats["B"].distributions[0]), "ab ↦ ab");
-        assert_eq!(format!("{}", summa.formats["C"].distributions[0]), "ab ↦ ab");
+        assert_eq!(
+            format!("{}", summa.formats["A"].distributions[0]),
+            "ab ↦ ab"
+        );
+        assert_eq!(
+            format!("{}", summa.formats["B"].distributions[0]),
+            "ab ↦ ab"
+        );
+        assert_eq!(
+            format!("{}", summa.formats["C"].distributions[0]),
+            "ab ↦ ab"
+        );
         // The pre-replicated variant broadcasts the missing dimension.
         let rep = cands
             .iter()
@@ -608,9 +624,18 @@ mod tests {
             .find(|c| c.name.starts_with("reduce3d[i,j,k]"))
             .unwrap();
         // Johnson's face-fixed layout (Figure 9).
-        assert_eq!(format!("{}", johnson.formats["A"].distributions[0]), "ab ↦ ab0");
-        assert_eq!(format!("{}", johnson.formats["B"].distributions[0]), "ab ↦ a0b");
-        assert_eq!(format!("{}", johnson.formats["C"].distributions[0]), "ab ↦ 0ba");
+        assert_eq!(
+            format!("{}", johnson.formats["A"].distributions[0]),
+            "ab ↦ ab0"
+        );
+        assert_eq!(
+            format!("{}", johnson.formats["B"].distributions[0]),
+            "ab ↦ a0b"
+        );
+        assert_eq!(
+            format!("{}", johnson.formats["C"].distributions[0]),
+            "ab ↦ 0ba"
+        );
         let _ = a;
     }
 
@@ -621,8 +646,7 @@ mod tests {
             dims.insert(t.to_string(), vec![32, 32]);
         }
         let opts = SpaceOptions::new(MemKind::Sys);
-        let (_, cands) =
-            enumerate_candidates("A(i,j) = B(i,j) + C(i,j)", &dims, 4, &opts).unwrap();
+        let (_, cands) = enumerate_candidates("A(i,j) = B(i,j) + C(i,j)", &dims, 4, &opts).unwrap();
         // No reduction: no systolic or 3d candidates.
         assert!(cands.iter().all(|c| !c.name.starts_with("systolic")));
         assert!(cands.iter().all(|c| !c.name.starts_with("reduce3d")));

@@ -63,7 +63,13 @@ fn best_matmul_candidate_is_functionally_correct() {
     let dims = matmul_dims(16);
     let result = scheduler.search("A(i,j) = B(i,k) * C(k,j)", &dims).unwrap();
     let best = result.best().expect("feasible candidate");
-    run_functional(&best.candidate, "A(i,j) = B(i,k) * C(k,j)", &dims, ProcKind::Cpu, "A");
+    run_functional(
+        &best.candidate,
+        "A(i,j) = B(i,k) * C(k,j)",
+        &dims,
+        ProcKind::Cpu,
+        "A",
+    );
 }
 
 #[test]
@@ -75,9 +81,19 @@ fn top_candidates_are_all_functionally_correct() {
     let dims = matmul_dims(12);
     let result = scheduler.search("A(i,j) = B(i,k) * C(k,j)", &dims).unwrap();
     let feasible: Vec<_> = result.evaluations.iter().filter(|e| e.feasible()).collect();
-    assert!(feasible.len() >= 4, "want a real space, got {}", feasible.len());
+    assert!(
+        feasible.len() >= 4,
+        "want a real space, got {}",
+        feasible.len()
+    );
     for e in feasible {
-        run_functional(&e.candidate, "A(i,j) = B(i,k) * C(k,j)", &dims, ProcKind::Cpu, "A");
+        run_functional(
+            &e.candidate,
+            "A(i,j) = B(i,k) * C(k,j)",
+            &dims,
+            ProcKind::Cpu,
+            "A",
+        );
     }
 }
 
@@ -90,7 +106,13 @@ fn ttv_best_candidate_is_functionally_correct() {
     dims.insert("c".to_string(), vec![8]);
     let result = scheduler.search("A(i,j) = B(i,j,k) * c(k)", &dims).unwrap();
     let best = result.best().expect("feasible candidate");
-    run_functional(&best.candidate, "A(i,j) = B(i,j,k) * c(k)", &dims, ProcKind::Cpu, "A");
+    run_functional(
+        &best.candidate,
+        "A(i,j) = B(i,j,k) * c(k)",
+        &dims,
+        ProcKind::Cpu,
+        "A",
+    );
 }
 
 #[test]
@@ -154,7 +176,9 @@ fn memory_pressure_rejects_replication_like_figure15b() {
         .map(|e| e.candidate.name.as_str())
         .collect();
     assert!(
-        infeasible.iter().any(|n| n.ends_with("+rep") || n.starts_with("reduce3d")),
+        infeasible
+            .iter()
+            .any(|n| n.ends_with("+rep") || n.starts_with("reduce3d")),
         "expected replication-heavy candidates to OOM, infeasible = {infeasible:?}"
     );
     let best = result.best().expect("a tiled 2D candidate must survive");

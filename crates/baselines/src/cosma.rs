@@ -48,7 +48,11 @@ pub fn gemm(
 
     // GPU out-of-core: tensors live in host memory; compute stages into FB.
     let out_of_core = config.proc_kind == ProcKind::Gpu;
-    let mem = if out_of_core { MemKind::Sys } else { config.mem };
+    let mem = if out_of_core {
+        MemKind::Sys
+    } else {
+        config.mem
+    };
     for (name, format) in ["A", "B", "C"].iter().zip(alg.formats(mem)) {
         session.tensor(TensorSpec::new(*name, vec![n, n], format))?;
     }

@@ -57,8 +57,7 @@ pub fn gemm(config: &RunConfig, n: i64) -> Result<(Session, CompiledKernel), Com
         leaf_efficiency: Some(0.92),
         ..CompileOptions::default()
     };
-    let mut kernel =
-        session.compile_assignment(&assignment, &alg.schedule(p, n, 1), &options)?;
+    let mut kernel = session.compile_assignment(&assignment, &alg.schedule(p, n, 1), &options)?;
     make_bulk_synchronous(&mut kernel.compute);
     Ok((session, kernel))
 }
@@ -240,7 +239,12 @@ fn reshape_program(
         let mut dst_req = RegionReq::new(dst_b.region, tile.clone(), Privilege::Write, mem);
         dst_req.pin = true;
         let src_req = RegionReq::new(src_b.region, src_rect.clone(), Privilege::Read, mem);
-        let mut task = TaskDesc::new(kernel, mapper.proc_for_rank(rank), point.clone(), vec![dst_req, src_req]);
+        let mut task = TaskDesc::new(
+            kernel,
+            mapper.proc_for_rank(rank),
+            point.clone(),
+            vec![dst_req, src_req],
+        );
         task.bytes = (tile.volume() + src_rect.volume()) as f64 * 8.0;
         tasks.push(task);
     }
@@ -266,7 +270,11 @@ fn reshape_program(
 /// # Errors
 ///
 /// Propagates compile errors from any phase.
-pub fn higher_order(kernel: HigherOrderKernel, config: &RunConfig, n: i64) -> Result<PhasedRun, CompileError> {
+pub fn higher_order(
+    kernel: HigherOrderKernel,
+    config: &RunConfig,
+    n: i64,
+) -> Result<PhasedRun, CompileError> {
     let p = config.processors();
     // User tensors start in the same at-rest distributions DISTAL uses
     // (§7.2: inputs distributed to match the chosen schedule).
@@ -319,17 +327,16 @@ pub fn higher_order(kernel: HigherOrderKernel, config: &RunConfig, n: i64) -> Re
     // Data starts at rest in the user's distributions (untimed, as the
     // paper's timers exclude input staging); every reshape below then pays
     // real redistribution traffic from those homes.
-    let placement_names: Vec<(&str, bool)> =
-        shapes.iter().skip(1).map(|(name, _)| (*name, true)).collect();
-    phases.push(Phase::Untimed(session.placement_program(
-        &placement_names,
-        &user_machine,
-    )?));
+    let placement_names: Vec<(&str, bool)> = shapes
+        .iter()
+        .skip(1)
+        .map(|(name, _)| (*name, true))
+        .collect();
+    phases.push(Phase::Untimed(
+        session.placement_program(&placement_names, &user_machine)?,
+    ));
     let register = |session: &mut Session, name: &str, dims: Vec<i64>, internal: &DistalMachine| {
-        session.tensor_for_machine(
-            TensorSpec::new(name, dims, tiled.clone()),
-            internal,
-        )
+        session.tensor_for_machine(TensorSpec::new(name, dims, tiled.clone()), internal)
     };
 
     match kernel {
@@ -339,8 +346,19 @@ pub fn higher_order(kernel: HigherOrderKernel, config: &RunConfig, n: i64) -> Re
             register(&mut session, "Am", vec![m_rows, n_cols], &internal)?;
             phases.push(Phase::Raw(reshape_program(&session, "B", "Bm", &internal)?));
             phases.push(Phase::Raw(reshape_program(&session, "c", "Cm", &internal)?));
-            phases.push(Phase::Kernel(internal_matmul(&session, &internal, &g2, ("Am", "Bm", "Cm"), k_contr)?));
-            phases.push(Phase::Raw(reshape_program(&session, "Am", "A", &user_machine)?));
+            phases.push(Phase::Kernel(internal_matmul(
+                &session,
+                &internal,
+                &g2,
+                ("Am", "Bm", "Cm"),
+                k_contr,
+            )?));
+            phases.push(Phase::Raw(reshape_program(
+                &session,
+                "Am",
+                "A",
+                &user_machine,
+            )?));
         }
         HigherOrderKernel::Innerprod => {
             // Folded vectors, distributed by rows (aligned with the user
@@ -350,15 +368,17 @@ pub fn higher_order(kernel: HigherOrderKernel, config: &RunConfig, n: i64) -> Re
                 TensorSpec::new("Bm", vec![k_contr], vec_fmt.clone()),
                 &internal,
             )?;
-            session.tensor_for_machine(
-                TensorSpec::new("Cm", vec![k_contr], vec_fmt),
-                &internal,
-            )?;
+            session.tensor_for_machine(TensorSpec::new("Cm", vec![k_contr], vec_fmt), &internal)?;
             session.tensor_for_machine(TensorSpec::scalar("am"), &internal)?;
             phases.push(Phase::Raw(reshape_program(&session, "B", "Bm", &internal)?));
             phases.push(Phase::Raw(reshape_program(&session, "C", "Cm", &internal)?));
             phases.push(Phase::Kernel(internal_dot(&session, &internal, p)?));
-            phases.push(Phase::Raw(reshape_program(&session, "am", "a", &user_machine)?));
+            phases.push(Phase::Raw(reshape_program(
+                &session,
+                "am",
+                "a",
+                &user_machine,
+            )?));
         }
         HigherOrderKernel::Ttm => {
             register(&mut session, "Bm", vec![m_rows, k_contr], &internal)?;
@@ -366,8 +386,19 @@ pub fn higher_order(kernel: HigherOrderKernel, config: &RunConfig, n: i64) -> Re
             register(&mut session, "Am", vec![m_rows, n_cols], &internal)?;
             phases.push(Phase::Raw(reshape_program(&session, "B", "Bm", &internal)?));
             phases.push(Phase::Raw(reshape_program(&session, "C", "Cm", &internal)?));
-            phases.push(Phase::Kernel(internal_matmul(&session, &internal, &g2, ("Am", "Bm", "Cm"), k_contr)?));
-            phases.push(Phase::Raw(reshape_program(&session, "Am", "A", &user_machine)?));
+            phases.push(Phase::Kernel(internal_matmul(
+                &session,
+                &internal,
+                &g2,
+                ("Am", "Bm", "Cm"),
+                k_contr,
+            )?));
+            phases.push(Phase::Raw(reshape_program(
+                &session,
+                "Am",
+                "A",
+                &user_machine,
+            )?));
         }
         HigherOrderKernel::Mttkrp => {
             // Bm (n x n²) 2D-tiled; Km k-sliced along the grid's second
@@ -393,9 +424,17 @@ pub fn higher_order(kernel: HigherOrderKernel, config: &RunConfig, n: i64) -> Re
             phases.push(Phase::Raw(reshape_program(&session, "B", "Bm", &internal)?));
             phases.push(Phase::Raw(krp_program(&session, n, &internal)?));
             phases.push(Phase::Kernel(internal_kdist_matmul(
-                &session, &internal, &g2, ("Am", "Bm", "Km"),
+                &session,
+                &internal,
+                &g2,
+                ("Am", "Bm", "Km"),
             )?));
-            phases.push(Phase::Raw(reshape_program(&session, "Am", "A", &user_machine)?));
+            phases.push(Phase::Raw(reshape_program(
+                &session,
+                "Am",
+                "A",
+                &user_machine,
+            )?));
         }
     }
 
@@ -495,10 +534,23 @@ fn internal_matmul(
 }
 
 /// Builds `Km(s, l) = C(s/n, l) * D(s%n, l)` tiles on the internal grid.
-fn krp_program(session: &Session, n: i64, internal: &DistalMachine) -> Result<Program, CompileError> {
-    let km = session.binding("Km").ok_or_else(|| CompileError::UnknownTensor("Km".into()))?.clone();
-    let c = session.binding("C").ok_or_else(|| CompileError::UnknownTensor("C".into()))?.clone();
-    let d = session.binding("D").ok_or_else(|| CompileError::UnknownTensor("D".into()))?.clone();
+fn krp_program(
+    session: &Session,
+    n: i64,
+    internal: &DistalMachine,
+) -> Result<Program, CompileError> {
+    let km = session
+        .binding("Km")
+        .ok_or_else(|| CompileError::UnknownTensor("Km".into()))?
+        .clone();
+    let c = session
+        .binding("C")
+        .ok_or_else(|| CompileError::UnknownTensor("C".into()))?
+        .clone();
+    let d = session
+        .binding("D")
+        .ok_or_else(|| CompileError::UnknownTensor("D".into()))?
+        .clone();
     let mapper = GridMapper::new(internal, session.runtime().machine())?;
     let mut program = Program::new();
     let kernel = program.register_kernel(std::sync::Arc::new(KrpKernel { n }));
@@ -553,11 +605,20 @@ mod tests {
     #[test]
     fn fold_group_inference() {
         // (i, j, k) -> (i*j, k)
-        assert_eq!(fold_groups(&[4, 4, 4], &[16, 4]), Some(vec![vec![0, 1], vec![2]]));
+        assert_eq!(
+            fold_groups(&[4, 4, 4], &[16, 4]),
+            Some(vec![vec![0, 1], vec![2]])
+        );
         // (i, j, k) -> (i, j*k)
-        assert_eq!(fold_groups(&[4, 4, 4], &[4, 16]), Some(vec![vec![0], vec![1, 2]]));
+        assert_eq!(
+            fold_groups(&[4, 4, 4], &[4, 16]),
+            Some(vec![vec![0], vec![1, 2]])
+        );
         // (i, j, k) -> (1, i*j*k): the synthetic row dim consumes nothing.
-        assert_eq!(fold_groups(&[4, 4, 4], &[1, 64]), Some(vec![vec![], vec![0, 1, 2]]));
+        assert_eq!(
+            fold_groups(&[4, 4, 4], &[1, 64]),
+            Some(vec![vec![], vec![0, 1, 2]])
+        );
         // Non-grouping shapes are rejected.
         assert_eq!(fold_groups(&[4, 4], &[8, 2]), None);
     }

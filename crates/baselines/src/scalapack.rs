@@ -18,7 +18,11 @@ use distal_runtime::Mode;
 /// # Errors
 ///
 /// Propagates compile errors.
-pub fn gemm(config: &RunConfig, n: i64, chunk: i64) -> Result<(Session, CompiledKernel), CompileError> {
+pub fn gemm(
+    config: &RunConfig,
+    n: i64,
+    chunk: i64,
+) -> Result<(Session, CompiledKernel), CompileError> {
     let p = config.processors();
     let alg = MatmulAlgorithm::Summa;
     let machine = DistalMachine::flat(alg.grid(p), config.proc_kind);

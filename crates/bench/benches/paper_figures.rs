@@ -69,12 +69,7 @@ fn bench_fig16(c: &mut Criterion) {
         });
     }
     group.finish();
-    let fig = fig16::figure16(
-        HigherOrderKernel::Ttv,
-        fig16::Panel::Cpu,
-        4,
-        256,
-    );
+    let fig = fig16::figure16(HigherOrderKernel::Ttv, fig16::Panel::Cpu, 4, 256);
     println!("{}", fig.to_table());
 }
 

@@ -245,7 +245,10 @@ mod tests {
         );
         // Volumes agree up to the initial shift (which tiles start local
         // differs between the rotated and unrotated iteration orders).
-        let (a, b) = (rows[0].inter_node_bytes as f64, rows[1].inter_node_bytes as f64);
+        let (a, b) = (
+            rows[0].inter_node_bytes as f64,
+            rows[1].inter_node_bytes as f64,
+        );
         assert!((a - b).abs() / b < 0.10, "{a} vs {b}");
     }
 

@@ -9,13 +9,43 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let nodes: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
     let n: i64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(40000);
-    print!("{}", ablations::render("rotate (systolic vs broadcast)", &ablations::ablate_rotate(nodes, n)));
+    print!(
+        "{}",
+        ablations::render(
+            "rotate (systolic vs broadcast)",
+            &ablations::ablate_rotate(nodes, n)
+        )
+    );
     println!();
-    print!("{}", ablations::render("communicate granularity", &ablations::ablate_communicate_granularity(nodes, n)));
+    print!(
+        "{}",
+        ablations::render(
+            "communicate granularity",
+            &ablations::ablate_communicate_granularity(nodes, n)
+        )
+    );
     println!();
-    print!("{}", ablations::render("overlap vs bulk-synchronous", &ablations::ablate_overlap(nodes, n)));
+    print!(
+        "{}",
+        ablations::render(
+            "overlap vs bulk-synchronous",
+            &ablations::ablate_overlap(nodes, n)
+        )
+    );
     println!();
-    print!("{}", ablations::render("data layout (tiled vs cyclic inputs)", &ablations::ablate_data_layout(nodes, n.min(16384))));
+    print!(
+        "{}",
+        ablations::render(
+            "data layout (tiled vs cyclic inputs)",
+            &ablations::ablate_data_layout(nodes, n.min(16384))
+        )
+    );
     println!();
-    print!("{}", ablations::render("auto-scheduling vs hand schedules", &ablations::ablate_autoschedule(nodes, n.min(16384))));
+    print!(
+        "{}",
+        ablations::render(
+            "auto-scheduling vs hand schedules",
+            &ablations::ablate_autoschedule(nodes, n.min(16384))
+        )
+    );
 }

@@ -34,7 +34,10 @@ fn main() {
         }
     }
 
-    println!("==== Headline speedups (at {} nodes) ====", 64.min(max_nodes));
+    println!(
+        "==== Headline speedups (at {} nodes) ====",
+        64.min(max_nodes)
+    );
     print!(
         "{}",
         headline::render(&headline::headlines(64.min(max_nodes), 8192, 1024))

@@ -1,0 +1,166 @@
+//! Serial-vs-parallel executor benchmark: host wall-clock time of
+//! functional-mode matmul runs under both executors.
+//!
+//! The paper's performance story rests on the runtime overlapping
+//! communication and computation (§6). In this reproduction the simulated
+//! timing already models that overlap; this harness measures the *host*
+//! side — how much faster the functional numerics complete when the
+//! work-stealing [`ParallelExecutor`] runs DAG-ready leaf kernels and
+//! copies on all cores, against the [`SerialExecutor`] baseline. Parity of
+//! results is asserted on every row (bit-identical output, equal stats).
+
+use distal_algs::matmul::MatmulAlgorithm;
+use distal_algs::setup::{matmul_session, RunConfig};
+use distal_machine::spec::MachineSpec;
+use distal_runtime::{ExecutorKind, Mode, ParallelExecutor, RunStats};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One serial-vs-parallel comparison.
+#[derive(Clone, Debug)]
+pub struct ExecBenchRow {
+    /// Algorithm name (Figure 9 naming).
+    pub algorithm: String,
+    /// Matrix side length.
+    pub n: i64,
+    /// Simulated node count.
+    pub nodes: usize,
+    /// Wall-clock seconds of the compute program under the serial executor.
+    pub serial_s: f64,
+    /// Wall-clock seconds under the parallel executor.
+    pub parallel_s: f64,
+    /// `serial_s / parallel_s`.
+    pub speedup: f64,
+    /// Whether both executors produced bit-identical outputs and stats.
+    pub verified: bool,
+}
+
+fn timed_run(
+    alg: MatmulAlgorithm,
+    kind: ExecutorKind,
+    nodes: usize,
+    n: i64,
+) -> (f64, Vec<f64>, RunStats) {
+    let mut config = RunConfig::cpu(nodes, Mode::Functional);
+    config.spec = MachineSpec::small(nodes);
+    config.executor = kind;
+    let (mut session, kernel) =
+        matmul_session(alg, &config, n, (n / 4).max(1)).expect("bench session");
+    session.place(&kernel).expect("placement");
+    let t0 = Instant::now();
+    let stats = session.execute(&kernel).expect("compute");
+    let elapsed = t0.elapsed().as_secs_f64();
+    (elapsed, session.read("A").expect("output"), stats)
+}
+
+/// Benchmarks one algorithm at one size, verifying executor parity.
+pub fn bench_one(alg: MatmulAlgorithm, nodes: usize, n: i64) -> ExecBenchRow {
+    let (serial_s, serial_a, serial_stats) = timed_run(alg, ExecutorKind::Serial, nodes, n);
+    let (parallel_s, parallel_a, parallel_stats) = timed_run(alg, ExecutorKind::Parallel, nodes, n);
+    let verified = serial_stats == parallel_stats
+        && serial_a.len() == parallel_a.len()
+        && serial_a
+            .iter()
+            .zip(&parallel_a)
+            .all(|(s, p)| s.to_bits() == p.to_bits());
+    ExecBenchRow {
+        algorithm: alg.name(),
+        n,
+        nodes,
+        serial_s,
+        parallel_s,
+        speedup: serial_s / parallel_s.max(1e-12),
+        verified,
+    }
+}
+
+/// The default sweep: SUMMA and Cannon at a few sizes on 4 simulated nodes.
+pub fn exec_bench(sizes: &[i64]) -> Vec<ExecBenchRow> {
+    let nodes = 4;
+    let mut rows = Vec::new();
+    for alg in [MatmulAlgorithm::Summa, MatmulAlgorithm::Cannon] {
+        for &n in sizes {
+            rows.push(bench_one(alg, nodes, n));
+        }
+    }
+    rows
+}
+
+/// Renders the comparison as a table.
+pub fn render(rows: &[ExecBenchRow]) -> String {
+    let workers = ParallelExecutor::new(0).worker_count();
+    let mut out = String::new();
+    let _ = writeln!(out, "parallel executor workers: {workers}");
+    let _ = writeln!(
+        out,
+        "{:<16} {:>6} {:>6} {:>12} {:>12} {:>9} {:>9}",
+        "algorithm", "n", "nodes", "serial s", "parallel s", "speedup", "parity"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>6} {:>6} {:>12.4} {:>12.4} {:>8.2}x {:>9}",
+            r.algorithm,
+            r.n,
+            r.nodes,
+            r.serial_s,
+            r.parallel_s,
+            r.speedup,
+            if r.verified { "ok" } else { "MISMATCH" }
+        );
+    }
+    out
+}
+
+/// Serializes the rows as JSON (hand-rolled; no serde in the workspace).
+pub fn to_json(rows: &[ExecBenchRow]) -> String {
+    let workers = ParallelExecutor::new(0).worker_count();
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(out, "  \"workers\": {workers},");
+    let _ = writeln!(out, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"algorithm\": \"{}\", \"n\": {}, \"nodes\": {}, \"serial_s\": {:.6}, \"parallel_s\": {:.6}, \"speedup\": {:.4}, \"verified\": {}}}{comma}",
+            r.algorithm, r.n, r.nodes, r.serial_s, r.parallel_s, r.speedup, r.verified
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_rows_verify_parity() {
+        let row = bench_one(MatmulAlgorithm::Summa, 2, 32);
+        assert!(row.verified, "executor parity violated in bench run");
+        assert!(row.serial_s > 0.0 && row.parallel_s > 0.0);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let rows = vec![ExecBenchRow {
+            algorithm: "SUMMA".into(),
+            n: 64,
+            nodes: 4,
+            serial_s: 0.5,
+            parallel_s: 0.25,
+            speedup: 2.0,
+            verified: true,
+        }];
+        let j = to_json(&rows);
+        assert!(j.contains("\"algorithm\": \"SUMMA\""));
+        assert!(j.trim_start().starts_with('{') && j.trim_end().ends_with('}'));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

@@ -39,15 +39,13 @@ fn config_for(panel: Panel, nodes: usize) -> RunConfig {
 
 /// Measures one DISTAL algorithm at one node count; `Err(Oom)` becomes an
 /// OOM sample, mirroring the truncated lines of Figure 15b.
-fn run_distal(
-    alg: MatmulAlgorithm,
-    config: &RunConfig,
-    n: i64,
-) -> Result<SamplePoint, String> {
+fn run_distal(alg: MatmulAlgorithm, config: &RunConfig, n: i64) -> Result<SamplePoint, String> {
     let chunk = (n / 16).max(256).min(n);
-    let (mut session, kernel) =
-        matmul_session(alg, config, n, chunk).map_err(|e| e.to_string())?;
-    match session.place(&kernel).and_then(|_| session.execute(&kernel)) {
+    let (mut session, kernel) = matmul_session(alg, config, n, chunk).map_err(|e| e.to_string())?;
+    match session
+        .place(&kernel)
+        .and_then(|_| session.execute(&kernel))
+    {
         Ok(stats) => Ok(SamplePoint::Value(stats.gflops_per_node(config.spec.nodes))),
         Err(RuntimeError::OutOfMemory { .. }) => Ok(SamplePoint::Oom),
         Err(e) => Err(e.to_string()),
@@ -99,12 +97,10 @@ pub fn figure15(panel: Panel, max_nodes: usize, base_n: i64) -> FigureData {
             // COSMA.
             let sample = cosma::gemm(&config, n, false)
                 .map_err(|e| e.to_string())
-                .and_then(|(mut s, k)| {
-                    match s.place(&k).and_then(|_| s.execute(&k)) {
-                        Ok(stats) => Ok(SamplePoint::Value(stats.gflops_per_node(nodes))),
-                        Err(RuntimeError::OutOfMemory { .. }) => Ok(SamplePoint::Oom),
-                        Err(e) => Err(e.to_string()),
-                    }
+                .and_then(|(mut s, k)| match s.place(&k).and_then(|_| s.execute(&k)) {
+                    Ok(stats) => Ok(SamplePoint::Value(stats.gflops_per_node(nodes))),
+                    Err(RuntimeError::OutOfMemory { .. }) => Ok(SamplePoint::Oom),
+                    Err(e) => Err(e.to_string()),
                 })
                 .expect("COSMA run failed");
             cosma_s.push(nodes, sample);
@@ -203,8 +199,15 @@ mod tests {
         let cosma = fig.series("COSMA").unwrap().at(1).unwrap();
         assert!(cosma > ours);
         // ...but the restricted variant matches DISTAL within a few percent.
-        let restricted = fig.series("COSMA (Restricted CPUs)").unwrap().at(1).unwrap();
-        assert!((restricted - ours).abs() / ours < 0.10, "{restricted} vs {ours}");
+        let restricted = fig
+            .series("COSMA (Restricted CPUs)")
+            .unwrap()
+            .at(1)
+            .unwrap();
+        assert!(
+            (restricted - ours).abs() / ours < 0.10,
+            "{restricted} vs {ours}"
+        );
     }
 
     #[test]

@@ -39,7 +39,12 @@ fn config_for(panel: Panel, nodes: usize) -> RunConfig {
     }
 }
 
-fn metric(kernel: HigherOrderKernel, stats: &distal_runtime::RunStats, n: i64, nodes: usize) -> f64 {
+fn metric(
+    kernel: HigherOrderKernel,
+    stats: &distal_runtime::RunStats,
+    n: i64,
+    nodes: usize,
+) -> f64 {
     if kernel.bandwidth_bound() {
         stats.gbs_per_node(kernel.logical_bytes(n), nodes)
     } else {
@@ -52,9 +57,18 @@ fn metric(kernel: HigherOrderKernel, stats: &distal_runtime::RunStats, n: i64, n
 /// # Panics
 ///
 /// Panics on non-OOM failures (bugs, not measurements).
-pub fn figure16(kernel: HigherOrderKernel, panel: Panel, max_nodes: usize, base_n: i64) -> FigureData {
+pub fn figure16(
+    kernel: HigherOrderKernel,
+    panel: Panel,
+    max_nodes: usize,
+    base_n: i64,
+) -> FigureData {
     let nodes_list = paper_node_counts(max_nodes);
-    let unit = if kernel.bandwidth_bound() { "GB/s" } else { "GFLOP/s" };
+    let unit = if kernel.bandwidth_bound() {
+        "GB/s"
+    } else {
+        "GFLOP/s"
+    };
     let mut fig = FigureData::new(
         format!("Figure 16 ({}, {:?}): weak scaling", kernel.name(), panel),
         unit,
@@ -67,7 +81,10 @@ pub fn figure16(kernel: HigherOrderKernel, panel: Panel, max_nodes: usize, base_
         let n = weak_scale_3d(base_n, nodes);
         let sample = match higher_order_session(kernel, &config, n) {
             Ok((mut session, compiled)) => {
-                match session.place(&compiled).and_then(|_| session.execute(&compiled)) {
+                match session
+                    .place(&compiled)
+                    .and_then(|_| session.execute(&compiled))
+                {
                     Ok(stats) => SamplePoint::Value(metric(kernel, &stats, n, nodes)),
                     Err(RuntimeError::OutOfMemory { .. }) => SamplePoint::Oom,
                     Err(e) => panic!("ours {kernel:?} @{nodes}: {e}"),

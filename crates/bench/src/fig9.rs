@@ -51,8 +51,7 @@ pub fn profile(alg: MatmulAlgorithm, nodes: usize, n: i64) -> CommProfile {
         },
         other => other,
     };
-    let (mut session, kernel) =
-        matmul_session(alg, &config, n, (n / 8).max(1)).expect("compile");
+    let (mut session, kernel) = matmul_session(alg, &config, n, (n / 8).max(1)).expect("compile");
     session.runtime_mut().record_copies(true);
     session.place(&kernel).expect("place");
     let stats = session.execute(&kernel).expect("execute");

@@ -79,7 +79,11 @@ pub fn headlines(max_nodes: usize, gemm_base_n: i64, tensor_base_n: i64) -> Vec<
 /// Renders the headline table.
 pub fn render(rows: &[Headline]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<34} {:>10} {:>16}", "comparison", "measured", "paper");
+    let _ = writeln!(
+        out,
+        "{:<34} {:>10} {:>16}",
+        "comparison", "measured", "paper"
+    );
     for r in rows {
         let _ = writeln!(out, "{:<34} {:>9.2}x {:>16}", r.label, r.speedup, r.paper);
     }

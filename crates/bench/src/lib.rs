@@ -15,11 +15,14 @@
 //!   granularity, overlap vs bulk-synchronous execution;
 //! * [`series`] — sweep infrastructure and table rendering.
 //!
-//! Binaries: `fig9`, `fig15a`, `fig15b`, `fig16`, `headline`, `all`.
+//! Binaries: `fig9`, `fig15a`, `fig15b`, `fig16`, `headline`, `all`, and
+//! `exec` (serial-vs-parallel executor wall-clock; writes
+//! `BENCH_exec.json`).
 //! Criterion benches (`benches/paper_figures.rs`) run reduced-scale
 //! versions of the same harnesses.
 
 pub mod ablations;
+pub mod exec;
 pub mod fig15;
 pub mod fig16;
 pub mod fig9;

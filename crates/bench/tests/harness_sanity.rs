@@ -68,8 +68,14 @@ fn figure15a_cpu_shape_holds_at_small_scale() {
         let scalapack = at("SCALAPACK", nodes);
         let ctf = at("CTF", nodes);
         assert!(ours > 0.0 && cosma > 0.0);
-        assert!(ours >= 0.8 * cosma, "nodes={nodes}: ours={ours} cosma={cosma}");
-        assert!(scalapack <= ours, "nodes={nodes}: scalapack={scalapack} ours={ours}");
+        assert!(
+            ours >= 0.8 * cosma,
+            "nodes={nodes}: ours={ours} cosma={cosma}"
+        );
+        assert!(
+            scalapack <= ours,
+            "nodes={nodes}: scalapack={scalapack} ours={ours}"
+        );
         assert!(ctf <= 1.05 * ours, "nodes={nodes}: ctf={ctf} ours={ours}");
     }
     // The peak-utilization line bounds everything.
@@ -133,7 +139,10 @@ fn figure9_profiles_render_and_classify() {
     let summa = profiles.iter().find(|p| p.name.contains("SUMMA")).unwrap();
     assert!(cannon.max_fanout <= summa.max_fanout);
     // Johnson's is the only family folding distributed reductions here.
-    let johnson = profiles.iter().find(|p| p.name.contains("Johnson")).unwrap();
+    let johnson = profiles
+        .iter()
+        .find(|p| p.name.contains("Johnson"))
+        .unwrap();
     assert!(johnson.reductions > 0);
     assert_eq!(cannon.reductions, 0);
 }

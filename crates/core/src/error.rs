@@ -40,7 +40,10 @@ impl fmt::Display for CompileError {
                 write!(f, "tensor dimensions imply conflicting index extents")
             }
             CompileError::Schedule(e) => write!(f, "schedule error: {e}"),
-            CompileError::GridTooLarge { required, available } => write!(
+            CompileError::GridTooLarge {
+                required,
+                available,
+            } => write!(
                 f,
                 "launch domain needs {required} processors but only {available} are available"
             ),

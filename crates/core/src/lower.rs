@@ -166,7 +166,10 @@ pub fn compile(
             cut = cut.max(pos + 1);
         }
     }
-    let seq_loops: Vec<IndexVar> = cin.loops[n_dist..cut].iter().map(|l| l.var.clone()).collect();
+    let seq_loops: Vec<IndexVar> = cin.loops[n_dist..cut]
+        .iter()
+        .map(|l| l.var.clone())
+        .collect();
     let seq_extents: Vec<i64> = seq_loops.iter().map(|v| cin.solver.extent(v)).collect();
 
     // Output privilege.
@@ -196,11 +199,10 @@ pub fn compile(
         .fill_output
         .unwrap_or(leaf_reduces && out_priv != Privilege::Write);
 
-    let efficiency = options.leaf_efficiency.unwrap_or(if is_matmul(assignment) {
-        0.95
-    } else {
-        0.85
-    });
+    let efficiency =
+        options
+            .leaf_efficiency
+            .unwrap_or(if is_matmul(assignment) { 0.95 } else { 0.85 });
     let streaming = is_streaming(assignment);
 
     // Tensors discarded per sequential iteration: those communicated at a
@@ -234,9 +236,9 @@ pub fn compile(
             }
             Arc::new(crate::kernels::GemmKernel)
         }
-        Some((_, crate::schedule::LeafKind::Interpreter)) => Arc::new(
-            crate::kernels::InterpreterKernel::new(assignment.clone()),
-        ),
+        Some((_, crate::schedule::LeafKind::Interpreter)) => {
+            Arc::new(crate::kernels::InterpreterKernel::new(assignment.clone()))
+        }
         Some((_, crate::schedule::LeafKind::Auto)) | None => Arc::from(leaf_kernel_for(assignment)),
     };
     let leaf = compute.register_kernel(leaf_kernel);
@@ -395,9 +397,16 @@ pub fn compile(
         }
         // Output-only tensors are placed with Write (no data to move);
         // inputs (and increment outputs) are pulled with pinned reads.
-        let is_input = assignment.input_accesses().iter().any(|a| &a.tensor == name)
+        let is_input = assignment
+            .input_accesses()
+            .iter()
+            .any(|a| &a.tensor == name)
             || (name == &assignment.lhs.tensor && assignment.increment);
-        let privilege = if is_input { Privilege::Read } else { Privilege::Write };
+        let privilege = if is_input {
+            Privilege::Read
+        } else {
+            Privilege::Write
+        };
         let tasks = placement_tasks(place, b, machine, &mapper, privilege, true);
         if !tasks.is_empty() {
             placement.push(Op::IndexLaunch(IndexLaunch {
@@ -459,7 +468,11 @@ pub fn placement_program(
         if !b.format.is_distributed() {
             continue;
         }
-        let privilege = if *is_input { Privilege::Read } else { Privilege::Write };
+        let privilege = if *is_input {
+            Privilege::Read
+        } else {
+            Privilege::Write
+        };
         let tasks = placement_tasks(kernel, b, machine, &mapper, privilege, true);
         if !tasks.is_empty() {
             program.push(Op::IndexLaunch(IndexLaunch {
@@ -596,7 +609,10 @@ mod tests {
             &CompileOptions::default(),
         )
         .unwrap_err();
-        assert!(matches!(err, CompileError::GridTooLarge { required: 64, .. }));
+        assert!(matches!(
+            err,
+            CompileError::GridTooLarge { required: 64, .. }
+        ));
     }
 
     #[test]

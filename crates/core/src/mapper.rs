@@ -139,7 +139,10 @@ mod tests {
         let m = DistalMachine::flat(Grid::grid2(4, 4), ProcKind::Gpu);
         assert!(matches!(
             GridMapper::new(&m, &phys),
-            Err(CompileError::GridTooLarge { required: 16, available: 4 })
+            Err(CompileError::GridTooLarge {
+                required: 16,
+                available: 4
+            })
         ));
     }
 

@@ -26,7 +26,9 @@ pub fn evaluate(
 
     // Validate input sizes.
     for acc in assignment.input_accesses() {
-        let d = dims.get(&acc.tensor).ok_or(format!("missing dims for {}", acc.tensor))?;
+        let d = dims
+            .get(&acc.tensor)
+            .ok_or(format!("missing dims for {}", acc.tensor))?;
         let expect: i64 = d.iter().product();
         let data = inputs
             .get(&acc.tensor)
@@ -147,7 +149,10 @@ mod tests {
     use distal_ir::expr::kernels;
 
     fn dims_of(pairs: &[(&str, &[i64])]) -> BTreeMap<String, Vec<i64>> {
-        pairs.iter().map(|(n, d)| (n.to_string(), d.to_vec())).collect()
+        pairs
+            .iter()
+            .map(|(n, d)| (n.to_string(), d.to_vec()))
+            .collect()
     }
 
     #[test]
@@ -209,6 +214,8 @@ mod tests {
         let mut inputs = BTreeMap::new();
         inputs.insert("B".into(), vec![1.0; 3]);
         let a = distal_ir::expr::Assignment::parse("A(i) = B(i)").unwrap();
-        assert!(evaluate(&a, &dims, &inputs).unwrap_err().contains("elements"));
+        assert!(evaluate(&a, &dims, &inputs)
+            .unwrap_err()
+            .contains("elements"));
     }
 }

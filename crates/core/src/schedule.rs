@@ -167,16 +167,18 @@ impl Schedule {
     /// Appends `reorder`.
     #[must_use]
     pub fn reorder(mut self, order: &[&str]) -> Self {
-        self.cmds
-            .push(SchedCmd::Reorder(order.iter().map(|s| s.to_string()).collect()));
+        self.cmds.push(SchedCmd::Reorder(
+            order.iter().map(|s| s.to_string()).collect(),
+        ));
         self
     }
 
     /// Appends `distribute`.
     #[must_use]
     pub fn distribute(mut self, vars: &[&str]) -> Self {
-        self.cmds
-            .push(SchedCmd::Distribute(vars.iter().map(|s| s.to_string()).collect()));
+        self.cmds.push(SchedCmd::Distribute(
+            vars.iter().map(|s| s.to_string()).collect(),
+        ));
         self
     }
 
@@ -264,11 +266,31 @@ impl Schedule {
     pub fn apply(&self, cin: &mut ConcreteNotation) -> Result<(), ScheduleError> {
         for cmd in &self.cmds {
             match cmd {
-                SchedCmd::Divide { var, outer, inner, parts } => {
-                    cin.divide(&IndexVar::new(var), IndexVar::new(outer), IndexVar::new(inner), *parts)?;
+                SchedCmd::Divide {
+                    var,
+                    outer,
+                    inner,
+                    parts,
+                } => {
+                    cin.divide(
+                        &IndexVar::new(var),
+                        IndexVar::new(outer),
+                        IndexVar::new(inner),
+                        *parts,
+                    )?;
                 }
-                SchedCmd::Split { var, outer, inner, chunk } => {
-                    cin.split(&IndexVar::new(var), IndexVar::new(outer), IndexVar::new(inner), *chunk)?;
+                SchedCmd::Split {
+                    var,
+                    outer,
+                    inner,
+                    chunk,
+                } => {
+                    cin.split(
+                        &IndexVar::new(var),
+                        IndexVar::new(outer),
+                        IndexVar::new(inner),
+                        *chunk,
+                    )?;
                 }
                 SchedCmd::Reorder(order) => {
                     cin.reorder(&ivs_owned(order))?;
@@ -276,7 +298,12 @@ impl Schedule {
                 SchedCmd::Distribute(vars) => {
                     cin.distribute(&ivs_owned(vars))?;
                 }
-                SchedCmd::DistributeOnto { targets, dist, local, dims } => {
+                SchedCmd::DistributeOnto {
+                    targets,
+                    dist,
+                    local,
+                    dims,
+                } => {
                     cin.distribute_onto(
                         &ivs_owned(targets),
                         &ivs_owned(dist),
@@ -288,8 +315,16 @@ impl Schedule {
                     let names: Vec<&str> = tensors.iter().map(String::as_str).collect();
                     cin.communicate(&names, &IndexVar::new(var))?;
                 }
-                SchedCmd::Rotate { target, over, result } => {
-                    cin.rotate(&IndexVar::new(target), &ivs_owned(over), IndexVar::new(result))?;
+                SchedCmd::Rotate {
+                    target,
+                    over,
+                    result,
+                } => {
+                    cin.rotate(
+                        &IndexVar::new(target),
+                        &ivs_owned(over),
+                        IndexVar::new(result),
+                    )?;
                 }
                 SchedCmd::Parallelize(var) => {
                     cin.parallelize(&IndexVar::new(var))?;

@@ -10,6 +10,7 @@ use distal_ir::expr::Assignment;
 use distal_machine::geom::Rect;
 use distal_machine::spec::MachineSpec;
 use distal_runtime::exec::{Mode, Runtime, RuntimeError};
+use distal_runtime::executor::ExecutorKind;
 use distal_runtime::stats::RunStats;
 use distal_runtime::topology::PhysicalMachine;
 use std::collections::BTreeMap;
@@ -76,6 +77,20 @@ impl Session {
     /// The abstract machine.
     pub fn machine(&self) -> &DistalMachine {
         &self.machine
+    }
+
+    /// Selects how [`Session::execute`] (and [`Session::place`]/
+    /// [`Session::run`]) execute DAG nodes: serially, in parallel on the
+    /// host's cores, or — the default — parallel in functional mode and
+    /// serial in model mode.
+    pub fn set_executor(&mut self, kind: ExecutorKind) -> &mut Self {
+        self.runtime.set_executor(kind);
+        self
+    }
+
+    /// The configured executor selection.
+    pub fn executor(&self) -> ExecutorKind {
+        self.runtime.executor()
     }
 
     /// Registers a tensor, validating its format against the machine.
@@ -401,7 +416,8 @@ mod tests {
         let mut s = Session::new(MachineSpec::small(4), machine, Mode::Functional);
         let f = Format::parse("xy->xy", MemKind::Sys).unwrap();
         for name in ["A", "B", "C"] {
-            s.tensor(TensorSpec::new(name, vec![n, n], f.clone())).unwrap();
+            s.tensor(TensorSpec::new(name, vec![n, n], f.clone()))
+                .unwrap();
         }
         s
     }
@@ -412,7 +428,9 @@ mod tests {
         let mut s = matmul_session(n, 2, 2);
         s.fill_random("B", 7);
         s.fill_random("C", 11);
-        let k = s.compile("A(i,j) = B(i,k) * C(k,j)", &Schedule::summa(2, 2, 4)).unwrap();
+        let k = s
+            .compile("A(i,j) = B(i,k) * C(k,j)", &Schedule::summa(2, 2, 4))
+            .unwrap();
         s.run(&k).unwrap();
         let got = s.read("A").unwrap();
 

@@ -29,10 +29,7 @@ impl Format {
 
     /// A hierarchical format (one distribution per machine level).
     pub fn hierarchical(distributions: Vec<TensorDistribution>, mem: MemKind) -> Self {
-        Format {
-            distributions,
-            mem,
-        }
+        Format { distributions, mem }
     }
 
     /// Parses a single-level format from compact notation.

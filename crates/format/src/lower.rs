@@ -141,8 +141,7 @@ mod tests {
     #[test]
     fn tiled_lowering_distributes_two_vars() {
         let d = TensorDistribution::parse("xy->xy").unwrap();
-        let cin =
-            lower_distribution(&d, "T", &Rect::sized(&[8, 8]), &Grid::grid2(2, 2)).unwrap();
+        let cin = lower_distribution(&d, "T", &Rect::sized(&[8, 8]), &Grid::grid2(2, 2)).unwrap();
         let vars: Vec<String> = cin.loop_vars().iter().map(|v| v.0.clone()).collect();
         assert_eq!(vars, vec!["xo", "yo", "xi", "yi"]);
         assert_eq!(cin.distributed_prefix().unwrap().len(), 2);

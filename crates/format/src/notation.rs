@@ -113,13 +113,20 @@ impl fmt::Display for NotationError {
         match self {
             NotationError::DuplicateName(n) => write!(f, "duplicate dimension name '{n}'"),
             NotationError::UnboundMachineName(n) => {
-                write!(f, "machine dimension '{n}' does not name a tensor dimension")
+                write!(
+                    f,
+                    "machine dimension '{n}' does not name a tensor dimension"
+                )
             }
             NotationError::Parse(m) => write!(f, "parse error: {m}"),
             NotationError::BadBlockSize(b) => {
                 write!(f, "block-cyclic block width must be positive, got {b}")
             }
-            NotationError::ArityMismatch { side, notation, object } => write!(
+            NotationError::ArityMismatch {
+                side,
+                notation,
+                object,
+            } => write!(
                 f,
                 "notation names {notation} {side} dimensions but the {side} has {object}"
             ),
@@ -265,7 +272,9 @@ impl TensorDistribution {
                 d if d.is_ascii_digit() => DimName::Const(d.to_digit(10).unwrap() as i64),
                 v if v.is_alphabetic() => DimName::Var(v.to_string()),
                 other => {
-                    return Err(NotationError::Parse(format!("unexpected character '{other}'")))
+                    return Err(NotationError::Parse(format!(
+                        "unexpected character '{other}'"
+                    )))
                 }
             });
         }
@@ -390,7 +399,10 @@ mod tests {
         ));
         assert!(matches!(
             d.check_arity(2, 3),
-            Err(NotationError::ArityMismatch { side: "machine", .. })
+            Err(NotationError::ArityMismatch {
+                side: "machine",
+                ..
+            })
         ));
     }
 
@@ -440,7 +452,10 @@ mod tests {
         // Blocked: ceil(extent/parts); cyclic: 1; block-cyclic: as given.
         assert_eq!(PartitionKind::Blocked.block_width(10, 3), 4);
         assert_eq!(PartitionKind::Cyclic.block_width(10, 3), 1);
-        assert_eq!(PartitionKind::BlockCyclic { block: 2 }.block_width(10, 3), 2);
+        assert_eq!(
+            PartitionKind::BlockCyclic { block: 2 }.block_width(10, 3),
+            2
+        );
         // Degenerate extents still give a positive width.
         assert_eq!(PartitionKind::Blocked.block_width(0, 4), 1);
     }

@@ -490,7 +490,8 @@ mod tests {
             .points()
             .map(|p| tri_work(&cyclic.pieces_of(&t, &m, &p)))
             .collect();
-        let imbalance = |v: &[i64]| *v.iter().max().unwrap() as f64 / *v.iter().min().unwrap() as f64;
+        let imbalance =
+            |v: &[i64]| *v.iter().max().unwrap() as f64 / *v.iter().min().unwrap() as f64;
         assert!(imbalance(&b) > 5.0, "blocked {b:?}");
         assert!(imbalance(&c) < 1.1, "cyclic {c:?}");
     }

@@ -51,7 +51,12 @@ pub fn execution_space(cin: &ConcreteNotation) -> Vec<ExecPoint> {
     let seq_extents: Vec<i64> = seq_vars.iter().map(|v| cin.solver.extent(v)).collect();
 
     // Original variables referenced by the body.
-    let originals: Vec<IndexVar> = cin.body.accesses().iter().flat_map(|a| a.indices.clone()).collect();
+    let originals: Vec<IndexVar> = cin
+        .body
+        .accesses()
+        .iter()
+        .flat_map(|a| a.indices.clone())
+        .collect();
     let mut out = Vec::new();
     for_each_point(&dist_extents, &mut |proc| {
         for_each_point(&seq_extents, &mut |seq| {
@@ -122,8 +127,7 @@ mod tests {
     /// The running example of §3.3: ∀i ∀j a(i) += b(j), |a|=|b|=|M|=3.
     fn running_example() -> ConcreteNotation {
         let a = Assignment::parse("a(i) = b(j)").unwrap();
-        let extents: BTreeMap<IndexVar, i64> =
-            [(iv("i"), 3), (iv("j"), 3)].into_iter().collect();
+        let extents: BTreeMap<IndexVar, i64> = [(iv("i"), 3), (iv("j"), 3)].into_iter().collect();
         ConcreteNotation::from_assignment(a, &extents).unwrap()
     }
 

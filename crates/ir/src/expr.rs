@@ -203,7 +203,11 @@ pub enum ExprError {
 impl fmt::Display for ExprError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ExprError::InconsistentArity { tensor, first, second } => write!(
+            ExprError::InconsistentArity {
+                tensor,
+                first,
+                second,
+            } => write!(
                 f,
                 "tensor '{tensor}' used with both {first} and {second} indices"
             ),
@@ -249,7 +253,11 @@ impl Assignment {
     /// Rejects inconsistent tensor arities and duplicate variables on the
     /// left-hand side.
     pub fn new(lhs: Access, rhs: Expr, increment: bool) -> Result<Self, ExprError> {
-        let a = Assignment { lhs, rhs, increment };
+        let a = Assignment {
+            lhs,
+            rhs,
+            increment,
+        };
         a.validate()?;
         Ok(a)
     }
@@ -414,7 +422,9 @@ impl<'a> Parser<'a> {
             break;
         }
         if self.pos == start {
-            if self.rest().chars().all(|c| c.is_alphanumeric() || c == '_') && !self.rest().is_empty() {
+            if self.rest().chars().all(|c| c.is_alphanumeric() || c == '_')
+                && !self.rest().is_empty()
+            {
                 self.pos = self.src.len();
             } else {
                 return Err(ExprError::Parse(format!(
@@ -429,21 +439,20 @@ impl<'a> Parser<'a> {
     fn access(&mut self) -> Result<Access, ExprError> {
         let name = self.ident()?;
         let mut indices = Vec::new();
-        if self.eat("(")
-            && !self.eat(")") {
-                loop {
-                    indices.push(IndexVar::new(self.ident()?));
-                    if self.eat(")") {
-                        break;
-                    }
-                    if !self.eat(",") {
-                        return Err(ExprError::Parse(format!(
-                            "expected ',' or ')' at '{}'",
-                            self.rest()
-                        )));
-                    }
+        if self.eat("(") && !self.eat(")") {
+            loop {
+                indices.push(IndexVar::new(self.ident()?));
+                if self.eat(")") {
+                    break;
+                }
+                if !self.eat(",") {
+                    return Err(ExprError::Parse(format!(
+                        "expected ',' or ')' at '{}'",
+                        self.rest()
+                    )));
                 }
             }
+        }
         Ok(Access::new(name, indices))
     }
 

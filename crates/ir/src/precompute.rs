@@ -57,10 +57,16 @@ impl fmt::Display for PrecomputeError {
                 write!(f, "factor '{t}' does not occur in the statement")
             }
             PrecomputeError::TrivialSplit => {
-                write!(f, "precompute must hoist a proper, non-empty subset of the factors")
+                write!(
+                    f,
+                    "precompute must hoist a proper, non-empty subset of the factors"
+                )
             }
             PrecomputeError::BadWorkspaceVar(v) => {
-                write!(f, "workspace variable '{v}' does not index any hoisted factor")
+                write!(
+                    f,
+                    "workspace variable '{v}' does not index any hoisted factor"
+                )
             }
             PrecomputeError::EscapedReduction(v) => write!(
                 f,
@@ -68,7 +74,10 @@ impl fmt::Display for PrecomputeError {
                  add it to the workspace variables"
             ),
             PrecomputeError::NameInUse(t) => {
-                write!(f, "workspace name '{t}' is already a tensor of the statement")
+                write!(
+                    f,
+                    "workspace name '{t}' is already a tensor of the statement"
+                )
             }
             PrecomputeError::Rebuild(m) => write!(f, "rebuild error: {m}"),
         }

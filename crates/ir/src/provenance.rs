@@ -243,8 +243,18 @@ impl VarSolver {
         }
         self.extents.insert(outer.clone(), outer_extent);
         self.extents.insert(inner.clone(), inner_extent);
-        self.defs.insert(outer.clone(), VarDef::Leaf { extent: outer_extent });
-        self.defs.insert(inner.clone(), VarDef::Leaf { extent: inner_extent });
+        self.defs.insert(
+            outer.clone(),
+            VarDef::Leaf {
+                extent: outer_extent,
+            },
+        );
+        self.defs.insert(
+            inner.clone(),
+            VarDef::Leaf {
+                extent: inner_extent,
+            },
+        );
         self.defs.insert(
             v.clone(),
             VarDef::Divided {
@@ -281,7 +291,8 @@ impl VarSolver {
             return Err(SolverError::Redefinition(fused.0.clone()));
         }
         self.extents.insert(fused.clone(), ea * eb);
-        self.defs.insert(fused.clone(), VarDef::Leaf { extent: ea * eb });
+        self.defs
+            .insert(fused.clone(), VarDef::Leaf { extent: ea * eb });
         self.defs.insert(
             a.clone(),
             VarDef::Collapsed {
@@ -328,8 +339,7 @@ impl VarSolver {
             return Err(SolverError::Redefinition(result.0.clone()));
         }
         self.extents.insert(result.clone(), extent);
-        self.defs
-            .insert(result.clone(), VarDef::Leaf { extent });
+        self.defs.insert(result.clone(), VarDef::Leaf { extent });
         self.defs.insert(
             t.clone(),
             VarDef::Rotated {
@@ -351,14 +361,21 @@ impl VarSolver {
             None | Some(VarDef::Leaf { .. }) => {
                 Interval::new(0, self.extents.get(v).copied().unwrap_or(1) - 1)
             }
-            Some(VarDef::Divided { outer, inner, extent }) => {
+            Some(VarDef::Divided {
+                outer,
+                inner,
+                extent,
+            }) => {
                 let o = self.interval(outer, env);
                 let i = self.interval(inner, env);
                 let e_inner = self.extent(inner);
-                Interval::new(o.lo * e_inner + i.lo, o.hi * e_inner + i.hi)
-                    .clamp_extent(*extent)
+                Interval::new(o.lo * e_inner + i.lo, o.hi * e_inner + i.hi).clamp_extent(*extent)
             }
-            Some(VarDef::Rotated { result, over, extent }) => {
+            Some(VarDef::Rotated {
+                result,
+                over,
+                extent,
+            }) => {
                 let r = self.interval(result, env);
                 let mut offset = 0;
                 let mut concrete = r.is_point();
@@ -373,7 +390,12 @@ impl VarSolver {
                     Interval::new(0, extent - 1)
                 }
             }
-            Some(VarDef::Collapsed { fused, inner_extent, is_inner, extent }) => {
+            Some(VarDef::Collapsed {
+                fused,
+                inner_extent,
+                is_inner,
+                extent,
+            }) => {
                 let f = self.interval(fused, env);
                 if f.is_point() {
                     let v = if *is_inner {
@@ -382,10 +404,7 @@ impl VarSolver {
                         f.lo / inner_extent
                     };
                     Interval::point(v)
-                } else if !*is_inner
-                    && f.lo % inner_extent == 0
-                    && (f.hi + 1) % inner_extent == 0
-                {
+                } else if !*is_inner && f.lo % inner_extent == 0 && (f.hi + 1) % inner_extent == 0 {
                     // The fused range covers whole inner blocks: the outer
                     // variable spans an exact interval.
                     Interval::new(f.lo / inner_extent, f.hi / inner_extent)
@@ -408,7 +427,8 @@ impl VarSolver {
     pub fn live_vars(&self) -> Vec<IndexVar> {
         self.defs
             .iter()
-            .filter(|&(_v, d)| matches!(d, VarDef::Leaf { .. })).map(|(v, _d)| v.clone())
+            .filter(|&(_v, d)| matches!(d, VarDef::Leaf { .. }))
+            .map(|(v, _d)| v.clone())
             .collect()
     }
 
@@ -513,7 +533,8 @@ mod tests {
         s.define_leaf(iv("ko"), 3);
         s.define_leaf(iv("io"), 3);
         s.define_leaf(iv("jo"), 3);
-        s.rotate(&iv("ko"), vec![iv("io"), iv("jo")], iv("kos")).unwrap();
+        s.rotate(&iv("ko"), vec![iv("io"), iv("jo")], iv("kos"))
+            .unwrap();
         let mut env = BTreeMap::new();
         env.insert(iv("kos"), 1);
         env.insert(iv("io"), 2);
@@ -532,7 +553,8 @@ mod tests {
         s.define_leaf(iv("io"), 3);
         s.define_leaf(iv("jo"), 3);
         s.divide(&iv("k"), iv("ko"), iv("ki"), 3).unwrap();
-        s.rotate(&iv("ko"), vec![iv("io"), iv("jo")], iv("kos")).unwrap();
+        s.rotate(&iv("ko"), vec![iv("io"), iv("jo")], iv("kos"))
+            .unwrap();
         let mut env = BTreeMap::new();
         env.insert(iv("kos"), 0);
         env.insert(iv("io"), 1);
@@ -607,7 +629,10 @@ mod tests {
         assert!(!i.is_point());
         assert!(!i.is_empty());
         assert!(Interval::new(4, 2).is_empty());
-        assert_eq!(Interval::new(-5, 100).clamp_extent(50), Interval::new(0, 49));
+        assert_eq!(
+            Interval::new(-5, 100).clamp_extent(50),
+            Interval::new(0, 49)
+        );
         assert_eq!(format!("{:?}", Interval::point(2)), "[2, 2]");
     }
 }

@@ -186,7 +186,11 @@ impl ConcreteNotation {
         }
         self.note(format!(
             "reorder({})",
-            order.iter().map(|v| v.0.clone()).collect::<Vec<_>>().join(", ")
+            order
+                .iter()
+                .map(|v| v.0.clone())
+                .collect::<Vec<_>>()
+                .join(", ")
         ));
         Ok(self)
     }
@@ -210,7 +214,10 @@ impl ConcreteNotation {
         }
         self.note(format!(
             "distribute({})",
-            vars.iter().map(|v| v.0.clone()).collect::<Vec<_>>().join(", ")
+            vars.iter()
+                .map(|v| v.0.clone())
+                .collect::<Vec<_>>()
+                .join(", ")
         ));
         Ok(self)
     }
@@ -269,7 +276,10 @@ impl ConcreteNotation {
         self.solver.rotate(t, over.to_vec(), result.clone())?;
         self.note(format!(
             "rotate({t}, {{{}}}, {result})",
-            over.iter().map(|v| v.0.clone()).collect::<Vec<_>>().join(", ")
+            over.iter()
+                .map(|v| v.0.clone())
+                .collect::<Vec<_>>()
+                .join(", ")
         ));
         let old = std::mem::replace(&mut self.loops[pos], Loop::new(result));
         self.loops[pos].distributed = old.distributed;
@@ -337,8 +347,10 @@ mod tests {
     }
 
     fn matmul_cin(n: i64) -> ConcreteNotation {
-        let extents: BTreeMap<IndexVar, i64> =
-            [("i", n), ("j", n), ("k", n)].iter().map(|(v, e)| (iv(v), *e)).collect();
+        let extents: BTreeMap<IndexVar, i64> = [("i", n), ("j", n), ("k", n)]
+            .iter()
+            .map(|(v, e)| (iv(v), *e))
+            .collect();
         ConcreteNotation::from_assignment(kernels::matmul(), &extents).unwrap()
     }
 
@@ -349,7 +361,8 @@ mod tests {
         let mut cin = matmul_cin(64);
         cin.divide(&iv("i"), iv("io"), iv("ii"), 2).unwrap();
         cin.divide(&iv("j"), iv("jo"), iv("ji"), 2).unwrap();
-        cin.reorder(&[iv("io"), iv("jo"), iv("ii"), iv("ji")]).unwrap();
+        cin.reorder(&[iv("io"), iv("jo"), iv("ii"), iv("ji")])
+            .unwrap();
         cin.distribute(&[iv("io"), iv("jo")]).unwrap();
         cin.split(&iv("k"), iv("ko"), iv("ki"), 16).unwrap();
         cin.reorder(&[iv("io"), iv("jo"), iv("ko"), iv("ii"), iv("ji"), iv("ki")])
@@ -385,8 +398,10 @@ mod tests {
         )
         .unwrap();
         cin.divide(&iv("k"), iv("ko"), iv("ki"), 3).unwrap();
-        cin.reorder(&[iv("ko"), iv("ii"), iv("ji"), iv("ki")]).unwrap();
-        cin.rotate(&iv("ko"), &[iv("io"), iv("jo")], iv("kos")).unwrap();
+        cin.reorder(&[iv("ko"), iv("ii"), iv("ji"), iv("ki")])
+            .unwrap();
+        cin.rotate(&iv("ko"), &[iv("io"), iv("jo")], iv("kos"))
+            .unwrap();
         assert_eq!(
             cin.loop_vars(),
             vec![iv("io"), iv("jo"), iv("kos"), iv("ii"), iv("ji"), iv("ki")]

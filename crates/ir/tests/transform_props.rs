@@ -173,8 +173,10 @@ proptest! {
 
 #[test]
 fn reorder_rejects_unknown_and_duplicates() {
-    let extents: BTreeMap<IndexVar, i64> =
-        [("i", 4), ("j", 4), ("k", 4)].iter().map(|(v, e)| (iv(v), *e)).collect();
+    let extents: BTreeMap<IndexVar, i64> = [("i", 4), ("j", 4), ("k", 4)]
+        .iter()
+        .map(|(v, e)| (iv(v), *e))
+        .collect();
     let mut cin = ConcreteNotation::from_assignment(kernels::matmul(), &extents).unwrap();
     assert!(cin.reorder(&[iv("i"), iv("i")]).is_err());
     assert!(cin.reorder(&[iv("nope")]).is_err());

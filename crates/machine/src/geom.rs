@@ -196,8 +196,7 @@ impl Rect {
 
     /// True when `p` lies inside the rectangle.
     pub fn contains_point(&self, p: &Point) -> bool {
-        p.dim() == self.dim()
-            && (0..self.dim()).all(|d| self.lo[d] <= p[d] && p[d] <= self.hi[d])
+        p.dim() == self.dim() && (0..self.dim()).all(|d| self.lo[d] <= p[d] && p[d] <= self.hi[d])
     }
 
     /// True when `other` lies entirely inside `self` (empty rects are
@@ -512,10 +511,7 @@ mod tests {
         assert_eq!(p.dim(), 2);
         assert_eq!(p[0], 3);
         assert_eq!(p.extended(5).coords(), &[3, 4, 5]);
-        assert_eq!(
-            p.concat(&Point::new(vec![7])).coords(),
-            &[3, 4, 7]
-        );
+        assert_eq!(p.concat(&Point::new(vec![7])).coords(), &[3, 4, 7]);
         assert_eq!(format!("{p}"), "(3, 4)");
     }
 
@@ -574,7 +570,10 @@ mod tests {
     #[test]
     fn rect_difference_disjoint_and_total() {
         let a = Rect::sized(&[4]);
-        assert_eq!(a.difference(&Rect::new(Point::new(vec![10]), Point::new(vec![12]))), vec![a.clone()]);
+        assert_eq!(
+            a.difference(&Rect::new(Point::new(vec![10]), Point::new(vec![12]))),
+            vec![a.clone()]
+        );
         assert!(a.difference(&a).is_empty());
     }
 

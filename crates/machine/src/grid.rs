@@ -51,7 +51,10 @@ impl Grid {
     /// Panics if any dimension is not positive or the grid is 0-dimensional.
     pub fn new(dims: Vec<i64>) -> Self {
         assert!(!dims.is_empty(), "grid must have at least one dimension");
-        assert!(dims.iter().all(|&d| d > 0), "grid dimensions must be positive");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "grid dimensions must be positive"
+        );
         Grid { dims }
     }
 

@@ -271,8 +271,13 @@ mod tests {
         // NVLink within a node is much faster than the NIC.
         assert!(m.channel_gbs(MemKind::Fb, MemKind::Fb, true) > 2.0 * fb);
         // Global staging memory is free.
-        assert!(m.channel_gbs(MemKind::Global, MemKind::Fb, false).is_infinite());
-        assert_eq!(m.channel_latency_s(MemKind::Global, MemKind::Fb, false), 0.0);
+        assert!(m
+            .channel_gbs(MemKind::Global, MemKind::Fb, false)
+            .is_infinite());
+        assert_eq!(
+            m.channel_latency_s(MemKind::Global, MemKind::Fb, false),
+            0.0
+        );
     }
 
     #[test]

@@ -1,14 +1,17 @@
 //! The runtime facade: owns regions and instances, runs programs.
 
+use crate::executor::{ExecCtx, Executor, ExecutorKind, ParallelExecutor, SerialExecutor};
 use crate::graph::GraphBuilder;
 use crate::program::Program;
-use crate::region::{Instance, InstanceId, InstanceRole, LogicalRegion, RegionId, ELEM_BYTES};
-use crate::sim::simulate;
+use crate::region::{
+    DataCell, Instance, InstanceId, InstanceRole, LogicalRegion, RegionId, ELEM_BYTES,
+};
 use crate::stats::RunStats;
 use crate::topology::{MemId, PhysicalMachine};
 use distal_machine::geom::{Rect, RectSet};
 use distal_machine::spec::MemKind;
 use std::fmt;
+use std::sync::RwLock;
 
 /// Execution mode.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -86,20 +89,27 @@ impl std::error::Error for RuntimeError {}
 
 /// Persistent region/instance state (survives across program runs so that a
 /// placement phase can feed a compute phase).
+///
+/// Instance *metadata* (bounds, coherence) lives in [`Store::instances`];
+/// the backing *buffers* live beside it in per-instance [`DataCell`] locks,
+/// so executors can share `&Store` across worker threads and mutate buffers
+/// concurrently where the dependence DAG allows it.
 #[derive(Debug, Default)]
-pub(crate) struct Store {
-    pub regions: Vec<LogicalRegion>,
-    pub instances: Vec<Instance>,
+pub struct Store {
+    pub(crate) regions: Vec<LogicalRegion>,
+    pub(crate) instances: Vec<Instance>,
+    /// Backing buffers, indexed like `instances`.
+    pub(crate) buffers: Vec<DataCell>,
     /// Data instances per region (home + scratch).
-    pub by_region: Vec<Vec<InstanceId>>,
+    pub(crate) by_region: Vec<Vec<InstanceId>>,
     /// Pending reduction instances per region.
-    pub reductions_by_region: Vec<Vec<InstanceId>>,
+    pub(crate) reductions_by_region: Vec<Vec<InstanceId>>,
     /// Scratch generation counter per region (see `Op::DiscardScratch`).
-    pub scratch_gen: Vec<u64>,
+    pub(crate) scratch_gen: Vec<u64>,
     /// Live bytes per memory.
-    pub used_bytes: Vec<u64>,
+    pub(crate) used_bytes: Vec<u64>,
     /// Peak live bytes per memory.
-    pub peak_bytes: Vec<u64>,
+    pub(crate) peak_bytes: Vec<u64>,
 }
 
 impl Store {
@@ -113,6 +123,18 @@ impl Store {
 
     pub(crate) fn instance_mut(&mut self, id: InstanceId) -> &mut Instance {
         &mut self.instances[id.0 as usize]
+    }
+
+    /// The buffer cell of an instance (lock to read/write data).
+    pub(crate) fn buffer(&self, id: InstanceId) -> &DataCell {
+        &self.buffers[id.0 as usize]
+    }
+
+    /// Direct access to an instance's buffer (no locking; needs `&mut`).
+    pub(crate) fn buffer_mut(&mut self, id: InstanceId) -> &mut Option<Vec<f64>> {
+        self.buffers[id.0 as usize]
+            .get_mut()
+            .expect("poisoned buffer lock")
     }
 
     /// Allocates an instance, enforcing memory capacity.
@@ -155,8 +177,8 @@ impl Store {
             role,
             gen: self.scratch_gen[region.0 as usize],
             depth: 0,
-            data,
         });
+        self.buffers.push(RwLock::new(data));
         match role {
             InstanceRole::Reduction => self.reductions_by_region[region.0 as usize].push(id),
             _ => self.by_region[region.0 as usize].push(id),
@@ -185,6 +207,8 @@ pub struct Runtime {
     machine: PhysicalMachine,
     mode: Mode,
     record_copies: bool,
+    executor: ExecutorKind,
+    executor_threads: usize,
     pub(crate) store: Store,
 }
 
@@ -196,6 +220,8 @@ impl Runtime {
             machine,
             mode,
             record_copies: false,
+            executor: ExecutorKind::default(),
+            executor_threads: 0,
             store: Store {
                 used_bytes: vec![0; mems],
                 peak_bytes: vec![0; mems],
@@ -207,6 +233,26 @@ impl Runtime {
     /// Enables per-copy logging in [`RunStats::copy_log`].
     pub fn record_copies(&mut self, on: bool) -> &mut Self {
         self.record_copies = on;
+        self
+    }
+
+    /// Selects how [`Runtime::run`] executes DAG nodes. The default,
+    /// [`ExecutorKind::Auto`], picks the parallel executor in functional
+    /// mode and the serial executor in model mode.
+    pub fn set_executor(&mut self, kind: ExecutorKind) -> &mut Self {
+        self.executor = kind;
+        self
+    }
+
+    /// The configured executor selection.
+    pub fn executor(&self) -> ExecutorKind {
+        self.executor
+    }
+
+    /// Caps the parallel executor's worker count (0 = one per host core,
+    /// or the `DISTAL_THREADS` environment variable when set).
+    pub fn set_executor_threads(&mut self, threads: usize) -> &mut Self {
+        self.executor_threads = threads;
         self
     }
 
@@ -240,7 +286,11 @@ impl Runtime {
     /// # Errors
     ///
     /// Fails when not in functional mode or when `data` has the wrong length.
-    pub fn set_region_data(&mut self, region: RegionId, data: Vec<f64>) -> Result<(), RuntimeError> {
+    pub fn set_region_data(
+        &mut self,
+        region: RegionId,
+        data: Vec<f64>,
+    ) -> Result<(), RuntimeError> {
         if self.mode != Mode::Functional {
             return Err(RuntimeError::NotFunctional);
         }
@@ -267,7 +317,11 @@ impl Runtime {
         self.seed_region(region, data)
     }
 
-    fn seed_region(&mut self, region: RegionId, data: Option<Vec<f64>>) -> Result<(), RuntimeError> {
+    fn seed_region(
+        &mut self,
+        region: RegionId,
+        data: Option<Vec<f64>>,
+    ) -> Result<(), RuntimeError> {
         let rect = self.store.region(region).rect.clone();
         // Invalidate all existing instances of the region.
         let existing: Vec<InstanceId> = self.store.by_region[region.0 as usize].clone();
@@ -287,13 +341,13 @@ impl Runtime {
             InstanceRole::Home,
             false,
         )?;
-        let inst = self.store.instance_mut(id);
-        inst.data = data;
-        inst.valid = RectSet::from_rect(rect);
+        *self.store.buffer_mut(id) = data;
+        self.store.instance_mut(id).valid = RectSet::from_rect(rect);
         Ok(())
     }
 
-    /// Runs a program and returns its statistics.
+    /// Runs a program under the configured executor and returns its
+    /// statistics.
     ///
     /// # Errors
     ///
@@ -301,16 +355,37 @@ impl Runtime {
     /// behaviour in Figure 15b), uninitialized reads, and malformed
     /// requirements.
     pub fn run(&mut self, program: &Program) -> Result<RunStats, RuntimeError> {
+        match self.executor.resolve(self.mode) {
+            ExecutorKind::Parallel => {
+                let exec = ParallelExecutor::new(self.executor_threads);
+                self.run_with(program, &exec)
+            }
+            _ => self.run_with(program, &SerialExecutor),
+        }
+    }
+
+    /// Runs a program under an explicit [`Executor`] (the two built-in ones
+    /// are [`SerialExecutor`] and [`ParallelExecutor`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Runtime::run`].
+    pub fn run_with(
+        &mut self,
+        program: &Program,
+        executor: &dyn Executor,
+    ) -> Result<RunStats, RuntimeError> {
         let functional = self.mode == Mode::Functional;
         let graph = GraphBuilder::build(&self.machine, &mut self.store, program, functional)?;
-        let mut stats = simulate(
-            &self.machine,
-            &mut self.store,
-            &graph,
-            &program.kernels,
+        let mut ctx = ExecCtx {
+            machine: &self.machine,
+            store: &mut self.store,
+            graph: &graph,
+            kernels: &program.kernels,
             functional,
-            self.record_copies,
-        );
+            record_copies: self.record_copies,
+        };
+        let mut stats = executor.execute(&mut ctx);
         // Report peak memory by kind.
         for mem in self.machine.mems() {
             let peak = self.store.peak_bytes[mem.id.0 as usize];
@@ -340,14 +415,17 @@ impl Runtime {
         let mut covered = RectSet::new();
         for id in &self.store.by_region[region.0 as usize] {
             let inst = self.store.instance(*id);
+            let cell = self.store.buffer(*id).read().expect("poisoned buffer lock");
             for vr in inst.valid.rects().to_vec() {
                 let mut fresh = RectSet::from_rect(vr.clone());
                 for c in covered.rects().to_vec() {
                     fresh.subtract(&c);
                 }
                 for piece in fresh.rects().to_vec() {
-                    for p in piece.points() {
-                        out[rect.linearize(&p)] = inst.read(&p);
+                    if let Some(data) = cell.as_ref() {
+                        for p in piece.points() {
+                            out[rect.linearize(&p)] = data[inst.rect.linearize(&p)];
+                        }
                     }
                     covered.add(piece);
                 }
@@ -362,7 +440,8 @@ impl Runtime {
         // Fold pending reductions.
         for id in &self.store.reductions_by_region[region.0 as usize] {
             let inst = self.store.instance(*id);
-            if let Some(data) = &inst.data {
+            let cell = self.store.buffer(*id).read().expect("poisoned buffer lock");
+            if let Some(data) = cell.as_ref() {
                 for p in inst.rect.points() {
                     out[rect.linearize(&p)] += data[inst.rect.linearize(&p)];
                 }
@@ -392,7 +471,11 @@ impl Runtime {
         }
         for id in &self.store.reductions_by_region[region.0 as usize] {
             let inst = self.store.instance(*id);
-            let _ = writeln!(out, "  {:?} reduction in {:?} over {:?}", inst.id, inst.mem, inst.rect);
+            let _ = writeln!(
+                out,
+                "  {:?} reduction in {:?} over {:?}",
+                inst.id, inst.mem, inst.rect
+            );
         }
         out
     }
@@ -436,7 +519,10 @@ mod tests {
         let err = rt.set_region_data(r, vec![0.0; 3]).unwrap_err();
         assert_eq!(
             err,
-            RuntimeError::DataSizeMismatch { expected: 4, got: 3 }
+            RuntimeError::DataSizeMismatch {
+                expected: 4,
+                got: 3
+            }
         );
     }
 
@@ -452,12 +538,12 @@ mod tests {
 
     #[test]
     fn model_mode_rejects_data_access() {
-        let mut rt = Runtime::new(
-            PhysicalMachine::new(MachineSpec::small(1)),
-            Mode::Model,
-        );
+        let mut rt = Runtime::new(PhysicalMachine::new(MachineSpec::small(1)), Mode::Model);
         let r = rt.create_region("A", Rect::sized(&[4]));
-        assert_eq!(rt.set_region_data(r, vec![0.0; 4]), Err(RuntimeError::NotFunctional));
+        assert_eq!(
+            rt.set_region_data(r, vec![0.0; 4]),
+            Err(RuntimeError::NotFunctional)
+        );
         assert_eq!(rt.read_region(r), Err(RuntimeError::NotFunctional));
         // fill_region is allowed: it establishes validity for the analysis.
         rt.fill_region(r, 0.0).unwrap();

@@ -1,0 +1,834 @@
+//! Pluggable DAG executors: how the nodes of a built execution graph are
+//! actually run.
+//!
+//! [`crate::graph::GraphBuilder`] produces the dependence DAG;
+//! [`crate::sim::schedule_graph`] computes timing and statistics from it
+//! deterministically. What remains — applying each node's *side effect*
+//! (copying bytes, filling buffers, running leaf kernels in functional
+//! mode) — is the job of an [`Executor`]:
+//!
+//! * [`SerialExecutor`] applies effects one at a time, in the exact order
+//!   the timing pass scheduled them — the original behaviour.
+//! * [`ParallelExecutor`] applies effects concurrently with a small
+//!   work-stealing thread pool, running every DAG-ready node at once. This
+//!   mirrors what the simulated machine is modelled to do (overlap of
+//!   communication and computation, §6) on the *host*: a functional-mode
+//!   SUMMA run executes its leaf GEMMs on all host cores.
+//!
+//! Both executors share the timing pass and the effect implementations, so
+//! their [`RunStats`] are identical by construction, and their numerics are
+//! identical because the DAG already serializes every pair of conflicting
+//! accesses (the hazard edges inserted by the dependence analysis). The
+//! per-instance buffer locks in [`Store`] turn that argument into something
+//! the runtime actually enforces: workers only touch buffers under a
+//! read/write lock, acquired in instance-id order to stay deadlock-free.
+//!
+//! Lock granularity is *per instance*, not per rectangle: two tasks writing
+//! disjoint rects of the same physical instance are DAG-independent but
+//! will serialize on its write lock. In practice placements materialize one
+//! instance per tile/memory, so this costs little; per-rect range locks
+//! (true buffer partitioning) are the known upgrade path if a workload
+//! fans out over one shared allocation.
+
+use crate::exec::Store;
+use crate::graph::{CopyNode, GNode, GNodeKind, Graph, TaskNode};
+use crate::kernel::{Kernel, KernelArg, KernelCtx};
+use crate::program::Privilege;
+use crate::region::{copy_rect, InstanceId};
+use crate::sim::schedule_graph;
+use crate::stats::RunStats;
+use crate::topology::PhysicalMachine;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Duration;
+
+/// Which executor [`crate::Runtime::run`] should use.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecutorKind {
+    /// Parallel in functional mode (real work to overlap), serial in model
+    /// mode (nothing to run; the timing pass is inherently sequential).
+    #[default]
+    Auto,
+    /// Always the serial executor.
+    Serial,
+    /// Always the work-stealing parallel executor.
+    Parallel,
+}
+
+impl ExecutorKind {
+    /// Resolves `Auto` against an execution mode.
+    pub fn resolve(self, mode: crate::exec::Mode) -> ExecutorKind {
+        match self {
+            ExecutorKind::Auto => {
+                if mode == crate::exec::Mode::Functional {
+                    ExecutorKind::Parallel
+                } else {
+                    ExecutorKind::Serial
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+/// Everything an executor needs for one program run.
+///
+/// Constructed by [`crate::Runtime::run_with`]; the fields are
+/// crate-private, so custom executors compose the built-ins rather than
+/// reimplementing effect application.
+pub struct ExecCtx<'a> {
+    pub(crate) machine: &'a PhysicalMachine,
+    pub(crate) store: &'a mut Store,
+    pub(crate) graph: &'a Graph,
+    pub(crate) kernels: &'a [Arc<dyn Kernel>],
+    pub(crate) functional: bool,
+    pub(crate) record_copies: bool,
+}
+
+/// Runs a built execution DAG to completion.
+pub trait Executor: Send + Sync {
+    /// Executor name (appears in benchmark output).
+    fn name(&self) -> &'static str;
+
+    /// Executes the DAG and returns run statistics.
+    fn execute(&self, ctx: &mut ExecCtx<'_>) -> RunStats;
+}
+
+/// Applies node effects one at a time, in scheduled order.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SerialExecutor;
+
+impl Executor for SerialExecutor {
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+
+    fn execute(&self, ctx: &mut ExecCtx<'_>) -> RunStats {
+        let sched = schedule_graph(ctx.machine, ctx.graph, ctx.record_copies);
+        if ctx.functional {
+            for &i in &sched.order {
+                apply_effect(ctx.store, ctx.kernels, &ctx.graph.nodes[i as usize], true);
+            }
+        }
+        sched.stats
+    }
+}
+
+/// Applies node effects concurrently with a work-stealing thread pool:
+/// every node whose predecessors have completed is eligible to run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ParallelExecutor {
+    threads: usize,
+}
+
+impl ParallelExecutor {
+    /// Creates an executor with an explicit worker count (0 = one worker
+    /// per host core, overridable via the `DISTAL_THREADS` environment
+    /// variable).
+    pub fn new(threads: usize) -> Self {
+        ParallelExecutor { threads }
+    }
+
+    /// The worker count this executor will use.
+    pub fn worker_count(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        if let Some(n) = std::env::var("DISTAL_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            if n > 0 {
+                return n;
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+impl Executor for ParallelExecutor {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn execute(&self, ctx: &mut ExecCtx<'_>) -> RunStats {
+        let sched = schedule_graph(ctx.machine, ctx.graph, ctx.record_copies);
+        if ctx.functional {
+            let workers = self.worker_count().min(ctx.graph.nodes.len().max(1));
+            if workers <= 1 {
+                for &i in &sched.order {
+                    apply_effect(ctx.store, ctx.kernels, &ctx.graph.nodes[i as usize], true);
+                }
+            } else {
+                parallel_apply(ctx.store, ctx.kernels, ctx.graph, &sched.order, workers);
+            }
+        }
+        sched.stats
+    }
+}
+
+/// Runs all node effects on `workers` threads, honouring DAG edges.
+fn parallel_apply(
+    store: &Store,
+    kernels: &[Arc<dyn Kernel>],
+    graph: &Graph,
+    order: &[u32],
+    workers: usize,
+) {
+    let indeg: Vec<AtomicU32> = graph.nodes.iter().map(|g| AtomicU32::new(g.deps)).collect();
+    let remaining = AtomicUsize::new(graph.nodes.len());
+    let failed = AtomicBool::new(false);
+    let queues: Vec<Mutex<VecDeque<u32>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    let park = (Mutex::new(()), Condvar::new());
+    let failure: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+    // Seed initially-ready nodes round-robin, in scheduled order so early
+    // workers start on the critical path.
+    let mut qi = 0usize;
+    for &i in order {
+        if graph.nodes[i as usize].deps == 0 {
+            queues[qi % workers].lock().unwrap().push_back(i);
+            qi += 1;
+        }
+    }
+
+    std::thread::scope(|s| {
+        for wid in 0..workers {
+            let (indeg, remaining, failed, queues, park, failure) =
+                (&indeg, &remaining, &failed, &queues, &park, &failure);
+            let done = || remaining.load(Ordering::Acquire) == 0 || failed.load(Ordering::Acquire);
+            s.spawn(move || loop {
+                if done() {
+                    park.1.notify_all();
+                    return;
+                }
+                let Some(i) = pop_node(queues, wid) else {
+                    let guard = park.0.lock().unwrap();
+                    if done() {
+                        drop(guard);
+                        park.1.notify_all();
+                        return;
+                    }
+                    // The timeout bounds any lost-wakeup window; workers
+                    // re-check the queues and the exit condition on expiry.
+                    let _ = park
+                        .1
+                        .wait_timeout(guard, Duration::from_micros(100))
+                        .unwrap();
+                    continue;
+                };
+                let node = &graph.nodes[i as usize];
+                if let Err(panic) = catch_unwind(AssertUnwindSafe(|| {
+                    apply_effect(store, kernels, node, false)
+                })) {
+                    let mut f = failure.lock().unwrap();
+                    if f.is_none() {
+                        *f = Some(panic);
+                    }
+                    drop(f);
+                    // A dedicated flag (not remaining = 0) stops the pool:
+                    // workers still mid-node will decrement `remaining`
+                    // afterwards, which must not wrap past zero.
+                    failed.store(true, Ordering::Release);
+                    park.1.notify_all();
+                    return;
+                }
+                let mut woke = false;
+                for &succ in &node.succs {
+                    if indeg[succ as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                        queues[wid].lock().unwrap().push_back(succ);
+                        woke = true;
+                    }
+                }
+                if woke {
+                    park.1.notify_all();
+                }
+                if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    park.1.notify_all();
+                    return;
+                }
+            });
+        }
+    });
+
+    if let Some(panic) = failure.into_inner().unwrap() {
+        resume_unwind(panic);
+    }
+}
+
+/// Pops from the worker's own queue (LIFO, for cache locality), stealing
+/// from a sibling's queue front (FIFO) when empty.
+fn pop_node(queues: &[Mutex<VecDeque<u32>>], wid: usize) -> Option<u32> {
+    if let Some(i) = queues[wid].lock().unwrap().pop_back() {
+        return Some(i);
+    }
+    let w = queues.len();
+    for k in 1..w {
+        if let Some(i) = queues[(wid + k) % w].lock().unwrap().pop_front() {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Applies one node's side effect (functional mode only).
+///
+/// `exclusive` marks single-threaded use: every instance lock is taken as a
+/// write lock, which lets tasks *move* read buffers out and back instead of
+/// cloning them (the locks are uncontended, so this restores the zero-copy
+/// behaviour of the pre-executor runtime). Concurrent callers pass `false`
+/// so that read requirements take shared locks.
+fn apply_effect(store: &Store, kernels: &[Arc<dyn Kernel>], node: &GNode, exclusive: bool) {
+    match &node.kind {
+        GNodeKind::Barrier => {}
+        GNodeKind::Fill { inst, value } => apply_fill(store, *inst, *value),
+        GNodeKind::Copy(c) => apply_copy(store, c),
+        GNodeKind::Task(t) => apply_task(store, kernels, t, exclusive),
+    }
+}
+
+fn apply_fill(store: &Store, inst: InstanceId, value: f64) {
+    let mut cell = store.buffer(inst).write().expect("poisoned buffer lock");
+    match cell.as_mut() {
+        Some(data) => data.fill(value),
+        None => {
+            let vol = store.instance(inst).rect.volume() as usize;
+            *cell = Some(vec![value; vol]);
+        }
+    }
+}
+
+/// A held per-instance buffer lock.
+enum BufGuard<'a> {
+    Read(RwLockReadGuard<'a, Option<Vec<f64>>>),
+    Write(RwLockWriteGuard<'a, Option<Vec<f64>>>),
+}
+
+fn apply_copy(store: &Store, c: &CopyNode) {
+    assert_ne!(c.src, c.dst, "copy source and destination must differ");
+    let src_alloc = &store.instance(c.src).rect;
+    let dst_alloc = &store.instance(c.dst).rect;
+    // Lock in instance-id order (deadlock avoidance). The source needs a
+    // write lock only when folding, which zeroes the folded part of the
+    // reduction buffer so partial folds never double-count contributions.
+    let (mut src_guard, mut dst_guard) = if c.src < c.dst {
+        let s = lock_buffer(store, c.src, c.reduce);
+        let d = lock_buffer(store, c.dst, true);
+        (s, d)
+    } else {
+        let d = lock_buffer(store, c.dst, true);
+        let s = lock_buffer(store, c.src, c.reduce);
+        (s, d)
+    };
+    if let (Some(src_data), Some(dst_data)) = (src_guard.data(), dst_guard.data_mut()) {
+        copy_rect(src_alloc, src_data, dst_alloc, dst_data, &c.rect, c.reduce);
+    }
+    if c.reduce {
+        if let Some(src_data) = src_guard.data_mut() {
+            for p in c.rect.points() {
+                src_data[src_alloc.linearize(&p)] = 0.0;
+            }
+        }
+    }
+}
+
+impl BufGuard<'_> {
+    /// The buffer behind the guard.
+    fn data(&self) -> Option<&Vec<f64>> {
+        match self {
+            BufGuard::Read(g) => g.as_ref(),
+            BufGuard::Write(g) => g.as_ref(),
+        }
+    }
+
+    /// Mutable access; panics on a read guard.
+    fn data_mut(&mut self) -> Option<&mut Vec<f64>> {
+        match self {
+            BufGuard::Read(_) => panic!("mutable access through a read lock"),
+            BufGuard::Write(g) => g.as_mut(),
+        }
+    }
+
+    /// Moves the buffer out (write guards only).
+    fn take(&mut self) -> Option<Vec<f64>> {
+        match self {
+            BufGuard::Read(_) => panic!("cannot take a buffer through a read lock"),
+            BufGuard::Write(g) => g.take(),
+        }
+    }
+
+    /// Puts a buffer back (write guards only).
+    fn restore(&mut self, data: Vec<f64>) {
+        match self {
+            BufGuard::Read(_) => panic!("cannot restore a buffer through a read lock"),
+            BufGuard::Write(g) => **g = Some(data),
+        }
+    }
+}
+
+fn lock_buffer(store: &Store, id: InstanceId, write: bool) -> BufGuard<'_> {
+    let cell = store.buffer(id);
+    if write {
+        BufGuard::Write(cell.write().expect("poisoned buffer lock"))
+    } else {
+        BufGuard::Read(cell.read().expect("poisoned buffer lock"))
+    }
+}
+
+fn apply_task(store: &Store, kernels: &[Arc<dyn Kernel>], task: &TaskNode, exclusive: bool) {
+    // Lock plan: one guard per distinct instance, write iff any requirement
+    // on it writes (or the caller is single-threaded and prefers moves over
+    // clones), acquired in ascending instance-id order.
+    let mut plan: Vec<(InstanceId, bool)> = Vec::with_capacity(task.args.len());
+    for (inst, privilege, _) in &task.args {
+        if inst.0 == u32::MAX {
+            continue;
+        }
+        let write = exclusive || !matches!(privilege, Privilege::Read);
+        match plan.iter_mut().find(|(i, _)| i == inst) {
+            Some((_, w)) => *w |= write,
+            None => plan.push((*inst, write)),
+        }
+    }
+    plan.sort_unstable_by_key(|(i, _)| *i);
+    let mut guards: Vec<(InstanceId, BufGuard<'_>)> = plan
+        .iter()
+        .map(|(i, w)| (*i, lock_buffer(store, *i, *w)))
+        .collect();
+
+    // Build kernel args: write-locked instances move their buffer out of
+    // the (held) guard zero-copy; read-locked instances clone only the
+    // requirement's rectangle, re-based to a tight allocation — broadcast
+    // instances read by many concurrent tasks cost one tile copy each, not
+    // a full-instance copy. Duplicate (aliased) read-only requirements on a
+    // moved buffer clone the earlier argument's view.
+    let mut first_use: Vec<Option<usize>> = Vec::with_capacity(task.args.len());
+    let mut args: Vec<KernelArg> = Vec::with_capacity(task.args.len());
+    for (idx, (inst, privilege, rect)) in task.args.iter().enumerate() {
+        if inst.0 == u32::MAX {
+            // Empty requirement from an over-decomposed launch point.
+            first_use.push(None);
+            args.push(KernelArg {
+                privilege: *privilege,
+                rect: rect.clone(),
+                alloc: distal_machine::geom::Rect::empty(rect.dim()),
+                data: Vec::new(),
+            });
+            continue;
+        }
+        let slot = guards
+            .binary_search_by_key(inst, |(i, _)| *i)
+            .expect("instance missing from lock plan");
+        if matches!(guards[slot].1, BufGuard::Read(_)) {
+            // Shared read: tight snapshot of just the requirement rect
+            // (duplicates of the same instance each take their own view).
+            let alloc = store.instance(*inst).rect.clone();
+            let data = match guards[slot].1.data() {
+                Some(src) => {
+                    let mut out = vec![0.0; rect.volume() as usize];
+                    copy_rect(&alloc, src, rect, &mut out, rect, false);
+                    out
+                }
+                None => Vec::new(),
+            };
+            first_use.push(None);
+            args.push(KernelArg {
+                privilege: *privilege,
+                rect: rect.clone(),
+                alloc: rect.clone(),
+                data,
+            });
+            continue;
+        }
+        let prior = task.args[..idx]
+            .iter()
+            .position(|(other, _, _)| other == inst);
+        if let Some(p) = prior {
+            assert!(
+                matches!(privilege, Privilege::Read),
+                "aliased writable requirements are not supported"
+            );
+            first_use.push(None);
+            let data = args[p].data.clone();
+            args.push(KernelArg {
+                privilege: *privilege,
+                rect: rect.clone(),
+                alloc: args[p].alloc.clone(),
+                data,
+            });
+            continue;
+        }
+        let guard = &mut guards[slot].1;
+        first_use.push(Some(slot));
+        args.push(KernelArg {
+            privilege: *privilege,
+            rect: rect.clone(),
+            alloc: store.instance(*inst).rect.clone(),
+            data: guard.take().unwrap_or_default(),
+        });
+    }
+
+    let mut ctx = KernelCtx {
+        args,
+        point: task.point.clone(),
+        scalars: task.scalars.clone(),
+    };
+    kernels[task.kernel.0 as usize].execute(&mut ctx);
+
+    for (arg, slot) in ctx.args.into_iter().zip(first_use) {
+        if let Some(s) = slot {
+            guards[s].1.restore(arg.data);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{Mode, Runtime};
+    use crate::kernel::NoopKernel;
+    use crate::program::{IndexLaunch, Op, Privilege, Program, RegionReq, TaskDesc};
+    use crate::topology::PhysicalMachine;
+    use distal_machine::geom::{Point, Rect};
+    use distal_machine::spec::MachineSpec;
+
+    /// A kernel that scales its first argument in place.
+    struct ScaleKernel(f64);
+    impl Kernel for ScaleKernel {
+        fn name(&self) -> &str {
+            "scale"
+        }
+        fn execute(&self, ctx: &mut KernelCtx) {
+            let arg = &mut ctx.args[0];
+            let rect = arg.rect.clone();
+            for p in rect.points() {
+                let v = arg.at(p.coords());
+                arg.set(p.coords(), v * self.0);
+            }
+        }
+    }
+
+    fn scale_program(rt: &Runtime, r: crate::region::RegionId, n: i64) -> Program {
+        let mut p = Program::new();
+        let k = p.register_kernel(Arc::new(ScaleKernel(2.0)));
+        let proc = rt.machine().cpu_proc(0, 0);
+        let mem = rt.machine().proc(proc).local_mem;
+        p.push(Op::SingleTask(TaskDesc::new(
+            k,
+            proc,
+            Point::zeros(1),
+            vec![RegionReq::new(
+                r,
+                Rect::sized(&[n]),
+                Privilege::ReadWrite,
+                mem,
+            )],
+        )));
+        p
+    }
+
+    #[test]
+    fn functional_kernel_mutates_data() {
+        let m = PhysicalMachine::new(MachineSpec::small(1));
+        let mut rt = Runtime::new(m, Mode::Functional);
+        let r = rt.create_region("A", Rect::sized(&[4]));
+        rt.set_region_data(r, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let p = scale_program(&rt, r, 4);
+        rt.run(&p).unwrap();
+        assert_eq!(rt.read_region(r).unwrap(), vec![2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn explicit_executors_agree_on_a_fanout_program() {
+        // One writer task, then an index launch of readers across nodes,
+        // then a reducer — exercises fills, copies, tasks, and folds under
+        // both executors (the parallel one forced to multiple workers).
+        let run = |executor: &dyn Executor| -> (Vec<f64>, RunStats) {
+            let m = PhysicalMachine::new(MachineSpec::small(2));
+            let mut rt = Runtime::new(m, Mode::Functional);
+            let r = rt.create_region("A", Rect::sized(&[16]));
+            let acc = rt.create_region("S", Rect::sized(&[16]));
+            rt.set_region_data(r, (0..16).map(|x| x as f64).collect())
+                .unwrap();
+            rt.set_region_data(acc, vec![0.0; 16]).unwrap();
+            let mut p = Program::new();
+            let scale = p.register_kernel(Arc::new(ScaleKernel(3.0)));
+            let mut tasks = Vec::new();
+            for node in 0..2 {
+                for sock in 0..2 {
+                    let proc = rt.machine().cpu_proc(node, sock);
+                    let mem = rt.machine().proc(proc).local_mem;
+                    let lo = (node * 2 + sock) as i64 * 4;
+                    let rect = Rect::new(Point::new(vec![lo]), Point::new(vec![lo + 3]));
+                    tasks.push(TaskDesc::new(
+                        scale,
+                        proc,
+                        Point::new(vec![lo / 4]),
+                        vec![
+                            RegionReq::new(acc, rect.clone(), Privilege::ReadWrite, mem),
+                            RegionReq::new(r, rect, Privilege::Read, mem),
+                        ],
+                    ));
+                }
+            }
+            p.push(Op::IndexLaunch(IndexLaunch {
+                name: "scale".into(),
+                tasks,
+            }));
+            let stats = rt.run_with(&p, executor).unwrap();
+            (rt.read_region(acc).unwrap(), stats)
+        };
+        let (serial_out, serial_stats) = run(&SerialExecutor);
+        let (parallel_out, parallel_stats) = run(&ParallelExecutor::new(4));
+        assert_eq!(serial_out, parallel_out);
+        assert_eq!(serial_stats.tasks, parallel_stats.tasks);
+        assert_eq!(serial_stats.copies, parallel_stats.copies);
+        assert_eq!(serial_stats.makespan_s, parallel_stats.makespan_s);
+        assert_eq!(serial_stats.bytes_by_class, parallel_stats.bytes_by_class);
+    }
+
+    #[test]
+    fn auto_resolution_picks_by_mode() {
+        assert_eq!(
+            ExecutorKind::Auto.resolve(Mode::Functional),
+            ExecutorKind::Parallel
+        );
+        assert_eq!(
+            ExecutorKind::Auto.resolve(Mode::Model),
+            ExecutorKind::Serial
+        );
+        assert_eq!(
+            ExecutorKind::Serial.resolve(Mode::Functional),
+            ExecutorKind::Serial
+        );
+    }
+
+    #[test]
+    fn parallel_executor_propagates_kernel_panics() {
+        struct PanicKernel;
+        impl Kernel for PanicKernel {
+            fn name(&self) -> &str {
+                "panic"
+            }
+            fn execute(&self, _ctx: &mut KernelCtx) {
+                panic!("kernel exploded");
+            }
+        }
+        let m = PhysicalMachine::new(MachineSpec::small(1));
+        let mut rt = Runtime::new(m, Mode::Functional);
+        let r = rt.create_region("A", Rect::sized(&[4]));
+        rt.set_region_data(r, vec![0.0; 4]).unwrap();
+        let mut p = Program::new();
+        let k = p.register_kernel(Arc::new(PanicKernel));
+        let proc = rt.machine().cpu_proc(0, 0);
+        let mem = rt.machine().proc(proc).local_mem;
+        p.push(Op::SingleTask(TaskDesc::new(
+            k,
+            proc,
+            Point::zeros(1),
+            vec![RegionReq::new(
+                r,
+                Rect::sized(&[4]),
+                Privilege::ReadWrite,
+                mem,
+            )],
+        )));
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            rt.run_with(&p, &ParallelExecutor::new(2))
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn panic_with_concurrent_inflight_worker_does_not_hang() {
+        // Regression: a worker panic must stop the pool even while another
+        // worker is mid-node; that worker's remaining-counter decrement
+        // must not wrap past zero and strand the exit condition.
+        struct PanicKernel;
+        impl Kernel for PanicKernel {
+            fn name(&self) -> &str {
+                "panic"
+            }
+            fn execute(&self, _ctx: &mut KernelCtx) {
+                panic!("kernel exploded");
+            }
+        }
+        struct SlowKernel;
+        impl Kernel for SlowKernel {
+            fn name(&self) -> &str {
+                "slow"
+            }
+            fn execute(&self, _ctx: &mut KernelCtx) {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+        let m = PhysicalMachine::new(MachineSpec::small(2));
+        let mut rt = Runtime::new(m, Mode::Functional);
+        let r0 = rt.create_region("A", Rect::sized(&[4]));
+        let r1 = rt.create_region("B", Rect::sized(&[4]));
+        rt.set_region_data(r0, vec![0.0; 4]).unwrap();
+        rt.set_region_data(r1, vec![0.0; 4]).unwrap();
+        let mut p = Program::new();
+        let kp = p.register_kernel(Arc::new(PanicKernel));
+        let ks = p.register_kernel(Arc::new(SlowKernel));
+        // Two independent tasks on different processors: both are ready at
+        // once, so one worker is inside SlowKernel when the other panics.
+        for (region, kernel, node) in [(r0, kp, 0), (r1, ks, 1)] {
+            let proc = rt.machine().cpu_proc(node, 0);
+            let mem = rt.machine().proc(proc).local_mem;
+            p.push(Op::SingleTask(TaskDesc::new(
+                kernel,
+                proc,
+                Point::zeros(1),
+                vec![RegionReq::new(
+                    region,
+                    Rect::sized(&[4]),
+                    Privilege::ReadWrite,
+                    mem,
+                )],
+            )));
+        }
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            rt.run_with(&p, &ParallelExecutor::new(2))
+        }));
+        assert!(result.is_err(), "panic must propagate, not hang");
+    }
+
+    #[test]
+    fn parallel_tasks_overlap_in_time() {
+        let m = PhysicalMachine::new(MachineSpec::lassen(2));
+        let mut rt = Runtime::new(m, Mode::Model);
+        let r = rt.create_region("A", Rect::sized(&[1024]));
+        rt.fill_region(r, 0.0).unwrap();
+        let mut p = Program::new();
+        let k = p.register_kernel(Arc::new(NoopKernel));
+        let flops = 1e9;
+        let mk = |rt: &Runtime, node: usize, lo: i64, hi: i64| {
+            let proc = rt.machine().cpu_proc(node, 0);
+            let mem = rt.machine().proc(proc).local_mem;
+            let mut t = TaskDesc::new(
+                k,
+                proc,
+                Point::new(vec![node as i64]),
+                vec![RegionReq::new(
+                    r,
+                    Rect::new(Point::new(vec![lo]), Point::new(vec![hi])),
+                    Privilege::Read,
+                    mem,
+                )],
+            );
+            t.flops = flops;
+            t
+        };
+        let t0 = mk(&rt, 0, 0, 511);
+        let t1 = mk(&rt, 1, 512, 1023);
+        p.push(Op::IndexLaunch(IndexLaunch {
+            name: "l".into(),
+            tasks: vec![t0.clone(), t1.clone()],
+        }));
+        let both = rt.run(&p).unwrap();
+
+        // Same two tasks serialized on one processor take ~2x as long.
+        let m2 = PhysicalMachine::new(MachineSpec::lassen(2));
+        let mut rt2 = Runtime::new(m2, Mode::Model);
+        let r2 = rt2.create_region("A", Rect::sized(&[1024]));
+        rt2.fill_region(r2, 0.0).unwrap();
+        let mut p2 = Program::new();
+        let k2 = p2.register_kernel(Arc::new(NoopKernel));
+        let proc = rt2.machine().cpu_proc(0, 0);
+        let mem = rt2.machine().proc(proc).local_mem;
+        for (lo, hi) in [(0, 511), (512, 1023)] {
+            let mut t = TaskDesc::new(
+                k2,
+                proc,
+                Point::zeros(1),
+                vec![RegionReq::new(
+                    r2,
+                    Rect::new(Point::new(vec![lo]), Point::new(vec![hi])),
+                    Privilege::Read,
+                    mem,
+                )],
+            );
+            t.flops = flops;
+            p2.push(Op::SingleTask(t));
+        }
+        let serial = rt2.run(&p2).unwrap();
+        assert!(
+            serial.makespan_s > 1.8 * both.makespan_s,
+            "serial {} vs parallel {}",
+            serial.makespan_s,
+            both.makespan_s
+        );
+    }
+
+    #[test]
+    fn barrier_serializes_phases() {
+        let m = PhysicalMachine::new(MachineSpec::lassen(2));
+        let mut rt = Runtime::new(m, Mode::Model);
+        let r = rt.create_region("A", Rect::sized(&[2, 1024]));
+        rt.fill_region(r, 0.0).unwrap();
+        let build = |with_barrier: bool, rt: &Runtime| {
+            let mut p = Program::new();
+            let k = p.register_kernel(Arc::new(NoopKernel));
+            for step in 0..2 {
+                let proc = rt.machine().cpu_proc(step, 0);
+                let mem = rt.machine().proc(proc).local_mem;
+                let mut t = TaskDesc::new(
+                    k,
+                    proc,
+                    Point::new(vec![step as i64]),
+                    vec![RegionReq::new(
+                        r,
+                        Rect::sized(&[2, 1024]).restrict(0, step as i64, step as i64),
+                        Privilege::Read,
+                        mem,
+                    )],
+                );
+                t.flops = 1e9;
+                p.push(Op::SingleTask(t));
+                if with_barrier {
+                    p.push(Op::Barrier);
+                }
+            }
+            p
+        };
+        let free = rt.run(&build(false, &rt)).unwrap();
+        // Re-seed to reset coherence for a fair second run.
+        rt.fill_region(r, 0.0).unwrap();
+        let barriered = rt.run(&build(true, &rt)).unwrap();
+        assert!(
+            barriered.makespan_s > 1.8 * free.makespan_s,
+            "barrier {} vs free {}",
+            barriered.makespan_s,
+            free.makespan_s
+        );
+    }
+
+    #[test]
+    fn copy_log_records_transfers() {
+        let m = PhysicalMachine::new(MachineSpec::small(2));
+        let mut rt = Runtime::new(m, Mode::Model);
+        rt.record_copies(true);
+        let r = rt.create_region("A", Rect::sized(&[16]));
+        rt.fill_region(r, 0.0).unwrap();
+        let mut p = Program::new();
+        let k = p.register_kernel(Arc::new(NoopKernel));
+        let p1 = rt.machine().cpu_proc(1, 0);
+        let m1 = rt.machine().proc(p1).local_mem;
+        p.push(Op::SingleTask(TaskDesc::new(
+            k,
+            p1,
+            Point::zeros(1),
+            vec![RegionReq::new(r, Rect::sized(&[16]), Privilege::Read, m1)],
+        )));
+        let stats = rt.run(&p).unwrap();
+        let log = stats.copy_log.as_ref().unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].bytes, 128);
+    }
+}

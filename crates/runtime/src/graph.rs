@@ -226,9 +226,10 @@ impl<'a> GraphBuilder<'a> {
                     }
                 }
                 Op::Barrier => b.process_barrier(),
-                Op::DiscardScratch { region, keep_recent } => {
-                    b.process_discard(*region, *keep_recent)
-                }
+                Op::DiscardScratch {
+                    region,
+                    keep_recent,
+                } => b.process_discard(*region, *keep_recent),
             }
         }
         Ok(Graph { nodes: b.nodes })
@@ -246,7 +247,13 @@ impl<'a> GraphBuilder<'a> {
         self.meta.get(id.0 as usize)
     }
 
-    fn add_node(&mut self, kind: GNodeKind, duration: f64, resources: [Option<ResourceId>; 2], deps: Vec<u32>) -> u32 {
+    fn add_node(
+        &mut self,
+        kind: GNodeKind,
+        duration: f64,
+        resources: [Option<ResourceId>; 2],
+        deps: Vec<u32>,
+    ) -> u32 {
         let id = self.nodes.len() as u32;
         let mut deps = deps;
         if let Some(b) = self.barrier {
@@ -328,12 +335,7 @@ impl<'a> GraphBuilder<'a> {
             InstanceRole::Home,
             self.functional,
         )?;
-        let node = self.add_node(
-            GNodeKind::Fill { inst: id, value },
-            0.0,
-            [None, None],
-            deps,
-        );
+        let node = self.add_node(GNodeKind::Fill { inst: id, value }, 0.0, [None, None], deps);
         self.store.instance_mut(id).valid = distal_machine::geom::RectSet::from_rect(rect.clone());
         self.meta(id).producers = vec![(rect, node)];
         Ok(())
@@ -344,9 +346,18 @@ impl<'a> GraphBuilder<'a> {
         let mut args: Vec<(InstanceId, Privilege, Rect)> = Vec::new();
         // Post-processing actions to apply once the task node id exists.
         enum Post {
-            Read { inst: InstanceId, rect: Rect },
-            Write { inst: InstanceId, rect: Rect, region: RegionId },
-            Reduce { inst: InstanceId },
+            Read {
+                inst: InstanceId,
+                rect: Rect,
+            },
+            Write {
+                inst: InstanceId,
+                rect: Rect,
+                region: RegionId,
+            },
+            Reduce {
+                inst: InstanceId,
+            },
         }
         let mut posts: Vec<Post> = Vec::new();
 
@@ -372,18 +383,28 @@ impl<'a> GraphBuilder<'a> {
                     };
                     let inst = self.materialize(req.region, &req.rect, req.mem, &mut deps, role)?;
                     args.push((inst, req.privilege, req.rect.clone()));
-                    posts.push(Post::Read { inst, rect: req.rect.clone() });
+                    posts.push(Post::Read {
+                        inst,
+                        rect: req.rect.clone(),
+                    });
                 }
                 Privilege::Write | Privilege::ReadWrite => {
                     let inst = if req.privilege == Privilege::ReadWrite {
-                        self.materialize(req.region, &req.rect, req.mem, &mut deps, InstanceRole::Home)?
+                        self.materialize(
+                            req.region,
+                            &req.rect,
+                            req.mem,
+                            &mut deps,
+                            InstanceRole::Home,
+                        )?
                     } else {
                         self.dest_instance(req.region, &req.rect, req.mem, InstanceRole::Home)?
                     };
                     // WAW/WAR against every instance of the region. Reader
                     // hazards are tracked per physical instance and persist
                     // across invalidation, so buffer reuse stays safe.
-                    let others: Vec<InstanceId> = self.store.by_region[req.region.0 as usize].clone();
+                    let others: Vec<InstanceId> =
+                        self.store.by_region[req.region.0 as usize].clone();
                     for other in others {
                         let m = self.meta(other);
                         for (r, n) in &m.producers {
@@ -407,7 +428,11 @@ impl<'a> GraphBuilder<'a> {
                         }
                     }
                     args.push((inst, req.privilege, req.rect.clone()));
-                    posts.push(Post::Write { inst, rect: req.rect.clone(), region: req.region });
+                    posts.push(Post::Write {
+                        inst,
+                        rect: req.rect.clone(),
+                        region: req.region,
+                    });
                 }
                 Privilege::Reduce => {
                     let inst = self.reduction_instance(req.region, &req.rect, req.mem)?;
@@ -456,7 +481,7 @@ impl<'a> GraphBuilder<'a> {
                     let i = self.store.instance_mut(inst);
                     i.valid.add(rect.clone());
                     i.depth = 0; // produced here
-                    // Output data must never be retired by scratch discards.
+                                 // Output data must never be retired by scratch discards.
                     if i.role == InstanceRole::Scratch {
                         i.role = InstanceRole::Home;
                     }
@@ -496,9 +521,14 @@ impl<'a> GraphBuilder<'a> {
         }
         match best {
             Some(id) => Ok(id),
-            None => self
-                .store
-                .create_instance(self.machine, region, mem, rect.clone(), role, self.functional),
+            None => self.store.create_instance(
+                self.machine,
+                region,
+                mem,
+                rect.clone(),
+                role,
+                self.functional,
+            ),
         }
     }
 
@@ -544,13 +574,10 @@ impl<'a> GraphBuilder<'a> {
             if piece.is_empty() {
                 continue;
             }
-            let real_cover = self
-                .select_source(region, &piece, dest)
-                .ok()
-                .map(|src| {
-                    self.machine.mem(self.store.instance(src).mem).kind
-                        != distal_machine::spec::MemKind::Global
-                });
+            let real_cover = self.select_source(region, &piece, dest).ok().map(|src| {
+                self.machine.mem(self.store.instance(src).mem).kind
+                    != distal_machine::spec::MemKind::Global
+            });
             // Split off the part covered by some real instance.
             let mut carved = None;
             if real_cover != Some(true) {
@@ -806,10 +833,7 @@ impl<'a> GraphBuilder<'a> {
             // linear chains; then planned outbound memory load; then the
             // newest instance.
             let freshness = u64::MAX - inst.gen;
-            let served = self
-                .meta_ref(*id)
-                .map(|m| m.served)
-                .unwrap_or(0) as u64;
+            let served = self.meta_ref(*id).map(|m| m.served).unwrap_or(0) as u64;
             let tree = inst.depth as u64 + served;
             let load = self.planned_out[inst.mem.0 as usize];
             let recency = (u32::MAX - id.0) as u64;
@@ -881,8 +905,18 @@ mod tests {
         let mem = rt.machine().proc(proc).local_mem;
         let req = RegionReq::new(r, Rect::sized(&[8]), Privilege::Read, mem);
         // Two identical tasks: the second must not copy again.
-        p.push(Op::SingleTask(TaskDesc::new(k, proc, Point::zeros(1), vec![req.clone()])));
-        p.push(Op::SingleTask(TaskDesc::new(k, proc, Point::zeros(1), vec![req])));
+        p.push(Op::SingleTask(TaskDesc::new(
+            k,
+            proc,
+            Point::zeros(1),
+            vec![req.clone()],
+        )));
+        p.push(Op::SingleTask(TaskDesc::new(
+            k,
+            proc,
+            Point::zeros(1),
+            vec![req],
+        )));
         let stats = rt.run(&p).unwrap();
         assert_eq!(stats.tasks, 2);
         // One staging copy; staging copies are not counted in `copies`.
@@ -907,15 +941,21 @@ mod tests {
         // a second reader on node 0 must re-fetch across the network.
         let rect = Rect::sized(&[4]);
         p.push(Op::SingleTask(TaskDesc::new(
-            k, p0, Point::zeros(1),
+            k,
+            p0,
+            Point::zeros(1),
             vec![RegionReq::new(r, rect.clone(), Privilege::Read, m0)],
         )));
         p.push(Op::SingleTask(TaskDesc::new(
-            k, p1, Point::zeros(1),
+            k,
+            p1,
+            Point::zeros(1),
             vec![RegionReq::new(r, rect.clone(), Privilege::ReadWrite, m1)],
         )));
         p.push(Op::SingleTask(TaskDesc::new(
-            k, p0, Point::zeros(1),
+            k,
+            p0,
+            Point::zeros(1),
             vec![RegionReq::new(r, rect, Privilege::Read, m0)],
         )));
         let stats = rt.run(&p).unwrap();
@@ -936,10 +976,15 @@ mod tests {
         let proc = rt.machine().cpu_proc(0, 0);
         let mem = rt.machine().proc(proc).local_mem;
         p.push(Op::SingleTask(TaskDesc::new(
-            k, proc, Point::zeros(1),
+            k,
+            proc,
+            Point::zeros(1),
             vec![RegionReq::new(r, Rect::sized(&[5]), Privilege::Read, mem)],
         )));
-        assert!(matches!(rt.run(&p), Err(RuntimeError::InvalidRequirement { .. })));
+        assert!(matches!(
+            rt.run(&p),
+            Err(RuntimeError::InvalidRequirement { .. })
+        ));
     }
 
     #[test]
@@ -952,10 +997,15 @@ mod tests {
         let proc = rt.machine().cpu_proc(0, 0);
         let mem = rt.machine().proc(proc).local_mem;
         p.push(Op::SingleTask(TaskDesc::new(
-            k, proc, Point::zeros(1),
+            k,
+            proc,
+            Point::zeros(1),
             vec![RegionReq::new(r, Rect::sized(&[4]), Privilege::Read, mem)],
         )));
-        assert!(matches!(rt.run(&p), Err(RuntimeError::UninitializedData { .. })));
+        assert!(matches!(
+            rt.run(&p),
+            Err(RuntimeError::UninitializedData { .. })
+        ));
     }
 
     #[test]
@@ -971,8 +1021,15 @@ mod tests {
         let proc = rt.machine().gpu_proc(0, 0);
         let mem = rt.machine().proc(proc).local_mem;
         p.push(Op::SingleTask(TaskDesc::new(
-            k, proc, Point::zeros(1),
-            vec![RegionReq::new(r, Rect::sized(&[1024]), Privilege::Read, mem)],
+            k,
+            proc,
+            Point::zeros(1),
+            vec![RegionReq::new(
+                r,
+                Rect::sized(&[1024]),
+                Privilege::Read,
+                mem,
+            )],
         )));
         assert!(matches!(rt.run(&p), Err(RuntimeError::OutOfMemory { .. })));
     }
@@ -988,10 +1045,15 @@ mod tests {
         let proc = rt.machine().cpu_proc(0, 0);
         let mem = rt.machine().proc(proc).local_mem;
         p.push(Op::SingleTask(TaskDesc::new(
-            k, proc, Point::zeros(1),
+            k,
+            proc,
+            Point::zeros(1),
             vec![RegionReq::new(r, Rect::sized(&[64]), Privilege::Read, mem)],
         )));
-        p.push(Op::DiscardScratch { region: r, keep_recent: 0 });
+        p.push(Op::DiscardScratch {
+            region: r,
+            keep_recent: 0,
+        });
         rt.run(&p).unwrap();
         assert_eq!(rt.used_bytes(mem), 0);
         assert_eq!(rt.peak_bytes(mem), 64 * 8);

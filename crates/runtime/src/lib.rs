@@ -44,16 +44,18 @@
 //! ```
 
 pub mod exec;
+pub mod executor;
 pub mod graph;
 pub mod kernel;
 pub mod program;
 pub mod region;
-pub mod sim;
+pub(crate) mod sim;
 pub mod stats;
 pub mod topology;
 pub mod trace;
 
 pub use exec::{Mode, Runtime, RuntimeError};
+pub use executor::{ExecCtx, Executor, ExecutorKind, ParallelExecutor, SerialExecutor};
 pub use kernel::{Kernel, KernelArg, KernelCtx};
 pub use program::{IndexLaunch, KernelId, Op, Privilege, Program, RegionReq, TaskDesc};
 pub use region::RegionId;

@@ -156,7 +156,12 @@ pub struct Program {
 
 impl fmt::Debug for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Program ({} ops, {} kernels):", self.ops.len(), self.kernels.len())?;
+        writeln!(
+            f,
+            "Program ({} ops, {} kernels):",
+            self.ops.len(),
+            self.kernels.len()
+        )?;
         for (i, op) in self.ops.iter().enumerate() {
             match op {
                 Op::Fill { region, value } => writeln!(f, "  [{i}] fill {region:?} = {value}")?,
@@ -175,9 +180,10 @@ impl fmt::Debug for Program {
                     l.tasks.len()
                 )?,
                 Op::Barrier => writeln!(f, "  [{i}] barrier")?,
-                Op::DiscardScratch { region, keep_recent } => {
-                    writeln!(f, "  [{i}] discard scratch {region:?} keep {keep_recent}")?
-                }
+                Op::DiscardScratch {
+                    region,
+                    keep_recent,
+                } => writeln!(f, "  [{i}] discard scratch {region:?} keep {keep_recent}")?,
             }
         }
         Ok(())
@@ -242,8 +248,16 @@ mod tests {
         let mut p = Program::new();
         let k = p.register_kernel(Arc::new(NoopKernel));
         assert_eq!(k, KernelId(0));
-        p.push(Op::Fill { region: RegionId(0), value: 0.0 });
-        p.push(Op::SingleTask(TaskDesc::new(k, ProcId(0), Point::zeros(1), vec![])));
+        p.push(Op::Fill {
+            region: RegionId(0),
+            value: 0.0,
+        });
+        p.push(Op::SingleTask(TaskDesc::new(
+            k,
+            ProcId(0),
+            Point::zeros(1),
+            vec![],
+        )));
         p.push(Op::IndexLaunch(IndexLaunch {
             name: "l".into(),
             tasks: vec![
@@ -262,7 +276,12 @@ mod tests {
         a.register_kernel(Arc::new(NoopKernel));
         let mut b = Program::new();
         let kb = b.register_kernel(Arc::new(NoopKernel));
-        b.push(Op::SingleTask(TaskDesc::new(kb, ProcId(0), Point::zeros(1), vec![])));
+        b.push(Op::SingleTask(TaskDesc::new(
+            kb,
+            ProcId(0),
+            Point::zeros(1),
+            vec![],
+        )));
         a.extend(b);
         match &a.ops[0] {
             Op::SingleTask(t) => assert_eq!(t.kernel, KernelId(1)),

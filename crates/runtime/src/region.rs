@@ -87,47 +87,40 @@ pub struct Instance {
     /// served-copy count, it shapes one-to-many transfers into binomial
     /// trees instead of linear chains.
     pub depth: u32,
-    /// Backing data in functional mode (`None` in model mode).
-    pub data: Option<Vec<f64>>,
 }
+
+/// The interior-mutable backing buffer of one instance (functional mode;
+/// `None` in model mode or before seeding).
+///
+/// Buffers live in [`crate::exec::Store`] *beside* the instance metadata —
+/// rather than inside [`Instance`] — so that executors can share the store
+/// immutably across worker threads while mutating buffers under per-instance
+/// locks. The dependence DAG serializes conflicting accesses; the locks make
+/// that guarantee checkable by the type system.
+pub type DataCell = std::sync::RwLock<Option<Vec<f64>>>;
 
 impl Instance {
     /// Allocation size in bytes.
     pub fn bytes(&self) -> u64 {
         self.rect.volume() as u64 * ELEM_BYTES
     }
-
-    /// Reads the element at `p` (functional mode only).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the instance has no data or `p` is outside its bounds.
-    pub fn read(&self, p: &Point) -> f64 {
-        let idx = self.rect.linearize(p);
-        self.data.as_ref().expect("instance has no data")[idx]
-    }
-
-    /// Writes the element at `p` (functional mode only).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the instance has no data or `p` is outside its bounds.
-    pub fn write(&mut self, p: &Point, v: f64) {
-        let idx = self.rect.linearize(p);
-        self.data.as_mut().expect("instance has no data")[idx] = v;
-    }
 }
 
-/// Copies `rect` of `src` into `dst` element-wise (functional mode).
+/// Copies `rect` between row-major buffers element-wise (functional mode).
 ///
-/// Both instances must cover `rect`. `reduce` folds with `+=` instead of
+/// `src_alloc`/`dst_alloc` are the allocation bounds the buffers are laid
+/// out over; both must cover `rect`. `reduce` folds with `+=` instead of
 /// overwriting (used when applying reduction buffers).
-pub fn copy_rect(src: &Instance, dst: &mut Instance, rect: &Rect, reduce: bool) {
-    debug_assert!(src.rect.contains_rect(rect));
-    debug_assert!(dst.rect.contains_rect(rect));
-    if src.data.is_none() || dst.data.is_none() {
-        return;
-    }
+pub fn copy_rect(
+    src_alloc: &Rect,
+    src_data: &[f64],
+    dst_alloc: &Rect,
+    dst_data: &mut [f64],
+    rect: &Rect,
+    reduce: bool,
+) {
+    debug_assert!(src_alloc.contains_rect(rect));
+    debug_assert!(dst_alloc.contains_rect(rect));
     // Fast path: copy contiguous runs along the last dimension.
     let dim = rect.dim();
     if rect.is_empty() {
@@ -135,8 +128,8 @@ pub fn copy_rect(src: &Instance, dst: &mut Instance, rect: &Rect, reduce: bool) 
     }
     if dim == 0 {
         // Scalar (0-dimensional) regions hold exactly one element.
-        let v = src.data.as_ref().unwrap()[0];
-        let d = &mut dst.data.as_mut().unwrap()[0];
+        let v = src_data[0];
+        let d = &mut dst_data[0];
         if reduce {
             *d += v;
         } else {
@@ -163,10 +156,8 @@ pub fn copy_rect(src: &Instance, dst: &mut Instance, rect: &Rect, reduce: bool) 
             start.push(rect.lo()[dim - 1]);
         }
         let start = Point::new(start);
-        let s_off = src.rect.linearize(&start);
-        let d_off = dst.rect.linearize(&start);
-        let src_data = src.data.as_ref().unwrap();
-        let dst_data = dst.data.as_mut().unwrap();
+        let s_off = src_alloc.linearize(&start);
+        let d_off = dst_alloc.linearize(&start);
         if reduce {
             for i in 0..row_len {
                 dst_data[d_off + i] += src_data[s_off + i];
@@ -181,7 +172,7 @@ pub fn copy_rect(src: &Instance, dst: &mut Instance, rect: &Rect, reduce: bool) 
 mod tests {
     use super::*;
 
-    fn inst(id: u32, rect: Rect, data: Vec<f64>) -> Instance {
+    fn inst(id: u32, rect: Rect) -> Instance {
         Instance {
             id: InstanceId(id),
             region: RegionId(0),
@@ -191,51 +182,56 @@ mod tests {
             role: InstanceRole::Home,
             gen: 0,
             depth: 0,
-            data: Some(data),
         }
     }
 
     #[test]
-    fn read_write_roundtrip() {
-        let r = Rect::sized(&[2, 3]);
-        let mut i = inst(0, r.clone(), vec![0.0; 6]);
-        i.write(&Point::new(vec![1, 2]), 7.5);
-        assert_eq!(i.read(&Point::new(vec![1, 2])), 7.5);
+    fn instance_bytes() {
+        let i = inst(0, Rect::sized(&[2, 3]));
         assert_eq!(i.bytes(), 48);
     }
 
     #[test]
     fn copy_rect_full_and_sub() {
         let r = Rect::sized(&[4, 4]);
-        let src = inst(0, r.clone(), (0..16).map(|x| x as f64).collect());
-        let mut dst = inst(1, r.clone(), vec![0.0; 16]);
-        copy_rect(&src, &mut dst, &r, false);
-        assert_eq!(dst.data.as_ref().unwrap(), src.data.as_ref().unwrap());
+        let src: Vec<f64> = (0..16).map(|x| x as f64).collect();
+        let mut dst = vec![0.0; 16];
+        copy_rect(&r, &src, &r, &mut dst, &r, false);
+        assert_eq!(dst, src);
 
-        // Sub-rectangle copy into an instance with different bounds.
+        // Sub-rectangle copy into a buffer with different bounds.
         let sub = Rect::new(Point::new(vec![1, 1]), Point::new(vec![2, 2]));
-        let mut small = inst(2, sub.clone(), vec![0.0; 4]);
-        copy_rect(&src, &mut small, &sub, false);
-        assert_eq!(small.read(&Point::new(vec![1, 1])), 5.0);
-        assert_eq!(small.read(&Point::new(vec![2, 2])), 10.0);
+        let mut small = vec![0.0; 4];
+        copy_rect(&r, &src, &sub, &mut small, &sub, false);
+        assert_eq!(small[sub.linearize(&Point::new(vec![1, 1]))], 5.0);
+        assert_eq!(small[sub.linearize(&Point::new(vec![2, 2]))], 10.0);
     }
 
     #[test]
     fn copy_rect_reduce_accumulates() {
         let r = Rect::sized(&[2, 2]);
-        let src = inst(0, r.clone(), vec![1.0; 4]);
-        let mut dst = inst(1, r.clone(), vec![2.0; 4]);
-        copy_rect(&src, &mut dst, &r, true);
-        assert_eq!(dst.data.as_ref().unwrap(), &vec![3.0; 4]);
+        let src = vec![1.0; 4];
+        let mut dst = vec![2.0; 4];
+        copy_rect(&r, &src, &r, &mut dst, &r, true);
+        assert_eq!(dst, vec![3.0; 4]);
     }
 
     #[test]
     fn copy_rect_1d() {
         let r = Rect::sized(&[5]);
-        let src = inst(0, r.clone(), (0..5).map(|x| x as f64).collect());
-        let mut dst = inst(1, r.clone(), vec![0.0; 5]);
+        let src: Vec<f64> = (0..5).map(|x| x as f64).collect();
+        let mut dst = vec![0.0; 5];
         let sub = Rect::new(Point::new(vec![1]), Point::new(vec![3]));
-        copy_rect(&src, &mut dst, &sub, false);
-        assert_eq!(dst.data.as_ref().unwrap(), &vec![0.0, 1.0, 2.0, 3.0, 0.0]);
+        copy_rect(&r, &src, &r, &mut dst, &sub, false);
+        assert_eq!(dst, vec![0.0, 1.0, 2.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn copy_rect_scalar() {
+        let r = Rect::sized(&[]);
+        let src = vec![4.0];
+        let mut dst = vec![1.0];
+        copy_rect(&r, &src, &r, &mut dst, &r, true);
+        assert_eq!(dst, vec![5.0]);
     }
 }

@@ -1,25 +1,25 @@
-//! Event-driven simulation of the execution DAG.
+//! Event-driven timing simulation of the execution DAG.
 //!
 //! Processors and per-memory in/out ports are serial resources. A node may
 //! start once all of its predecessors have finished and its resources are
 //! free; communication and computation overlap exactly as the dependence
 //! graph allows, mirroring Legion's deferred-execution model (§6).
 //!
-//! In functional mode, a node's side effect (copy, fill, or kernel) runs at
-//! the moment it is scheduled; because scheduling order respects the DAG,
-//! numerics are deterministic and independent of the simulated timing.
+//! This pass is *pure*: it walks the DAG deterministically, computes every
+//! statistic in [`RunStats`], and records the order in which nodes were
+//! scheduled — but touches no instance data. Side effects (copies, fills,
+//! leaf kernels) are applied separately by an
+//! [`Executor`](crate::executor::Executor), either serially in the recorded
+//! order or concurrently along the DAG; both yield identical numerics
+//! because the DAG serializes every conflicting access. Keeping the timing
+//! pass shared between executors is what makes their statistics
+//! bit-identical by construction.
 
-use crate::exec::Store;
 use crate::graph::{GNodeKind, Graph, ResourceMap};
-use crate::kernel::{Kernel, KernelArg, KernelCtx};
-use crate::program::Privilege;
-use crate::region::{copy_rect, InstanceId};
 use crate::stats::{ChannelClass, CopyKind, CopyLogEntry, RunStats};
 use crate::topology::PhysicalMachine;
-use distal_machine::geom::Rect;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::Arc;
 
 /// Heap key ordered by (time, sequence) with total float ordering.
 #[derive(PartialEq)]
@@ -44,15 +44,22 @@ impl Ord for Key {
     }
 }
 
-/// Runs the DAG to completion and returns statistics.
-pub(crate) fn simulate(
+/// The outcome of the timing pass.
+pub(crate) struct SimSchedule {
+    /// Node indices in the deterministic order they were scheduled
+    /// (a topological order of the DAG).
+    pub order: Vec<u32>,
+    /// Full run statistics (except peak memory, added by the runtime).
+    pub stats: RunStats,
+}
+
+/// Runs the timing simulation over the DAG and returns per-run statistics
+/// plus the scheduling order.
+pub(crate) fn schedule_graph(
     machine: &PhysicalMachine,
-    store: &mut Store,
     graph: &Graph,
-    kernels: &[Arc<dyn Kernel>],
-    functional: bool,
     record_copies: bool,
-) -> RunStats {
+) -> SimSchedule {
     let rmap = ResourceMap::new(machine);
     let n = graph.nodes.len();
     let mut indeg: Vec<u32> = graph.nodes.iter().map(|g| g.deps).collect();
@@ -63,13 +70,20 @@ pub(crate) fn simulate(
         proc_busy_s: vec![0.0; machine.procs().len()],
         ..RunStats::default()
     };
-    let mut copy_log = if record_copies { Some(Vec::new()) } else { None };
+    let mut copy_log = if record_copies {
+        Some(Vec::new())
+    } else {
+        None
+    };
+    let mut order: Vec<u32> = Vec::with_capacity(n);
     let mut makespan: f64 = 0.0;
 
     for (i, g) in graph.nodes.iter().enumerate() {
         if g.deps == 0 {
-            let _ = g;
-            heap.push(Reverse(Key { t: 0.0, seq: i as u32 }));
+            heap.push(Reverse(Key {
+                t: 0.0,
+                seq: i as u32,
+            }));
         }
     }
 
@@ -90,19 +104,10 @@ pub(crate) fn simulate(
             free[r.0 as usize] = end;
         }
         makespan = makespan.max(end);
+        order.push(seq);
 
         match &node.kind {
-            GNodeKind::Barrier => {}
-            GNodeKind::Fill { inst, value } => {
-                if functional {
-                    if let Some(data) = &mut store.instances[inst.0 as usize].data {
-                        data.fill(*value);
-                    } else {
-                        let vol = store.instances[inst.0 as usize].rect.volume() as usize;
-                        store.instances[inst.0 as usize].data = Some(vec![*value; vol]);
-                    }
-                }
-            }
+            GNodeKind::Barrier | GNodeKind::Fill { .. } => {}
             GNodeKind::Copy(c) => {
                 if c.class != ChannelClass::Staging {
                     stats.copies += 1;
@@ -110,9 +115,6 @@ pub(crate) fn simulate(
                 *stats.bytes_by_class.entry(c.class).or_insert(0) += c.bytes;
                 if c.reduce {
                     stats.reductions_applied += 1;
-                }
-                if functional {
-                    execute_copy(store, c.src, c.dst, &c.rect, c.reduce);
                 }
                 if let Some(log) = &mut copy_log {
                     log.push(CopyLogEntry {
@@ -124,7 +126,11 @@ pub(crate) fn simulate(
                         bytes: c.bytes,
                         start_s: start,
                         end_s: end,
-                        kind: if c.reduce { CopyKind::ReduceApply } else { CopyKind::Data },
+                        kind: if c.reduce {
+                            CopyKind::ReduceApply
+                        } else {
+                            CopyKind::Data
+                        },
                     });
                 }
             }
@@ -132,9 +138,6 @@ pub(crate) fn simulate(
                 stats.tasks += 1;
                 stats.total_flops += task.flops;
                 stats.proc_busy_s[task.proc.0 as usize] += node.duration;
-                if functional {
-                    execute_task(store, kernels, task);
-                }
             }
         }
 
@@ -154,260 +157,5 @@ pub(crate) fn simulate(
 
     stats.makespan_s = makespan;
     stats.copy_log = copy_log;
-    stats
-}
-
-/// Borrows two distinct instances mutably.
-fn two_insts(
-    store: &mut Store,
-    a: InstanceId,
-    b: InstanceId,
-) -> (&mut crate::region::Instance, &mut crate::region::Instance) {
-    let (ai, bi) = (a.0 as usize, b.0 as usize);
-    assert_ne!(ai, bi, "copy source and destination must differ");
-    if ai < bi {
-        let (lo, hi) = store.instances.split_at_mut(bi);
-        (&mut lo[ai], &mut hi[0])
-    } else {
-        let (lo, hi) = store.instances.split_at_mut(ai);
-        (&mut hi[0], &mut lo[bi])
-    }
-}
-
-fn execute_copy(store: &mut Store, src: InstanceId, dst: InstanceId, rect: &Rect, reduce: bool) {
-    let (s, d) = two_insts(store, src, dst);
-    copy_rect(s, d, rect, reduce);
-    if reduce {
-        // Zero the folded part of the reduction buffer so that partial folds
-        // (and the final gather) never double-count contributions.
-        if let Some(data) = &mut s.data {
-            let alloc = s.rect.clone();
-            for p in rect.points() {
-                data[alloc.linearize(&p)] = 0.0;
-            }
-        }
-    }
-}
-
-fn execute_task(store: &mut Store, kernels: &[Arc<dyn Kernel>], task: &crate::graph::TaskNode) {
-    // Move instance buffers out, build kernel args, run, and restore.
-    // Duplicate (aliased) read-only instances get a cloned view.
-    let mut first_use: Vec<Option<usize>> = Vec::with_capacity(task.args.len());
-    let mut args: Vec<KernelArg> = Vec::with_capacity(task.args.len());
-    for (idx, (inst, privilege, rect)) in task.args.iter().enumerate() {
-        if inst.0 == u32::MAX {
-            // Empty requirement from an over-decomposed launch point.
-            first_use.push(None);
-            args.push(KernelArg {
-                privilege: *privilege,
-                rect: rect.clone(),
-                alloc: Rect::empty(rect.dim()),
-                data: Vec::new(),
-            });
-            continue;
-        }
-        let prior = task.args[..idx]
-            .iter()
-            .position(|(other, _, _)| other == inst);
-        match prior {
-            Some(p) => {
-                assert!(
-                    matches!(privilege, Privilege::Read),
-                    "aliased writable requirements are not supported"
-                );
-                first_use.push(None);
-                let data = args[p].data.clone();
-                args.push(KernelArg {
-                    privilege: *privilege,
-                    rect: rect.clone(),
-                    alloc: args[p].alloc.clone(),
-                    data,
-                });
-            }
-            None => {
-                let i = &mut store.instances[inst.0 as usize];
-                let data = i.data.take().unwrap_or_default();
-                first_use.push(Some(inst.0 as usize));
-                args.push(KernelArg {
-                    privilege: *privilege,
-                    rect: rect.clone(),
-                    alloc: i.rect.clone(),
-                    data,
-                });
-            }
-        }
-    }
-    let mut ctx = KernelCtx {
-        args,
-        point: task.point.clone(),
-        scalars: task.scalars.clone(),
-    };
-    kernels[task.kernel.0 as usize].execute(&mut ctx);
-    for (arg, slot) in ctx.args.into_iter().zip(first_use) {
-        if let Some(i) = slot {
-            store.instances[i].data = Some(arg.data);
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::exec::{Mode, Runtime};
-    use crate::kernel::NoopKernel;
-    use crate::program::{IndexLaunch, Op, Program, RegionReq, TaskDesc};
-    use crate::topology::PhysicalMachine;
-    use distal_machine::geom::Point;
-    use distal_machine::spec::MachineSpec;
-
-    /// A kernel that scales its first argument in place.
-    struct ScaleKernel(f64);
-    impl Kernel for ScaleKernel {
-        fn name(&self) -> &str {
-            "scale"
-        }
-        fn execute(&self, ctx: &mut KernelCtx) {
-            let arg = &mut ctx.args[0];
-            let rect = arg.rect.clone();
-            for p in rect.points() {
-                let v = arg.at(p.coords());
-                arg.set(p.coords(), v * self.0);
-            }
-        }
-    }
-
-    #[test]
-    fn functional_kernel_mutates_data() {
-        let m = PhysicalMachine::new(MachineSpec::small(1));
-        let mut rt = Runtime::new(m, Mode::Functional);
-        let r = rt.create_region("A", Rect::sized(&[4]));
-        rt.set_region_data(r, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
-        let mut p = Program::new();
-        let k = p.register_kernel(Arc::new(ScaleKernel(2.0)));
-        let proc = rt.machine().cpu_proc(0, 0);
-        let mem = rt.machine().proc(proc).local_mem;
-        p.push(Op::SingleTask(TaskDesc::new(
-            k,
-            proc,
-            Point::zeros(1),
-            vec![RegionReq::new(r, Rect::sized(&[4]), Privilege::ReadWrite, mem)],
-        )));
-        rt.run(&p).unwrap();
-        assert_eq!(rt.read_region(r).unwrap(), vec![2.0, 4.0, 6.0, 8.0]);
-    }
-
-    #[test]
-    fn parallel_tasks_overlap_in_time() {
-        let m = PhysicalMachine::new(MachineSpec::lassen(2));
-        let mut rt = Runtime::new(m, Mode::Model);
-        let r = rt.create_region("A", Rect::sized(&[1024]));
-        rt.fill_region(r, 0.0).unwrap();
-        let mut p = Program::new();
-        let k = p.register_kernel(Arc::new(NoopKernel));
-        let flops = 1e9;
-        let mk = |rt: &Runtime, node: usize, lo: i64, hi: i64| {
-            let proc = rt.machine().cpu_proc(node, 0);
-            let mem = rt.machine().proc(proc).local_mem;
-            let mut t = TaskDesc::new(
-                k,
-                proc,
-                Point::new(vec![node as i64]),
-                vec![RegionReq::new(r, Rect::new(Point::new(vec![lo]), Point::new(vec![hi])), Privilege::Read, mem)],
-            );
-            t.flops = flops;
-            t
-        };
-        let t0 = mk(&rt, 0, 0, 511);
-        let t1 = mk(&rt, 1, 512, 1023);
-        p.push(Op::IndexLaunch(IndexLaunch { name: "l".into(), tasks: vec![t0.clone(), t1.clone()] }));
-        let both = rt.run(&p).unwrap();
-
-        // Same two tasks serialized on one processor take ~2x as long.
-        let m2 = PhysicalMachine::new(MachineSpec::lassen(2));
-        let mut rt2 = Runtime::new(m2, Mode::Model);
-        let r2 = rt2.create_region("A", Rect::sized(&[1024]));
-        rt2.fill_region(r2, 0.0).unwrap();
-        let mut p2 = Program::new();
-        let k2 = p2.register_kernel(Arc::new(NoopKernel));
-        let proc = rt2.machine().cpu_proc(0, 0);
-        let mem = rt2.machine().proc(proc).local_mem;
-        for (lo, hi) in [(0, 511), (512, 1023)] {
-            let mut t = TaskDesc::new(
-                k2,
-                proc,
-                Point::zeros(1),
-                vec![RegionReq::new(r2, Rect::new(Point::new(vec![lo]), Point::new(vec![hi])), Privilege::Read, mem)],
-            );
-            t.flops = flops;
-            p2.push(Op::SingleTask(t));
-        }
-        let serial = rt2.run(&p2).unwrap();
-        assert!(
-            serial.makespan_s > 1.8 * both.makespan_s,
-            "serial {} vs parallel {}",
-            serial.makespan_s,
-            both.makespan_s
-        );
-    }
-
-    #[test]
-    fn barrier_serializes_phases() {
-        let m = PhysicalMachine::new(MachineSpec::lassen(2));
-        let mut rt = Runtime::new(m, Mode::Model);
-        let r = rt.create_region("A", Rect::sized(&[2, 1024]));
-        rt.fill_region(r, 0.0).unwrap();
-        let build = |with_barrier: bool, rt: &Runtime| {
-            let mut p = Program::new();
-            let k = p.register_kernel(Arc::new(NoopKernel));
-            for step in 0..2 {
-                let proc = rt.machine().cpu_proc(step, 0);
-                let mem = rt.machine().proc(proc).local_mem;
-                let mut t = TaskDesc::new(
-                    k,
-                    proc,
-                    Point::new(vec![step as i64]),
-                    vec![RegionReq::new(r, Rect::sized(&[2, 1024]).restrict(0, step as i64, step as i64), Privilege::Read, mem)],
-                );
-                t.flops = 1e9;
-                p.push(Op::SingleTask(t));
-                if with_barrier {
-                    p.push(Op::Barrier);
-                }
-            }
-            p
-        };
-        let free = rt.run(&build(false, &rt)).unwrap();
-        // Re-seed to reset coherence for a fair second run.
-        rt.fill_region(r, 0.0).unwrap();
-        let barriered = rt.run(&build(true, &rt)).unwrap();
-        assert!(
-            barriered.makespan_s > 1.8 * free.makespan_s,
-            "barrier {} vs free {}",
-            barriered.makespan_s,
-            free.makespan_s
-        );
-    }
-
-    #[test]
-    fn copy_log_records_transfers() {
-        let m = PhysicalMachine::new(MachineSpec::small(2));
-        let mut rt = Runtime::new(m, Mode::Model);
-        rt.record_copies(true);
-        let r = rt.create_region("A", Rect::sized(&[16]));
-        rt.fill_region(r, 0.0).unwrap();
-        let mut p = Program::new();
-        let k = p.register_kernel(Arc::new(NoopKernel));
-        let p1 = rt.machine().cpu_proc(1, 0);
-        let m1 = rt.machine().proc(p1).local_mem;
-        p.push(Op::SingleTask(TaskDesc::new(
-            k,
-            p1,
-            Point::zeros(1),
-            vec![RegionReq::new(r, Rect::sized(&[16]), Privilege::Read, m1)],
-        )));
-        let stats = rt.run(&p).unwrap();
-        let log = stats.copy_log.as_ref().unwrap();
-        assert_eq!(log.len(), 1);
-        assert_eq!(log[0].bytes, 128);
-    }
+    SimSchedule { order, stats }
 }

@@ -31,7 +31,7 @@ pub enum CopyKind {
 }
 
 /// One logged copy (recorded when `record_copies` is enabled).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CopyLogEntry {
     /// Region moved.
     pub region: RegionId,
@@ -54,7 +54,11 @@ pub struct CopyLogEntry {
 }
 
 /// Aggregate statistics for one program run.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` compares every field (including the copy log when present):
+/// two runs of the same program under different executors must produce
+/// *equal* statistics, and the parity tests assert exactly that.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunStats {
     /// End-to-end simulated time of the run, seconds.
     pub makespan_s: f64,
@@ -79,7 +83,10 @@ pub struct RunStats {
 impl RunStats {
     /// Bytes moved across node boundaries.
     pub fn inter_node_bytes(&self) -> u64 {
-        *self.bytes_by_class.get(&ChannelClass::InterNode).unwrap_or(&0)
+        *self
+            .bytes_by_class
+            .get(&ChannelClass::InterNode)
+            .unwrap_or(&0)
     }
 
     /// Bytes moved inside nodes (NVLink + socket + host-device).
@@ -138,7 +145,9 @@ impl RunStats {
             self.proc_busy_s[i] += b;
         }
         if let Some(log) = &other.copy_log {
-            self.copy_log.get_or_insert_with(Vec::new).extend(log.iter().cloned());
+            self.copy_log
+                .get_or_insert_with(Vec::new)
+                .extend(log.iter().cloned());
         }
     }
 
@@ -155,7 +164,11 @@ impl RunStats {
 impl fmt::Display for RunStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "makespan: {:.6} s", self.makespan_s)?;
-        writeln!(f, "tasks: {}, copies: {}, reductions: {}", self.tasks, self.copies, self.reductions_applied)?;
+        writeln!(
+            f,
+            "tasks: {}, copies: {}, reductions: {}",
+            self.tasks, self.copies, self.reductions_applied
+        )?;
         writeln!(f, "flops: {:.3e}", self.total_flops)?;
         for (class, bytes) in &self.bytes_by_class {
             writeln!(f, "  {class:?}: {:.3} MB", *bytes as f64 / 1e6)?;

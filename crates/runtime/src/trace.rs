@@ -63,14 +63,14 @@ mod tests {
     fn trace_renders_events() {
         let stats = RunStats {
             copy_log: Some(vec![CopyLogEntry {
-            region: RegionId(3),
-            src_mem: MemId(0),
-            dst_mem: MemId(1),
-            src_node: 0,
-            dst_node: 1,
-            bytes: 4096,
-            start_s: 0.001,
-            end_s: 0.002,
+                region: RegionId(3),
+                src_mem: MemId(0),
+                dst_mem: MemId(1),
+                src_node: 0,
+                dst_node: 1,
+                bytes: 4096,
+                start_s: 0.001,
+                end_s: 0.002,
                 kind: CopyKind::Data,
             }]),
             ..RunStats::default()

@@ -41,10 +41,20 @@ fn oversized_instance_reports_oom_with_accounting() {
         k,
         gpu,
         Point::zeros(1),
-        vec![RegionReq::new(region, Rect::sized(&[512, 512]), Privilege::Read, fb)],
+        vec![RegionReq::new(
+            region,
+            Rect::sized(&[512, 512]),
+            Privilege::Read,
+            fb,
+        )],
     )));
     match rt.run(&program) {
-        Err(RuntimeError::OutOfMemory { mem_kind, requested, capacity, .. }) => {
+        Err(RuntimeError::OutOfMemory {
+            mem_kind,
+            requested,
+            capacity,
+            ..
+        }) => {
             assert_eq!(mem_kind, MemKind::Fb);
             assert_eq!(requested, 512 * 512 * 8);
             assert_eq!(capacity, 1 << 20);
@@ -72,7 +82,12 @@ fn oom_is_cumulative_not_per_instance() {
             k,
             gpu,
             Point::zeros(1),
-            vec![RegionReq::new(r, Rect::sized(&[512, 512]), Privilege::Read, fb)],
+            vec![RegionReq::new(
+                r,
+                Rect::sized(&[512, 512]),
+                Privilege::Read,
+                fb,
+            )],
         )));
     }
     match rt.run(&program) {
@@ -97,7 +112,10 @@ fn scratch_discard_frees_memory_for_systolic_reuse() {
     let mut program = Program::new();
     let k = program.register_kernel(Arc::new(NoopKernel));
     for step in 0..4i64 {
-        program.push(Op::DiscardScratch { region, keep_recent: 1 });
+        program.push(Op::DiscardScratch {
+            region,
+            keep_recent: 1,
+        });
         let rect = Rect::new(
             Point::new(vec![step, 0, 0]),
             Point::new(vec![step, 511, 511]),
@@ -155,7 +173,12 @@ fn reading_uninitialized_region_fails() {
         k,
         gpu,
         Point::zeros(1),
-        vec![RegionReq::new(region, Rect::sized(&[8]), Privilege::Read, fb)],
+        vec![RegionReq::new(
+            region,
+            Rect::sized(&[8]),
+            Privilege::Read,
+            fb,
+        )],
     )));
     match rt.run(&program) {
         Err(RuntimeError::UninitializedData { region, .. }) => assert_eq!(region, "X"),
@@ -197,7 +220,10 @@ fn data_size_mismatch_rejected() {
     let region = rt.create_region("X", Rect::sized(&[8]));
     assert!(matches!(
         rt.set_region_data(region, vec![0.0; 7]),
-        Err(RuntimeError::DataSizeMismatch { expected: 8, got: 7 })
+        Err(RuntimeError::DataSizeMismatch {
+            expected: 8,
+            got: 7
+        })
     ));
 }
 
@@ -276,11 +302,22 @@ fn index_launch_tasks_run_in_parallel() {
         })
         .collect();
     let one_task_flops = tasks[0].flops;
-    program.push(Op::IndexLaunch(IndexLaunch { name: "par".into(), tasks }));
+    program.push(Op::IndexLaunch(IndexLaunch {
+        name: "par".into(),
+        tasks,
+    }));
     let stats = rt.run(&program).unwrap();
     // Two tasks, one task's wall-clock (plus overhead slack).
-    let serial_estimate =
-        2.0 * one_task_flops / (rt.machine().spec.proc_gflops(distal_machine::spec::ProcKind::Cpu) * 1e9);
-    assert!(stats.makespan_s < serial_estimate * 0.75, "{}", stats.makespan_s);
+    let serial_estimate = 2.0 * one_task_flops
+        / (rt
+            .machine()
+            .spec
+            .proc_gflops(distal_machine::spec::ProcKind::Cpu)
+            * 1e9);
+    assert!(
+        stats.makespan_s < serial_estimate * 0.75,
+        "{}",
+        stats.makespan_s
+    );
     assert_eq!(stats.tasks, 2);
 }

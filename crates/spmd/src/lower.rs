@@ -217,7 +217,10 @@ pub fn lower(
             cut = cut.max(pos + 1);
         }
     }
-    let seq_loops: Vec<IndexVar> = cin.loops[n_dist..cut].iter().map(|l| l.var.clone()).collect();
+    let seq_loops: Vec<IndexVar> = cin.loops[n_dist..cut]
+        .iter()
+        .map(|l| l.var.clone())
+        .collect();
     let seq_extents: Vec<i64> = seq_loops.iter().map(|v| cin.solver.extent(v)).collect();
 
     // Ownership tables.
@@ -256,9 +259,9 @@ pub fn lower(
     let mut global: Vec<(usize, SpmdOp)> = Vec::new();
     let mut tag = 0u64;
     let push = |programs: &mut Vec<Vec<SpmdOp>>,
-                    global: &mut Vec<(usize, SpmdOp)>,
-                    rank: usize,
-                    op: SpmdOp| {
+                global: &mut Vec<(usize, SpmdOp)>,
+                rank: usize,
+                op: SpmdOp| {
         programs[rank].push(op.clone());
         global.push((rank, op));
     };
@@ -343,7 +346,7 @@ pub fn lower(
                         supplies.push((d, 1, q, s.clone()));
                     }
                 }
-                supplies.sort_by(|a, b| (a.0, a.1, a.2).cmp(&(b.0, b.1, b.2)));
+                supplies.sort_by_key(|a| (a.0, a.1, a.2));
                 for (_dist, _class, q, s) in supplies {
                     if needs.is_empty() {
                         break;
@@ -384,18 +387,19 @@ pub fn lower(
                 &mut programs,
                 &mut global,
                 rank,
-                SpmdOp::Compute {
-                    bounds,
-                    env,
-                    flops,
-                },
+                SpmdOp::Compute { bounds, env, flops },
             );
         }
 
         // Step boundary: retire old scratch, promote this step's receives.
         if !seq_extents.is_empty() {
             for rank in 0..ranks {
-                push(&mut programs, &mut global, rank, SpmdOp::RetireScratch { keep: 1 });
+                push(
+                    &mut programs,
+                    &mut global,
+                    rank,
+                    SpmdOp::RetireScratch { keep: 1 },
+                );
             }
         }
         for (tensor, per_rank) in received {
@@ -413,8 +417,8 @@ pub fn lower(
     // reductions fold (Johnson's "sum reduces A_ijk to P_ij0"); others
     // overwrite. Local contributions fold without messages.
     let out_owners = owners[&out_name].clone();
-    for rank in 0..ranks {
-        for rect in out_written[rank].rects().to_vec() {
+    for (rank, written) in out_written.iter().enumerate().take(ranks) {
+        for rect in written.rects().to_vec() {
             for (owner, piece) in out_owners.owners_of(&rect) {
                 if owner == rank {
                     continue;
@@ -428,7 +432,12 @@ pub fn lower(
                 };
                 tag += 1;
                 if dist_reduces {
-                    push(&mut programs, &mut global, rank, SpmdOp::ReduceSend(msg.clone()));
+                    push(
+                        &mut programs,
+                        &mut global,
+                        rank,
+                        SpmdOp::ReduceSend(msg.clone()),
+                    );
                     push(&mut programs, &mut global, owner, SpmdOp::ReduceRecv(msg));
                 } else {
                     push(&mut programs, &mut global, rank, SpmdOp::Send(msg.clone()));
@@ -496,10 +505,7 @@ mod tests {
             assert_eq!(computes, 2);
         }
         // A is stationary (communicate(A, jo)): no messages carry A.
-        assert!(p
-            .messages()
-            .iter()
-            .all(|m| m.tensor != "A"));
+        assert!(p.messages().iter().all(|m| m.tensor != "A"));
         assert!((p.total_flops - 2.0 * 8.0f64.powi(3)).abs() < 1.0);
     }
 
@@ -540,9 +546,11 @@ mod tests {
         // B and C tiles held by ranks 1-3 flow to rank 0; computed A tiles
         // flow back out to their owners.
         let msgs = p.messages();
-        assert!(msgs
-            .iter()
-            .all(|m| if m.tensor == "A" { m.from == 0 } else { m.to == 0 }));
+        assert!(msgs.iter().all(|m| if m.tensor == "A" {
+            m.from == 0
+        } else {
+            m.to == 0
+        }));
         // 3 remote ranks x 2 input tensors + 3 output tiles returned.
         assert_eq!(msgs.len(), 9);
     }

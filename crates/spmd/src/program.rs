@@ -219,8 +219,12 @@ impl SpmdProgram {
         let a = &self.assignment;
         let inputs = a.input_accesses();
         // Output accumulator covering this block's output rectangle.
-        let var_pos: BTreeMap<&IndexVar, usize> =
-            self.all_vars.iter().enumerate().map(|(i, v)| (v, i)).collect();
+        let var_pos: BTreeMap<&IndexVar, usize> = self
+            .all_vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v, i))
+            .collect();
         let out_lo: Vec<i64> = a.lhs.indices.iter().map(|v| bounds[var_pos[v]].0).collect();
         let out_hi: Vec<i64> = a.lhs.indices.iter().map(|v| bounds[var_pos[v]].1).collect();
         let out_rect = Rect::new(Point::new(out_lo), Point::new(out_hi));

@@ -50,13 +50,15 @@ fn verify_matmul(alg: MatmulAlgorithm, p: i64, n: i64) -> distal_spmd::SpmdProgr
         .collect();
     let assignment = Assignment::parse("A(i,j) = B(i,k) * C(k,j)").unwrap();
     let schedule = alg.schedule(p, n, (n / 2).max(1));
-    let program = lower(&assignment, &tensors, &grid, &schedule)
-        .unwrap_or_else(|e| panic!("{alg:?}: {e}"));
+    let program =
+        lower(&assignment, &tensors, &grid, &schedule).unwrap_or_else(|e| panic!("{alg:?}: {e}"));
 
     let mut inputs = BTreeMap::new();
     inputs.insert("B".to_string(), random_data((n * n) as usize, 11));
     inputs.insert("C".to_string(), random_data((n * n) as usize, 13));
-    let result = program.execute(&inputs).unwrap_or_else(|e| panic!("{alg:?}: {e}"));
+    let result = program
+        .execute(&inputs)
+        .unwrap_or_else(|e| panic!("{alg:?}: {e}"));
 
     let mut dims = BTreeMap::new();
     for t in ["A", "B", "C"] {
@@ -223,7 +225,9 @@ fn summa_volume_matches_dynamic_runtime() {
         fill_output: Some(false),
         ..Default::default()
     };
-    let kernel = session.compile_assignment(&parsed, &schedule, &options).unwrap();
+    let kernel = session
+        .compile_assignment(&parsed, &schedule, &options)
+        .unwrap();
     session.place(&kernel).unwrap();
     let stats = session.execute(&kernel).unwrap();
     let dynamic_bytes: u64 = stats.bytes_by_class.values().sum();

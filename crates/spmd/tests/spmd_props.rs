@@ -25,8 +25,7 @@ fn random_data(n: usize, seed: u64) -> Vec<f64> {
 }
 
 fn summa_like(gx: i64, gy: i64, chunk: i64, rotate: bool) -> Schedule {
-    let s = Schedule::new()
-        .distribute_onto(&["i", "j"], &["io", "jo"], &["ii", "ji"], &[gx, gy]);
+    let s = Schedule::new().distribute_onto(&["i", "j"], &["io", "jo"], &["ii", "ji"], &[gx, gy]);
     if rotate {
         s.divide("k", "ko", "ki", gx)
             .reorder(&["io", "jo", "ko", "ii", "ji", "ki"])

@@ -49,10 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (place, compute, a) = run_with_format(notation, &schedule, n)?;
         match &reference {
             None => reference = Some(a),
-            Some(r) => assert!(a
-                .iter()
-                .zip(r.iter())
-                .all(|(x, y)| (x - y).abs() < 1e-9)),
+            Some(r) => assert!(a.iter().zip(r.iter()).all(|(x, y)| (x - y).abs() < 1e-9)),
         }
         println!(
             "{:<24} {:>18.1} {:>18.1}",

@@ -51,7 +51,8 @@ fn run_layer(
         }
     }
     let got = session.read(out)?;
-    let want = oracle::evaluate(&kernel.assignment, &dims, &inputs).map_err(std::io::Error::other)?;
+    let want =
+        oracle::evaluate(&kernel.assignment, &dims, &inputs).map_err(std::io::Error::other)?;
     let max_err = got
         .iter()
         .zip(want.iter())
@@ -75,7 +76,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     run_layer(
         "data-parallel (X rows, W repl)",
         "Y(b,h) = X(b,d) * W(d,h)",
-        &[("Y", vec![batch, d_out]), ("X", vec![batch, d_in]), ("W", vec![d_in, d_out])],
+        &[
+            ("Y", vec![batch, d_out]),
+            ("X", vec![batch, d_in]),
+            ("W", vec![d_in, d_out]),
+        ],
         &[("Y", "xy->x"), ("X", "xy->x"), ("W", "xy->*")],
         &Schedule::new()
             .divide("b", "bo", "bi", p)
@@ -90,7 +95,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     run_layer(
         "model-parallel (W cols, X repl)",
         "Y(b,h) = X(b,d) * W(d,h)",
-        &[("Y", vec![batch, d_out]), ("X", vec![batch, d_in]), ("W", vec![d_in, d_out])],
+        &[
+            ("Y", vec![batch, d_out]),
+            ("X", vec![batch, d_in]),
+            ("W", vec![d_in, d_out]),
+        ],
         &[("Y", "xy->y"), ("X", "xy->*"), ("W", "xy->y")],
         &Schedule::new()
             .divide("h", "ho", "hi", p)
@@ -108,7 +117,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     run_layer(
         "2-D sharded (SUMMA over d)",
         "Y(b,h) = X(b,d) * W(d,h)",
-        &[("Y", vec![batch, d_out]), ("X", vec![batch, d_in]), ("W", vec![d_in, d_out])],
+        &[
+            ("Y", vec![batch, d_out]),
+            ("X", vec![batch, d_in]),
+            ("W", vec![d_in, d_out]),
+        ],
         &[("Y", "xy->xy"), ("X", "xy->xy"), ("W", "xy->xy")],
         &Schedule::new()
             .distribute_onto(&["b", "h"], &["bo", "ho"], &["bi", "hi"], &[2, 2])

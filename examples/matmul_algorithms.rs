@@ -13,6 +13,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 48;
     let mut config = RunConfig::cpu(nodes, Mode::Functional);
     config.spec = MachineSpec::small(nodes);
+    // Functional numerics execute on all host cores; the communication
+    // statistics compared below are executor-independent.
+    config.executor = ExecutorKind::Parallel;
     let p = config.processors();
 
     println!("machine: {nodes} nodes, {p} CPU sockets; matrices {n}x{n}\n");

@@ -11,6 +11,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let machine = DistalMachine::flat(Grid::grid2(2, 4), ProcKind::Gpu);
     let mut session = Session::new(MachineSpec::small(2), machine, Mode::Functional);
 
+    // Functional-mode numerics run on the work-stealing parallel executor
+    // by default; set DISTAL_EXECUTOR=serial to force the serial walk (the
+    // results are bit-identical — see tests/executor_parity.rs).
+    if std::env::var("DISTAL_EXECUTOR").as_deref() == Ok("serial") {
+        session.set_executor(ExecutorKind::Serial);
+    }
+
     // A tensor's format describes how it is distributed onto m: a
     // two-dimensional tiling residing in GPU framebuffer memory
     // (Figure 2 lines 6-15).

@@ -51,6 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!();
     }
-    println!("\npeak: {:.1} GFLOP/s per node", MachineSpec::lassen(1).node.cpu_node_gflops());
+    println!(
+        "\npeak: {:.1} GFLOP/s per node",
+        MachineSpec::lassen(1).node.cpu_node_gflops()
+    );
     Ok(())
 }

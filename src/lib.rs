@@ -47,12 +47,12 @@
 //! ```
 
 pub use distal_algs as algs;
+pub use distal_autosched as autosched;
 pub use distal_baselines as baselines;
 pub use distal_core as core;
 pub use distal_format as format;
 pub use distal_ir as ir;
 pub use distal_machine as machine;
-pub use distal_autosched as autosched;
 pub use distal_runtime as runtime;
 pub use distal_spmd as spmd;
 
@@ -69,5 +69,7 @@ pub mod prelude {
     pub use distal_machine::geom::{Point, Rect};
     pub use distal_machine::grid::{Grid, MachineHierarchy};
     pub use distal_machine::spec::{MachineSpec, MemKind, ProcKind};
-    pub use distal_runtime::{Mode, Runtime, RunStats};
+    pub use distal_runtime::{
+        Executor, ExecutorKind, Mode, ParallelExecutor, RunStats, Runtime, SerialExecutor,
+    };
 }

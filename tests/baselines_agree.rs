@@ -3,8 +3,8 @@
 //! not numerics.
 
 use distal::algs::higher_order::HigherOrderKernel;
-use distal::algs::setup::{higher_order_session, matmul_session, RunConfig};
 use distal::algs::matmul::MatmulAlgorithm;
+use distal::algs::setup::{higher_order_session, matmul_session, RunConfig};
 use distal::baselines::{cosma, ctf, scalapack};
 use distal::prelude::*;
 
@@ -82,6 +82,9 @@ fn cosma_gpu_out_of_core_agrees() {
     s0.run(&k0).unwrap();
     let want = s0.read("A").unwrap();
     for (idx, (g, w)) in got.iter().zip(want.iter()).enumerate() {
-        assert!((g - w).abs() < 1e-9, "cosma-gpu differs at {idx}: {g} vs {w}");
+        assert!(
+            (g - w).abs() < 1e-9,
+            "cosma-gpu differs at {idx}: {g} vs {w}"
+        );
     }
 }

@@ -30,7 +30,8 @@ fn session_with_formats(n: i64, formats: &BTreeMap<&str, Format>) -> Session {
     let machine = DistalMachine::flat(Grid::grid2(2, 2), ProcKind::Cpu);
     let mut s = Session::new(MachineSpec::small(4), machine, Mode::Functional);
     for (name, f) in formats {
-        s.tensor(TensorSpec::new(*name, vec![n, n], f.clone())).unwrap();
+        s.tensor(TensorSpec::new(*name, vec![n, n], f.clone()))
+            .unwrap();
     }
     s.fill_random("B", 3);
     s.fill_random("C", 5);
@@ -50,7 +51,9 @@ fn summa_on_block_cyclic_inputs_matches_oracle() {
     let mut s = session_with_formats(n, &formats);
     let b = s.read("B").unwrap();
     let c = s.read("C").unwrap();
-    let k = s.compile("A(i,j) = B(i,k) * C(k,j)", &Schedule::summa(2, 2, 8)).unwrap();
+    let k = s
+        .compile("A(i,j) = B(i,k) * C(k,j)", &Schedule::summa(2, 2, 8))
+        .unwrap();
     s.run(&k).unwrap();
     let got = s.read("A").unwrap();
     let want = oracle_matmul(n, &b, &c);
@@ -71,7 +74,9 @@ fn cyclic_output_layout_matches_oracle() {
     let mut s = session_with_formats(n, &formats);
     let b = s.read("B").unwrap();
     let c = s.read("C").unwrap();
-    let k = s.compile("A(i,j) = B(i,k) * C(k,j)", &Schedule::summa(2, 2, 6)).unwrap();
+    let k = s
+        .compile("A(i,j) = B(i,k) * C(k,j)", &Schedule::summa(2, 2, 6))
+        .unwrap();
     s.run(&k).unwrap();
     let got = s.read("A").unwrap();
     let want = oracle_matmul(n, &b, &c);
@@ -97,7 +102,9 @@ fn matching_layout_moves_less_than_mismatched() {
         formats.insert("B", input_fmt.clone());
         formats.insert("C", input_fmt.clone());
         let mut s = session_with_formats(n, &formats);
-        let k = s.compile("A(i,j) = B(i,k) * C(k,j)", &Schedule::summa(2, 2, 16)).unwrap();
+        let k = s
+            .compile("A(i,j) = B(i,k) * C(k,j)", &Schedule::summa(2, 2, 16))
+            .unwrap();
         let (_place, compute) = s.run(&k).unwrap();
         compute.bytes_by_class.values().sum::<u64>() as f64
     };
@@ -122,11 +129,14 @@ fn cyclic_placement_piece_counts() {
     let cyclic = Format::parse("xy->xy @cyclic", MemKind::Sys).unwrap();
     let tiled = Format::parse("xy->xy", MemKind::Sys).unwrap();
     s.tensor(TensorSpec::new("A", vec![n, n], tiled)).unwrap();
-    s.tensor(TensorSpec::new("B", vec![n, n], cyclic.clone())).unwrap();
+    s.tensor(TensorSpec::new("B", vec![n, n], cyclic.clone()))
+        .unwrap();
     s.tensor(TensorSpec::new("C", vec![n, n], cyclic)).unwrap();
     s.fill_random("B", 1);
     s.fill_random("C", 2);
-    let k = s.compile("A(i,j) = B(i,k) * C(k,j)", &Schedule::summa(2, 2, 8)).unwrap();
+    let k = s
+        .compile("A(i,j) = B(i,k) * C(k,j)", &Schedule::summa(2, 2, 8))
+        .unwrap();
     // Placement: still one task per (tensor, processor)...
     assert_eq!(k.placement.task_count(), 12);
     // ...but the cyclic tensors' tasks carry 8x8 = 64 stripe requirements.

@@ -18,8 +18,7 @@ fn cannon_b_tiles_shift_from_right_neighbours() {
     config.spec = MachineSpec::lassen(9);
     config.spec.node.cpu_sockets = 1;
     let n = 27;
-    let (mut session, kernel) =
-        matmul_session(MatmulAlgorithm::Cannon, &config, n, n / 3).unwrap();
+    let (mut session, kernel) = matmul_session(MatmulAlgorithm::Cannon, &config, n, n / 3).unwrap();
     session.runtime_mut().record_copies(true);
     session.place(&kernel).unwrap();
     let stats = session.execute(&kernel).unwrap();
@@ -69,8 +68,7 @@ fn summa_b_chunks_broadcast_within_rows() {
     config.spec = MachineSpec::lassen(9);
     config.spec.node.cpu_sockets = 1;
     let n = 27;
-    let (mut session, kernel) =
-        matmul_session(MatmulAlgorithm::Summa, &config, n, n / 3).unwrap();
+    let (mut session, kernel) = matmul_session(MatmulAlgorithm::Summa, &config, n, n / 3).unwrap();
     session.runtime_mut().record_copies(true);
     session.place(&kernel).unwrap();
     let stats = session.execute(&kernel).unwrap();

@@ -60,12 +60,8 @@ fn default_aggregation_is_at_task_level() {
     }
     session.fill("B", 0.0).unwrap();
     session.fill("C", 0.0).unwrap();
-    let schedule = Schedule::new().distribute_onto(
-        &["i", "j"],
-        &["io", "jo"],
-        &["ii", "ji"],
-        &[2, 2],
-    );
+    let schedule =
+        Schedule::new().distribute_onto(&["i", "j"], &["io", "jo"], &["ii", "ji"], &[2, 2]);
     let kernel = session
         .compile("A(i,j) = B(i,k) * C(k,j)", &schedule)
         .unwrap();

@@ -24,9 +24,11 @@ fn reference_product(session: &Session, n: i64) -> Vec<f64> {
 fn check(alg: MatmulAlgorithm, nodes: usize, n: i64, chunk: i64) {
     let mut config = RunConfig::cpu(nodes, Mode::Functional);
     config.spec = MachineSpec::small(nodes);
-    let (mut session, kernel) = matmul_session(alg, &config, n, chunk)
-        .unwrap_or_else(|e| panic!("{alg:?} compile: {e}"));
-    session.run(&kernel).unwrap_or_else(|e| panic!("{alg:?} run: {e}"));
+    let (mut session, kernel) =
+        matmul_session(alg, &config, n, chunk).unwrap_or_else(|e| panic!("{alg:?} compile: {e}"));
+    session
+        .run(&kernel)
+        .unwrap_or_else(|e| panic!("{alg:?} run: {e}"));
     let got = session.read("A").unwrap();
     let want = reference_product(&session, n);
     for (idx, (g, w)) in got.iter().zip(want.iter()).enumerate() {

@@ -8,10 +8,8 @@ use std::collections::BTreeMap;
 #[test]
 fn two_level_format_places_and_computes() {
     // 4 nodes in a 2x2 grid, 4 GPUs per node in a line: 2x2x4 flattened.
-    let machine = DistalMachine::hierarchical(
-        vec![Grid::grid2(2, 2), Grid::line(4)],
-        ProcKind::Gpu,
-    );
+    let machine =
+        DistalMachine::hierarchical(vec![Grid::grid2(2, 2), Grid::line(4)], ProcKind::Gpu);
     let mut session = Session::new(MachineSpec::small(4), machine, Mode::Functional);
     let n = 32;
     // Outer level: 2D tiles across nodes. Inner level: row-partition each
@@ -40,7 +38,9 @@ fn two_level_format_places_and_computes() {
         .reorder(&["ino", "jo", "ig", "il", "ji", "k"])
         .distribute(&["ino", "jo", "ig"])
         .communicate(&["A", "B", "C"], "ig");
-    let kernel = session.compile("A(i,j) = B(i,k) * C(k,j)", &schedule).unwrap();
+    let kernel = session
+        .compile("A(i,j) = B(i,k) * C(k,j)", &schedule)
+        .unwrap();
     assert_eq!(kernel.launch_domain, vec![2, 2, 4]);
 
     let (place, _compute) = session.run(&kernel).unwrap();
@@ -63,10 +63,8 @@ fn two_level_format_places_and_computes() {
 #[test]
 fn hierarchical_placement_respects_levels() {
     // Placement tiles across the flattened hierarchy partition the tensor.
-    let machine = DistalMachine::hierarchical(
-        vec![Grid::grid2(2, 2), Grid::line(4)],
-        ProcKind::Gpu,
-    );
+    let machine =
+        DistalMachine::hierarchical(vec![Grid::grid2(2, 2), Grid::line(4)], ProcKind::Gpu);
     let mut session = Session::new(MachineSpec::small(4), machine, Mode::Model);
     let format = Format::hierarchical(
         vec![

@@ -2,8 +2,8 @@
 //! workspace tensor must preserve the result while (for chain products)
 //! reducing asymptotic work.
 
-use distal::prelude::*;
 use distal::core::oracle;
+use distal::prelude::*;
 use std::collections::BTreeMap;
 
 fn dist_1d(p: i64) -> Schedule {
@@ -20,7 +20,8 @@ fn triple_product_precompute_matches_oracle_and_saves_flops() {
     let mut s = Session::new(MachineSpec::small(2), machine, Mode::Functional);
     let rows = Format::parse("xy->x", MemKind::Sys).unwrap();
     for t in ["A", "B", "C", "D"] {
-        s.tensor(TensorSpec::new(t, vec![n, n], rows.clone())).unwrap();
+        s.tensor(TensorSpec::new(t, vec![n, n], rows.clone()))
+            .unwrap();
         if t != "A" {
             s.fill_random(t, t.len() as u64 + 3);
         }
@@ -77,10 +78,14 @@ fn mttkrp_workspace_formulation_matches_fused() {
     let mut s = Session::new(MachineSpec::small(1), machine, Mode::Functional);
     let f3 = Format::parse("xyz->x", MemKind::Sys).unwrap();
     let f2 = Format::parse("xy->x", MemKind::Sys).unwrap();
-    s.tensor(TensorSpec::new("A", vec![n, l], f2.clone())).unwrap();
-    s.tensor(TensorSpec::new("B", vec![n, n, n], f3.clone())).unwrap();
-    s.tensor(TensorSpec::new("C", vec![n, l], f2.clone())).unwrap();
-    s.tensor(TensorSpec::new("D", vec![n, l], f2.clone())).unwrap();
+    s.tensor(TensorSpec::new("A", vec![n, l], f2.clone()))
+        .unwrap();
+    s.tensor(TensorSpec::new("B", vec![n, n, n], f3.clone()))
+        .unwrap();
+    s.tensor(TensorSpec::new("C", vec![n, l], f2.clone()))
+        .unwrap();
+    s.tensor(TensorSpec::new("D", vec![n, l], f2.clone()))
+        .unwrap();
     for t in ["B", "C", "D"] {
         s.fill_random(t, 0xD0 + t.len() as u64);
     }
@@ -96,7 +101,10 @@ fn mttkrp_workspace_formulation_matches_fused() {
             &dist_1d(p),
         )
         .unwrap();
-    assert_eq!(format!("{}", ws.assignment), "T(i, j, l) = B(i, j, k) * D(k, l)");
+    assert_eq!(
+        format!("{}", ws.assignment),
+        "T(i, j, l) = B(i, j, k) * D(k, l)"
+    );
     s.run(&ws).unwrap();
     s.run(&rest).unwrap();
     let got = s.read("A").unwrap();
@@ -123,7 +131,8 @@ fn workspace_name_collision_rejected() {
     let mut s = Session::new(MachineSpec::small(1), machine, Mode::Functional);
     let rows = Format::parse("xy->x", MemKind::Sys).unwrap();
     for t in ["A", "B", "C", "D"] {
-        s.tensor(TensorSpec::new(t, vec![4, 4], rows.clone())).unwrap();
+        s.tensor(TensorSpec::new(t, vec![4, 4], rows.clone()))
+            .unwrap();
     }
     let err = s
         .compile_with_precompute(

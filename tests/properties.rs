@@ -191,9 +191,13 @@ fn gemm_substitution_on_non_matmul_is_rejected() {
     let mut session = Session::new(MachineSpec::small(1), machine, Mode::Functional);
     let f = Format::parse("xy->x", MemKind::Sys).unwrap();
     for name in ["A", "B", "C"] {
-        session.tensor(TensorSpec::new(name, vec![4, 4], f.clone())).unwrap();
+        session
+            .tensor(TensorSpec::new(name, vec![4, 4], f.clone()))
+            .unwrap();
     }
     let schedule = Schedule::new().substitute(&["i", "j"], LeafKind::Gemm);
-    let err = session.compile("A(i,j) = B(i,j) + C(i,j)", &schedule).unwrap_err();
+    let err = session
+        .compile("A(i,j) = B(i,j) + C(i,j)", &schedule)
+        .unwrap_err();
     assert!(matches!(err, CompileError::BadSubstitution(_)), "{err}");
 }

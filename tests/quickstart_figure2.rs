@@ -24,7 +24,9 @@ fn figure2_summa_on_gpus_matches_oracle() {
         .reorder(&["io", "jo", "ko", "ii", "ji", "ki"])
         .communicate(&["A"], "jo")
         .communicate(&["B", "C"], "ko");
-    let kernel = session.compile("A(i,j) = B(i,k) * C(k,j)", &schedule).unwrap();
+    let kernel = session
+        .compile("A(i,j) = B(i,k) * C(k,j)", &schedule)
+        .unwrap();
 
     // The scheduled statement reads like the paper's concrete index
     // notation, with the s.t. relation trail.

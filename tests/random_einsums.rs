@@ -7,146 +7,10 @@
 use distal::core::oracle;
 use distal::prelude::*;
 use distal::spmd::{lower as spmd_lower, SpmdTensor};
-use distal_format::notation::{DimName, TensorDistribution};
 use std::collections::BTreeMap;
 
-struct Rng(u64);
-
-impl Rng {
-    fn next(&mut self) -> u64 {
-        self.0 ^= self.0 >> 12;
-        self.0 ^= self.0 << 25;
-        self.0 ^= self.0 >> 27;
-        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-
-    fn below(&mut self, n: usize) -> usize {
-        (self.next() % n as u64) as usize
-    }
-
-    fn data(&mut self, n: usize) -> Vec<f64> {
-        (0..n).map(|_| (self.next() % 17) as f64 / 8.0 - 1.0).collect()
-    }
-}
-
-const VARS: [&str; 4] = ["i", "j", "k", "l"];
-
-/// One random statement: expression string, tensor dims, distributed var.
-struct Case {
-    expr: String,
-    dims: BTreeMap<String, Vec<i64>>,
-    extents: BTreeMap<String, i64>,
-    out: String,
-    out_vars: Vec<String>,
-    input_vars: Vec<Vec<String>>,
-}
-
-fn generate(rng: &mut Rng) -> Case {
-    let extents: BTreeMap<String, i64> = VARS
-        .iter()
-        .map(|v| (v.to_string(), 2 + rng.below(4) as i64))
-        .collect();
-    let n_inputs = 1 + rng.below(2); // 1..=2 factors
-    let names = ["B", "C"];
-    let mut input_vars: Vec<Vec<String>> = Vec::new();
-    for _ in 0..n_inputs {
-        let arity = 1 + rng.below(3);
-        let mut pool: Vec<&str> = VARS.to_vec();
-        let mut vars = Vec::new();
-        for _ in 0..arity {
-            vars.push(pool.remove(rng.below(pool.len())).to_string());
-        }
-        input_vars.push(vars);
-    }
-    // Output: a subset (possibly empty = scalar) of the used variables.
-    let used: Vec<String> = {
-        let mut v: Vec<String> = Vec::new();
-        for vars in &input_vars {
-            for x in vars {
-                if !v.contains(x) {
-                    v.push(x.clone());
-                }
-            }
-        }
-        v
-    };
-    let out_arity = rng.below(used.len() + 1).min(2);
-    let mut pool = used.clone();
-    let mut out_vars = Vec::new();
-    for _ in 0..out_arity {
-        out_vars.push(pool.remove(rng.below(pool.len())));
-    }
-
-    let fmt_access = |name: &str, vars: &[String]| {
-        if vars.is_empty() {
-            name.to_string()
-        } else {
-            format!("{name}({})", vars.join(","))
-        }
-    };
-    let out = if out_vars.is_empty() { "a" } else { "A" }.to_string();
-    let rhs = input_vars
-        .iter()
-        .enumerate()
-        .map(|(idx, vars)| fmt_access(names[idx], vars))
-        .collect::<Vec<_>>()
-        .join(" * ");
-    let expr = format!("{} = {rhs}", fmt_access(&out, &out_vars));
-
-    let mut dims = BTreeMap::new();
-    dims.insert(out.clone(), out_vars.iter().map(|v| extents[v]).collect());
-    for (idx, vars) in input_vars.iter().enumerate() {
-        dims.insert(
-            names[idx].to_string(),
-            vars.iter().map(|v| extents[v]).collect(),
-        );
-    }
-    Case {
-        expr,
-        dims,
-        extents,
-        out,
-        out_vars,
-        input_vars,
-    }
-}
-
-/// Distribution of a tensor on a 1-D machine: partition by `dist_var` when
-/// the tensor has it, otherwise replicate.
-fn format_1d(vars: &[String], dist_var: &str) -> Format {
-    let names: Vec<String> = (0..vars.len())
-        .map(|q| char::from(b'a' + q as u8).to_string())
-        .collect();
-    let machine = match vars.iter().position(|v| v == dist_var) {
-        Some(q) => DimName::Var(names[q].clone()),
-        None => DimName::Broadcast,
-    };
-    Format::new(
-        TensorDistribution::new(names, vec![machine]).unwrap(),
-        MemKind::Sys,
-    )
-}
-
-/// The generic 1-D schedule: distribute `dist_var`, communicate everything
-/// at the distributed loop. Non-prefix variables need the full reorder.
-fn schedule_1d(case: &Case, all_vars: &[String], dist_var: &str, p: i64) -> Schedule {
-    let tensors: Vec<String> = case.dims.keys().cloned().collect();
-    let trefs: Vec<&str> = tensors.iter().map(String::as_str).collect();
-    let mut order: Vec<String> = vec![format!("{dist_var}_o")];
-    for v in all_vars {
-        if v == dist_var {
-            order.push(format!("{dist_var}_i"));
-        } else {
-            order.push(v.clone());
-        }
-    }
-    let order_refs: Vec<&str> = order.iter().map(String::as_str).collect();
-    Schedule::new()
-        .divide(dist_var, &format!("{dist_var}_o"), &format!("{dist_var}_i"), p)
-        .reorder(&order_refs)
-        .distribute(&[&format!("{dist_var}_o")])
-        .communicate(&trefs, &format!("{dist_var}_o"))
-}
+mod common;
+use common::{format_1d, generate, schedule_1d, Rng};
 
 #[test]
 fn random_einsums_match_oracle_on_both_backends() {
@@ -196,7 +60,9 @@ fn random_einsums_match_oracle_on_both_backends() {
             Ok(k) => k,
             Err(e) => panic!("{} (dist {dist_var}): {e}", case.expr),
         };
-        session.run(&kernel).unwrap_or_else(|e| panic!("{}: {e}", case.expr));
+        session
+            .run(&kernel)
+            .unwrap_or_else(|e| panic!("{}: {e}", case.expr));
         let got = session.read(&case.out).unwrap();
         let want = oracle::evaluate(&kernel.assignment, &case.dims, &inputs)
             .unwrap_or_else(|e| panic!("{}: {e}", case.expr));
@@ -250,7 +116,9 @@ fn addition_expression_matches_oracle() {
     let mut session = Session::new(MachineSpec::small(1), machine, Mode::Functional);
     let rows = Format::parse("xy->x", MemKind::Sys).unwrap();
     for t in ["A", "B", "C"] {
-        session.tensor(TensorSpec::new(t, vec![6, 5], rows.clone())).unwrap();
+        session
+            .tensor(TensorSpec::new(t, vec![6, 5], rows.clone()))
+            .unwrap();
         if t != "A" {
             session.fill_random(t, t.len() as u64);
         }
@@ -260,7 +128,9 @@ fn addition_expression_matches_oracle() {
         .reorder(&["io", "ii", "j"])
         .distribute(&["io"])
         .communicate(&["A", "B", "C"], "io");
-    let kernel = session.compile("A(i,j) = B(i,j) + C(i,j)", &schedule).unwrap();
+    let kernel = session
+        .compile("A(i,j) = B(i,j) + C(i,j)", &schedule)
+        .unwrap();
     session.run(&kernel).unwrap();
     let got = session.read("A").unwrap();
     let mut dims = BTreeMap::new();

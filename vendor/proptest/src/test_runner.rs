@@ -1,0 +1,65 @@
+//! The case loop's configuration, PRNG, and error type.
+
+/// How a test case ended short of success.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; generate a fresh case.
+    Reject,
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+/// Per-test configuration (`#![proptest_config(..)]`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic splitmix64 generator, seeded from the test name so every
+/// test sees an independent, reproducible stream.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from raw state.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Seeds from a test name (FNV-1a over the bytes).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::new(h)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}

@@ -1,0 +1,157 @@
+//! SPMD collective-lowering benchmark and CI gate; writes
+//! `BENCH_spmd.json` at the repo root.
+//!
+//! Usage: `cargo run --release -p distal-bench --bin spmd
+//! [--assert-depth log|N] [gx gy n]` (defaults: 4 4 32).
+//!
+//! `--assert-depth log` is the CI gate: on a SUMMA over `gx · gy` ranks
+//! (lowered on the algorithm's near-square grid of width `g`) it
+//! requires (1) every lowered broadcast to reach depth ≤ ⌈log₂ g⌉ + 1
+//! while the naive program serializes ≥ g - 1 sends per owner fan,
+//! (2) byte-for-byte volume parity between the lowerings, (3) every
+//! execution (naive, tree, ring, Cannon) to match the sequential
+//! oracle, and (4) Cannon to stay fully systolic: no collectives
+//! recognized and all steady-state traffic at torus distance 1.
+//! `--assert-depth N` gates on an explicit depth bound instead.
+
+use distal_bench::spmd;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("spmd collective gate FAILED: {msg}");
+    std::process::exit(3);
+}
+
+fn main() {
+    let mut assert_depth: Option<Option<usize>> = None; // Some(None) = log
+    let mut dims: Vec<i64> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--assert-depth" {
+            let v = args.next().unwrap_or_else(|| {
+                eprintln!("--assert-depth requires 'log' or an integer bound");
+                std::process::exit(2);
+            });
+            if v == "log" {
+                assert_depth = Some(None);
+            } else if let Ok(d) = v.parse() {
+                assert_depth = Some(Some(d));
+            } else {
+                eprintln!("--assert-depth requires 'log' or an integer bound, got '{v}'");
+                std::process::exit(2);
+            }
+        } else if let Ok(v) = a.parse() {
+            dims.push(v);
+        } else {
+            eprintln!("ignoring unrecognized argument '{a}'");
+        }
+    }
+    let (gx, gy, n) = match dims.as_slice() {
+        [] => (4, 4, 32),
+        [gx, gy] => (*gx, *gy, 32),
+        [gx, gy, n] => (*gx, *gy, *n),
+        other => {
+            eprintln!(
+                "expected positional arguments [gx gy [n]], got {} value(s): {other:?}",
+                other.len()
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let (rows, programs) = spmd::spmd_bench_with_programs(gx, gy, n);
+    // The 2-D algorithms refactor the rank count into their own
+    // near-square grid; all depth bounds below come from the grid the
+    // programs were actually lowered for.
+    let actual = rows[0].grid.clone();
+    if actual != vec![gx, gy] {
+        eprintln!(
+            "note: {gx}x{gy} ranks were lowered on the algorithms' {} grid",
+            actual
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("x")
+        );
+    }
+    print!("{}", spmd::render(&rows));
+    let json = spmd::to_json(&rows);
+    let path = std::path::Path::new("BENCH_spmd.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+
+    if rows.iter().any(|r| !r.verified) {
+        fail("a lowered program diverged from the sequential oracle; see table");
+    }
+    let Some(depth_bound) = assert_depth else {
+        return;
+    };
+
+    let naive = rows
+        .iter()
+        .find(|r| r.lowering == "naive")
+        .expect("sweep emits a naive row");
+    let tree = rows
+        .iter()
+        .find(|r| r.lowering == "tree" && r.algorithm.contains("SUMMA"))
+        .expect("sweep emits a SUMMA tree row");
+
+    // Widest broadcast group on the actual grid: a SUMMA row broadcast
+    // spans the row width, a column broadcast the column height; both
+    // must obey the bound.
+    let widest = tree.grid.iter().copied().max().unwrap_or(1) as usize;
+    let log2 = |g: usize| (usize::BITS - (g.max(1) - 1).leading_zeros()) as usize;
+    let bound = match depth_bound {
+        None => log2(widest) + 1,
+        Some(d) => d,
+    };
+    if tree.depth > bound {
+        fail(&format!(
+            "tree-lowered broadcast depth {} exceeds bound {bound} on the {:?} grid",
+            tree.depth, tree.grid
+        ));
+    }
+    if widest > 2 {
+        if naive.depth < widest - 1 {
+            fail(&format!(
+                "naive fan depth {} is below the expected {}-1 serialized sends — \
+                 the baseline is not what this gate thinks it is",
+                naive.depth, widest
+            ));
+        }
+        if tree.depth >= naive.depth {
+            fail(&format!(
+                "tree depth {} did not improve on the naive fan depth {}",
+                tree.depth, naive.depth
+            ));
+        }
+    }
+    if naive.bytes != tree.bytes || naive.messages != tree.messages {
+        fail("tree lowering changed total volume; collectives must be a pure re-scheduling");
+    }
+
+    // Cannon control: the recognizer must leave systolic schedules alone
+    // (the sweep already lowered it; programs[] parallels rows[]).
+    let cannon = rows
+        .iter()
+        .position(|r| r.algorithm.contains("Cannon"))
+        .map(|i| &programs[i])
+        .expect("sweep emits a Cannon row");
+    if !cannon.collectives.is_empty() {
+        fail("collectives recognized in Cannon's systolic schedule");
+    }
+    let steady = spmd::cannon_steady_stats(cannon);
+    if steady.bytes > 0 && (steady.neighbor_fraction() - 1.0).abs() > f64::EPSILON {
+        fail(&format!(
+            "Cannon steady-state neighbor fraction {:.3} != 1.0",
+            steady.neighbor_fraction()
+        ));
+    }
+
+    println!(
+        "collective gate passed: SUMMA depth {} -> {} (bound {bound}), \
+         volume invariant, Cannon all-distance-1",
+        naive.depth, tree.depth
+    );
+}

@@ -6,7 +6,8 @@
 //! timing already models that overlap; this harness measures the *host*
 //! side — how much faster the functional numerics complete when the
 //! work-stealing [`ParallelExecutor`] runs DAG-ready leaf kernels and
-//! copies on all cores, against the [`SerialExecutor`] baseline. Parity of
+//! copies on all cores, against the [`distal_runtime::SerialExecutor`]
+//! baseline. Parity of
 //! results is asserted on every row (bit-identical output, equal stats).
 
 use distal_algs::matmul::MatmulAlgorithm;

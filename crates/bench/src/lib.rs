@@ -15,9 +15,11 @@
 //!   granularity, overlap vs bulk-synchronous execution;
 //! * [`series`] — sweep infrastructure and table rendering.
 //!
-//! Binaries: `fig9`, `fig15a`, `fig15b`, `fig16`, `headline`, `all`, and
+//! Binaries: `fig9`, `fig15a`, `fig15b`, `fig16`, `headline`, `all`,
 //! `exec` (serial-vs-parallel executor wall-clock; writes
-//! `BENCH_exec.json`).
+//! `BENCH_exec.json`), and `spmd` (collective recognition/lowering gate:
+//! naive vs tree vs ring schedules under the α-β model; writes
+//! `BENCH_spmd.json`).
 //! Criterion benches (`benches/paper_figures.rs`) run reduced-scale
 //! versions of the same harnesses.
 
@@ -28,3 +30,4 @@ pub mod fig16;
 pub mod fig9;
 pub mod headline;
 pub mod series;
+pub mod spmd;

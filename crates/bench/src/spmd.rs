@@ -1,0 +1,314 @@
+//! SPMD collective-lowering benchmark: naive vs tree vs ring schedules
+//! for the Figure 9 algorithms, priced under the α-β cost model.
+//!
+//! For each (algorithm, lowering) pair the harness lowers the schedule,
+//! verifies the execution against the sequential oracle, and reports the
+//! exact static properties of the compiled program: message/byte counts,
+//! neighbour fraction, the worst collective critical-path depth, and the
+//! α-β makespan. This is the CI gate for the collective recognizer: on a
+//! `g × g` grid a SUMMA owner fan must drop from `g - 1` serialized
+//! sends to `⌈log₂ g⌉ ≤ ⌈log₂ g⌉ + 1` tree rounds at identical byte
+//! volume, while Cannon must stay fully systolic (nothing recognized,
+//! all steady-state traffic at torus distance 1).
+
+use distal_algs::matmul::MatmulAlgorithm;
+use distal_core::oracle;
+use distal_ir::expr::Assignment;
+use distal_machine::spec::MemKind;
+use distal_spmd::{
+    collective, lower_with, AlphaBeta, CollectiveConfig, CommStats, Message, SpmdProgram,
+    SpmdTensor,
+};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One (algorithm, lowering) measurement.
+#[derive(Clone, Debug)]
+pub struct SpmdBenchRow {
+    /// Algorithm name (Figure 9 naming).
+    pub algorithm: String,
+    /// Lowering mode: `naive`, `tree`, or `ring`.
+    pub lowering: String,
+    /// Matrix side length.
+    pub n: i64,
+    /// Rank count.
+    pub ranks: usize,
+    /// The machine grid the program was actually lowered for (the
+    /// algorithm's own factorization of the rank count, which may differ
+    /// from a requested shape — depth bounds must be computed from this).
+    pub grid: Vec<i64>,
+    /// Total messages in the static program.
+    pub messages: u64,
+    /// Total bytes on the wire.
+    pub bytes: u64,
+    /// Fraction of bytes travelling exactly one torus hop.
+    pub neighbor_fraction: f64,
+    /// Recognized collectives.
+    pub collectives: usize,
+    /// Worst collective critical-path message depth (for `naive`: the
+    /// serialized fan depth the recognizer reports).
+    pub depth: usize,
+    /// α-β modeled makespan in seconds.
+    pub makespan_s: f64,
+    /// Whether execution matched the sequential oracle.
+    pub verified: bool,
+}
+
+fn deterministic_data(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    (0..n)
+        .map(|_| {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect()
+}
+
+/// Lowers `alg` for `p` ranks at size `n` under `config`.
+///
+/// # Panics
+///
+/// Panics when the lowering itself fails (a bench-harness bug, not a
+/// measurement).
+pub fn lower_algorithm(
+    alg: MatmulAlgorithm,
+    p: i64,
+    n: i64,
+    config: &CollectiveConfig,
+) -> SpmdProgram {
+    let grid = alg.grid(p);
+    let formats = alg.formats(MemKind::Sys);
+    let tensors: Vec<SpmdTensor> = ["A", "B", "C"]
+        .iter()
+        .zip(formats.iter())
+        .map(|(name, f)| SpmdTensor::new(*name, vec![n, n], f.clone()))
+        .collect();
+    let assignment = Assignment::parse("A(i,j) = B(i,k) * C(k,j)").unwrap();
+    let schedule = alg.schedule(p, n, (n / 4).max(1));
+    lower_with(&assignment, &tensors, &grid, &schedule, config)
+        .unwrap_or_else(|e| panic!("{alg:?}: {e}"))
+}
+
+/// The shared inputs and oracle answer of one problem size (computed
+/// once per sweep; the sequential oracle is O(n³)).
+pub struct OracleCase {
+    inputs: BTreeMap<String, Vec<f64>>,
+    want: Vec<f64>,
+}
+
+impl OracleCase {
+    /// Builds deterministic inputs for an `n × n` matmul and evaluates
+    /// the sequential oracle on them.
+    pub fn matmul(n: i64) -> Self {
+        let mut inputs = BTreeMap::new();
+        inputs.insert("B".to_string(), deterministic_data((n * n) as usize, 11));
+        inputs.insert("C".to_string(), deterministic_data((n * n) as usize, 13));
+        let mut dims = BTreeMap::new();
+        for t in ["A", "B", "C"] {
+            dims.insert(t.to_string(), vec![n, n]);
+        }
+        let assignment = Assignment::parse("A(i,j) = B(i,k) * C(k,j)").unwrap();
+        let want = oracle::evaluate(&assignment, &dims, &inputs).unwrap();
+        OracleCase { inputs, want }
+    }
+}
+
+/// Measures one lowered program, verifying against the oracle.
+pub fn measure(
+    alg: MatmulAlgorithm,
+    lowering: &str,
+    n: i64,
+    program: &SpmdProgram,
+    case: &OracleCase,
+) -> SpmdBenchRow {
+    let stats = program.stats();
+    let depth = if program.collectives.is_empty() {
+        collective::recognize(program)
+            .iter()
+            .map(|c| c.depth)
+            .max()
+            .unwrap_or(0)
+    } else {
+        program.collective_depth()
+    };
+    let (inputs, want) = (&case.inputs, &case.want);
+    let verified = match program.execute(inputs) {
+        Ok(result) => result
+            .output
+            .iter()
+            .zip(want.iter())
+            .all(|(g, w)| (g - w).abs() < 1e-9 * (1.0 + w.abs())),
+        Err(_) => false,
+    };
+    SpmdBenchRow {
+        algorithm: alg.name(),
+        lowering: lowering.to_string(),
+        n,
+        ranks: program.ranks(),
+        grid: program.grid.dims().to_vec(),
+        messages: stats.messages,
+        bytes: stats.bytes,
+        neighbor_fraction: stats.neighbor_fraction(),
+        collectives: program.collectives.len(),
+        depth,
+        makespan_s: program.cost(&AlphaBeta::default()).makespan_s,
+        verified,
+    }
+}
+
+/// The default sweep: SUMMA under all three lowerings plus Cannon, for
+/// `gx × gy` ranks.
+///
+/// The 2-D algorithms pick their own near-square factorization of the
+/// rank count, which may differ from the requested shape (e.g. `2 × 8`
+/// ranks still run on a `4 × 4` grid); every row records the actual
+/// grid, and depth gates must read it from there.
+pub fn spmd_bench(gx: i64, gy: i64, n: i64) -> Vec<SpmdBenchRow> {
+    spmd_bench_with_programs(gx, gy, n).0
+}
+
+/// [`spmd_bench`], also returning the lowered programs (same order as
+/// the rows) so gates can inspect them without re-lowering.
+pub fn spmd_bench_with_programs(gx: i64, gy: i64, n: i64) -> (Vec<SpmdBenchRow>, Vec<SpmdProgram>) {
+    let p = gx * gy;
+    let case = OracleCase::matmul(n);
+    let mut rows = Vec::new();
+    let mut programs = Vec::new();
+    for (lowering, config) in [
+        ("naive", CollectiveConfig::point_to_point()),
+        ("tree", CollectiveConfig::trees()),
+        ("ring", CollectiveConfig::rings()),
+    ] {
+        let program = lower_algorithm(MatmulAlgorithm::Summa, p, n, &config);
+        rows.push(measure(
+            MatmulAlgorithm::Summa,
+            lowering,
+            n,
+            &program,
+            &case,
+        ));
+        programs.push(program);
+    }
+    let cannon = lower_algorithm(MatmulAlgorithm::Cannon, p, n, &CollectiveConfig::trees());
+    rows.push(measure(MatmulAlgorithm::Cannon, "tree", n, &cannon, &case));
+    programs.push(cannon);
+    (rows, programs)
+}
+
+/// Cannon's steady-state statistics (all steps after the initial
+/// alignment shift), whose traffic must be entirely nearest-neighbour.
+pub fn cannon_steady_stats(program: &SpmdProgram) -> CommStats {
+    let steady: Vec<Message> = program
+        .messages_by_step()
+        .into_iter()
+        .skip(1)
+        .flatten()
+        .collect();
+    let refs: Vec<&Message> = steady.iter().collect();
+    CommStats::from_messages(&program.grid, program.ranks(), &refs)
+}
+
+/// Renders the sweep as a table.
+pub fn render(rows: &[SpmdBenchRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:>6} {:>6} {:>7} {:>9} {:>10} {:>7} {:>6} {:>12} {:>9}",
+        "algorithm",
+        "mode",
+        "n",
+        "grid",
+        "messages",
+        "bytes",
+        "nbr%",
+        "depth",
+        "makespan",
+        "oracle"
+    );
+    for r in rows {
+        let grid = r
+            .grid
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("x");
+        let _ = writeln!(
+            out,
+            "{:<16} {:>6} {:>6} {:>7} {:>9} {:>10} {:>6.0}% {:>6} {:>10.1}us {:>9}",
+            r.algorithm,
+            r.lowering,
+            r.n,
+            grid,
+            r.messages,
+            r.bytes,
+            r.neighbor_fraction * 100.0,
+            r.depth,
+            r.makespan_s * 1e6,
+            if r.verified { "ok" } else { "MISMATCH" }
+        );
+    }
+    out
+}
+
+/// Serializes the rows as JSON (hand-rolled; no serde in the workspace).
+pub fn to_json(rows: &[SpmdBenchRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"algorithm\": \"{}\", \"lowering\": \"{}\", \"n\": {}, \"ranks\": {}, \
+             \"grid\": {:?}, \
+             \"messages\": {}, \"bytes\": {}, \"neighbor_fraction\": {:.4}, \
+             \"collectives\": {}, \"depth\": {}, \"makespan_s\": {:.9}, \"verified\": {}}}{comma}",
+            r.algorithm,
+            r.lowering,
+            r.n,
+            r.ranks,
+            r.grid,
+            r.messages,
+            r.bytes,
+            r.neighbor_fraction,
+            r.collectives,
+            r.depth,
+            r.makespan_s,
+            r.verified
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_rows_verify_and_show_depth_drop() {
+        let rows = spmd_bench(4, 4, 16);
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.verified));
+        let naive = rows.iter().find(|r| r.lowering == "naive").unwrap();
+        let tree = rows
+            .iter()
+            .find(|r| r.lowering == "tree" && r.algorithm.contains("SUMMA"))
+            .unwrap();
+        assert_eq!(naive.depth, 3);
+        assert_eq!(tree.depth, 2);
+        assert_eq!(naive.bytes, tree.bytes);
+        assert!(tree.makespan_s < naive.makespan_s);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let rows = spmd_bench(2, 2, 8);
+        let j = to_json(&rows);
+        assert!(j.contains("\"lowering\": \"tree\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

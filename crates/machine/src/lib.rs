@@ -38,6 +38,13 @@ pub mod geom;
 pub mod grid;
 pub mod spec;
 
+/// Element size in bytes (all tensors are `f64`, as in the paper).
+///
+/// Every backend — the dynamic runtime's regions and the static SPMD
+/// backend's messages — derives wire and memory sizes from this single
+/// constant so the two can never disagree about volume accounting.
+pub const ELEM_BYTES: u64 = 8;
+
 pub use geom::{Point, Rect, RectSet};
 pub use grid::{Grid, MachineHierarchy};
 pub use spec::{MachineSpec, MemKind, NodeSpec, ProcKind};

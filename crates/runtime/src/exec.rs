@@ -90,7 +90,7 @@ impl std::error::Error for RuntimeError {}
 /// Persistent region/instance state (survives across program runs so that a
 /// placement phase can feed a compute phase).
 ///
-/// Instance *metadata* (bounds, coherence) lives in [`Store::instances`];
+/// Instance *metadata* (bounds, coherence) lives in `Store::instances`;
 /// the backing *buffers* live beside it in per-instance [`DataCell`] locks,
 /// so executors can share `&Store` across worker threads and mutate buffers
 /// concurrently where the dependence DAG allows it.

@@ -1,8 +1,8 @@
 //! Pluggable DAG executors: how the nodes of a built execution graph are
 //! actually run.
 //!
-//! [`crate::graph::GraphBuilder`] produces the dependence DAG;
-//! [`crate::sim::schedule_graph`] computes timing and statistics from it
+//! `graph::GraphBuilder` produces the dependence DAG;
+//! `sim::schedule_graph` computes timing and statistics from it
 //! deterministically. What remains — applying each node's *side effect*
 //! (copying bytes, filling buffers, running leaf kernels in functional
 //! mode) — is the job of an [`Executor`]:

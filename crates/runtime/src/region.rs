@@ -41,8 +41,7 @@ pub struct LogicalRegion {
     pub rect: Rect,
 }
 
-/// Element size in bytes (all tensors are `f64`, as in the paper).
-pub const ELEM_BYTES: u64 = 8;
+pub use distal_machine::ELEM_BYTES;
 
 impl LogicalRegion {
     /// Size of the full region in bytes.

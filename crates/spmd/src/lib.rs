@@ -13,7 +13,22 @@
 //!    at compile time, a per-rank program of explicit [`Send`]/[`Recv`]
 //!    pairs, leaf [`Compute`] blocks, and reduction folds. Communication
 //!    partners are exact (Bondhugula-style), not over-approximated.
-//! 2. [`SpmdProgram::execute`](program::SpmdProgram::execute) runs the
+//! 2. [`collective`] recognizes collective patterns in the lowered
+//!    point-to-point program — one root fanning the same `(tensor, rect)`
+//!    to a grid row/column/plane becomes a `Broadcast`, fan-ins of
+//!    partial results become a `Reduce`, complete broadcast families
+//!    become an `AllGather` — and re-lowers each into a binomial-tree or
+//!    ring schedule over the torus, turning SUMMA's O(p) serialized
+//!    owner fan-outs into O(log p) critical paths at identical byte
+//!    volume. This runs by default; [`lower_with`] +
+//!    [`CollectiveConfig::point_to_point`](collective::CollectiveConfig::point_to_point)
+//!    keeps the naive program.
+//! 3. [`cost`] prices any of these programs under an α-β model
+//!    (`α · hops + bytes/β` per message, serialized injection per rank),
+//!    producing per-rank timelines and a makespan so tree vs. naive vs.
+//!    systolic schedules are quantitatively comparable alongside
+//!    [`CommStats`].
+//! 4. [`SpmdProgram::execute`](program::SpmdProgram::execute) runs the
 //!    per-rank programs on a deterministic rank virtual machine with real
 //!    numerics, so the static analysis is verified against the sequential
 //!    oracle and against the dynamic runtime's results.
@@ -58,13 +73,17 @@
 //! # }
 //! ```
 
+pub mod collective;
+pub mod cost;
 pub mod lower;
 pub mod ops;
 pub mod program;
 pub mod stats;
 pub mod vm;
 
-pub use lower::{lower, SpmdError, SpmdTensor};
+pub use collective::{Collective, CollectiveConfig, CollectiveKind, Topology};
+pub use cost::{AlphaBeta, CostReport};
+pub use lower::{lower, lower_with, SpmdError, SpmdTensor};
 pub use ops::{Message, SpmdOp};
 pub use program::{SpmdProgram, SpmdResult};
 pub use stats::CommStats;

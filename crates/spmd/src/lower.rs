@@ -18,6 +18,7 @@
 //!   neighbour-only traffic (Figure 8b) while broadcast schedules source
 //!   from owners (Figure 8a).
 
+use crate::collective::{self, CollectiveConfig};
 use crate::ops::{Message, SpmdOp};
 use crate::program::SpmdProgram;
 use distal_core::Schedule;
@@ -163,7 +164,11 @@ fn access_rect(
 type Holdings = BTreeMap<String, Vec<RectSet>>;
 
 /// Lowers a scheduled statement to an [`SpmdProgram`] with statically
-/// resolved communication.
+/// resolved communication, then recognizes and tree/ring-lowers
+/// collectives with the default [`CollectiveConfig`] (binomial-tree
+/// broadcasts and reductions, ring all-gathers).
+///
+/// Use [`lower_with`] to disable or re-shape the collective pass.
 ///
 /// # Errors
 ///
@@ -177,6 +182,32 @@ pub fn lower(
     tensors: &[SpmdTensor],
     grid: &Grid,
     schedule: &Schedule,
+) -> Result<SpmdProgram, SpmdError> {
+    lower_with(
+        assignment,
+        tensors,
+        grid,
+        schedule,
+        &CollectiveConfig::default(),
+    )
+}
+
+/// [`lower`] with an explicit collective-lowering configuration.
+///
+/// `CollectiveConfig::point_to_point()` reproduces the naive per-owner
+/// fan-out program (useful as the baseline the recognizer is verified
+/// against); other configurations choose tree or ring expansions per
+/// collective kind.
+///
+/// # Errors
+///
+/// Same as [`lower`].
+pub fn lower_with(
+    assignment: &Assignment,
+    tensors: &[SpmdTensor],
+    grid: &Grid,
+    schedule: &Schedule,
+    collectives: &CollectiveConfig,
 ) -> Result<SpmdProgram, SpmdError> {
     let by_name: BTreeMap<&str, &SpmdTensor> =
         tensors.iter().map(|t| (t.name.as_str(), t)).collect();
@@ -447,7 +478,7 @@ pub fn lower(
         }
     }
 
-    Ok(SpmdProgram {
+    let mut program = SpmdProgram {
         assignment: assignment.clone(),
         grid: grid.clone(),
         tensors: tensors.to_vec(),
@@ -458,7 +489,10 @@ pub fn lower(
         all_vars,
         total_flops,
         dist_reduces,
-    })
+        collectives: Vec::new(),
+    };
+    collective::apply(&mut program, collectives);
+    Ok(program)
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 
 use distal_ir::expr::IndexVar;
 use distal_machine::geom::Rect;
+use distal_machine::ELEM_BYTES;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -28,9 +29,10 @@ pub struct Message {
 }
 
 impl Message {
-    /// Bytes on the wire (f64 elements).
+    /// Bytes on the wire ([`ELEM_BYTES`]-sized elements, shared with the
+    /// dynamic runtime's region accounting).
     pub fn bytes(&self) -> u64 {
-        self.rect.volume() as u64 * 8
+        self.rect.volume() as u64 * ELEM_BYTES
     }
 }
 

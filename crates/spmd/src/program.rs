@@ -1,5 +1,7 @@
 //! The compiled SPMD program and its deterministic execution.
 
+use crate::collective::Collective;
+use crate::cost::{AlphaBeta, CostReport};
 use crate::lower::{Ownership, SpmdError, SpmdTensor};
 use crate::ops::{Message, SpmdOp};
 use crate::stats::CommStats;
@@ -33,6 +35,9 @@ pub struct SpmdProgram {
     pub total_flops: f64,
     /// True when distributed loops reduce (the final gather folds).
     pub dist_reduces: bool,
+    /// Collectives recognized and lowered into the message schedule
+    /// (empty for point-to-point programs).
+    pub collectives: Vec<Collective>,
 }
 
 /// The result of executing an SPMD program.
@@ -57,7 +62,10 @@ impl SpmdProgram {
         &self.programs[rank]
     }
 
-    /// All messages, in tag order (each transfer counted once).
+    /// All messages, in global execution order (each transfer counted
+    /// once). Tags are monotonic in naive programs but not after
+    /// collective lowering, which splices fresh-tagged tree/ring
+    /// messages in at their dependency positions.
     pub fn messages(&self) -> Vec<&Message> {
         self.global
             .iter()
@@ -69,6 +77,35 @@ impl SpmdProgram {
     /// Communication statistics of the static program.
     pub fn stats(&self) -> CommStats {
         CommStats::from_messages(&self.grid, self.ranks(), &self.messages())
+    }
+
+    /// Prices the program under an α-β model (per-rank timeline and
+    /// makespan) — see [`crate::cost`].
+    pub fn cost(&self, model: &AlphaBeta) -> CostReport {
+        crate::cost::evaluate(self, model)
+    }
+
+    /// The worst critical-path message depth over all lowered
+    /// collectives (0 when none were recognized): `⌈log₂ g⌉` per
+    /// `g`-member binomial tree versus the `g - 1` serialized sends of
+    /// the naive fan it replaced.
+    pub fn collective_depth(&self) -> usize {
+        self.collectives.iter().map(|c| c.depth).max().unwrap_or(0)
+    }
+
+    /// Messages grouped by sequential step, using the same segmentation
+    /// as the collective recognizer (each step ends with one
+    /// `RetireScratch` per rank; the final gather shares the last
+    /// segment).
+    pub fn messages_by_step(&self) -> Vec<Vec<Message>> {
+        let segs = crate::collective::segment_of(&self.global, self.ranks());
+        let mut steps = vec![Vec::new(); segs.last().map_or(1, |s| s + 1)];
+        for (idx, (_, op)) in self.global.iter().enumerate() {
+            if op.is_send() {
+                steps[segs[idx]].push(op.message().expect("send carries a message").clone());
+            }
+        }
+        steps
     }
 
     /// The tensor description of `name`.
@@ -142,8 +179,10 @@ impl SpmdProgram {
                         .remove(&m.tag)
                         .ok_or_else(|| SpmdError::Data(format!("recv before send: {m}")))?;
                     if &m.tensor == out_name {
-                        // Gather messages fold into home output pieces.
-                        stores[rank].fold_into_home(&m.tensor, &m.rect, &payload);
+                        // Gather messages fold into home output pieces;
+                        // reduce-tree relays (no home here) fold into the
+                        // accumulator and forward.
+                        stores[rank].fold_output(&m.tensor, &m.rect, &payload);
                     } else {
                         let mut buf = Buf::zeros(m.rect.clone());
                         buf.data = payload;

@@ -5,6 +5,13 @@
 //! whom, how much, and over what grid distance. The distance histogram is
 //! what distinguishes systolic schedules (all traffic at torus distance 1)
 //! from broadcast schedules.
+//!
+//! Volume statistics are invariant under collective lowering
+//! ([`crate::collective`]) — a tree or ring moves exactly the bytes of
+//! the naive fan it replaces — so they deliberately cannot tell the
+//! schedules apart. The *shape* differences (critical-path depth,
+//! per-rank timeline, makespan) are reported alongside by the α-β model
+//! in [`crate::cost`].
 
 use crate::lower::torus_distance;
 use crate::ops::Message;

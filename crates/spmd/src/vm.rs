@@ -13,6 +13,7 @@
 //!   into home pieces (locally or through reduce messages) at the end.
 
 use distal_machine::geom::{Point, Rect};
+use distal_machine::ELEM_BYTES;
 use std::collections::{BTreeMap, VecDeque};
 
 /// A rectangular buffer: `rect` in tensor space, row-major `data`.
@@ -115,7 +116,7 @@ impl RankStore {
         self.scratch
             .values()
             .flat_map(|gens| gens.iter().flatten())
-            .map(|b| b.data.len() as u64 * 8)
+            .map(|b| b.data.len() as u64 * ELEM_BYTES)
             .sum()
     }
 
@@ -168,6 +169,47 @@ impl RankStore {
                 if buf.rect.contains_point(&p) {
                     buf.add(&p, values[i]);
                 }
+            }
+        }
+    }
+
+    /// Folds an incoming output payload: points covered by a home piece
+    /// fold there (the rank is a gather/reduce root for them); the rest
+    /// fold into the accumulator, so a relay of a reduce tree carries the
+    /// partial onward in its own next `ReduceSend`.
+    pub fn fold_output(&mut self, tensor: &str, rect: &Rect, values: &[f64]) {
+        let mut leftover: Vec<(Point, f64)> = Vec::new();
+        {
+            let bufs = self.home_mut(tensor);
+            for (i, p) in rect.points().enumerate() {
+                let mut hit = false;
+                for buf in bufs.iter_mut() {
+                    if buf.rect.contains_point(&p) {
+                        buf.add(&p, values[i]);
+                        hit = true;
+                    }
+                }
+                if !hit {
+                    leftover.push((p, values[i]));
+                }
+            }
+        }
+        if leftover.is_empty() {
+            return;
+        }
+        // Accumulator folds must hit the same buffer `acc_lookup` reads
+        // (first containing the point); uncovered points get a fresh
+        // buffer over `rect`, appended last so existing entries keep
+        // priority.
+        if leftover
+            .iter()
+            .any(|(p, _)| !self.acc.iter().any(|b| b.rect.contains_point(p)))
+        {
+            self.acc.push(Buf::zeros(rect.clone()));
+        }
+        for (p, v) in leftover {
+            if let Some(buf) = self.acc.iter_mut().find(|b| b.rect.contains_point(&p)) {
+                buf.add(&p, v);
             }
         }
     }

@@ -305,9 +305,12 @@ fn ttv_with_matching_formats_is_communication_free() {
 }
 
 #[test]
-fn innerprod_reduces_to_rank_zero_only() {
-    // The only traffic the whole kernel needs is the final scalar fold:
-    // p-1 eight-byte reduce messages to the owner of `a`.
+fn innerprod_reduces_through_a_binomial_tree() {
+    // The only traffic the whole kernel needs is the final scalar fold.
+    // Naively that is p-1 eight-byte reduce messages serialized into the
+    // owner of `a`; the recognizer turns it into a binomial reduce tree
+    // of the same p-1 messages at ⌈log₂ p⌉ depth, with relay ranks
+    // folding partials into their accumulators before forwarding.
     let kernel = HigherOrderKernel::Innerprod;
     // n divisible by p so every rank computes a (non-empty) partial sum.
     let (p, n) = (4, 8i64);
@@ -321,13 +324,213 @@ fn innerprod_reduces_to_rank_zero_only() {
     let assignment = Assignment::parse(kernel.expression()).unwrap();
     let program = lower(&assignment, &tensors, &kernel.grid(p), &kernel.schedule(p)).unwrap();
     let stats = program.stats();
+    // Volume is invariant under tree lowering.
     assert_eq!(stats.messages, (p - 1) as u64);
     assert_eq!(stats.bytes, (p - 1) as u64 * 8);
-    assert!(program.messages().iter().all(|m| m.to == 0));
+    // One Reduce collective rooted at rank 0, log-depth.
+    assert_eq!(program.collectives.len(), 1);
+    let c = &program.collectives[0];
+    assert_eq!(c.kind, distal_spmd::CollectiveKind::Reduce);
+    assert_eq!(c.root, 0);
+    assert_eq!(c.naive_depth, (p - 1) as usize);
+    assert_eq!(c.depth, 2); // ceil(log2(4))
+                            // The last fold lands at the root; every message is a reduce-send.
+    assert_eq!(program.messages().last().unwrap().to, 0);
+    assert!(program
+        .global
+        .iter()
+        .filter(|(_, op)| op.is_send())
+        .all(|(_, op)| matches!(op, SpmdOp::ReduceSend(_))));
     assert!(program
         .rank_ops(1)
         .iter()
         .any(|op| matches!(op, SpmdOp::ReduceSend(_))));
+    // Relayed folds produce the same scalar as the oracle.
+    let mut inputs = BTreeMap::new();
+    let mut dims = BTreeMap::new();
+    for (i, (name, shape)) in shapes.iter().enumerate() {
+        dims.insert(name.to_string(), shape.clone());
+        if i > 0 {
+            let len = shape.iter().product::<i64>() as usize;
+            inputs.insert(name.to_string(), random_data(len, 31 + i as u64));
+        }
+    }
+    let result = program.execute(&inputs).unwrap();
+    let want = oracle::evaluate(&assignment, &dims, &inputs).unwrap();
+    assert_close(&result.output, &want, "tree-reduced innerprod");
+}
+
+/// The acceptance-criterion test: on a 4×4 grid, SUMMA's per-owner row
+/// and column fans (g-1 = 3 serialized sends each, O(p) in the grid
+/// width) lower to binomial trees of depth ⌈log₂ 4⌉ = 2 ≤ ⌈log₂ 4⌉ + 1,
+/// with bit-identical execution; Cannon on the same grid stays systolic —
+/// no collectives, all steady-state traffic at torus distance 1.
+#[test]
+fn summa_4x4_broadcast_depth_drops_to_log() {
+    let (p, n) = (16i64, 16i64);
+    let alg = MatmulAlgorithm::Summa;
+    let grid = alg.grid(p);
+    assert_eq!(grid, Grid::grid2(4, 4));
+    let formats = alg.formats(MemKind::Sys);
+    let tensors: Vec<SpmdTensor> = ["A", "B", "C"]
+        .iter()
+        .zip(formats.iter())
+        .map(|(name, f)| SpmdTensor::new(*name, vec![n, n], f.clone()))
+        .collect();
+    let assignment = Assignment::parse("A(i,j) = B(i,k) * C(k,j)").unwrap();
+    let schedule = alg.schedule(p, n, n / 4);
+
+    let naive = distal_spmd::lower_with(
+        &assignment,
+        &tensors,
+        &grid,
+        &schedule,
+        &distal_spmd::CollectiveConfig::point_to_point(),
+    )
+    .unwrap();
+    let tree = lower(&assignment, &tensors, &grid, &schedule).unwrap();
+
+    // The naive program serializes each owner fan: depth g-1 = 3.
+    assert!(naive.collectives.is_empty());
+    let groups = distal_spmd::collective::recognize(&naive);
+    assert!(!groups.is_empty(), "SUMMA must expose broadcast fans");
+    let naive_depth = groups.iter().map(|c| c.depth).max().unwrap();
+    assert_eq!(naive_depth, 3, "O(p) serialized fan on a 4-wide grid");
+
+    // Tree lowering: every collective is a row/column broadcast of depth
+    // ⌈log₂ 4⌉ = 2 ≤ ⌈log₂ 4⌉ + 1.
+    assert!(!tree.collectives.is_empty());
+    for c in &tree.collectives {
+        assert_eq!(c.kind, distal_spmd::CollectiveKind::Broadcast);
+        assert_eq!(c.members.len(), 4);
+        assert!(c.axis.is_some(), "SUMMA fans span grid rows/columns");
+        assert_eq!(c.naive_depth, 3);
+        assert_eq!(c.depth, 2);
+    }
+    assert!(tree.collective_depth() <= 3); // ⌈log₂ 4⌉ + 1
+    assert!(tree.collective_depth() < naive_depth);
+
+    // Identical bytes, identical numerics (broadcasts move the same
+    // payloads, so outputs are bit-identical).
+    assert_eq!(naive.stats().bytes_by_tensor, tree.stats().bytes_by_tensor);
+    assert_eq!(naive.stats().messages, tree.stats().messages);
+    let mut inputs = BTreeMap::new();
+    inputs.insert("B".to_string(), random_data((n * n) as usize, 5));
+    inputs.insert("C".to_string(), random_data((n * n) as usize, 6));
+    let a_naive = naive.execute(&inputs).unwrap().output;
+    let a_tree = tree.execute(&inputs).unwrap().output;
+    assert_eq!(a_naive.len(), a_tree.len());
+    for (x, y) in a_naive.iter().zip(&a_tree) {
+        assert_eq!(x.to_bits(), y.to_bits(), "broadcast lowering is exact");
+    }
+
+    // The α-β makespan strictly improves: the root's serialized
+    // injections were the critical resource.
+    let model = distal_spmd::AlphaBeta::default();
+    assert!(tree.cost(&model).makespan_s < naive.cost(&model).makespan_s);
+
+    // Cannon stays emergent-systolic: nothing to recognize, and every
+    // steady-state transfer is torus distance 1.
+    let cannon = verify_matmul(MatmulAlgorithm::Cannon, p, n);
+    assert!(cannon.collectives.is_empty());
+    assert!(distal_spmd::collective::recognize(&cannon).is_empty());
+    let steady: Vec<distal_spmd::Message> = cannon
+        .messages_by_step()
+        .into_iter()
+        .skip(1)
+        .flatten()
+        .collect();
+    let refs: Vec<&distal_spmd::Message> = steady.iter().collect();
+    let steady_stats = distal_spmd::CommStats::from_messages(&grid, cannon.ranks(), &refs);
+    assert!(steady_stats.bytes > 0);
+    assert_eq!(steady_stats.neighbor_fraction(), 1.0);
+    assert_eq!(steady_stats.max_distance(), 1);
+}
+
+#[test]
+fn johnson_4x4x4_recognizes_plane_broadcasts_and_reduce_trees() {
+    // Johnson's algorithm on a 4³ cube: inputs replicate across cube
+    // faces (y-line broadcasts of B, x-line broadcasts of C, z-line
+    // broadcasts of A's stationary... none — A is computed), and the
+    // z-fold of A is a 4-member reduce per (x, y) column.
+    let program = verify_matmul(MatmulAlgorithm::Johnson, 64, 8);
+    let bcasts: Vec<_> = program
+        .collectives
+        .iter()
+        .filter(|c| c.kind == distal_spmd::CollectiveKind::Broadcast)
+        .collect();
+    let reduces: Vec<_> = program
+        .collectives
+        .iter()
+        .filter(|c| c.kind == distal_spmd::CollectiveKind::Reduce)
+        .collect();
+    assert!(!bcasts.is_empty(), "input replication fans out");
+    assert_eq!(reduces.len(), 16, "one z-fold per (x, y) column");
+    for c in &reduces {
+        assert_eq!(c.tensor, "A");
+        assert_eq!(c.members.len(), 4);
+        assert_eq!(c.naive_depth, 3);
+        assert_eq!(c.depth, 2);
+        assert_eq!(c.axis, Some(2), "folds run along the z axis");
+    }
+}
+
+#[test]
+fn replicating_inputs_on_a_line_becomes_a_ring_allgather() {
+    // Row-distributed A and B with a row-distributed C: every rank needs
+    // all of C, and every rank owns a piece of it — the recognizer merges
+    // the p per-owner broadcasts into one all-gather and the ring
+    // lowering makes every hop (including the wrap-around) distance 1.
+    let (p, n) = (4i64, 8i64);
+    let grid = Grid::line(p);
+    let rows = Format::parse("xy->x", MemKind::Sys).unwrap();
+    let tensors = vec![
+        SpmdTensor::new("A", vec![n, n], rows.clone()),
+        SpmdTensor::new("B", vec![n, n], rows.clone()),
+        SpmdTensor::new("C", vec![n, n], rows),
+    ];
+    let assignment = Assignment::parse("A(i,j) = B(i,k) * C(k,j)").unwrap();
+    let schedule = Schedule::new()
+        .divide("i", "io", "ii", p)
+        .reorder(&["io", "ii"])
+        .distribute(&["io"])
+        .communicate(&["A", "B", "C"], "io");
+    let naive = distal_spmd::lower_with(
+        &assignment,
+        &tensors,
+        &grid,
+        &schedule,
+        &distal_spmd::CollectiveConfig::point_to_point(),
+    )
+    .unwrap();
+    let ring = lower(&assignment, &tensors, &grid, &schedule).unwrap();
+    assert_eq!(ring.collectives.len(), 1);
+    let c = &ring.collectives[0];
+    assert_eq!(c.kind, distal_spmd::CollectiveKind::AllGather);
+    assert_eq!(c.tensor, "C");
+    assert_eq!(c.members.len(), p as usize);
+    assert_eq!(c.depth, (p - 1) as usize);
+    // Ring traffic is all nearest-neighbour; the naive fans reach across
+    // the line.
+    assert_eq!(ring.stats().neighbor_fraction(), 1.0);
+    assert!(naive.stats().neighbor_fraction() < 1.0);
+    // Same bytes, same numerics.
+    assert_eq!(naive.stats().bytes, ring.stats().bytes);
+    assert_eq!(naive.stats().messages, ring.stats().messages);
+    let mut inputs = BTreeMap::new();
+    inputs.insert("B".to_string(), random_data((n * n) as usize, 21));
+    inputs.insert("C".to_string(), random_data((n * n) as usize, 22));
+    let mut dims = BTreeMap::new();
+    for t in ["A", "B", "C"] {
+        dims.insert(t.to_string(), vec![n, n]);
+    }
+    let want = oracle::evaluate(&assignment, &dims, &inputs).unwrap();
+    let got_ring = ring.execute(&inputs).unwrap().output;
+    assert_close(&got_ring, &want, "allgather");
+    let got_naive = naive.execute(&inputs).unwrap().output;
+    for (x, y) in got_naive.iter().zip(&got_ring) {
+        assert_eq!(x.to_bits(), y.to_bits(), "allgather lowering is exact");
+    }
 }
 
 #[test]

@@ -8,7 +8,7 @@ use distal_format::Format;
 use distal_ir::expr::Assignment;
 use distal_machine::grid::Grid;
 use distal_machine::spec::MemKind;
-use distal_spmd::{lower, SpmdOp, SpmdTensor};
+use distal_spmd::{lower, lower_with, CollectiveConfig, CollectiveKind, SpmdOp, SpmdTensor};
 use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -134,6 +134,116 @@ proptest! {
         let want = oracle::evaluate(&assignment, &dims, &inputs).unwrap();
         for (g, w) in result.output.iter().zip(want.iter()) {
             prop_assert!((g - w).abs() < 1e-9 * (1.0 + w.abs()));
+        }
+    }
+
+    /// Collective lowering is a pure re-scheduling: for random einsum
+    /// shapes, grids, chunkings, and distributions, the tree- and
+    /// ring-lowered programs move exactly the bytes of the naive
+    /// point-to-point program per tensor (so forwarding never inflates
+    /// volume), match the sequential oracle, are *bit-identical* to the
+    /// naive program when no reductions were re-associated, and never
+    /// deepen a fan beyond its serialized baseline.
+    #[test]
+    fn collective_lowering_preserves_semantics_and_bytes(
+        n in 2i64..14,
+        gx in 1i64..5,
+        gy in 1i64..4,
+        chunk in 1i64..8,
+        rotate in any::<bool>(),
+        rows_expr in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        // Two statement families: SUMMA/Cannon-style square matmul on a
+        // 2-D grid, and a row-replicated matvec-like einsum on a line
+        // (the family that produces all-gathers).
+        let (assignment, tensors, grid, schedule) = if rows_expr {
+            let p = gx.max(2);
+            let rows = Format::parse("xy->x", MemKind::Sys).unwrap();
+            let tensors = vec![
+                SpmdTensor::new("A", vec![n, n], rows.clone()),
+                SpmdTensor::new("B", vec![n, n], rows.clone()),
+                SpmdTensor::new("C", vec![n, n], rows),
+            ];
+            let schedule = Schedule::new()
+                .divide("i", "io", "ii", p)
+                .reorder(&["io", "ii"])
+                .distribute(&["io"])
+                .communicate(&["A", "B", "C"], "io");
+            (
+                Assignment::parse("A(i,j) = B(i,k) * C(k,j)").unwrap(),
+                tensors,
+                Grid::line(p),
+                schedule,
+            )
+        } else {
+            let tiled = Format::parse("xy->xy", MemKind::Sys).unwrap();
+            let tensors: Vec<SpmdTensor> = ["A", "B", "C"]
+                .iter()
+                .map(|t| SpmdTensor::new(*t, vec![n, n], tiled.clone()))
+                .collect();
+            (
+                Assignment::parse("A(i,j) = B(i,k) * C(k,j)").unwrap(),
+                tensors,
+                Grid::grid2(gx, gy),
+                summa_like(gx, gy, chunk, rotate),
+            )
+        };
+
+        let naive =
+            lower_with(&assignment, &tensors, &grid, &schedule, &CollectiveConfig::point_to_point())
+                .unwrap();
+        let tree = lower(&assignment, &tensors, &grid, &schedule).unwrap();
+        let ring =
+            lower_with(&assignment, &tensors, &grid, &schedule, &CollectiveConfig::rings()).unwrap();
+
+        for lowered in [&tree, &ring] {
+            // Volume and message count are invariant per tensor.
+            prop_assert_eq!(
+                naive.stats().bytes_by_tensor.clone(),
+                lowered.stats().bytes_by_tensor.clone()
+            );
+            prop_assert_eq!(naive.stats().messages, lowered.stats().messages);
+            // No collective is deeper than the serialized fan it replaced.
+            for c in &lowered.collectives {
+                prop_assert!(c.depth <= c.naive_depth, "{c}");
+                prop_assert!(c.members.len() >= 3);
+            }
+        }
+        // Binomial trees reach log depth.
+        for c in &tree.collectives {
+            let g = c.members.len();
+            let log = (usize::BITS - (g - 1).leading_zeros()) as usize;
+            if c.kind != CollectiveKind::AllGather {
+                prop_assert_eq!(c.depth, log, "{} members over {:?}", g, c.kind);
+            }
+        }
+
+        let mut inputs = BTreeMap::new();
+        inputs.insert("B".to_string(), random_data((n * n) as usize, seed));
+        inputs.insert("C".to_string(), random_data((n * n) as usize, seed + 1));
+        let base = naive.execute(&inputs).unwrap();
+        let mut dims = BTreeMap::new();
+        for t in ["A", "B", "C"] {
+            dims.insert(t.to_string(), vec![n, n]);
+        }
+        let want = oracle::evaluate(&assignment, &dims, &inputs).unwrap();
+        for (lowered, name) in [(&tree, "tree"), (&ring, "ring")] {
+            let got = lowered.execute(&inputs).unwrap();
+            for (g, w) in got.output.iter().zip(want.iter()) {
+                prop_assert!((g - w).abs() < 1e-9 * (1.0 + w.abs()), "{name}: {g} vs {w}");
+            }
+            // Broadcast/all-gather lowering never re-associates a fold, so
+            // unless a Reduce was recognized the outputs are bit-identical.
+            let reassociates = lowered
+                .collectives
+                .iter()
+                .any(|c| c.kind == CollectiveKind::Reduce);
+            if !reassociates {
+                for (g, b) in got.output.iter().zip(base.output.iter()) {
+                    prop_assert_eq!(g.to_bits(), b.to_bits(), "{} diverged from naive", name);
+                }
+            }
         }
     }
 

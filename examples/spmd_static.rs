@@ -1,7 +1,10 @@
 //! The static SPMD backend (paper §8's "MPI-based backend for DISTAL"):
 //! lower SUMMA and Cannon's algorithm to explicit per-rank send/recv
-//! programs, print rank 0's program and each algorithm's communication
-//! profile, and verify both against the sequential oracle.
+//! programs, print rank 0's program, each algorithm's communication
+//! profile, the collectives the recognizer found (SUMMA's row/column
+//! fans become binomial-tree broadcasts; Cannon stays systolic), and the
+//! α-β makespan of each schedule — then verify both against the
+//! sequential oracle.
 //!
 //! Run with: `cargo run --example spmd_static`
 
@@ -54,6 +57,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             stats.neighbor_fraction() * 100.0
         );
         println!("  bytes by distance: {:?}", stats.bytes_by_distance);
+        if program.collectives.is_empty() {
+            println!("  no collectives recognized (systolic/neighbour traffic)");
+        } else {
+            println!("  collectives ({}):", program.collectives.len());
+            for c in program.collectives.iter().take(4) {
+                println!("    {c}");
+            }
+            if program.collectives.len() > 4 {
+                println!("    … and {} more", program.collectives.len() - 4);
+            }
+        }
+        let cost = program.cost(&distal::spmd::AlphaBeta::default());
+        println!(
+            "  α-β makespan {:.1}us ({} messages on the critical chain)",
+            cost.makespan_s * 1e6,
+            cost.critical_messages
+        );
 
         let result = program.execute(&inputs)?;
         let max_err = result

@@ -1,8 +1,8 @@
-//! A self-contained, offline stand-in for the [`proptest`] crate.
+//! A self-contained, offline stand-in for the `proptest` crate.
 //!
 //! The workspace cannot pull crates from the network, so this vendored crate
 //! implements exactly the API subset the property tests use: the
-//! [`Strategy`] trait with `prop_map`, range/tuple/`Just`/`vec`/one-of
+//! [`strategy::Strategy`] trait with `prop_map`, range/tuple/`Just`/`vec`/one-of
 //! strategies, the `proptest!` macro (with `#![proptest_config(..)]`
 //! support), and the `prop_assert*`/`prop_assume!` macros. Generation is
 //! backed by a deterministic splitmix64 PRNG seeded from the test name, so

@@ -1,8 +1,10 @@
-//! Session builders for the algorithm case studies.
+//! Session and problem builders for the algorithm case studies.
 
 use crate::higher_order::HigherOrderKernel;
 use crate::matmul::MatmulAlgorithm;
-use distal_core::{CompileError, CompiledKernel, DistalMachine, Session, TensorSpec};
+use distal_core::{
+    CompileError, CompiledKernel, DistalMachine, Problem, Schedule, Session, TensorSpec,
+};
 use distal_machine::spec::{MachineSpec, MemKind, ProcKind};
 use distal_runtime::{ExecutorKind, Mode};
 
@@ -79,8 +81,8 @@ pub fn matmul_session(
     }
     match config.mode {
         Mode::Functional => {
-            session.fill_random("B", 0xB);
-            session.fill_random("C", 0xC);
+            session.fill_random("B", 0xB)?;
+            session.fill_random("C", 0xC)?;
         }
         Mode::Model => {
             session.fill("B", 0.0)?;
@@ -90,6 +92,86 @@ pub fn matmul_session(
     let schedule = alg.schedule(p, n, chunk);
     let kernel = session.compile("A(i,j) = B(i,k) * C(k,j)", &schedule)?;
     Ok((session, kernel))
+}
+
+/// The low-level builder behind [`matmul_problem`]: grid, formats,
+/// statement, and schedule of a Figure 9 algorithm for an explicit
+/// processor count — no input seeding (callers choose). This is the one
+/// place the `(machine, A/B/C registration, schedule)` recipe lives;
+/// benches and tests parameterize it rather than re-deriving it.
+///
+/// # Errors
+///
+/// Propagates format validation errors.
+pub fn matmul_problem_on(
+    alg: MatmulAlgorithm,
+    spec: MachineSpec,
+    proc_kind: ProcKind,
+    mem: MemKind,
+    p: i64,
+    n: i64,
+    chunk: i64,
+) -> Result<(Problem, Schedule), CompileError> {
+    let machine = DistalMachine::flat(alg.grid(p), proc_kind);
+    let mut problem = Problem::new(spec, machine);
+    problem.statement("A(i,j) = B(i,k) * C(k,j)")?;
+    for (name, format) in ["A", "B", "C"].iter().zip(alg.formats(mem)) {
+        problem.tensor(TensorSpec::new(*name, vec![n, n], format))?;
+    }
+    Ok((problem, alg.schedule(p, n, chunk)))
+}
+
+/// Builds the target-agnostic [`Problem`] + [`Schedule`] of a Figure 9
+/// matmul algorithm on `n × n` matrices: grid, formats, statement, and
+/// deterministic random inputs (seeds `0xB`/`0xC`), ready for
+/// `Problem::compile` on any backend.
+///
+/// # Errors
+///
+/// Propagates format validation errors.
+pub fn matmul_problem(
+    alg: MatmulAlgorithm,
+    config: &RunConfig,
+    n: i64,
+    chunk: i64,
+) -> Result<(Problem, Schedule), CompileError> {
+    let (mut problem, schedule) = matmul_problem_on(
+        alg,
+        config.spec.clone(),
+        config.proc_kind,
+        config.mem,
+        config.processors(),
+        n,
+        chunk,
+    )?;
+    problem.fill_random("B", 0xB)?.fill_random("C", 0xC)?;
+    Ok((problem, schedule))
+}
+
+/// Builds the target-agnostic [`Problem`] + [`Schedule`] of a §7.2
+/// higher-order kernel with side length `n` (inputs seeded `0x51ED + i`).
+///
+/// # Errors
+///
+/// Propagates format validation errors.
+pub fn higher_order_problem(
+    kernel: HigherOrderKernel,
+    config: &RunConfig,
+    n: i64,
+) -> Result<(Problem, Schedule), CompileError> {
+    let p = config.processors();
+    let machine = DistalMachine::flat(kernel.grid(p), config.proc_kind);
+    let mut problem = Problem::new(config.spec.clone(), machine);
+    problem.statement(kernel.expression())?;
+    let shapes = kernel.shapes(n);
+    let formats = kernel.formats(config.mem);
+    for ((name, dims), format) in shapes.iter().zip(formats) {
+        problem.tensor(TensorSpec::new(*name, dims.clone(), format))?;
+    }
+    for (idx, (name, _)) in shapes.iter().enumerate().skip(1) {
+        problem.fill_random(name, 0x51ED + idx as u64)?;
+    }
+    Ok((problem, kernel.schedule(p)))
 }
 
 /// Builds a session + compiled kernel for a §7.2 higher-order kernel with
@@ -114,7 +196,7 @@ pub fn higher_order_session(
     }
     for (idx, (name, _)) in shapes.iter().enumerate().skip(1) {
         match config.mode {
-            Mode::Functional => session.fill_random(name, 0x51ED + idx as u64),
+            Mode::Functional => session.fill_random(name, 0x51ED + idx as u64)?,
             Mode::Model => session.fill(name, 0.0)?,
         }
     }

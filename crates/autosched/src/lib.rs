@@ -17,10 +17,16 @@
 //!    * **reduction-distributed** (3D/Johnson-style): also distribute a
 //!      reduction variable, fixing tensors to faces of the processor grid
 //!      and folding partial outputs at the end.
-//! 2. [`search`] compiles every candidate and plays it through the
-//!    runtime's cost-model mode (`Mode::Model`), scoring simulated
-//!    makespan; candidates that exceed memory (the 3D algorithms at scale,
-//!    §7.1.2) are reported infeasible rather than silently dropped.
+//! 2. [`search`] compiles every candidate through the unified
+//!    `Problem` → backend → `Artifact` pipeline and scores the backend's
+//!    normalized report. The default backend is the runtime's cost-model
+//!    simulator (`Mode::Model`); [`AutoScheduler::search_with`] /
+//!    [`AutoScheduler::score_with`] accept any other
+//!    [`distal_core::Backend`] — notably the SPMD α-β model
+//!    (`distal_spmd::CostBackend::alpha_beta`), which prices each
+//!    candidate's exact static message schedule. Candidates that exceed
+//!    memory (the 3D algorithms at scale, §7.1.2) are reported infeasible
+//!    rather than silently dropped.
 //!
 //! The search therefore *rediscovers* the classic algorithms from the
 //! machine description: square grids favour the 2D family, cubes with

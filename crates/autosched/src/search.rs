@@ -1,9 +1,17 @@
 //! Cost-model search over the candidate space.
+//!
+//! The search is backend-parameterized: [`AutoScheduler::score_with`] and
+//! [`AutoScheduler::search_with`] accept any
+//! [`distal_core::Backend`], so candidates can be ranked by the
+//! dynamic runtime's model-mode simulator (the default), the SPMD α-β
+//! makespan (`distal_spmd::CostBackend::alpha_beta`), or even functional
+//! execution. Each candidate becomes one [`Problem`] (its grid + formats)
+//! compiled through the shared pipeline; whatever the backend's
+//! [`Report`](distal_core::Report) says is the score.
 
 use crate::space::{enumerate_candidates, AutoschedError, Candidate, SpaceOptions};
-use distal_core::{DistalMachine, Session, TensorSpec};
+use distal_core::{Backend, DistalMachine, Problem, RuntimeBackend, TensorSpec};
 use distal_machine::spec::{MachineSpec, MemKind, ProcKind};
-use distal_runtime::Mode;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -124,9 +132,10 @@ impl AutoScheduler {
         &self.config
     }
 
-    /// Enumerates and scores every candidate for `expr`, returning them
-    /// best-first. Infeasible candidates are kept (sorted last) so callers
-    /// can see *why* e.g. a 3D algorithm lost: OOM, not slowness.
+    /// Enumerates and scores every candidate for `expr` under the default
+    /// backend (the dynamic runtime's model-mode simulator), returning
+    /// them best-first. Infeasible candidates are kept (sorted last) so
+    /// callers can see *why* e.g. a 3D algorithm lost: OOM, not slowness.
     ///
     /// # Errors
     ///
@@ -137,11 +146,27 @@ impl AutoScheduler {
         expr: &str,
         dims: &BTreeMap<String, Vec<i64>>,
     ) -> Result<SearchResult, AutoschedError> {
+        self.search_with(&RuntimeBackend::model(), expr, dims)
+    }
+
+    /// [`AutoScheduler::search`] under an explicit scoring backend —
+    /// e.g. `distal_spmd::CostBackend::alpha_beta` to rank candidates by
+    /// the static SPMD α-β makespan instead of the runtime simulator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates enumeration errors ([`AutoschedError`]).
+    pub fn search_with(
+        &self,
+        backend: &dyn Backend,
+        expr: &str,
+        dims: &BTreeMap<String, Vec<i64>>,
+    ) -> Result<SearchResult, AutoschedError> {
         let p = self.config.processors();
         let (_, candidates) = enumerate_candidates(expr, dims, p, &self.config.space)?;
         let mut evaluations: Vec<Evaluation> = candidates
             .into_iter()
-            .map(|c| self.evaluate(expr, dims, c))
+            .map(|c| self.score_with(backend, expr, dims, c))
             .collect();
         evaluations.sort_by(|a, b| {
             (!a.feasible(), a.makespan_s, a.comm_bytes, &a.candidate.name)
@@ -151,9 +176,24 @@ impl AutoScheduler {
         Ok(SearchResult { evaluations })
     }
 
-    /// Scores one candidate by playing it through the cost-model simulator.
+    /// Scores one candidate by playing it through the default cost-model
+    /// simulator.
     pub fn evaluate(
         &self,
+        expr: &str,
+        dims: &BTreeMap<String, Vec<i64>>,
+        candidate: Candidate,
+    ) -> Evaluation {
+        self.score_with(&RuntimeBackend::model(), expr, dims, candidate)
+    }
+
+    /// Scores one candidate on an explicit backend: builds the candidate's
+    /// [`Problem`] (its grid + formats over the shared spec), compiles it
+    /// through the unified pipeline, and reads the score off the backend's
+    /// normalized report.
+    pub fn score_with(
+        &self,
+        backend: &dyn Backend,
         expr: &str,
         dims: &BTreeMap<String, Vec<i64>>,
         candidate: Candidate,
@@ -165,39 +205,42 @@ impl AutoScheduler {
             infeasible: Some(reason),
         };
         let machine = DistalMachine::flat(candidate.grid.clone(), self.config.proc_kind);
-        let mut session = Session::new(self.config.spec.clone(), machine, Mode::Model);
+        let mut problem = Problem::new(self.config.spec.clone(), machine);
+        if let Err(e) = problem.statement(expr) {
+            return infeasible(candidate, e.to_string());
+        }
         for (name, shape) in dims {
             let format = match candidate.formats.get(name) {
                 Some(f) => f.clone(),
                 None => return infeasible(candidate, format!("no format for tensor '{name}'")),
             };
-            if let Err(e) = session.tensor(TensorSpec::new(name.clone(), shape.clone(), format)) {
+            if let Err(e) = problem.tensor(TensorSpec::new(name.clone(), shape.clone(), format)) {
                 return infeasible(candidate, e.to_string());
             }
-            if let Err(e) = session.fill(name, 0.0) {
+            if let Err(e) = problem.fill(name, 0.0) {
                 return infeasible(candidate, e.to_string());
             }
         }
-        let kernel = match session.compile(expr, &candidate.schedule) {
-            Ok(k) => k,
+        let mut artifact = match problem.compile(backend, &candidate.schedule) {
+            Ok(a) => a,
             Err(e) => return infeasible(candidate, e.to_string()),
         };
-        let placement = match session.place(&kernel) {
-            Ok(s) => s,
+        let placement = match artifact.place() {
+            Ok(r) => r,
             Err(e) => return infeasible(candidate, format!("placement: {e}")),
         };
-        let compute = match session.execute(&kernel) {
-            Ok(s) => s,
+        let compute = match artifact.execute() {
+            Ok(r) => r,
             Err(e) => return infeasible(candidate, format!("compute: {e}")),
         };
-        let mut makespan = compute.makespan_s;
+        let mut makespan = compute.critical_path_s;
         if self.config.include_placement {
-            makespan += placement.makespan_s;
+            makespan += placement.critical_path_s;
         }
         Evaluation {
             candidate,
             makespan_s: makespan,
-            comm_bytes: compute.bytes_by_class.values().sum(),
+            comm_bytes: compute.bytes_moved,
             infeasible: None,
         }
     }
@@ -245,6 +288,42 @@ mod tests {
         let sequential = result.named("sequential").unwrap();
         assert_ne!(best.candidate.name, "sequential");
         assert!(best.makespan_s < sequential.makespan_s / 2.0);
+    }
+
+    #[test]
+    fn alpha_beta_backend_ranks_candidates() {
+        // The same enumeration scored under the SPMD α-β cost model: the
+        // static backend lowers each candidate to its exact message
+        // schedule and prices the critical path — no runtime simulation,
+        // no numerics.
+        let scheduler = AutoScheduler::new(SearchConfig::cpu(MachineSpec::small(2)));
+        let backend = distal_spmd::CostBackend::alpha_beta(distal_spmd::AlphaBeta::default());
+        let result = scheduler
+            .search_with(&backend, "A(i,j) = B(i,k) * C(k,j)", &matmul_dims(64))
+            .unwrap();
+        let best = result.best().expect("α-β-feasible candidate exists");
+        assert!(best.makespan_s.is_finite());
+        assert!(best.makespan_s > 0.0);
+        // The α-β model still sees real communication volume.
+        assert!(result
+            .evaluations
+            .iter()
+            .filter(|e| e.feasible())
+            .any(|e| e.comm_bytes > 0));
+        // Both backends agree on *feasible schedules*, even where their
+        // cost models differ: every α-β-feasible candidate also compiles
+        // and runs under the default simulator.
+        let sim = scheduler
+            .search("A(i,j) = B(i,k) * C(k,j)", &matmul_dims(64))
+            .unwrap();
+        for e in result.evaluations.iter().filter(|e| e.feasible()) {
+            let other = sim.named(&e.candidate.name).unwrap();
+            assert!(
+                other.feasible(),
+                "{} feasible under α-β but not the simulator",
+                e.candidate.name
+            );
+        }
     }
 
     #[test]

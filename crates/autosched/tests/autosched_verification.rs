@@ -36,7 +36,7 @@ fn run_functional(
             ))
             .unwrap();
         if name != out {
-            session.fill_random(name, 0xAB + name.len() as u64);
+            session.fill_random(name, 0xAB + name.len() as u64).unwrap();
         }
     }
     let kernel = session.compile(expr, &candidate.schedule).unwrap();

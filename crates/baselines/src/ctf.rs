@@ -43,8 +43,8 @@ pub fn gemm(config: &RunConfig, n: i64) -> Result<(Session, CompiledKernel), Com
     }
     match config.mode {
         Mode::Functional => {
-            session.fill_random("B", 0xB);
-            session.fill_random("C", 0xC);
+            session.fill_random("B", 0xB)?;
+            session.fill_random("C", 0xC)?;
         }
         Mode::Model => {
             session.fill("B", 0.0)?;
@@ -287,7 +287,7 @@ pub fn higher_order(
     }
     for (idx, (name, _)) in shapes.iter().enumerate().skip(1) {
         match config.mode {
-            Mode::Functional => session.fill_random(name, 0x51ED + idx as u64),
+            Mode::Functional => session.fill_random(name, 0x51ED + idx as u64)?,
             Mode::Model => session.fill(name, 0.0)?,
         }
     }

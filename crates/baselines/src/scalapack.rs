@@ -32,8 +32,8 @@ pub fn gemm(
     }
     match config.mode {
         Mode::Functional => {
-            session.fill_random("B", 0xB);
-            session.fill_random("C", 0xC);
+            session.fill_random("B", 0xB)?;
+            session.fill_random("C", 0xC)?;
         }
         Mode::Model => {
             session.fill("B", 0.0)?;

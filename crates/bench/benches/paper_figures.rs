@@ -100,22 +100,25 @@ fn bench_functional(c: &mut Criterion) {
 
 fn bench_spmd(c: &mut Criterion) {
     // Static SPMD lowering (§8 backend): full compile-time communication
-    // analysis for Cannon on an 8x8 torus.
-    use distal_ir::expr::Assignment;
+    // analysis for Cannon on an 8x8 torus, through the shared registry.
+    use distal_core::{DistalMachine, Problem, TensorSpec};
     use distal_machine::grid::Grid;
-    use distal_machine::spec::MemKind;
-    use distal_spmd::{lower, SpmdTensor};
+    use distal_machine::spec::{MachineSpec, MemKind, ProcKind};
+    use distal_spmd::{lower_problem, CollectiveConfig};
 
     c.bench_function("spmd_lower_cannon_8x8", |b| {
-        let assignment = Assignment::parse("A(i,j) = B(i,k) * C(k,j)").unwrap();
+        let machine = DistalMachine::flat(Grid::grid2(8, 8), ProcKind::Cpu);
+        let mut problem = Problem::new(MachineSpec::small(32), machine);
+        problem.statement("A(i,j) = B(i,k) * C(k,j)").unwrap();
         let tiled = distal_format::Format::parse("xy->xy", MemKind::Sys).unwrap();
-        let tensors: Vec<SpmdTensor> = ["A", "B", "C"]
-            .iter()
-            .map(|t| SpmdTensor::new(*t, vec![4096, 4096], tiled.clone()))
-            .collect();
+        for t in ["A", "B", "C"] {
+            problem
+                .tensor(TensorSpec::new(t, vec![4096, 4096], tiled.clone()))
+                .unwrap();
+        }
         let schedule = MatmulAlgorithm::Cannon.schedule(64, 4096, 512);
         b.iter(|| {
-            let program = lower(&assignment, &tensors, &Grid::grid2(8, 8), &schedule).unwrap();
+            let program = lower_problem(&problem, &schedule, &CollectiveConfig::default()).unwrap();
             program.stats().bytes
         })
     });

@@ -17,13 +17,16 @@
 //!
 //! Binaries: `fig9`, `fig15a`, `fig15b`, `fig16`, `headline`, `all`,
 //! `exec` (serial-vs-parallel executor wall-clock; writes
-//! `BENCH_exec.json`), and `spmd` (collective recognition/lowering gate:
+//! `BENCH_exec.json`), `spmd` (collective recognition/lowering gate:
 //! naive vs tree vs ring schedules under the α-β model; writes
-//! `BENCH_spmd.json`).
+//! `BENCH_spmd.json`), and `backends` (runtime-sim vs SPMD α-β cost
+//! models over the unified `Problem` pipeline for SUMMA/Cannon at
+//! p ∈ {4, 9, 16}; writes `BENCH_backends.json`).
 //! Criterion benches (`benches/paper_figures.rs`) run reduced-scale
 //! versions of the same harnesses.
 
 pub mod ablations;
+pub mod backends;
 pub mod exec;
 pub mod fig15;
 pub mod fig16;

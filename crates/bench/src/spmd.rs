@@ -12,12 +12,12 @@
 //! all steady-state traffic at torus distance 1).
 
 use distal_algs::matmul::MatmulAlgorithm;
+use distal_algs::setup::matmul_problem_on;
 use distal_core::oracle;
 use distal_ir::expr::Assignment;
-use distal_machine::spec::MemKind;
+use distal_machine::spec::{MachineSpec, MemKind, ProcKind};
 use distal_spmd::{
-    collective, lower_with, AlphaBeta, CollectiveConfig, CommStats, Message, SpmdProgram,
-    SpmdTensor,
+    collective, lower_problem, AlphaBeta, CollectiveConfig, CommStats, Message, SpmdProgram,
 };
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -78,17 +78,17 @@ pub fn lower_algorithm(
     n: i64,
     config: &CollectiveConfig,
 ) -> SpmdProgram {
-    let grid = alg.grid(p);
-    let formats = alg.formats(MemKind::Sys);
-    let tensors: Vec<SpmdTensor> = ["A", "B", "C"]
-        .iter()
-        .zip(formats.iter())
-        .map(|(name, f)| SpmdTensor::new(*name, vec![n, n], f.clone()))
-        .collect();
-    let assignment = Assignment::parse("A(i,j) = B(i,k) * C(k,j)").unwrap();
-    let schedule = alg.schedule(p, n, (n / 4).max(1));
-    lower_with(&assignment, &tensors, &grid, &schedule, config)
-        .unwrap_or_else(|e| panic!("{alg:?}: {e}"))
+    let (problem, schedule) = matmul_problem_on(
+        alg,
+        MachineSpec::small(8),
+        ProcKind::Cpu,
+        MemKind::Sys,
+        p,
+        n,
+        (n / 4).max(1),
+    )
+    .unwrap_or_else(|e| panic!("{alg:?}: {e}"));
+    lower_problem(&problem, &schedule, config).unwrap_or_else(|e| panic!("{alg:?}: {e}"))
 }
 
 /// The shared inputs and oracle answer of one problem size (computed

@@ -1,0 +1,371 @@
+//! The target abstraction: one [`Problem`] compiles onto any [`Backend`].
+//!
+//! DISTAL's central claim (§3–§6) is that one (statement, formats,
+//! machine, schedule) bundle is portable across mappings *and* lowering
+//! targets; §8 frames an MPI-style static backend as orthogonal to the
+//! Legion-style dynamic runtime. This module is that claim as an API:
+//!
+//! * [`Backend`] — a compilation target. Implementations:
+//!   [`RuntimeBackend`] (this crate: the dynamic runtime, functional or
+//!   model mode), `SpmdBackend` and `CostBackend` (in `distal-spmd`:
+//!   static MPI-style lowering, and pure cost estimation under either the
+//!   model-mode simulator or the SPMD α-β model).
+//! * [`Artifact`] — what a backend compiles to. Every artifact exposes
+//!   the same surface (`place`, `execute`, `read`, [`Report`]s), so
+//!   callers never special-case the backend they run on.
+//!
+//! ```
+//! use distal_core::{DistalMachine, Problem, RuntimeBackend, Schedule, TensorSpec};
+//! use distal_format::Format;
+//! use distal_machine::{Grid, spec::{MachineSpec, MemKind, ProcKind}};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let machine = DistalMachine::flat(Grid::grid2(2, 2), ProcKind::Cpu);
+//! let mut problem = Problem::new(MachineSpec::small(2), machine);
+//! problem.statement("A(i,j) = B(i,k) * C(k,j)")?;
+//! let tiles = Format::parse("xy->xy", MemKind::Sys)?;
+//! for t in ["A", "B", "C"] {
+//!     problem.tensor(TensorSpec::new(t, vec![8, 8], tiles.clone()))?;
+//! }
+//! problem.fill_random("B", 1)?.fill_random("C", 2)?;
+//!
+//! let mut artifact = problem.compile(&RuntimeBackend::functional(), &Schedule::summa(2, 2, 4))?;
+//! let report = artifact.run()?;
+//! assert_eq!(artifact.read("A")?.len(), 64);
+//! assert!(report.flops > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::CompileError;
+use crate::lower::{CompileOptions, CompiledKernel};
+use crate::problem::Problem;
+use crate::report::{Provenance, Report};
+use crate::schedule::Schedule;
+use crate::session::Session;
+use distal_runtime::exec::{Mode, RuntimeError};
+use distal_runtime::executor::ExecutorKind;
+use std::fmt;
+
+/// Errors from compiling or running a problem on a backend.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BackendError {
+    /// Compilation failed (parse, format, schedule, or lowering errors).
+    Compile(CompileError),
+    /// The dynamic runtime failed (OOM, uninitialized data).
+    Runtime(RuntimeError),
+    /// A tensor name is not registered on the problem.
+    UnknownTensor(String),
+    /// The artifact holds no readable data (model/cost execution, or the
+    /// artifact was not executed yet).
+    NoData(String),
+    /// The problem/schedule combination is outside the backend's scope.
+    Unsupported(String),
+    /// A backend-specific execution failure.
+    Backend(String),
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::Compile(e) => write!(f, "compile error: {e}"),
+            BackendError::Runtime(e) => write!(f, "runtime error: {e}"),
+            BackendError::UnknownTensor(t) => write!(f, "unknown tensor '{t}'"),
+            BackendError::NoData(m) => write!(f, "no data: {m}"),
+            BackendError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            BackendError::Backend(m) => write!(f, "backend error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+impl From<CompileError> for BackendError {
+    fn from(e: CompileError) -> Self {
+        match e {
+            CompileError::UnknownTensor(t) => BackendError::UnknownTensor(t),
+            other => BackendError::Compile(other),
+        }
+    }
+}
+
+impl From<RuntimeError> for BackendError {
+    fn from(e: RuntimeError) -> Self {
+        BackendError::Runtime(e)
+    }
+}
+
+/// A compilation target: lowers a [`Problem`] + [`Schedule`] to an
+/// executable [`Artifact`]. See the [module docs](self).
+pub trait Backend {
+    /// Short stable name (`"runtime"`, `"spmd"`, `"cost"`), used in
+    /// [`Report::backend`] and diagnostics.
+    fn name(&self) -> &str;
+
+    /// Compiles the problem for this target.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError::Compile`] when the problem has no statement or the
+    /// lowering rejects it; backend-specific errors otherwise.
+    fn compile(
+        &self,
+        problem: &Problem,
+        schedule: &Schedule,
+    ) -> Result<Box<dyn Artifact>, BackendError>;
+}
+
+/// A compiled problem on one backend: the common executable surface.
+pub trait Artifact {
+    /// The producing backend's name.
+    fn backend(&self) -> &str;
+
+    /// Moves tensors into their formats' distributions (a no-op report on
+    /// backends whose data starts at rest).
+    ///
+    /// # Errors
+    ///
+    /// Backend execution errors (OOM, missing data).
+    fn place(&mut self) -> Result<Report, BackendError>;
+
+    /// Runs the computation.
+    ///
+    /// # Errors
+    ///
+    /// Backend execution errors (OOM, missing data).
+    fn execute(&mut self) -> Result<Report, BackendError>;
+
+    /// Reads a tensor's current contents (row-major).
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError::UnknownTensor`] for unregistered names;
+    /// [`BackendError::NoData`] on backends that hold no numerics (model
+    /// mode, cost estimation) or before the artifact executed.
+    fn read(&self, tensor: &str) -> Result<Vec<f64>, BackendError>;
+
+    /// Places then executes, returning the merged report.
+    ///
+    /// # Errors
+    ///
+    /// Errors from either phase.
+    fn run(&mut self) -> Result<Report, BackendError> {
+        let mut r = self.place()?;
+        r.merge(&self.execute()?);
+        Ok(r)
+    }
+}
+
+/// The dynamic-runtime target (the paper's Legion-style backend): tasks,
+/// region coherence, work-stealing execution — functional numerics or the
+/// pure timing model depending on [`Mode`].
+#[derive(Clone, Debug)]
+pub struct RuntimeBackend {
+    /// Functional (real numerics) or model (timing only) execution.
+    pub mode: Mode,
+    /// Overrides the runtime's executor selection when set.
+    pub executor: Option<ExecutorKind>,
+    /// Compile options threaded into the lowering.
+    pub options: CompileOptions,
+}
+
+impl RuntimeBackend {
+    /// A backend with real numerics.
+    pub fn functional() -> Self {
+        RuntimeBackend {
+            mode: Mode::Functional,
+            executor: None,
+            options: CompileOptions::default(),
+        }
+    }
+
+    /// A backend that only simulates timing/communication.
+    pub fn model() -> Self {
+        RuntimeBackend {
+            mode: Mode::Model,
+            executor: None,
+            options: CompileOptions::default(),
+        }
+    }
+
+    /// Overrides the compile options.
+    #[must_use]
+    pub fn with_options(mut self, options: CompileOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Overrides the executor selection.
+    #[must_use]
+    pub fn with_executor(mut self, kind: ExecutorKind) -> Self {
+        self.executor = Some(kind);
+        self
+    }
+}
+
+impl Backend for RuntimeBackend {
+    fn name(&self) -> &str {
+        "runtime"
+    }
+
+    fn compile(
+        &self,
+        problem: &Problem,
+        schedule: &Schedule,
+    ) -> Result<Box<dyn Artifact>, BackendError> {
+        let assignment = problem
+            .assignment()
+            .ok_or_else(|| {
+                BackendError::Compile(CompileError::Expression("problem has no statement".into()))
+            })?
+            .clone();
+        let mut session =
+            Session::new(problem.spec().clone(), problem.machine().clone(), self.mode);
+        if let Some(kind) = self.executor {
+            session.set_executor(kind);
+        }
+        for spec in problem.tensors().values() {
+            session.tensor(spec.clone())?;
+        }
+        for (name, init) in problem.inits() {
+            match self.mode {
+                Mode::Functional => {
+                    let dims = &problem.tensors()[name].dims;
+                    session.set_data(name, init.materialize(dims))?;
+                }
+                // Model mode holds no data; filling marks regions valid.
+                Mode::Model => {
+                    session.fill(name, 0.0)?;
+                }
+            }
+        }
+        let kernel = session.compile_assignment(&assignment, schedule, &self.options)?;
+        Ok(Box::new(RuntimeArtifact {
+            session,
+            kernel,
+            mode: self.mode,
+        }))
+    }
+}
+
+/// A [`RuntimeBackend`] artifact: a private session + compiled kernel.
+pub struct RuntimeArtifact {
+    session: Session,
+    kernel: CompiledKernel,
+    mode: Mode,
+}
+
+impl RuntimeArtifact {
+    /// The compiled kernel (launch domain, programs, flops).
+    pub fn kernel(&self) -> &CompiledKernel {
+        &self.kernel
+    }
+
+    /// The underlying session (runtime, regions, statistics).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// The underlying session, mutably (tracing, executor knobs).
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    fn provenance(&self) -> Provenance {
+        match self.mode {
+            Mode::Functional => Provenance::Measured,
+            Mode::Model => Provenance::Modeled,
+        }
+    }
+}
+
+impl Artifact for RuntimeArtifact {
+    fn backend(&self) -> &str {
+        "runtime"
+    }
+
+    fn place(&mut self) -> Result<Report, BackendError> {
+        let stats = self.session.place(&self.kernel)?;
+        Ok(Report::from_run_stats("runtime", self.provenance(), &stats))
+    }
+
+    fn execute(&mut self) -> Result<Report, BackendError> {
+        let stats = self.session.execute(&self.kernel)?;
+        Ok(Report::from_run_stats("runtime", self.provenance(), &stats))
+    }
+
+    fn read(&self, tensor: &str) -> Result<Vec<f64>, BackendError> {
+        if self.session.region(tensor).is_none() {
+            return Err(BackendError::UnknownTensor(tensor.into()));
+        }
+        if self.mode == Mode::Model {
+            return Err(BackendError::NoData(format!(
+                "model-mode artifacts hold no numerics; '{tensor}' cannot be read"
+            )));
+        }
+        self.session.read(tensor).map_err(BackendError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::DistalMachine;
+    use crate::session::TensorSpec;
+    use distal_format::Format;
+    use distal_machine::grid::Grid;
+    use distal_machine::spec::{MachineSpec, MemKind, ProcKind};
+
+    fn matmul_problem(n: i64) -> Problem {
+        let machine = DistalMachine::flat(Grid::grid2(2, 2), ProcKind::Cpu);
+        let mut p = Problem::new(MachineSpec::small(2), machine);
+        p.statement("A(i,j) = B(i,k) * C(k,j)").unwrap();
+        let f = Format::parse("xy->xy", MemKind::Sys).unwrap();
+        for t in ["A", "B", "C"] {
+            p.tensor(TensorSpec::new(t, vec![n, n], f.clone())).unwrap();
+        }
+        p.fill_random("B", 1).unwrap();
+        p.fill_random("C", 2).unwrap();
+        p
+    }
+
+    #[test]
+    fn functional_artifact_runs_and_reads() {
+        let p = matmul_problem(8);
+        let mut art = p
+            .compile(&RuntimeBackend::functional(), &Schedule::summa(2, 2, 4))
+            .unwrap();
+        let report = art.run().unwrap();
+        assert_eq!(report.backend, "runtime");
+        assert_eq!(report.provenance, Provenance::Measured);
+        assert!(report.flops > 0.0);
+        assert!(report.tasks > 0);
+        assert_eq!(art.read("A").unwrap().len(), 64);
+        assert!(matches!(
+            art.read("Z"),
+            Err(BackendError::UnknownTensor(t)) if t == "Z"
+        ));
+    }
+
+    #[test]
+    fn model_artifact_reports_but_holds_no_data() {
+        let p = matmul_problem(16);
+        let mut art = p
+            .compile(&RuntimeBackend::model(), &Schedule::summa(2, 2, 8))
+            .unwrap();
+        let report = art.run().unwrap();
+        assert_eq!(report.provenance, Provenance::Modeled);
+        assert!(report.critical_path_s > 0.0);
+        assert!(matches!(art.read("A"), Err(BackendError::NoData(_))));
+    }
+
+    #[test]
+    fn statementless_problem_rejected() {
+        let machine = DistalMachine::flat(Grid::grid2(2, 2), ProcKind::Cpu);
+        let p = Problem::new(MachineSpec::small(2), machine);
+        assert!(matches!(
+            p.compile(&RuntimeBackend::functional(), &Schedule::new()),
+            Err(BackendError::Compile(_))
+        ));
+    }
+}

@@ -19,50 +19,67 @@
 //!
 //! The main entry points are:
 //!
-//! * [`Session`] — owns a runtime and tensors, compiles and runs kernels;
+//! * [`Problem`] — statement + registered tensors + abstract machine, the
+//!   target-agnostic front door: one problem compiles onto any
+//!   [`Backend`] (the dynamic [`RuntimeBackend`] here, the static SPMD
+//!   and cost backends in `distal-spmd`) into an [`Artifact`] with a
+//!   common `place`/`execute`/`read`/[`Report`] surface;
 //! * [`Schedule`] — the chainable scheduling language of Figure 2
 //!   (`divide`, `split`, `reorder`, `distribute`, `communicate`, `rotate`);
+//! * [`Session`] — a mutable convenience over [`Problem`] +
+//!   [`RuntimeBackend`] for incremental/multi-kernel pipelines;
 //! * [`compile`] — lowers a scheduled statement to placement + compute
 //!   [`distal_runtime::Program`]s.
 //!
-//! # Example: Figure 2 (SUMMA on a 2×2 grid)
+//! # Example: Figure 2 (SUMMA on a 2×2 grid), on the unified pipeline
 //!
 //! ```
-//! use distal_core::{DistalMachine, Schedule, Session, TensorSpec};
+//! use distal_core::{DistalMachine, Problem, RuntimeBackend, Schedule, TensorSpec};
 //! use distal_format::Format;
 //! use distal_machine::{Grid, spec::{MachineSpec, MemKind, ProcKind}};
-//! use distal_runtime::Mode;
 //!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let machine = DistalMachine::flat(Grid::grid2(2, 2), ProcKind::Cpu);
-//! let mut session = Session::new(MachineSpec::small(2), machine, Mode::Functional);
-//! let tiled = Format::parse("xy->xy", MemKind::Sys).unwrap();
+//! let mut problem = Problem::new(MachineSpec::small(2), machine);
+//! problem.statement("A(i,j) = B(i,k) * C(k,j)")?;
+//! let tiled = Format::parse("xy->xy", MemKind::Sys)?;
 //! let n = 8;
 //! for name in ["A", "B", "C"] {
-//!     session.tensor(TensorSpec::new(name, vec![n, n], tiled.clone())).unwrap();
+//!     problem.tensor(TensorSpec::new(name, vec![n, n], tiled.clone()))?;
 //! }
-//! session.fill_random("B", 1);
-//! session.fill_random("C", 2);
+//! problem.fill_random("B", 1)?.fill_random("C", 2)?;
 //!
 //! let schedule = Schedule::summa(2, 2, 4);
-//! let compiled = session.compile("A(i,j) = B(i,k) * C(k,j)", &schedule).unwrap();
-//! session.place(&compiled).unwrap();
-//! session.execute(&compiled).unwrap();
-//! let a = session.read("A").unwrap();
+//! let mut artifact = problem.compile(&RuntimeBackend::functional(), &schedule)?;
+//! let report = artifact.run()?;
+//! let a = artifact.read("A")?;
 //! assert_eq!(a.len(), 64);
+//! assert!(report.flops > 0.0);
+//! # Ok(())
+//! # }
 //! ```
 
+pub mod backend;
 pub mod error;
 pub mod kernels;
 pub mod lower;
 pub mod machine;
 pub mod mapper;
 pub mod oracle;
+pub mod problem;
+pub mod report;
 pub mod schedule;
 pub mod session;
 
+/// `Target` is the pipeline-vocabulary alias for [`Backend`]: a `Problem`
+/// compiles against a target into an `Artifact`.
+pub use backend::Backend as Target;
+pub use backend::{Artifact, Backend, BackendError, RuntimeArtifact, RuntimeBackend};
 pub use error::CompileError;
 pub use lower::{compile, CompileOptions, CompiledKernel};
 pub use machine::DistalMachine;
 pub use mapper::GridMapper;
+pub use problem::{random_data, Problem, TensorInit};
+pub use report::{Provenance, Report};
 pub use schedule::{LeafKind, SchedCmd, Schedule};
 pub use session::{Session, TensorSpec};

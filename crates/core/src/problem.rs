@@ -1,0 +1,347 @@
+//! The target-agnostic problem description: statement + tensors + machine.
+//!
+//! A [`Problem`] carries everything DISTAL's §3 input bundle needs *except*
+//! the schedule and the lowering target: the tensor index notation
+//! statement, the registered tensors (shape + distribution format, with
+//! optional initial data), the abstract machine grid, and the physical
+//! machine model. The same `Problem` then compiles against any
+//! [`Backend`] — the dynamic runtime, the static
+//! SPMD lowering, or a pure cost model — via
+//! [`Problem::compile`]; schedules stay separate so an autoscheduler can
+//! sweep them over one immutable problem.
+
+use crate::backend::{Artifact, Backend, BackendError};
+use crate::error::CompileError;
+use crate::machine::DistalMachine;
+use crate::schedule::Schedule;
+use crate::session::TensorSpec;
+use distal_ir::expr::Assignment;
+use distal_machine::spec::MachineSpec;
+use std::collections::BTreeMap;
+
+/// Deterministic pseudo-random tensor data in `[-1, 1)` (xorshift64*).
+///
+/// This is *the* seeding function shared by every backend: a tensor
+/// registered with [`TensorInit::Random`] materializes to exactly these
+/// values whether it is seeded into runtime regions or fed to the SPMD
+/// rank VM, which is what makes cross-backend runs bit-comparable.
+pub fn random_data(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    (0..n)
+        .map(|_| {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let r = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            (r >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// How a registered tensor's initial contents are defined.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TensorInit {
+    /// Every element set to a constant.
+    Value(f64),
+    /// Explicit row-major data.
+    Data(Vec<f64>),
+    /// Deterministic pseudo-random data from a seed (see [`random_data`]).
+    Random(u64),
+}
+
+impl TensorInit {
+    /// Materializes the initial contents for a tensor of the given shape.
+    pub fn materialize(&self, dims: &[i64]) -> Vec<f64> {
+        let n = dims.iter().product::<i64>().max(1) as usize;
+        match self {
+            TensorInit::Value(v) => vec![*v; n],
+            TensorInit::Data(d) => d.clone(),
+            TensorInit::Random(seed) => random_data(n, *seed),
+        }
+    }
+}
+
+/// A statement + registered tensors + abstract machine, ready to compile
+/// onto any backend. See the [module docs](self) and the crate example.
+#[derive(Clone, Debug)]
+pub struct Problem {
+    spec: MachineSpec,
+    machine: DistalMachine,
+    statement: Option<Assignment>,
+    tensors: BTreeMap<String, TensorSpec>,
+    init: BTreeMap<String, TensorInit>,
+}
+
+impl Problem {
+    /// A problem on an abstract machine backed by a physical model.
+    pub fn new(spec: MachineSpec, machine: DistalMachine) -> Self {
+        Problem {
+            spec,
+            machine,
+            statement: None,
+            tensors: BTreeMap::new(),
+            init: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the tensor index notation statement.
+    ///
+    /// # Errors
+    ///
+    /// Parse errors.
+    pub fn statement(&mut self, expr: &str) -> Result<&mut Self, CompileError> {
+        let a = Assignment::parse(expr).map_err(|e| CompileError::Expression(e.to_string()))?;
+        self.statement = Some(a);
+        Ok(self)
+    }
+
+    /// Sets an already-parsed statement.
+    pub fn set_assignment(&mut self, assignment: Assignment) -> &mut Self {
+        self.statement = Some(assignment);
+        self
+    }
+
+    /// The parsed statement, if one was set.
+    pub fn assignment(&self) -> Option<&Assignment> {
+        self.statement.as_ref()
+    }
+
+    /// The physical machine model.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// The abstract machine.
+    pub fn machine(&self) -> &DistalMachine {
+        &self.machine
+    }
+
+    /// Registers a tensor, validating its format against the machine.
+    ///
+    /// # Errors
+    ///
+    /// Rejects formats whose notation arity doesn't match the tensor order
+    /// or the machine's hierarchy levels.
+    pub fn tensor(&mut self, spec: TensorSpec) -> Result<&mut Self, CompileError> {
+        let machine = self.machine.clone();
+        self.tensor_for_machine(spec, &machine)
+    }
+
+    /// Registers a tensor whose format targets a *different* abstract
+    /// machine than the problem default (the CTF baseline's internal
+    /// matricized tensors live on per-contraction grids).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::tensor`], validated against the given machine.
+    pub fn tensor_for_machine(
+        &mut self,
+        spec: TensorSpec,
+        machine: &DistalMachine,
+    ) -> Result<&mut Self, CompileError> {
+        validate_format(&spec, machine)?;
+        self.tensors.insert(spec.name.clone(), spec);
+        Ok(self)
+    }
+
+    /// The registered tensors, by name.
+    pub fn tensors(&self) -> &BTreeMap<String, TensorSpec> {
+        &self.tensors
+    }
+
+    /// The registered spec of one tensor.
+    pub fn tensor_spec(&self, name: &str) -> Option<&TensorSpec> {
+        self.tensors.get(name)
+    }
+
+    /// Tensor shapes keyed by name (the oracle/extents input format).
+    pub fn dims_map(&self) -> BTreeMap<String, Vec<i64>> {
+        self.tensors
+            .iter()
+            .map(|(n, s)| (n.clone(), s.dims.clone()))
+            .collect()
+    }
+
+    /// Seeds a tensor with explicit row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Unknown tensors and size mismatches.
+    pub fn set_data(&mut self, name: &str, data: Vec<f64>) -> Result<&mut Self, CompileError> {
+        let spec = self
+            .tensors
+            .get(name)
+            .ok_or_else(|| CompileError::UnknownTensor(name.into()))?;
+        let n = spec.dims.iter().product::<i64>().max(1) as usize;
+        if data.len() != n {
+            return Err(CompileError::Session(format!(
+                "tensor '{name}' expects {n} values, got {}",
+                data.len()
+            )));
+        }
+        self.init.insert(name.into(), TensorInit::Data(data));
+        Ok(self)
+    }
+
+    /// Fills a tensor with a constant.
+    ///
+    /// # Errors
+    ///
+    /// Unknown tensor names.
+    pub fn fill(&mut self, name: &str, value: f64) -> Result<&mut Self, CompileError> {
+        self.require(name)?;
+        self.init.insert(name.into(), TensorInit::Value(value));
+        Ok(self)
+    }
+
+    /// Seeds a tensor with deterministic pseudo-random values in `[-1, 1)`
+    /// ([`random_data`]; identical across backends for the same seed).
+    ///
+    /// # Errors
+    ///
+    /// Unknown tensor names.
+    pub fn fill_random(&mut self, name: &str, seed: u64) -> Result<&mut Self, CompileError> {
+        self.require(name)?;
+        self.init.insert(name.into(), TensorInit::Random(seed));
+        Ok(self)
+    }
+
+    /// The declared initializer of a tensor, if any.
+    pub fn init_of(&self, name: &str) -> Option<&TensorInit> {
+        self.init.get(name)
+    }
+
+    /// All declared initializers.
+    pub fn inits(&self) -> &BTreeMap<String, TensorInit> {
+        &self.init
+    }
+
+    /// Materializes a tensor's initial contents (`None` when the tensor is
+    /// unknown or has no initializer).
+    pub fn initial_data(&self, name: &str) -> Option<Vec<f64>> {
+        let spec = self.tensors.get(name)?;
+        Some(self.init.get(name)?.materialize(&spec.dims))
+    }
+
+    fn require(&self, name: &str) -> Result<(), CompileError> {
+        if self.tensors.contains_key(name) {
+            Ok(())
+        } else {
+            Err(CompileError::UnknownTensor(name.into()))
+        }
+    }
+
+    /// Compiles this problem for a schedule onto a target backend,
+    /// producing an executable [`Artifact`]. This is the single front
+    /// door: `Problem` → target ([`Backend`]) → [`Artifact`].
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError::Compile`] when no statement was set, plus whatever
+    /// the target's lowering rejects.
+    pub fn compile(
+        &self,
+        target: &dyn Backend,
+        schedule: &Schedule,
+    ) -> Result<Box<dyn Artifact>, BackendError> {
+        target.compile(self, schedule)
+    }
+}
+
+/// Validates a tensor's format notation against a machine (arity per
+/// hierarchy level). Shared by [`Problem`] and `Session`.
+pub(crate) fn validate_format(
+    spec: &TensorSpec,
+    machine: &DistalMachine,
+) -> Result<(), CompileError> {
+    let levels = machine.hierarchy.levels();
+    if spec.format.is_distributed() {
+        if spec.format.distributions.len() != levels.len() {
+            return Err(CompileError::Format(format!(
+                "tensor '{}' has {} distribution level(s) but the machine has {}",
+                spec.name,
+                spec.format.distributions.len(),
+                levels.len()
+            )));
+        }
+        for (d, g) in spec.format.distributions.iter().zip(levels.iter()) {
+            d.check_arity(spec.dims.len(), g.dim())
+                .map_err(|e| CompileError::Format(format!("tensor '{}': {e}", spec.name)))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distal_format::Format;
+    use distal_machine::grid::Grid;
+    use distal_machine::spec::{MemKind, ProcKind};
+
+    fn problem() -> Problem {
+        let machine = DistalMachine::flat(Grid::grid2(2, 2), ProcKind::Cpu);
+        Problem::new(MachineSpec::small(2), machine)
+    }
+
+    #[test]
+    fn registration_validates_formats() {
+        let mut p = problem();
+        let bad = Format::parse("x->x", MemKind::Sys).unwrap();
+        assert!(matches!(
+            p.tensor(TensorSpec::new("T", vec![4, 4], bad)),
+            Err(CompileError::Format(_))
+        ));
+        let good = Format::parse("xy->xy", MemKind::Sys).unwrap();
+        p.tensor(TensorSpec::new("T", vec![4, 4], good)).unwrap();
+        assert_eq!(p.dims_map()["T"], vec![4, 4]);
+    }
+
+    #[test]
+    fn initializers_materialize_deterministically() {
+        let mut p = problem();
+        let f = Format::parse("xy->xy", MemKind::Sys).unwrap();
+        p.tensor(TensorSpec::new("B", vec![2, 2], f)).unwrap();
+        p.fill_random("B", 7).unwrap();
+        let a = p.initial_data("B").unwrap();
+        let b = p.initial_data("B").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, random_data(4, 7));
+        assert!(a.iter().all(|v| (-1.0..1.0).contains(v)));
+    }
+
+    #[test]
+    fn unknown_tensors_rejected() {
+        let mut p = problem();
+        assert!(matches!(
+            p.fill_random("nope", 1),
+            Err(CompileError::UnknownTensor(_))
+        ));
+        assert!(matches!(
+            p.set_data("nope", vec![]),
+            Err(CompileError::UnknownTensor(_))
+        ));
+        assert!(p.initial_data("nope").is_none());
+    }
+
+    #[test]
+    fn set_data_checks_size() {
+        let mut p = problem();
+        let f = Format::parse("xy->xy", MemKind::Sys).unwrap();
+        p.tensor(TensorSpec::new("B", vec![2, 2], f)).unwrap();
+        assert!(matches!(
+            p.set_data("B", vec![1.0]),
+            Err(CompileError::Session(_))
+        ));
+        p.set_data("B", vec![1.0; 4]).unwrap();
+        assert_eq!(p.initial_data("B").unwrap(), vec![1.0; 4]);
+    }
+
+    #[test]
+    fn statement_parses() {
+        let mut p = problem();
+        assert!(p.statement("A(i,j) = ").is_err());
+        p.statement("A(i,j) = B(i,k) * C(k,j)").unwrap();
+        assert_eq!(p.assignment().unwrap().lhs.tensor, "A");
+    }
+}

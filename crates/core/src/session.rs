@@ -1,9 +1,20 @@
 //! Sessions: the user-facing façade tying tensors, compilation, and
 //! execution together.
+//!
+//! A [`Session`] is a thin convenience over the target-agnostic pipeline:
+//! it keeps its tensor registry *in* a [`Problem`] (shapes, formats,
+//! machine — data lives in the runtime regions, not in problem
+//! initializers) plus a live [`Runtime`] with one region per registered
+//! tensor — i.e. it is the
+//! [`RuntimeBackend`](crate::backend::RuntimeBackend) with its artifact
+//! state kept mutable and incremental, which baselines and multi-kernel
+//! pipelines need. New code targeting a single statement should prefer
+//! [`Problem::compile`] with an explicit backend.
 
 use crate::error::CompileError;
 use crate::lower::{compile, CompileOptions, CompiledKernel, TensorBinding};
 use crate::machine::DistalMachine;
+use crate::problem::Problem;
 use crate::schedule::Schedule;
 use distal_format::Format;
 use distal_ir::expr::Assignment;
@@ -11,6 +22,7 @@ use distal_machine::geom::Rect;
 use distal_machine::spec::MachineSpec;
 use distal_runtime::exec::{Mode, Runtime, RuntimeError};
 use distal_runtime::executor::ExecutorKind;
+use distal_runtime::region::RegionId;
 use distal_runtime::stats::RunStats;
 use distal_runtime::topology::PhysicalMachine;
 use std::collections::BTreeMap;
@@ -50,17 +62,17 @@ impl TensorSpec {
 /// machine. See the crate-level example.
 pub struct Session {
     runtime: Runtime,
-    machine: DistalMachine,
-    tensors: BTreeMap<String, TensorBinding>,
+    problem: Problem,
+    regions: BTreeMap<String, RegionId>,
 }
 
 impl Session {
     /// Creates a session on a fresh runtime.
     pub fn new(spec: MachineSpec, machine: DistalMachine, mode: Mode) -> Self {
         Session {
-            runtime: Runtime::new(PhysicalMachine::new(spec), mode),
-            machine,
-            tensors: BTreeMap::new(),
+            runtime: Runtime::new(PhysicalMachine::new(spec.clone()), mode),
+            problem: Problem::new(spec, machine),
+            regions: BTreeMap::new(),
         }
     }
 
@@ -76,7 +88,7 @@ impl Session {
 
     /// The abstract machine.
     pub fn machine(&self) -> &DistalMachine {
-        &self.machine
+        self.problem.machine()
     }
 
     /// Selects how [`Session::execute`] (and [`Session::place`]/
@@ -100,7 +112,7 @@ impl Session {
     /// Rejects formats whose notation arity doesn't match the tensor order
     /// or the machine's hierarchy levels.
     pub fn tensor(&mut self, spec: TensorSpec) -> Result<(), CompileError> {
-        let machine = self.machine.clone();
+        let machine = self.problem.machine().clone();
         self.tensor_for_machine(spec, &machine)
     }
 
@@ -117,38 +129,27 @@ impl Session {
         spec: TensorSpec,
         machine: &DistalMachine,
     ) -> Result<(), CompileError> {
-        let levels = machine.hierarchy.levels();
-        if spec.format.is_distributed() {
-            if spec.format.distributions.len() != levels.len() {
-                return Err(CompileError::Format(format!(
-                    "tensor '{}' has {} distribution level(s) but the machine has {}",
-                    spec.name,
-                    spec.format.distributions.len(),
-                    levels.len()
-                )));
-            }
-            for (d, g) in spec.format.distributions.iter().zip(levels.iter()) {
-                d.check_arity(spec.dims.len(), g.dim())
-                    .map_err(|e| CompileError::Format(format!("tensor '{}': {e}", spec.name)))?;
-            }
-        }
-        let region = self
-            .runtime
-            .create_region(spec.name.clone(), Rect::sized(&spec.dims));
-        self.tensors.insert(
-            spec.name,
-            TensorBinding {
-                dims: spec.dims,
-                format: spec.format,
-                region,
-            },
-        );
+        let name = spec.name.clone();
+        let rect = Rect::sized(&spec.dims);
+        self.problem.tensor_for_machine(spec, machine)?;
+        let region = self.runtime.create_region(name.clone(), rect);
+        self.regions.insert(name, region);
         Ok(())
     }
 
-    /// The binding of a registered tensor.
-    pub fn binding(&self, name: &str) -> Option<&TensorBinding> {
-        self.tensors.get(name)
+    /// The binding of a registered tensor (shape + format + region).
+    pub fn binding(&self, name: &str) -> Option<TensorBinding> {
+        let spec = self.problem.tensor_spec(name)?;
+        Some(TensorBinding {
+            dims: spec.dims.clone(),
+            format: spec.format.clone(),
+            region: *self.regions.get(name)?,
+        })
+    }
+
+    /// The backing region of a registered tensor.
+    pub fn region(&self, name: &str) -> Option<RegionId> {
+        self.regions.get(name).copied()
     }
 
     /// Seeds a tensor with row-major data (functional mode).
@@ -157,12 +158,9 @@ impl Session {
     ///
     /// Unknown tensors and size mismatches.
     pub fn set_data(&mut self, name: &str, data: Vec<f64>) -> Result<(), CompileError> {
-        let b = self
-            .tensors
-            .get(name)
-            .ok_or_else(|| CompileError::UnknownTensor(name.into()))?;
+        let region = self.require(name)?;
         self.runtime
-            .set_region_data(b.region, data)
+            .set_region_data(region, data)
             .map_err(|e| CompileError::Session(e.to_string()))
     }
 
@@ -172,39 +170,32 @@ impl Session {
     ///
     /// Unknown tensor names.
     pub fn fill(&mut self, name: &str, value: f64) -> Result<(), CompileError> {
-        let b = self
-            .tensors
-            .get(name)
-            .ok_or_else(|| CompileError::UnknownTensor(name.into()))?;
+        let region = self.require(name)?;
         self.runtime
-            .fill_region(b.region, value)
+            .fill_region(region, value)
             .map_err(|e| CompileError::Session(e.to_string()))
     }
 
     /// Fills a tensor with deterministic pseudo-random values in `[-1, 1)`
-    /// (functional mode) or just marks it valid (model mode).
+    /// (functional mode; see [`crate::problem::random_data`]) or just
+    /// marks it valid (model mode).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on unknown tensor names (test/example convenience).
-    pub fn fill_random(&mut self, name: &str, seed: u64) {
-        let b = self.tensors.get(name).expect("unknown tensor");
+    /// Unknown tensor names.
+    pub fn fill_random(&mut self, name: &str, seed: u64) -> Result<(), CompileError> {
+        let region = self.require(name)?;
         if self.runtime.mode() == Mode::Functional {
-            let n = b.dims.iter().product::<i64>().max(1) as usize;
-            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
-            let data: Vec<f64> = (0..n)
-                .map(|_| {
-                    // xorshift64*
-                    state ^= state >> 12;
-                    state ^= state << 25;
-                    state ^= state >> 27;
-                    let r = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
-                    (r >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
-                })
-                .collect();
-            self.runtime.set_region_data(b.region, data).unwrap();
+            let dims = &self.problem.tensor_spec(name).expect("required above").dims;
+            let n = dims.iter().product::<i64>().max(1) as usize;
+            let data = crate::problem::random_data(n, seed);
+            self.runtime
+                .set_region_data(region, data)
+                .map_err(|e| CompileError::Session(e.to_string()))
         } else {
-            self.runtime.fill_region(b.region, 0.0).unwrap();
+            self.runtime
+                .fill_region(region, 0.0)
+                .map_err(|e| CompileError::Session(e.to_string()))
         }
     }
 
@@ -248,7 +239,7 @@ impl Session {
     /// for t in ["A", "B", "C", "D"] {
     ///     s.tensor(TensorSpec::new(t, vec![8, 8], rows.clone()))?;
     ///     if t != "A" {
-    ///         s.fill_random(t, 7);
+    ///         s.fill_random(t, 7)?;
     ///     }
     /// }
     /// let dist = Schedule::new()
@@ -289,11 +280,11 @@ impl Session {
         // Workspace dimensions from the statement's inferred extents.
         let mut dims_map = BTreeMap::new();
         for acc in assignment.accesses() {
-            let b = self
-                .tensors
-                .get(&acc.tensor)
+            let spec = self
+                .problem
+                .tensor_spec(&acc.tensor)
                 .ok_or_else(|| CompileError::UnknownTensor(acc.tensor.clone()))?;
-            dims_map.insert(acc.tensor.clone(), b.dims.clone());
+            dims_map.insert(acc.tensor.clone(), spec.dims.clone());
         }
         let extents = assignment
             .infer_extents(&dims_map)
@@ -317,7 +308,12 @@ impl Session {
         schedule: &Schedule,
         options: &CompileOptions,
     ) -> Result<CompiledKernel, CompileError> {
-        self.compile_on(&self.machine.clone(), assignment, schedule, options)
+        self.compile_on(
+            &self.problem.machine().clone(),
+            assignment,
+            schedule,
+            options,
+        )
     }
 
     /// Compiles against an explicit abstract machine (baselines compile
@@ -335,7 +331,7 @@ impl Session {
     ) -> Result<CompiledKernel, CompileError> {
         compile(
             assignment,
-            &self.tensors,
+            &self.bindings(),
             machine,
             self.runtime.machine(),
             schedule,
@@ -377,15 +373,35 @@ impl Session {
     ///
     /// # Errors
     ///
-    /// Unknown names and runtime read errors.
-    pub fn read(&self, name: &str) -> Result<Vec<f64>, RuntimeError> {
-        let b = self.tensors.get(name).ok_or(RuntimeError::NotFunctional)?;
-        self.runtime.read_region(b.region)
+    /// [`CompileError::UnknownTensor`] for unregistered names, and
+    /// [`CompileError::Session`] wrapping runtime read errors.
+    pub fn read(&self, name: &str) -> Result<Vec<f64>, CompileError> {
+        let region = *self
+            .regions
+            .get(name)
+            .ok_or_else(|| CompileError::UnknownTensor(name.into()))?;
+        self.runtime
+            .read_region(region)
+            .map_err(|e| CompileError::Session(e.to_string()))
     }
 
-    /// All registered tensor bindings (for baselines building raw programs).
-    pub fn bindings(&self) -> &BTreeMap<String, TensorBinding> {
-        &self.tensors
+    /// All registered tensor bindings (for baselines building raw
+    /// programs), materialized from the problem registry.
+    pub fn bindings(&self) -> BTreeMap<String, TensorBinding> {
+        self.problem
+            .tensors()
+            .iter()
+            .map(|(name, spec)| {
+                (
+                    name.clone(),
+                    TensorBinding {
+                        dims: spec.dims.clone(),
+                        format: spec.format.clone(),
+                        region: self.regions[name],
+                    },
+                )
+            })
+            .collect()
     }
 
     /// Builds a placement program moving the named tensors into their
@@ -400,7 +416,14 @@ impl Session {
         names: &[(&str, bool)],
         machine: &DistalMachine,
     ) -> Result<distal_runtime::Program, CompileError> {
-        crate::lower::placement_program(&self.tensors, names, machine, self.runtime.machine())
+        crate::lower::placement_program(&self.bindings(), names, machine, self.runtime.machine())
+    }
+
+    fn require(&self, name: &str) -> Result<RegionId, CompileError> {
+        self.regions
+            .get(name)
+            .copied()
+            .ok_or_else(|| CompileError::UnknownTensor(name.into()))
     }
 }
 
@@ -426,8 +449,8 @@ mod tests {
     fn summa_matches_oracle() {
         let n = 12;
         let mut s = matmul_session(n, 2, 2);
-        s.fill_random("B", 7);
-        s.fill_random("C", 11);
+        s.fill_random("B", 7).unwrap();
+        s.fill_random("C", 11).unwrap();
         let k = s
             .compile("A(i,j) = B(i,k) * C(k,j)", &Schedule::summa(2, 2, 4))
             .unwrap();
@@ -474,6 +497,16 @@ mod tests {
         let mut s = Session::new(MachineSpec::small(1), machine, Mode::Functional);
         assert!(matches!(
             s.set_data("nope", vec![]),
+            Err(CompileError::UnknownTensor(_))
+        ));
+        // `read` of an unknown name is an unknown-tensor error, not a
+        // mode error (it used to masquerade as `NotFunctional`).
+        assert!(matches!(
+            s.read("nope"),
+            Err(CompileError::UnknownTensor(t)) if t == "nope"
+        ));
+        assert!(matches!(
+            s.fill_random("nope", 1),
             Err(CompileError::UnknownTensor(_))
         ));
     }

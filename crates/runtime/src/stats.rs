@@ -89,6 +89,17 @@ impl RunStats {
             .unwrap_or(&0)
     }
 
+    /// Total bytes moved over real channels — staging (functional-mode
+    /// input seeding) excluded. This is the backend-neutral "bytes moved"
+    /// figure higher layers normalize into their reports.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_by_class
+            .iter()
+            .filter(|(c, _)| !matches!(c, ChannelClass::Staging))
+            .map(|(_, b)| *b)
+            .sum()
+    }
+
     /// Bytes moved inside nodes (NVLink + socket + host-device).
     pub fn intra_node_bytes(&self) -> u64 {
         self.bytes_by_class

@@ -1,0 +1,556 @@
+//! [`Backend`] implementations over the static SPMD lowering: the
+//! executable [`SpmdBackend`] and the estimation-only [`CostBackend`].
+//!
+//! Both derive their [`SpmdTensor`] lists and machine grid from the shared
+//! [`Problem`] registry — callers never hand-build tensor descriptions or
+//! rebuild grids. Together with `distal_core::RuntimeBackend` they close
+//! the paper's portability claim: the same `Problem` + `Schedule` compiles
+//! onto the dynamic runtime, the static MPI-style program, or a pure cost
+//! model, all behind one [`Artifact`] surface.
+//!
+//! ```
+//! use distal_core::{DistalMachine, Problem, Schedule, TensorSpec};
+//! use distal_format::Format;
+//! use distal_machine::{Grid, spec::{MachineSpec, MemKind, ProcKind}};
+//! use distal_spmd::SpmdBackend;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let machine = DistalMachine::flat(Grid::grid2(2, 2), ProcKind::Cpu);
+//! let mut problem = Problem::new(MachineSpec::small(2), machine);
+//! problem.statement("A(i,j) = B(i,k) * C(k,j)")?;
+//! let tiled = Format::parse("xy->xy", MemKind::Sys)?;
+//! for t in ["A", "B", "C"] {
+//!     problem.tensor(TensorSpec::new(t, vec![8, 8], tiled.clone()))?;
+//! }
+//! problem.fill("B", 1.0)?.fill("C", 2.0)?;
+//!
+//! let mut artifact = problem.compile(&SpmdBackend::new(), &Schedule::summa(2, 2, 4))?;
+//! let report = artifact.run()?;
+//! assert!(artifact.read("A")?.iter().all(|&v| (v - 16.0).abs() < 1e-9));
+//! assert!(report.messages > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::collective::CollectiveConfig;
+use crate::cost::AlphaBeta;
+use crate::lower::{lower_with, SpmdError, SpmdTensor};
+use crate::ops::SpmdOp;
+use crate::program::{SpmdProgram, SpmdResult};
+use distal_core::backend::{Artifact, Backend, BackendError};
+use distal_core::{Problem, Provenance, Report, RuntimeBackend, Schedule, TensorInit};
+use distal_ir::expr::Assignment;
+use std::collections::BTreeMap;
+
+/// Derives the SPMD tensor descriptions from a problem's registry.
+pub fn problem_tensors(problem: &Problem) -> Vec<SpmdTensor> {
+    problem
+        .tensors()
+        .values()
+        .map(|s| SpmdTensor::new(s.name.clone(), s.dims.clone(), s.format.clone()))
+        .collect()
+}
+
+/// Lowers a problem's statement for a schedule onto the problem machine's
+/// (flattened) grid, with explicit collective configuration. The shared
+/// registry path every test/bench should use instead of hand-building
+/// [`SpmdTensor`] lists.
+///
+/// # Errors
+///
+/// [`SpmdError::Schedule`] when the problem has no statement,
+/// [`SpmdError::UnknownTensor`] when a statement tensor is unregistered,
+/// plus the other [`lower_with`] errors.
+pub fn lower_problem(
+    problem: &Problem,
+    schedule: &Schedule,
+    collectives: &CollectiveConfig,
+) -> Result<SpmdProgram, SpmdError> {
+    let assignment = problem
+        .assignment()
+        .ok_or_else(|| SpmdError::Schedule("problem has no statement".into()))?;
+    lower_with(
+        assignment,
+        &problem_tensors(problem),
+        &problem.machine().grid(),
+        schedule,
+        collectives,
+    )
+}
+
+fn backend_err(e: SpmdError) -> BackendError {
+    match e {
+        SpmdError::UnknownTensor(t) => BackendError::UnknownTensor(t),
+        SpmdError::Unsupported(m) => BackendError::Unsupported(m),
+        SpmdError::Data(m) => BackendError::Backend(format!("data error: {m}")),
+        other => BackendError::Backend(other.to_string()),
+    }
+}
+
+/// Gathers the VM inputs for every right-hand-side tensor from the
+/// problem's initializers. Tensors without one are reported back so the
+/// artifact can fail at `execute()` — exactly where the dynamic runtime
+/// surfaces uninitialized data — instead of silently zero-filling.
+fn vm_inputs(
+    problem: &Problem,
+    assignment: &Assignment,
+) -> (BTreeMap<String, Vec<f64>>, Vec<String>) {
+    let mut inputs = BTreeMap::new();
+    let mut missing = Vec::new();
+    for acc in assignment.input_accesses() {
+        if inputs.contains_key(&acc.tensor) || acc.tensor == assignment.lhs.tensor {
+            continue;
+        }
+        if problem.tensor_spec(&acc.tensor).is_some() {
+            match problem.initial_data(&acc.tensor) {
+                Some(data) => {
+                    inputs.insert(acc.tensor.clone(), data);
+                }
+                None => missing.push(acc.tensor.clone()),
+            }
+        }
+    }
+    (inputs, missing)
+}
+
+fn count_tasks(program: &SpmdProgram) -> u64 {
+    program
+        .global
+        .iter()
+        .filter(|(_, op)| matches!(op, SpmdOp::Compute { .. }))
+        .count() as u64
+}
+
+/// A report for a lowered program: exact static message/byte counts plus
+/// the α-β critical path.
+fn program_report(
+    backend: &str,
+    provenance: Provenance,
+    program: &SpmdProgram,
+    model: &AlphaBeta,
+    peak_bytes: u64,
+) -> Report {
+    let stats = program.stats();
+    let cost = program.cost(model);
+    Report {
+        backend: backend.into(),
+        provenance,
+        bytes_moved: stats.bytes,
+        messages: stats.messages,
+        critical_path_s: cost.makespan_s,
+        flops: program.total_flops,
+        tasks: count_tasks(program),
+        peak_bytes,
+    }
+}
+
+/// The static SPMD target (§8's "MPI-based backend for DISTAL"): lowers to
+/// explicit per-rank send/recv programs with compile-time-exact
+/// communication, recognizes and tree/ring-lowers collectives per
+/// [`CollectiveConfig`], executes on the deterministic rank VM, and prices
+/// the critical path under the α-β model.
+#[derive(Clone, Debug, Default)]
+pub struct SpmdBackend {
+    /// Collective recognition/lowering configuration.
+    pub collectives: CollectiveConfig,
+    /// The α-β model pricing [`Report::critical_path_s`].
+    pub model: AlphaBeta,
+}
+
+impl SpmdBackend {
+    /// A backend with default collectives (binomial trees, ring
+    /// all-gathers) and the default α-β model.
+    pub fn new() -> Self {
+        SpmdBackend::default()
+    }
+
+    /// Overrides the collective configuration.
+    #[must_use]
+    pub fn with_collectives(mut self, collectives: CollectiveConfig) -> Self {
+        self.collectives = collectives;
+        self
+    }
+
+    /// Overrides the α-β model.
+    #[must_use]
+    pub fn with_model(mut self, model: AlphaBeta) -> Self {
+        self.model = model;
+        self
+    }
+}
+
+impl Backend for SpmdBackend {
+    fn name(&self) -> &str {
+        "spmd"
+    }
+
+    fn compile(
+        &self,
+        problem: &Problem,
+        schedule: &Schedule,
+    ) -> Result<Box<dyn Artifact>, BackendError> {
+        // The rank VM always starts output accumulators and home pieces
+        // at zero; a nonzero output initializer would be honored by the
+        // runtime backend but silently dropped here — reject it.
+        if let Some(assignment) = problem.assignment() {
+            let out = &assignment.lhs.tensor;
+            match problem.init_of(out) {
+                None => {}
+                // A zero fill matches the VM's starting state exactly.
+                Some(TensorInit::Value(v)) if *v == 0.0 => {}
+                Some(init) => {
+                    return Err(BackendError::Unsupported(format!(
+                        "the SPMD backend starts output '{out}' at zero; its initializer \
+                         ({init:?}) would be ignored"
+                    )))
+                }
+            }
+        }
+        let program = lower_problem(problem, schedule, &self.collectives).map_err(backend_err)?;
+        let (inputs, missing) = vm_inputs(problem, &program.assignment);
+        Ok(Box::new(SpmdArtifact {
+            program,
+            inputs,
+            missing_inputs: missing,
+            model: self.model,
+            result: None,
+        }))
+    }
+}
+
+/// A compiled SPMD program plus its inputs and (after execution) result.
+pub struct SpmdArtifact {
+    program: SpmdProgram,
+    inputs: BTreeMap<String, Vec<f64>>,
+    missing_inputs: Vec<String>,
+    model: AlphaBeta,
+    result: Option<SpmdResult>,
+}
+
+impl SpmdArtifact {
+    /// The lowered per-rank program (messages, collectives, cost).
+    pub fn program(&self) -> &SpmdProgram {
+        &self.program
+    }
+
+    /// The VM result, once [`Artifact::execute`] ran.
+    pub fn result(&self) -> Option<&SpmdResult> {
+        self.result.as_ref()
+    }
+}
+
+impl Artifact for SpmdArtifact {
+    fn backend(&self) -> &str {
+        "spmd"
+    }
+
+    fn place(&mut self) -> Result<Report, BackendError> {
+        // Data starts at rest in its distribution: home pieces are
+        // installed directly from the initializers, so placement is free.
+        Ok(Report::empty("spmd", Provenance::Measured))
+    }
+
+    fn execute(&mut self) -> Result<Report, BackendError> {
+        if let Some(name) = self.missing_inputs.first() {
+            // Same failure point as the dynamic runtime's uninitialized
+            // regions: at execution, not as a silent zero-fill.
+            return Err(BackendError::NoData(format!(
+                "input '{name}' has no initializer on the problem"
+            )));
+        }
+        let result = self.program.execute(&self.inputs).map_err(backend_err)?;
+        let peak = result.peak_scratch_bytes;
+        self.result = Some(result);
+        // Bytes, messages, flops, and the numerics behind `read` are
+        // exact properties of the executed program, but the headline
+        // `critical_path_s` comes from the α-β model — report the phase
+        // as modeled so timing consumers don't mistake it for a
+        // measurement.
+        Ok(program_report(
+            "spmd",
+            Provenance::Modeled,
+            &self.program,
+            &self.model,
+            peak,
+        ))
+    }
+
+    fn read(&self, tensor: &str) -> Result<Vec<f64>, BackendError> {
+        let out = &self.program.assignment.lhs.tensor;
+        if tensor == out {
+            return self
+                .result
+                .as_ref()
+                .map(|r| r.output.clone())
+                .ok_or_else(|| {
+                    BackendError::NoData(format!("'{tensor}' is unavailable before execute()"))
+                });
+        }
+        if let Some(data) = self.inputs.get(tensor) {
+            return Ok(data.clone());
+        }
+        if self.program.tensors.iter().any(|t| t.name == tensor) {
+            // Registered but neither the output nor a seeded input.
+            return Err(BackendError::NoData(format!(
+                "'{tensor}' has no initializer on this artifact"
+            )));
+        }
+        Err(BackendError::UnknownTensor(tensor.into()))
+    }
+}
+
+/// How [`CostBackend`] prices a candidate.
+#[derive(Clone, Debug)]
+pub enum CostModel {
+    /// The dynamic runtime's model-mode simulator (tasks, channels,
+    /// coherence-discovered copies).
+    RuntimeSim,
+    /// The SPMD α-β model over the statically lowered message schedule.
+    AlphaBeta(AlphaBeta),
+}
+
+/// A pure estimation target: compiles the problem but never touches
+/// numerics — `execute()` returns a modeled [`Report`], `read()` always
+/// fails with [`BackendError::NoData`]. This is the backend the
+/// autoscheduler's `score_with` path plugs in to rank candidates under
+/// either cost model.
+#[derive(Clone, Debug)]
+pub struct CostBackend {
+    /// The pricing model.
+    pub model: CostModel,
+    /// Collective configuration for [`CostModel::AlphaBeta`] lowerings.
+    pub collectives: CollectiveConfig,
+}
+
+impl CostBackend {
+    /// Estimation via the runtime's model-mode simulator.
+    pub fn runtime_sim() -> Self {
+        CostBackend {
+            model: CostModel::RuntimeSim,
+            collectives: CollectiveConfig::default(),
+        }
+    }
+
+    /// Estimation via the SPMD α-β model.
+    pub fn alpha_beta(model: AlphaBeta) -> Self {
+        CostBackend {
+            model: CostModel::AlphaBeta(model),
+            collectives: CollectiveConfig::default(),
+        }
+    }
+
+    /// Overrides the collective configuration (α-β lowerings only).
+    #[must_use]
+    pub fn with_collectives(mut self, collectives: CollectiveConfig) -> Self {
+        self.collectives = collectives;
+        self
+    }
+}
+
+impl Backend for CostBackend {
+    fn name(&self) -> &str {
+        "cost"
+    }
+
+    fn compile(
+        &self,
+        problem: &Problem,
+        schedule: &Schedule,
+    ) -> Result<Box<dyn Artifact>, BackendError> {
+        match &self.model {
+            CostModel::RuntimeSim => {
+                let inner = RuntimeBackend::model().compile(problem, schedule)?;
+                Ok(Box::new(CostArtifact::Sim(inner)))
+            }
+            CostModel::AlphaBeta(model) => {
+                let program =
+                    lower_problem(problem, schedule, &self.collectives).map_err(backend_err)?;
+                Ok(Box::new(CostArtifact::AlphaBeta {
+                    program: Box::new(program),
+                    model: *model,
+                }))
+            }
+        }
+    }
+}
+
+/// A [`CostBackend`] artifact: estimation only, no numerics.
+pub enum CostArtifact {
+    /// Wraps a model-mode runtime artifact.
+    Sim(Box<dyn Artifact>),
+    /// Prices a statically lowered program without running the VM.
+    AlphaBeta {
+        /// The lowered program.
+        program: Box<SpmdProgram>,
+        /// The α-β parameters.
+        model: AlphaBeta,
+    },
+}
+
+impl Artifact for CostArtifact {
+    fn backend(&self) -> &str {
+        "cost"
+    }
+
+    fn place(&mut self) -> Result<Report, BackendError> {
+        match self {
+            CostArtifact::Sim(inner) => {
+                let mut r = inner.place()?;
+                r.backend = "cost".into();
+                r.provenance = Provenance::Modeled;
+                Ok(r)
+            }
+            CostArtifact::AlphaBeta { .. } => Ok(Report::empty("cost", Provenance::Modeled)),
+        }
+    }
+
+    fn execute(&mut self) -> Result<Report, BackendError> {
+        match self {
+            CostArtifact::Sim(inner) => {
+                let mut r = inner.execute()?;
+                r.backend = "cost".into();
+                r.provenance = Provenance::Modeled;
+                Ok(r)
+            }
+            CostArtifact::AlphaBeta { program, model } => Ok(program_report(
+                "cost",
+                Provenance::Modeled,
+                program,
+                model,
+                0,
+            )),
+        }
+    }
+
+    fn read(&self, tensor: &str) -> Result<Vec<f64>, BackendError> {
+        // Honor the Artifact contract: unknown names are unknown-tensor
+        // errors; only registered tensors report no-data.
+        let known = match self {
+            // The model-mode runtime artifact already distinguishes the
+            // two; its NoData message is as good as ours.
+            CostArtifact::Sim(inner) => return inner.read(tensor),
+            CostArtifact::AlphaBeta { program, .. } => {
+                program.tensors.iter().any(|t| t.name == tensor)
+            }
+        };
+        if known {
+            Err(BackendError::NoData(format!(
+                "cost artifacts hold no numerics; '{tensor}' cannot be read"
+            )))
+        } else {
+            Err(BackendError::UnknownTensor(tensor.into()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distal_core::{DistalMachine, TensorSpec};
+    use distal_format::Format;
+    use distal_machine::grid::Grid;
+    use distal_machine::spec::{MachineSpec, MemKind, ProcKind};
+
+    fn matmul_problem(n: i64) -> Problem {
+        let machine = DistalMachine::flat(Grid::grid2(2, 2), ProcKind::Cpu);
+        let mut p = Problem::new(MachineSpec::small(2), machine);
+        p.statement("A(i,j) = B(i,k) * C(k,j)").unwrap();
+        let f = Format::parse("xy->xy", MemKind::Sys).unwrap();
+        for t in ["A", "B", "C"] {
+            p.tensor(TensorSpec::new(t, vec![n, n], f.clone())).unwrap();
+        }
+        p.fill_random("B", 1).unwrap();
+        p.fill_random("C", 2).unwrap();
+        p
+    }
+
+    #[test]
+    fn spmd_artifact_executes_and_reads() {
+        let p = matmul_problem(8);
+        let mut art = p
+            .compile(&SpmdBackend::new(), &Schedule::summa(2, 2, 4))
+            .unwrap();
+        assert!(matches!(art.read("A"), Err(BackendError::NoData(_))));
+        let report = art.run().unwrap();
+        assert_eq!(report.backend, "spmd");
+        assert!(report.messages > 0);
+        assert!(report.critical_path_s > 0.0);
+        assert_eq!(art.read("A").unwrap().len(), 64);
+        assert_eq!(art.read("B").unwrap(), p.initial_data("B").unwrap());
+        assert!(matches!(
+            art.read("Z"),
+            Err(BackendError::UnknownTensor(t)) if t == "Z"
+        ));
+    }
+
+    #[test]
+    fn cost_backends_estimate_without_numerics() {
+        let p = matmul_problem(16);
+        let schedule = Schedule::summa(2, 2, 8);
+        for backend in [
+            CostBackend::runtime_sim(),
+            CostBackend::alpha_beta(AlphaBeta::default()),
+        ] {
+            let mut art = p.compile(&backend, &schedule).unwrap();
+            let report = art.run().unwrap();
+            assert_eq!(report.backend, "cost");
+            assert_eq!(report.provenance, Provenance::Modeled);
+            assert!(report.critical_path_s > 0.0, "{:?}", backend.model);
+            assert!(report.bytes_moved > 0);
+            assert!(matches!(art.read("A"), Err(BackendError::NoData(_))));
+            assert!(matches!(
+                art.read("Z"),
+                Err(BackendError::UnknownTensor(t)) if t == "Z"
+            ));
+        }
+    }
+
+    #[test]
+    fn uninitialized_input_fails_at_execute() {
+        // Mirror of the dynamic runtime's uninitialized-region failure:
+        // no silent zero-fill.
+        let machine = DistalMachine::flat(Grid::grid2(2, 2), ProcKind::Cpu);
+        let mut p = Problem::new(MachineSpec::small(2), machine);
+        p.statement("A(i,j) = B(i,k) * C(k,j)").unwrap();
+        let f = Format::parse("xy->xy", MemKind::Sys).unwrap();
+        for t in ["A", "B", "C"] {
+            p.tensor(TensorSpec::new(t, vec![8, 8], f.clone())).unwrap();
+        }
+        p.fill_random("B", 1).unwrap(); // C left uninitialized
+        let mut art = p
+            .compile(&SpmdBackend::new(), &Schedule::summa(2, 2, 4))
+            .unwrap();
+        assert!(matches!(art.execute(), Err(BackendError::NoData(m)) if m.contains("'C'")));
+    }
+
+    #[test]
+    fn nonzero_output_initializer_rejected() {
+        // The VM starts outputs at zero; a nonzero initializer would be
+        // silently dropped, so compile refuses it (a zero fill is fine).
+        let mut p = matmul_problem(8);
+        p.fill("A", 0.0).unwrap();
+        assert!(p
+            .compile(&SpmdBackend::new(), &Schedule::summa(2, 2, 4))
+            .is_ok());
+        p.fill("A", 1.0).unwrap();
+        assert!(matches!(
+            p.compile(&SpmdBackend::new(), &Schedule::summa(2, 2, 4)),
+            Err(BackendError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn grid_mismatch_is_unsupported() {
+        let machine = DistalMachine::flat(Grid::grid2(4, 1), ProcKind::Cpu);
+        let mut p = Problem::new(MachineSpec::small(2), machine);
+        p.statement("A(i,j) = B(i,k) * C(k,j)").unwrap();
+        let f = Format::parse("xy->xy", MemKind::Sys).unwrap();
+        for t in ["A", "B", "C"] {
+            p.tensor(TensorSpec::new(t, vec![8, 8], f.clone())).unwrap();
+        }
+        assert!(matches!(
+            p.compile(&SpmdBackend::new(), &Schedule::summa(2, 2, 4)),
+            Err(BackendError::Unsupported(_))
+        ));
+    }
+}

@@ -32,6 +32,11 @@
 //!    per-rank programs on a deterministic rank virtual machine with real
 //!    numerics, so the static analysis is verified against the sequential
 //!    oracle and against the dynamic runtime's results.
+//! 5. [`backend`] plugs all of it into the unified compile pipeline:
+//!    [`SpmdBackend`] compiles a `distal_core::Problem` to an SPMD
+//!    artifact behind the shared `Backend`/`Artifact` traits (deriving
+//!    tensors and grid from the problem registry), and [`CostBackend`]
+//!    prices candidates — model-mode sim or α-β — without numerics.
 //!
 //! The interesting property of the source-selection policy (nearest rank
 //! currently holding a valid copy, falling back to the home owner) is that
@@ -47,32 +52,34 @@
 //!
 //! # Example
 //!
+//! The same `Problem` that runs on the dynamic runtime compiles here:
+//!
 //! ```
-//! use distal_core::Schedule;
+//! use distal_core::{DistalMachine, Problem, Schedule, TensorSpec};
 //! use distal_format::Format;
 //! use distal_machine::grid::Grid;
-//! use distal_machine::spec::MemKind;
-//! use distal_spmd::{lower, SpmdTensor};
-//! use std::collections::BTreeMap;
+//! use distal_machine::spec::{MachineSpec, MemKind, ProcKind};
+//! use distal_spmd::SpmdBackend;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let machine = DistalMachine::flat(Grid::grid2(2, 2), ProcKind::Cpu);
+//! let mut problem = Problem::new(MachineSpec::small(2), machine);
+//! problem.statement("A(i,j) = B(i,k) * C(k,j)")?;
 //! let tiled = Format::parse("xy->xy", MemKind::Sys)?;
-//! let tensors: Vec<SpmdTensor> = ["A", "B", "C"]
-//!     .iter()
-//!     .map(|n| SpmdTensor::new(*n, vec![8, 8], tiled.clone()))
-//!     .collect();
-//! let assignment = distal_ir::expr::Assignment::parse("A(i,j) = B(i,k) * C(k,j)")?;
-//! let program = lower(&assignment, &tensors, &Grid::grid2(2, 2), &Schedule::summa(2, 2, 4))?;
+//! for name in ["A", "B", "C"] {
+//!     problem.tensor(TensorSpec::new(name, vec![8, 8], tiled.clone()))?;
+//! }
+//! problem.fill("B", 1.0)?.fill("C", 2.0)?;
 //!
-//! let mut inputs = BTreeMap::new();
-//! inputs.insert("B".to_string(), vec![1.0; 64]);
-//! inputs.insert("C".to_string(), vec![2.0; 64]);
-//! let result = program.execute(&inputs)?;
-//! assert!(result.output.iter().all(|&v| (v - 16.0).abs() < 1e-9));
+//! let mut artifact = problem.compile(&SpmdBackend::new(), &Schedule::summa(2, 2, 4))?;
+//! let report = artifact.run()?;
+//! assert!(artifact.read("A")?.iter().all(|&v| (v - 16.0).abs() < 1e-9));
+//! assert!(report.messages > 0);
 //! # Ok(())
 //! # }
 //! ```
 
+pub mod backend;
 pub mod collective;
 pub mod cost;
 pub mod lower;
@@ -81,6 +88,9 @@ pub mod program;
 pub mod stats;
 pub mod vm;
 
+pub use backend::{
+    lower_problem, problem_tensors, CostArtifact, CostBackend, CostModel, SpmdArtifact, SpmdBackend,
+};
 pub use collective::{Collective, CollectiveConfig, CollectiveKind, Topology};
 pub use cost::{AlphaBeta, CostReport};
 pub use lower::{lower, lower_with, SpmdError, SpmdTensor};

@@ -5,28 +5,42 @@
 use distal_algs::higher_order::HigherOrderKernel;
 use distal_algs::matmul::MatmulAlgorithm;
 use distal_core::oracle;
-use distal_core::{DistalMachine, Schedule, Session, TensorSpec};
+use distal_core::{DistalMachine, Problem, Schedule, Session, TensorSpec};
 use distal_format::Format;
 use distal_ir::expr::Assignment;
 use distal_machine::grid::Grid;
 use distal_machine::spec::{MachineSpec, MemKind, ProcKind};
 use distal_runtime::Mode;
-use distal_spmd::{lower, SpmdOp, SpmdTensor};
+use distal_spmd::{lower_problem, CollectiveConfig, SpmdOp};
 use std::collections::BTreeMap;
 
-/// Deterministic pseudo-random data.
-fn random_data(n: usize, seed: u64) -> Vec<f64> {
-    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
-    (0..n)
-        .map(|_| {
-            state ^= state >> 12;
-            state ^= state << 25;
-            state ^= state >> 27;
-            let r = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
-            (r >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
-        })
-        .collect()
+/// Builds a problem on a flat CPU machine over `grid` with the given
+/// tensors and statement — the shared registry every lowering in this
+/// suite goes through (no hand-built `SpmdTensor` lists).
+fn make_problem(grid: &Grid, tensors: &[(&str, Vec<i64>, Format)], expr: &str) -> Problem {
+    let machine = DistalMachine::flat(grid.clone(), ProcKind::Cpu);
+    let mut p = Problem::new(MachineSpec::small(8), machine);
+    p.statement(expr).unwrap();
+    for (name, dims, f) in tensors {
+        p.tensor(TensorSpec::new(*name, dims.clone(), f.clone()))
+            .unwrap();
+    }
+    p
 }
+
+/// [`make_problem`] for an `n × n` matmul with per-tensor formats.
+fn matmul_problem(grid: &Grid, formats: &[Format], n: i64) -> Problem {
+    let tensors: Vec<(&str, Vec<i64>, Format)> = ["A", "B", "C"]
+        .iter()
+        .zip(formats.iter())
+        .map(|(name, f)| (*name, vec![n, n], f.clone()))
+        .collect();
+    make_problem(grid, &tensors, "A(i,j) = B(i,k) * C(k,j)")
+}
+
+// The one seeding function every backend shares — using it here keeps
+// these oracle comparisons on exactly the inputs the backends would seed.
+use distal_core::random_data;
 
 fn assert_close(got: &[f64], want: &[f64], ctx: &str) {
     assert_eq!(got.len(), want.len(), "{ctx}: length");
@@ -42,16 +56,10 @@ fn assert_close(got: &[f64], want: &[f64], ctx: &str) {
 /// numerics against the oracle. Returns the program for pattern checks.
 fn verify_matmul(alg: MatmulAlgorithm, p: i64, n: i64) -> distal_spmd::SpmdProgram {
     let grid = alg.grid(p);
-    let formats = alg.formats(MemKind::Sys);
-    let tensors: Vec<SpmdTensor> = ["A", "B", "C"]
-        .iter()
-        .zip(formats.iter())
-        .map(|(name, f)| SpmdTensor::new(*name, vec![n, n], f.clone()))
-        .collect();
-    let assignment = Assignment::parse("A(i,j) = B(i,k) * C(k,j)").unwrap();
+    let problem = matmul_problem(&grid, &alg.formats(MemKind::Sys), n);
     let schedule = alg.schedule(p, n, (n / 2).max(1));
-    let program =
-        lower(&assignment, &tensors, &grid, &schedule).unwrap_or_else(|e| panic!("{alg:?}: {e}"));
+    let program = lower_problem(&problem, &schedule, &CollectiveConfig::default())
+        .unwrap_or_else(|e| panic!("{alg:?}: {e}"));
 
     let mut inputs = BTreeMap::new();
     inputs.insert("B".to_string(), random_data((n * n) as usize, 11));
@@ -60,11 +68,8 @@ fn verify_matmul(alg: MatmulAlgorithm, p: i64, n: i64) -> distal_spmd::SpmdProgr
         .execute(&inputs)
         .unwrap_or_else(|e| panic!("{alg:?}: {e}"));
 
-    let mut dims = BTreeMap::new();
-    for t in ["A", "B", "C"] {
-        dims.insert(t.to_string(), vec![n, n]);
-    }
-    let want = oracle::evaluate(&assignment, &dims, &inputs).unwrap();
+    let want =
+        oracle::evaluate(problem.assignment().unwrap(), &problem.dims_map(), &inputs).unwrap();
     assert_close(&result.output, &want, &format!("{alg:?}"));
     program
 }
@@ -195,16 +200,16 @@ fn summa_volume_matches_dynamic_runtime() {
     // *volume* for the same schedule — they discover the same rectangles,
     // one statically and one through coherence analysis.
     let (n, chunk) = (16i64, 8i64);
-    let assignment = Assignment::parse("A(i,j) = B(i,k) * C(k,j)").unwrap();
     let tiled = Format::parse("xy->xy", MemKind::Sys).unwrap();
     let schedule = Schedule::summa(2, 2, chunk);
 
-    // Static backend.
-    let tensors: Vec<SpmdTensor> = ["A", "B", "C"]
-        .iter()
-        .map(|name| SpmdTensor::new(*name, vec![n, n], tiled.clone()))
-        .collect();
-    let program = lower(&assignment, &tensors, &Grid::grid2(2, 2), &schedule).unwrap();
+    // Static backend, from the same shared registry shape.
+    let problem = matmul_problem(
+        &Grid::grid2(2, 2),
+        &[tiled.clone(), tiled.clone(), tiled.clone()],
+        n,
+    );
+    let program = lower_problem(&problem, &schedule, &CollectiveConfig::default()).unwrap();
     let static_bytes = program.stats().bytes;
 
     // Dynamic runtime (placement separate; compute phase only). Skip the
@@ -218,8 +223,8 @@ fn summa_volume_matches_dynamic_runtime() {
             .tensor(TensorSpec::new(name, vec![n, n], tiled.clone()))
             .unwrap();
     }
-    session.fill_random("B", 1);
-    session.fill_random("C", 2);
+    session.fill_random("B", 1).unwrap();
+    session.fill_random("C", 2).unwrap();
     let parsed = Assignment::parse("A(i,j) = B(i,k) * C(k,j)").unwrap();
     let options = distal_core::CompileOptions {
         fill_output: Some(false),
@@ -259,13 +264,14 @@ fn higher_order_kernels_match_oracle() {
         let grid = kernel.grid(p);
         let shapes = kernel.shapes(n);
         let formats = kernel.formats(MemKind::Sys);
-        let tensors: Vec<SpmdTensor> = shapes
+        let tensors: Vec<(&str, Vec<i64>, Format)> = shapes
             .iter()
             .zip(formats.iter())
-            .map(|((name, dims), f)| SpmdTensor::new(*name, dims.clone(), f.clone()))
+            .map(|((name, dims), f)| (*name, dims.clone(), f.clone()))
             .collect();
+        let problem = make_problem(&grid, &tensors, kernel.expression());
         let assignment = Assignment::parse(kernel.expression()).unwrap();
-        let program = lower(&assignment, &tensors, &grid, &kernel.schedule(p))
+        let program = lower_problem(&problem, &kernel.schedule(p), &CollectiveConfig::default())
             .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
 
         let mut inputs = BTreeMap::new();
@@ -294,13 +300,14 @@ fn ttv_with_matching_formats_is_communication_free() {
     let (p, n) = (4, 8i64);
     let shapes = kernel.shapes(n);
     let formats = kernel.formats(MemKind::Sys);
-    let tensors: Vec<SpmdTensor> = shapes
+    let tensors: Vec<(&str, Vec<i64>, Format)> = shapes
         .iter()
         .zip(formats.iter())
-        .map(|((name, dims), f)| SpmdTensor::new(*name, dims.clone(), f.clone()))
+        .map(|((name, dims), f)| (*name, dims.clone(), f.clone()))
         .collect();
-    let assignment = Assignment::parse(kernel.expression()).unwrap();
-    let program = lower(&assignment, &tensors, &kernel.grid(p), &kernel.schedule(p)).unwrap();
+    let problem = make_problem(&kernel.grid(p), &tensors, kernel.expression());
+    let program =
+        lower_problem(&problem, &kernel.schedule(p), &CollectiveConfig::default()).unwrap();
     assert_eq!(program.stats().messages, 0, "{:?}", program.messages());
 }
 
@@ -316,13 +323,15 @@ fn innerprod_reduces_through_a_binomial_tree() {
     let (p, n) = (4, 8i64);
     let shapes = kernel.shapes(n);
     let formats = kernel.formats(MemKind::Sys);
-    let tensors: Vec<SpmdTensor> = shapes
+    let tensors: Vec<(&str, Vec<i64>, Format)> = shapes
         .iter()
         .zip(formats.iter())
-        .map(|((name, dims), f)| SpmdTensor::new(*name, dims.clone(), f.clone()))
+        .map(|((name, dims), f)| (*name, dims.clone(), f.clone()))
         .collect();
+    let problem = make_problem(&kernel.grid(p), &tensors, kernel.expression());
     let assignment = Assignment::parse(kernel.expression()).unwrap();
-    let program = lower(&assignment, &tensors, &kernel.grid(p), &kernel.schedule(p)).unwrap();
+    let program =
+        lower_problem(&problem, &kernel.schedule(p), &CollectiveConfig::default()).unwrap();
     let stats = program.stats();
     // Volume is invariant under tree lowering.
     assert_eq!(stats.messages, (p - 1) as u64);
@@ -371,24 +380,11 @@ fn summa_4x4_broadcast_depth_drops_to_log() {
     let alg = MatmulAlgorithm::Summa;
     let grid = alg.grid(p);
     assert_eq!(grid, Grid::grid2(4, 4));
-    let formats = alg.formats(MemKind::Sys);
-    let tensors: Vec<SpmdTensor> = ["A", "B", "C"]
-        .iter()
-        .zip(formats.iter())
-        .map(|(name, f)| SpmdTensor::new(*name, vec![n, n], f.clone()))
-        .collect();
-    let assignment = Assignment::parse("A(i,j) = B(i,k) * C(k,j)").unwrap();
+    let problem = matmul_problem(&grid, &alg.formats(MemKind::Sys), n);
     let schedule = alg.schedule(p, n, n / 4);
 
-    let naive = distal_spmd::lower_with(
-        &assignment,
-        &tensors,
-        &grid,
-        &schedule,
-        &distal_spmd::CollectiveConfig::point_to_point(),
-    )
-    .unwrap();
-    let tree = lower(&assignment, &tensors, &grid, &schedule).unwrap();
+    let naive = lower_problem(&problem, &schedule, &CollectiveConfig::point_to_point()).unwrap();
+    let tree = lower_problem(&problem, &schedule, &CollectiveConfig::default()).unwrap();
 
     // The naive program serializes each owner fan: depth g-1 = 3.
     assert!(naive.collectives.is_empty());
@@ -484,26 +480,15 @@ fn replicating_inputs_on_a_line_becomes_a_ring_allgather() {
     let (p, n) = (4i64, 8i64);
     let grid = Grid::line(p);
     let rows = Format::parse("xy->x", MemKind::Sys).unwrap();
-    let tensors = vec![
-        SpmdTensor::new("A", vec![n, n], rows.clone()),
-        SpmdTensor::new("B", vec![n, n], rows.clone()),
-        SpmdTensor::new("C", vec![n, n], rows),
-    ];
-    let assignment = Assignment::parse("A(i,j) = B(i,k) * C(k,j)").unwrap();
+    let problem = matmul_problem(&grid, &[rows.clone(), rows.clone(), rows], n);
+    let assignment = problem.assignment().unwrap().clone();
     let schedule = Schedule::new()
         .divide("i", "io", "ii", p)
         .reorder(&["io", "ii"])
         .distribute(&["io"])
         .communicate(&["A", "B", "C"], "io");
-    let naive = distal_spmd::lower_with(
-        &assignment,
-        &tensors,
-        &grid,
-        &schedule,
-        &distal_spmd::CollectiveConfig::point_to_point(),
-    )
-    .unwrap();
-    let ring = lower(&assignment, &tensors, &grid, &schedule).unwrap();
+    let naive = lower_problem(&problem, &schedule, &CollectiveConfig::point_to_point()).unwrap();
+    let ring = lower_problem(&problem, &schedule, &CollectiveConfig::default()).unwrap();
     assert_eq!(ring.collectives.len(), 1);
     let c = &ring.collectives[0];
     assert_eq!(c.kind, distal_spmd::CollectiveKind::AllGather);
@@ -567,17 +552,12 @@ fn spmd_handles_cyclic_input_layouts() {
     let n = 8i64;
     let tiled = Format::parse("xy->xy", MemKind::Sys).unwrap();
     let cyclic = Format::parse("xy->xy @cyclic", MemKind::Sys).unwrap();
-    let tensors = vec![
-        SpmdTensor::new("A", vec![n, n], tiled),
-        SpmdTensor::new("B", vec![n, n], cyclic.clone()),
-        SpmdTensor::new("C", vec![n, n], cyclic),
-    ];
-    let assignment = Assignment::parse("A(i,j) = B(i,k) * C(k,j)").unwrap();
-    let program = lower(
-        &assignment,
-        &tensors,
-        &Grid::grid2(2, 2),
+    let problem = matmul_problem(&Grid::grid2(2, 2), &[tiled, cyclic.clone(), cyclic], n);
+    let assignment = problem.assignment().unwrap().clone();
+    let program = lower_problem(
+        &problem,
         &Schedule::summa(2, 2, 4),
+        &CollectiveConfig::default(),
     )
     .unwrap();
     let mut inputs = BTreeMap::new();

@@ -1,27 +1,36 @@
 //! Property tests for the static SPMD backend: across random problem
 //! sizes, grids, and chunkings, the statically lowered program must agree
 //! with the sequential oracle, and its structural invariants must hold
-//! (send/recv pairing, coverage, bounded scratch).
+//! (send/recv pairing, coverage, bounded scratch). Every lowering goes
+//! through the shared `Problem` registry (`lower_problem`), not
+//! hand-built tensor lists.
 
-use distal_core::{oracle, Schedule};
+use distal_core::{oracle, random_data, DistalMachine, Problem, Schedule, TensorSpec};
 use distal_format::Format;
-use distal_ir::expr::Assignment;
 use distal_machine::grid::Grid;
-use distal_machine::spec::MemKind;
-use distal_spmd::{lower, lower_with, CollectiveConfig, CollectiveKind, SpmdOp, SpmdTensor};
+use distal_machine::spec::{MachineSpec, MemKind, ProcKind};
+use distal_spmd::{lower_problem, CollectiveConfig, CollectiveKind, SpmdOp};
 use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 
-fn random_data(n: usize, seed: u64) -> Vec<f64> {
-    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
-    (0..n)
-        .map(|_| {
-            state ^= state >> 12;
-            state ^= state << 25;
-            state ^= state >> 27;
-            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
-        })
-        .collect()
+/// An `A(i,j) = B(i,k) * C(k,j)` problem over `grid` with per-tensor
+/// shapes and formats, registered through the shared pipeline.
+fn matmul_problem(grid: &Grid, shapes: [Vec<i64>; 3], formats: [Format; 3]) -> Problem {
+    let machine = DistalMachine::flat(grid.clone(), ProcKind::Cpu);
+    let mut p = Problem::new(MachineSpec::small(8), machine);
+    p.statement("A(i,j) = B(i,k) * C(k,j)").unwrap();
+    for ((name, dims), f) in ["A", "B", "C"].iter().zip(shapes).zip(formats) {
+        p.tensor(TensorSpec::new(*name, dims, f)).unwrap();
+    }
+    p
+}
+
+fn square_problem(grid: &Grid, n: i64, format: &Format) -> Problem {
+    matmul_problem(
+        grid,
+        [vec![n, n], vec![n, n], vec![n, n]],
+        [format.clone(), format.clone(), format.clone()],
+    )
 }
 
 fn summa_like(gx: i64, gy: i64, chunk: i64, rotate: bool) -> Schedule {
@@ -57,13 +66,9 @@ proptest! {
     ) {
         let grid = Grid::grid2(gx, gy);
         let tiled = Format::parse("xy->xy", MemKind::Sys).unwrap();
-        let tensors: Vec<SpmdTensor> = ["A", "B", "C"]
-            .iter()
-            .map(|t| SpmdTensor::new(*t, vec![n, n], tiled.clone()))
-            .collect();
-        let assignment = Assignment::parse("A(i,j) = B(i,k) * C(k,j)").unwrap();
+        let problem = square_problem(&grid, n, &tiled);
         let schedule = summa_like(gx, gy, chunk, rotate);
-        let program = lower(&assignment, &tensors, &grid, &schedule).unwrap();
+        let program = lower_problem(&problem, &schedule, &CollectiveConfig::default()).unwrap();
 
         // Structural invariant: every send has exactly one matching recv
         // with the same tag, and vice versa.
@@ -85,11 +90,8 @@ proptest! {
         inputs.insert("C".to_string(), random_data((n * n) as usize, seed + 1));
         let result = program.execute(&inputs).unwrap();
 
-        let mut dims = BTreeMap::new();
-        for t in ["A", "B", "C"] {
-            dims.insert(t.to_string(), vec![n, n]);
-        }
-        let want = oracle::evaluate(&assignment, &dims, &inputs).unwrap();
+        let want =
+            oracle::evaluate(problem.assignment().unwrap(), &problem.dims_map(), &inputs).unwrap();
         for (g, w) in result.output.iter().zip(want.iter()) {
             prop_assert!((g - w).abs() < 1e-9 * (1.0 + w.abs()), "{g} vs {w}");
         }
@@ -108,18 +110,17 @@ proptest! {
         let grid = Grid::line(p);
         let rows = Format::parse("xy->x", MemKind::Sys).unwrap();
         let repl = Format::parse("xy->*", MemKind::Sys).unwrap();
-        let tensors = vec![
-            SpmdTensor::new("A", vec![m, n], rows.clone()),
-            SpmdTensor::new("B", vec![m, k], rows),
-            SpmdTensor::new("C", vec![k, n], repl),
-        ];
-        let assignment = Assignment::parse("A(i,j) = B(i,k) * C(k,j)").unwrap();
+        let problem = matmul_problem(
+            &grid,
+            [vec![m, n], vec![m, k], vec![k, n]],
+            [rows.clone(), rows, repl],
+        );
         let schedule = Schedule::new()
             .divide("i", "io", "ii", p)
             .reorder(&["io", "ii"])
             .distribute(&["io"])
             .communicate(&["A", "B", "C"], "io");
-        let program = lower(&assignment, &tensors, &grid, &schedule).unwrap();
+        let program = lower_problem(&problem, &schedule, &CollectiveConfig::default()).unwrap();
         // Matching formats: fully communication-free.
         prop_assert_eq!(program.stats().messages, 0);
 
@@ -127,11 +128,8 @@ proptest! {
         inputs.insert("B".to_string(), random_data((m * k) as usize, seed));
         inputs.insert("C".to_string(), random_data((k * n) as usize, seed + 7));
         let result = program.execute(&inputs).unwrap();
-        let mut dims = BTreeMap::new();
-        dims.insert("A".to_string(), vec![m, n]);
-        dims.insert("B".to_string(), vec![m, k]);
-        dims.insert("C".to_string(), vec![k, n]);
-        let want = oracle::evaluate(&assignment, &dims, &inputs).unwrap();
+        let want =
+            oracle::evaluate(problem.assignment().unwrap(), &problem.dims_map(), &inputs).unwrap();
         for (g, w) in result.output.iter().zip(want.iter()) {
             prop_assert!((g - w).abs() < 1e-9 * (1.0 + w.abs()));
         }
@@ -157,45 +155,26 @@ proptest! {
         // Two statement families: SUMMA/Cannon-style square matmul on a
         // 2-D grid, and a row-replicated matvec-like einsum on a line
         // (the family that produces all-gathers).
-        let (assignment, tensors, grid, schedule) = if rows_expr {
+        let (problem, schedule) = if rows_expr {
             let p = gx.max(2);
             let rows = Format::parse("xy->x", MemKind::Sys).unwrap();
-            let tensors = vec![
-                SpmdTensor::new("A", vec![n, n], rows.clone()),
-                SpmdTensor::new("B", vec![n, n], rows.clone()),
-                SpmdTensor::new("C", vec![n, n], rows),
-            ];
             let schedule = Schedule::new()
                 .divide("i", "io", "ii", p)
                 .reorder(&["io", "ii"])
                 .distribute(&["io"])
                 .communicate(&["A", "B", "C"], "io");
-            (
-                Assignment::parse("A(i,j) = B(i,k) * C(k,j)").unwrap(),
-                tensors,
-                Grid::line(p),
-                schedule,
-            )
+            (square_problem(&Grid::line(p), n, &rows), schedule)
         } else {
             let tiled = Format::parse("xy->xy", MemKind::Sys).unwrap();
-            let tensors: Vec<SpmdTensor> = ["A", "B", "C"]
-                .iter()
-                .map(|t| SpmdTensor::new(*t, vec![n, n], tiled.clone()))
-                .collect();
             (
-                Assignment::parse("A(i,j) = B(i,k) * C(k,j)").unwrap(),
-                tensors,
-                Grid::grid2(gx, gy),
+                square_problem(&Grid::grid2(gx, gy), n, &tiled),
                 summa_like(gx, gy, chunk, rotate),
             )
         };
 
-        let naive =
-            lower_with(&assignment, &tensors, &grid, &schedule, &CollectiveConfig::point_to_point())
-                .unwrap();
-        let tree = lower(&assignment, &tensors, &grid, &schedule).unwrap();
-        let ring =
-            lower_with(&assignment, &tensors, &grid, &schedule, &CollectiveConfig::rings()).unwrap();
+        let naive = lower_problem(&problem, &schedule, &CollectiveConfig::point_to_point()).unwrap();
+        let tree = lower_problem(&problem, &schedule, &CollectiveConfig::default()).unwrap();
+        let ring = lower_problem(&problem, &schedule, &CollectiveConfig::rings()).unwrap();
 
         for lowered in [&tree, &ring] {
             // Volume and message count are invariant per tensor.
@@ -223,11 +202,8 @@ proptest! {
         inputs.insert("B".to_string(), random_data((n * n) as usize, seed));
         inputs.insert("C".to_string(), random_data((n * n) as usize, seed + 1));
         let base = naive.execute(&inputs).unwrap();
-        let mut dims = BTreeMap::new();
-        for t in ["A", "B", "C"] {
-            dims.insert(t.to_string(), vec![n, n]);
-        }
-        let want = oracle::evaluate(&assignment, &dims, &inputs).unwrap();
+        let want =
+            oracle::evaluate(problem.assignment().unwrap(), &problem.dims_map(), &inputs).unwrap();
         for (lowered, name) in [(&tree, "tree"), (&ring, "ring")] {
             let got = lowered.execute(&inputs).unwrap();
             for (g, w) in got.output.iter().zip(want.iter()) {
@@ -253,12 +229,10 @@ proptest! {
     fn systolic_scratch_bound(n in 4i64..16, g in 2i64..4) {
         let grid = Grid::grid2(g, g);
         let tiled = Format::parse("xy->xy", MemKind::Sys).unwrap();
-        let tensors: Vec<SpmdTensor> = ["A", "B", "C"]
-            .iter()
-            .map(|t| SpmdTensor::new(*t, vec![n, n], tiled.clone()))
-            .collect();
-        let assignment = Assignment::parse("A(i,j) = B(i,k) * C(k,j)").unwrap();
-        let program = lower(&assignment, &tensors, &grid, &summa_like(g, g, 1, true)).unwrap();
+        let problem = square_problem(&grid, n, &tiled);
+        let program =
+            lower_problem(&problem, &summa_like(g, g, 1, true), &CollectiveConfig::default())
+                .unwrap();
         let mut inputs = BTreeMap::new();
         inputs.insert("B".to_string(), random_data((n * n) as usize, 3));
         inputs.insert("C".to_string(), random_data((n * n) as usize, 4));
@@ -281,12 +255,13 @@ fn retire_ops_bound_generation_count() {
     // more than two scratch generations per tensor.
     let grid = Grid::grid2(3, 3);
     let tiled = Format::parse("xy->xy", MemKind::Sys).unwrap();
-    let tensors: Vec<SpmdTensor> = ["A", "B", "C"]
-        .iter()
-        .map(|t| SpmdTensor::new(*t, vec![9, 9], tiled.clone()))
-        .collect();
-    let assignment = Assignment::parse("A(i,j) = B(i,k) * C(k,j)").unwrap();
-    let program = lower(&assignment, &tensors, &grid, &summa_like(3, 3, 3, true)).unwrap();
+    let problem = square_problem(&grid, 9, &tiled);
+    let program = lower_problem(
+        &problem,
+        &summa_like(3, 3, 3, true),
+        &CollectiveConfig::default(),
+    )
+    .unwrap();
     for rank in 0..program.ranks() {
         let retires = program
             .rank_ops(rank)

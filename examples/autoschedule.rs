@@ -35,6 +35,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  format {t}: {}", f.distributions[0]);
     }
 
+    // --- The same search ranked by the SPMD α-β cost model -------------
+    // `search_with` accepts any backend; here each candidate is lowered
+    // to its exact static message schedule and priced α·hops + bytes/β.
+    let n_ab = 1024i64;
+    let ab = CostBackend::alpha_beta(AlphaBeta::default());
+    let result = scheduler.search_with(&ab, "A(i,j) = B(i,k) * C(k,j)", &matmul_dims(n_ab))?;
+    println!("\nranked under the SPMD α-β model (n={n_ab}):");
+    for e in result.evaluations.iter().take(4) {
+        println!("  {e}");
+    }
+    println!(
+        "α-β winner: {}",
+        result.best().expect("feasible candidate").candidate.name
+    );
+
     // --- TTV: the auto-formatter finds the communication-free layout ---
     let mut dims = BTreeMap::new();
     dims.insert("A".to_string(), vec![256, 256]);

@@ -18,8 +18,8 @@ fn run_with_format(
     for name in ["A", "B", "C"] {
         session.tensor(TensorSpec::new(name, vec![n, n], f.clone()))?;
     }
-    session.fill_random("B", 1);
-    session.fill_random("C", 2);
+    session.fill_random("B", 1)?;
+    session.fill_random("C", 2)?;
     let kernel = session.compile("A(i,j) = B(i,k) * C(k,j)", schedule)?;
     let place = session.place(&kernel)?;
     let compute = session.execute(&kernel)?;

@@ -35,7 +35,7 @@ fn run_layer(
         let format = Format::parse(fmap[name], MemKind::Sys)?;
         session.tensor(TensorSpec::new(*name, dims.clone(), format))?;
         if *name != out {
-            session.fill_random(name, name.len() as u64 + 1);
+            session.fill_random(name, name.len() as u64 + 1)?;
         }
     }
     let kernel = session.compile(expr, schedule)?;

@@ -1,5 +1,15 @@
-//! Quickstart: the Figure 2 program — multi-GPU matrix multiplication with
-//! the SUMMA schedule, in ~15 lines of scheduling code.
+//! Quickstart: the Figure 2 program — the SUMMA schedule for distributed
+//! matrix multiplication — through the unified compile pipeline:
+//!
+//! ```text
+//!   Problem (statement + tensors + machine)
+//!     └─ compile(&Target)           Target = any Backend impl
+//!          └─ Artifact: place() / execute() / read() / Report
+//! ```
+//!
+//! The *same* problem and schedule run on the dynamic (Legion-style)
+//! runtime and on the static SPMD (MPI-style) backend — switching targets
+//! is one line — and the results are bit-identical.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
@@ -9,14 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Define the target machine m as a 2D grid of processors (Figure 2
     // line 4). Here: all 8 GPUs of a 2-node Lassen-like machine.
     let machine = DistalMachine::flat(Grid::grid2(2, 4), ProcKind::Gpu);
-    let mut session = Session::new(MachineSpec::small(2), machine, Mode::Functional);
+    let mut problem = Problem::new(MachineSpec::small(2), machine);
 
-    // Functional-mode numerics run on the work-stealing parallel executor
-    // by default; set DISTAL_EXECUTOR=serial to force the serial walk (the
-    // results are bit-identical — see tests/executor_parity.rs).
-    if std::env::var("DISTAL_EXECUTOR").as_deref() == Ok("serial") {
-        session.set_executor(ExecutorKind::Serial);
-    }
+    // Declare the computation, a matrix-matrix multiply (lines 17-19).
+    problem.statement("A(i,j) = B(i,k) * C(k,j)")?;
 
     // A tensor's format describes how it is distributed onto m: a
     // two-dimensional tiling residing in GPU framebuffer memory
@@ -24,13 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 64;
     let tiles = Format::parse("xy->xy", MemKind::Fb)?;
     for name in ["A", "B", "C"] {
-        session.tensor(TensorSpec::new(name, vec![n, n], tiles.clone()))?;
+        problem.tensor(TensorSpec::new(name, vec![n, n], tiles.clone()))?;
     }
-    session.fill_random("B", 1);
-    session.fill_random("C", 2);
+    problem.fill_random("B", 1)?.fill_random("C", 2)?;
 
-    // Declare the computation, a matrix-matrix multiply (lines 17-19),
-    // and map it onto m via scheduling commands (lines 21-40).
+    // Map the computation onto m via scheduling commands (lines 21-40).
     let chunk = 16;
     let schedule = Schedule::new()
         // Tile i and j for each GPU, distribute the tiles.
@@ -43,28 +47,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Schedule at leaves for ii, ji, ki: substitute the heavily
         // optimized GEMM kernel (Figure 2 line 40, `CuBLAS::GeMM`).
         .substitute(&["ii", "ji", "ki"], LeafKind::Gemm);
-    let kernel = session.compile("A(i,j) = B(i,k) * C(k,j)", &schedule)?;
 
-    println!("scheduled statement:\n  {}\n", kernel.cin);
-    println!("compiled: {kernel:?}\n");
+    // Target 1: the dynamic runtime (tasks + region coherence).
+    // Functional numerics run on the work-stealing parallel executor by
+    // default; DISTAL_EXECUTOR=serial forces the serial walk (results are
+    // bit-identical — see tests/executor_parity.rs).
+    let mut runtime = RuntimeBackend::functional();
+    if std::env::var("DISTAL_EXECUTOR").as_deref() == Ok("serial") {
+        runtime = runtime.with_executor(ExecutorKind::Serial);
+    }
+    let mut dynamic = problem.compile(&runtime, &schedule)?;
+    let report = dynamic.run()?;
+    println!("dynamic runtime:  {report}");
 
-    // Place data according to the formats, then run the computation.
-    let place = session.place(&kernel)?;
-    let compute = session.execute(&kernel)?;
-    println!("placement phase:\n{place}");
-    println!("compute phase:\n{compute}");
+    // Target 2: the static SPMD backend (explicit per-rank send/recv) —
+    // the *only* change is the backend passed to compile().
+    let mut statik = problem.compile(&SpmdBackend::new(), &schedule)?;
+    let report = statik.run()?;
+    println!("static SPMD:      {report}");
+
+    // Both artifacts expose the same read surface; the numerics agree to
+    // the bit.
+    let a_dynamic = dynamic.read("A")?;
+    let a_static = statik.read("A")?;
+    assert_eq!(a_dynamic.len(), (n * n) as usize);
+    assert!(a_dynamic
+        .iter()
+        .zip(&a_static)
+        .all(|(x, y)| x.to_bits() == y.to_bits()));
+    println!("cross-backend reads are bit-identical");
 
     // Verify against a sequential oracle.
-    let got = session.read("A")?;
-    let mut dims = std::collections::BTreeMap::new();
-    for t in ["A", "B", "C"] {
-        dims.insert(t.to_string(), vec![n, n]);
-    }
     let mut inputs = std::collections::BTreeMap::new();
-    inputs.insert("B".to_string(), session.read("B")?);
-    inputs.insert("C".to_string(), session.read("C")?);
-    let want = distal::core::oracle::evaluate(&kernel.assignment, &dims, &inputs)?;
-    let max_err = got
+    for t in ["B", "C"] {
+        inputs.insert(t.to_string(), problem.initial_data(t).unwrap());
+    }
+    let want = distal::core::oracle::evaluate(
+        problem.assignment().unwrap(),
+        &problem.dims_map(),
+        &inputs,
+    )?;
+    let max_err = a_dynamic
         .iter()
         .zip(want.iter())
         .map(|(g, w)| (g - w).abs())

@@ -21,28 +21,36 @@
 //!
 //! # Quickstart (Figure 2)
 //!
+//! One [`Problem`](distal_core::Problem) — statement + tensors + machine —
+//! compiles onto any backend and runs behind the same
+//! [`Artifact`](distal_core::Artifact) surface:
+//!
 //! ```
 //! use distal::prelude::*;
 //!
 //! // A 2x2 grid of abstract processors over one node's CPU sockets.
 //! let machine = DistalMachine::flat(Grid::grid2(2, 2), ProcKind::Cpu);
-//! let mut session = Session::new(MachineSpec::small(2), machine, Mode::Functional);
+//! let mut problem = Problem::new(MachineSpec::small(2), machine);
+//! problem.statement("A(i,j) = B(i,k) * C(k,j)")?;
 //!
 //! // Tensors are distributed in 2D tiles (the `Distribution tiles` of
 //! // Figure 2, lines 4-15).
 //! let tiles = Format::parse("xy->xy", MemKind::Sys)?;
 //! for name in ["A", "B", "C"] {
-//!     session.tensor(TensorSpec::new(name, vec![64, 64], tiles.clone()))?;
+//!     problem.tensor(TensorSpec::new(name, vec![64, 64], tiles.clone()))?;
 //! }
-//! session.fill_random("B", 1);
-//! session.fill_random("C", 2);
+//! problem.fill_random("B", 1)?.fill_random("C", 2)?;
 //!
-//! // The SUMMA schedule of Figure 2, lines 23-40.
+//! // The SUMMA schedule of Figure 2, lines 23-40, on the dynamic
+//! // runtime...
 //! let schedule = Schedule::summa(2, 2, 16);
-//! let kernel = session.compile("A(i,j) = B(i,k) * C(k,j)", &schedule)?;
-//! session.run(&kernel)?;
-//! let a = session.read("A")?;
-//! assert_eq!(a.len(), 64 * 64);
+//! let mut dynamic = problem.compile(&RuntimeBackend::functional(), &schedule)?;
+//! dynamic.run()?;
+//!
+//! // ...and the *same problem* on the static SPMD (MPI-style) backend.
+//! let mut statik = problem.compile(&SpmdBackend::new(), &schedule)?;
+//! statik.run()?;
+//! assert_eq!(dynamic.read("A")?, statik.read("A")?);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -62,7 +70,8 @@ pub mod prelude {
     pub use distal_algs::matmul::MatmulAlgorithm;
     pub use distal_algs::setup::RunConfig;
     pub use distal_core::{
-        CompileError, CompiledKernel, DistalMachine, LeafKind, Schedule, Session, TensorSpec,
+        Artifact, Backend, BackendError, CompileError, CompiledKernel, DistalMachine, LeafKind,
+        Problem, Provenance, Report, RuntimeBackend, Schedule, Session, TensorInit, TensorSpec,
     };
     pub use distal_format::{Format, TensorDistribution};
     pub use distal_ir::expr::Assignment;
@@ -72,4 +81,5 @@ pub mod prelude {
     pub use distal_runtime::{
         Executor, ExecutorKind, Mode, ParallelExecutor, RunStats, Runtime, SerialExecutor,
     };
+    pub use distal_spmd::{AlphaBeta, CostBackend, SpmdBackend};
 }

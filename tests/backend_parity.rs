@@ -1,0 +1,188 @@
+//! Cross-backend parity: the same `Problem` + schedule, compiled through
+//! `RuntimeBackend` (dynamic runtime, functional numerics) and
+//! `SpmdBackend` (static MPI-style lowering + rank VM), must produce
+//! bit-identical tensor reads and consistent normalized reports — the
+//! paper's portability claim (§3, §8) as an executable test.
+
+use distal::algs::matmul::MatmulAlgorithm;
+use distal::algs::setup::{matmul_problem, RunConfig};
+use distal::core::{BackendError, CompileOptions, Problem, RuntimeBackend, Schedule};
+use distal::prelude::*;
+use distal::spmd::SpmdBackend;
+
+/// Builds the shared problem of one Figure 9 algorithm on `nodes`
+/// small-machine nodes.
+fn problem_for(alg: MatmulAlgorithm, nodes: usize, n: i64) -> (Problem, Schedule) {
+    let mut config = RunConfig::cpu(nodes, Mode::Functional);
+    config.spec = MachineSpec::small(nodes);
+    matmul_problem(alg, &config, n, (n / 2).max(1)).unwrap()
+}
+
+/// Compiles + runs the problem on both executable backends, returning the
+/// two `A` reads and the two compute-phase reports.
+fn run_both(
+    problem: &Problem,
+    schedule: &Schedule,
+    runtime: &RuntimeBackend,
+) -> ((Vec<f64>, Report), (Vec<f64>, Report)) {
+    let mut rt = problem.compile(runtime, schedule).unwrap();
+    rt.place().unwrap();
+    let rt_report = rt.execute().unwrap();
+    let rt_a = rt.read("A").unwrap();
+
+    let mut sp = problem.compile(&SpmdBackend::new(), schedule).unwrap();
+    sp.place().unwrap();
+    let sp_report = sp.execute().unwrap();
+    let sp_a = sp.read("A").unwrap();
+    ((rt_a, rt_report), (sp_a, sp_report))
+}
+
+fn assert_bit_identical(alg: MatmulAlgorithm, a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "{alg:?}: output lengths differ");
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{alg:?} idx {i}: runtime {x} vs spmd {y}"
+        );
+    }
+}
+
+#[test]
+fn summa_and_cannon_bit_identical_and_same_bytes() {
+    // The dynamic runtime's coherence analysis and the static lowering
+    // discover the *same* communication; without the output pre-fill
+    // (the SPMD model starts accumulators at zero) the byte totals are
+    // equal, not merely close.
+    let no_fill = RuntimeBackend::functional().with_options(CompileOptions {
+        fill_output: Some(false),
+        ..Default::default()
+    });
+    for alg in [MatmulAlgorithm::Summa, MatmulAlgorithm::Cannon] {
+        let (problem, schedule) = problem_for(alg, 2, 12);
+        let ((rt_a, rt_report), (sp_a, sp_report)) = run_both(&problem, &schedule, &no_fill);
+        assert_bit_identical(alg, &rt_a, &sp_a);
+        assert_eq!(
+            rt_report.bytes_moved, sp_report.bytes_moved,
+            "{alg:?}: compute-phase bytes"
+        );
+        assert!(rt_report.bytes_moved > 0, "{alg:?} must communicate");
+        assert!((rt_report.flops - sp_report.flops).abs() < 1.0, "{alg:?}");
+        assert_eq!(rt_report.backend, "runtime");
+        assert_eq!(sp_report.backend, "spmd");
+    }
+}
+
+#[test]
+fn johnson_bit_identical_with_consistent_bytes() {
+    // Johnson's distributed reduction: the runtime folds through Legion
+    // reduction instances (whose final owner gather counts both the
+    // partial pull and the fold apply), the static backend through
+    // reduce-tree messages; the numerics are still bit-identical and the
+    // byte totals agree within the reduction-accounting factor of 2.
+    let alg = MatmulAlgorithm::Johnson;
+    let (problem, schedule) = problem_for(alg, 4, 12);
+    let no_fill = RuntimeBackend::functional().with_options(CompileOptions {
+        fill_output: Some(false),
+        ..Default::default()
+    });
+    let ((rt_a, rt_report), (sp_a, sp_report)) = run_both(&problem, &schedule, &no_fill);
+    assert_bit_identical(alg, &rt_a, &sp_a);
+    assert!(rt_report.bytes_moved > 0 && sp_report.bytes_moved > 0);
+    let ratio = rt_report.bytes_moved as f64 / sp_report.bytes_moved as f64;
+    assert!(
+        (1.0..=2.0).contains(&ratio),
+        "byte accounting diverged: runtime {} vs spmd {} (ratio {ratio:.3})",
+        rt_report.bytes_moved,
+        sp_report.bytes_moved
+    );
+}
+
+#[test]
+fn default_compile_options_also_bit_identical() {
+    // The plain front door (no option tweaks): same reads on both
+    // backends for all three algorithm families.
+    for (alg, nodes) in [
+        (MatmulAlgorithm::Summa, 2),
+        (MatmulAlgorithm::Cannon, 2),
+        (MatmulAlgorithm::Johnson, 4),
+    ] {
+        let (problem, schedule) = problem_for(alg, nodes, 12);
+        let ((rt_a, _), (sp_a, _)) = run_both(&problem, &schedule, &RuntimeBackend::functional());
+        assert_bit_identical(alg, &rt_a, &sp_a);
+    }
+}
+
+#[test]
+fn both_backends_match_the_oracle() {
+    let (problem, schedule) = problem_for(MatmulAlgorithm::Summa, 2, 12);
+    let ((rt_a, _), (sp_a, _)) = run_both(&problem, &schedule, &RuntimeBackend::functional());
+    let dims = problem.dims_map();
+    let mut inputs = std::collections::BTreeMap::new();
+    for t in ["B", "C"] {
+        inputs.insert(t.to_string(), problem.initial_data(t).unwrap());
+    }
+    let want =
+        distal::core::oracle::evaluate(problem.assignment().unwrap(), &dims, &inputs).unwrap();
+    for (got, which) in [(&rt_a, "runtime"), (&sp_a, "spmd")] {
+        for (g, w) in got.iter().zip(want.iter()) {
+            assert!((g - w).abs() < 1e-9, "{which}: {g} vs {w}");
+        }
+    }
+}
+
+#[test]
+fn artifact_error_surface_is_uniform() {
+    let (problem, schedule) = problem_for(MatmulAlgorithm::Summa, 2, 8);
+
+    // Unknown tensors are unknown-tensor errors on every backend (the
+    // runtime used to misreport them as a mode error).
+    let mut rt = problem
+        .compile(&RuntimeBackend::functional(), &schedule)
+        .unwrap();
+    rt.run().unwrap();
+    assert!(matches!(rt.read("Z"), Err(BackendError::UnknownTensor(t)) if t == "Z"));
+
+    let mut sp = problem.compile(&SpmdBackend::new(), &schedule).unwrap();
+    // Reading the output before execute() is a no-data error, not junk.
+    assert!(matches!(sp.read("A"), Err(BackendError::NoData(_))));
+    sp.run().unwrap();
+    assert!(matches!(sp.read("Z"), Err(BackendError::UnknownTensor(t)) if t == "Z"));
+
+    // Model-mode artifacts hold no numerics.
+    let mut model = problem
+        .compile(&RuntimeBackend::model(), &schedule)
+        .unwrap();
+    model.run().unwrap();
+    assert!(matches!(model.read("A"), Err(BackendError::NoData(_))));
+}
+
+#[test]
+fn uninitialized_inputs_fail_on_both_backends() {
+    // Neither backend papers over a missing input initializer: the
+    // runtime hits uninitialized regions, the SPMD artifact refuses to
+    // zero-fill — both surface the failure from execute().
+    let (mut problem, schedule) = problem_for(MatmulAlgorithm::Summa, 2, 8);
+    problem.set_data("C", vec![]).unwrap_err(); // C stays Random-seeded
+    let machine = problem.machine().clone();
+    let mut fresh = Problem::new(problem.spec().clone(), machine);
+    fresh.set_assignment(problem.assignment().unwrap().clone());
+    for spec in problem.tensors().values() {
+        fresh.tensor(spec.clone()).unwrap();
+    }
+    fresh.fill_random("B", 0xB).unwrap(); // C left uninitialized
+
+    let mut rt = fresh
+        .compile(&RuntimeBackend::functional(), &schedule)
+        .unwrap();
+    // The runtime hits the uninitialized region as soon as placement
+    // pulls C; run() covers both phases.
+    assert!(rt.run().is_err(), "runtime must reject uninitialized C");
+
+    let mut sp = fresh.compile(&SpmdBackend::new(), &schedule).unwrap();
+    sp.place().unwrap();
+    assert!(
+        matches!(sp.execute(), Err(BackendError::NoData(m)) if m.contains("'C'")),
+        "spmd must reject uninitialized C, not zero-fill it"
+    );
+}

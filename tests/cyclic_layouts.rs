@@ -33,8 +33,8 @@ fn session_with_formats(n: i64, formats: &BTreeMap<&str, Format>) -> Session {
         s.tensor(TensorSpec::new(*name, vec![n, n], f.clone()))
             .unwrap();
     }
-    s.fill_random("B", 3);
-    s.fill_random("C", 5);
+    s.fill_random("B", 3).unwrap();
+    s.fill_random("C", 5).unwrap();
     s
 }
 
@@ -132,8 +132,8 @@ fn cyclic_placement_piece_counts() {
     s.tensor(TensorSpec::new("B", vec![n, n], cyclic.clone()))
         .unwrap();
     s.tensor(TensorSpec::new("C", vec![n, n], cyclic)).unwrap();
-    s.fill_random("B", 1);
-    s.fill_random("C", 2);
+    s.fill_random("B", 1).unwrap();
+    s.fill_random("C", 2).unwrap();
     let k = s
         .compile("A(i,j) = B(i,k) * C(k,j)", &Schedule::summa(2, 2, 8))
         .unwrap();

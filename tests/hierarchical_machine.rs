@@ -26,8 +26,8 @@ fn two_level_format_places_and_computes() {
             .tensor(TensorSpec::new(name, vec![n, n], format.clone()))
             .unwrap();
     }
-    session.fill_random("B", 21);
-    session.fill_random("C", 22);
+    session.fill_random("B", 21).unwrap();
+    session.fill_random("C", 22).unwrap();
 
     // Schedule over the flattened 2x2x4 grid: distribute i by (2*4) and j
     // by 2, mirroring the hierarchical tiling (nodes x GPUs on rows).

@@ -23,7 +23,7 @@ fn triple_product_precompute_matches_oracle_and_saves_flops() {
         s.tensor(TensorSpec::new(t, vec![n, n], rows.clone()))
             .unwrap();
         if t != "A" {
-            s.fill_random(t, t.len() as u64 + 3);
+            s.fill_random(t, t.len() as u64 + 3).unwrap();
         }
     }
 
@@ -87,7 +87,7 @@ fn mttkrp_workspace_formulation_matches_fused() {
     s.tensor(TensorSpec::new("D", vec![n, l], f2.clone()))
         .unwrap();
     for t in ["B", "C", "D"] {
-        s.fill_random(t, 0xD0 + t.len() as u64);
+        s.fill_random(t, 0xD0 + t.len() as u64).unwrap();
     }
 
     let (ws, rest) = s

@@ -43,8 +43,8 @@ proptest! {
         session.tensor(TensorSpec::new("A", vec![m, n], f.clone())).unwrap();
         session.tensor(TensorSpec::new("B", vec![m, k], f.clone())).unwrap();
         session.tensor(TensorSpec::new("C", vec![k, n], f)).unwrap();
-        session.fill_random("B", 3);
-        session.fill_random("C", 4);
+        session.fill_random("B", 3).unwrap();
+        session.fill_random("C", 4).unwrap();
         let schedule = Schedule::summa(gx, gy, chunk);
         let kernel = session.compile("A(i,j) = B(i,k) * C(k,j)", &schedule).unwrap();
         session.run(&kernel).unwrap();
@@ -69,8 +69,8 @@ proptest! {
         session.tensor(TensorSpec::new("A", vec![n, n], Format::parse("xy->x", MemKind::Sys).unwrap())).unwrap();
         session.tensor(TensorSpec::new("B", vec![n, n, n], Format::parse("xyz->x", MemKind::Sys).unwrap())).unwrap();
         session.tensor(TensorSpec::new("c", vec![n], Format::parse("x->*", MemKind::Sys).unwrap())).unwrap();
-        session.fill_random("B", 5);
-        session.fill_random("c", 6);
+        session.fill_random("B", 5).unwrap();
+        session.fill_random("c", 6).unwrap();
         let schedule = Schedule::new()
             .distribute_onto(&["i"], &["io"], &["ii"], &[procs])
             .communicate(&["A", "B", "c"], "io");
@@ -130,8 +130,8 @@ proptest! {
             for name in ["A", "B", "C"] {
                 session.tensor(TensorSpec::new(name, vec![n, n], f.clone())).unwrap();
             }
-            session.fill_random("B", 9);
-            session.fill_random("C", 10);
+            session.fill_random("B", 9).unwrap();
+            session.fill_random("C", 10).unwrap();
             let schedule = Schedule::new()
                 .distribute_onto(&["i", "j"], &["io", "jo"], &["ii", "ji"], &[2, 2])
                 .split("k", "ko", "ki", chunk)
@@ -162,8 +162,8 @@ proptest! {
         for name in ["A", "B", "C"] {
             session.tensor(TensorSpec::new(name, vec![n], f.clone())).unwrap();
         }
-        session.fill_random("B", 7);
-        session.fill_random("C", 8);
+        session.fill_random("B", 7).unwrap();
+        session.fill_random("C", 8).unwrap();
         let expr = if use_add { "A(i) = B(i) + C(i)" } else { "A(i) = B(i) * C(i)" };
         let schedule = Schedule::new()
             .distribute_onto(&["i"], &["io"], &["ii"], &[2])

@@ -15,8 +15,8 @@ fn figure2_summa_on_gpus_matches_oracle() {
             .tensor(TensorSpec::new(name, vec![n, n], tiles.clone()))
             .unwrap();
     }
-    session.fill_random("B", 1);
-    session.fill_random("C", 2);
+    session.fill_random("B", 1).unwrap();
+    session.fill_random("C", 2).unwrap();
 
     let schedule = Schedule::new()
         .distribute_onto(&["i", "j"], &["io", "jo"], &["ii", "ji"], &[2, 4])

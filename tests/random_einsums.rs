@@ -1,12 +1,12 @@
 //! Randomized end-to-end einsums: DISTAL claims to handle *any* tensor
 //! index notation statement (§2), not just the named kernels. This test
 //! generates random expressions (random arities, random variable structure,
-//! scalar and tensor outputs), schedules them generically, and checks the
-//! dynamic runtime and the static SPMD backend against the oracle.
+//! scalar and tensor outputs), schedules them generically, and compiles
+//! each resulting `Problem` through the unified pipeline onto *both*
+//! executable backends, checking each against the oracle.
 
 use distal::core::oracle;
 use distal::prelude::*;
-use distal::spmd::{lower as spmd_lower, SpmdTensor};
 use std::collections::BTreeMap;
 
 mod common;
@@ -19,12 +19,12 @@ fn random_einsums_match_oracle_on_both_backends() {
     let mut checked = 0;
     for round in 0..60 {
         let case = generate(&mut rng);
+        // Distribute the first output variable, or the first variable of
+        // the statement for scalar outputs (distributed reduction).
         let assignment = match distal::ir::expr::Assignment::parse(&case.expr) {
             Ok(a) => a,
             Err(e) => panic!("generated invalid expression '{}': {e}", case.expr),
         };
-        // Distribute the first output variable, or the first variable of
-        // the statement for scalar outputs (distributed reduction).
         let all_vars: Vec<String> = assignment.all_vars().iter().map(|v| v.0.clone()).collect();
         let dist_var = case
             .out_vars
@@ -33,9 +33,10 @@ fn random_einsums_match_oracle_on_both_backends() {
             .unwrap_or_else(|| all_vars[0].clone());
         let schedule = schedule_1d(&case, &all_vars, &dist_var, p);
 
-        // --- Dynamic runtime ---
+        // One problem, two backends.
         let machine = DistalMachine::flat(Grid::line(p), ProcKind::Cpu);
-        let mut session = Session::new(MachineSpec::small(2), machine, Mode::Functional);
+        let mut problem = Problem::new(MachineSpec::small(2), machine);
+        problem.set_assignment(assignment);
         let mut inputs: BTreeMap<String, Vec<f64>> = BTreeMap::new();
         for (name, dims) in &case.dims {
             let format = if name == &case.out && case.out_vars.is_empty() {
@@ -46,61 +47,38 @@ fn random_einsums_match_oracle_on_both_backends() {
                 let idx = if name == "B" { 0 } else { 1 };
                 format_1d(&case.input_vars[idx], &dist_var)
             };
-            session
+            problem
                 .tensor(TensorSpec::new(name.clone(), dims.clone(), format))
                 .unwrap_or_else(|e| panic!("{}: {e}", case.expr));
             if name != &case.out {
                 let len = dims.iter().product::<i64>().max(1) as usize;
                 let data = rng.data(len);
-                session.set_data(name, data.clone()).unwrap();
+                problem.set_data(name, data.clone()).unwrap();
                 inputs.insert(name.clone(), data);
             }
         }
-        let kernel = match session.compile(&case.expr, &schedule) {
-            Ok(k) => k,
-            Err(e) => panic!("{} (dist {dist_var}): {e}", case.expr),
-        };
-        session
-            .run(&kernel)
+        let want = oracle::evaluate(problem.assignment().unwrap(), &case.dims, &inputs)
             .unwrap_or_else(|e| panic!("{}: {e}", case.expr));
-        let got = session.read(&case.out).unwrap();
-        let want = oracle::evaluate(&kernel.assignment, &case.dims, &inputs)
-            .unwrap_or_else(|e| panic!("{}: {e}", case.expr));
-        for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
-            assert!(
-                (g - w).abs() < 1e-9 * (1.0 + w.abs()),
-                "round {round} '{}' [dynamic] idx {i}: {g} vs {w}",
-                case.expr
-            );
-        }
 
-        // --- Static SPMD backend (same formats and schedule) ---
-        let tensors: Vec<SpmdTensor> = case
-            .dims
-            .iter()
-            .map(|(name, dims)| {
-                let format = if name == &case.out && case.out_vars.is_empty() {
-                    Format::undistributed()
-                } else if name == &case.out {
-                    format_1d(&case.out_vars, &dist_var)
-                } else {
-                    let idx = if name == "B" { 0 } else { 1 };
-                    format_1d(&case.input_vars[idx], &dist_var)
-                };
-                SpmdTensor::new(name.clone(), dims.clone(), format)
-            })
-            .collect();
-        let program = spmd_lower(&assignment, &tensors, &Grid::line(p), &schedule)
-            .unwrap_or_else(|e| panic!("{}: {e}", case.expr));
-        let result = program
-            .execute(&inputs)
-            .unwrap_or_else(|e| panic!("{}: {e}", case.expr));
-        for (i, (g, w)) in result.output.iter().zip(want.iter()).enumerate() {
-            assert!(
-                (g - w).abs() < 1e-9 * (1.0 + w.abs()),
-                "round {round} '{}' [spmd] idx {i}: {g} vs {w}",
-                case.expr
-            );
+        for backend in [
+            &RuntimeBackend::functional() as &dyn Backend,
+            &SpmdBackend::new(),
+        ] {
+            let mut artifact = problem.compile(backend, &schedule).unwrap_or_else(|e| {
+                panic!("{} [{}] (dist {dist_var}): {e}", case.expr, backend.name())
+            });
+            artifact
+                .run()
+                .unwrap_or_else(|e| panic!("{} [{}]: {e}", case.expr, backend.name()));
+            let got = artifact.read(&case.out).unwrap();
+            for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+                assert!(
+                    (g - w).abs() < 1e-9 * (1.0 + w.abs()),
+                    "round {round} '{}' [{}] idx {i}: {g} vs {w}",
+                    case.expr,
+                    backend.name()
+                );
+            }
         }
         checked += 1;
         let _ = &case.extents;
@@ -120,7 +98,7 @@ fn addition_expression_matches_oracle() {
             .tensor(TensorSpec::new(t, vec![6, 5], rows.clone()))
             .unwrap();
         if t != "A" {
-            session.fill_random(t, t.len() as u64);
+            session.fill_random(t, t.len() as u64).unwrap();
         }
     }
     let schedule = Schedule::new()

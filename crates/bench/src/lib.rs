@@ -19,9 +19,12 @@
 //! `exec` (serial-vs-parallel executor wall-clock; writes
 //! `BENCH_exec.json`), `spmd` (collective recognition/lowering gate:
 //! naive vs tree vs ring schedules under the α-β model; writes
-//! `BENCH_spmd.json`), and `backends` (runtime-sim vs SPMD α-β cost
+//! `BENCH_spmd.json`), `backends` (runtime-sim vs SPMD α-β cost
 //! models over the unified `Problem` pipeline for SUMMA/Cannon at
-//! p ∈ {4, 9, 16}; writes `BENCH_backends.json`).
+//! p ∈ {4, 9, 16}; writes `BENCH_backends.json`), and `sparse`
+//! (dense vs CSR-compressed bytes moved and α-β makespan for SpMV/SpMM
+//! at density ∈ {0.01, 0.1, 0.5} on p ∈ {4, 16}, with the <10%
+//! compression gate; writes `BENCH_sparse.json`).
 //! Criterion benches (`benches/paper_figures.rs`) run reduced-scale
 //! versions of the same harnesses.
 
@@ -33,4 +36,5 @@ pub mod fig16;
 pub mod fig9;
 pub mod headline;
 pub mod series;
+pub mod sparse;
 pub mod spmd;

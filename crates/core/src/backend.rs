@@ -234,8 +234,18 @@ impl Backend for RuntimeBackend {
                     session.set_data(name, init.materialize(dims))?;
                 }
                 // Model mode holds no data; filling marks regions valid.
+                // Compressed-format tensors still get nnz-aware byte
+                // accounting, derived from the initializer's nnz.
                 Mode::Model => {
                     session.fill(name, 0.0)?;
+                    let scale = problem.payload_scale(name);
+                    if scale != 1.0 {
+                        if let Some(region) = session.region(name) {
+                            session
+                                .runtime_mut()
+                                .set_region_payload_scale(region, scale);
+                        }
+                    }
                 }
             }
         }

@@ -166,13 +166,65 @@ impl Kernel for GemmKernel {
     }
 }
 
+/// True when the right-hand side is a product of *accesses only* — no
+/// literal factors, no sums. The shape guards (`is_matmul`, `is_spmv`,
+/// `is_sddmm`) only inspect the access list, so a statement like
+/// `A(i,j) = B(i,k) * C(k,j) * 3.0` matches them; the specialized leaves
+/// (GEMM, sparse SpMV/SpMM/SDDMM) compute only the access product and
+/// would silently drop the literal — this check keeps them honest.
+pub(crate) fn rhs_is_access_product(a: &Assignment) -> bool {
+    fn pure(e: &Expr) -> bool {
+        match e {
+            Expr::Access(_) => true,
+            Expr::Mul(l, r) => pure(l) && pure(r),
+            Expr::Literal(_) | Expr::Add(_, _) => false,
+        }
+    }
+    pure(&a.rhs)
+}
+
 /// Chooses a leaf kernel for a statement: the blocked GEMM for canonical
-/// matrix multiplies, the interpreter otherwise.
+/// matrix multiplies (pure access products only — literal factors fall
+/// back to the interpreter, which evaluates the full expression), the
+/// interpreter otherwise.
 pub fn leaf_kernel_for(assignment: &Assignment) -> Box<dyn Kernel> {
-    if is_matmul(assignment) {
+    if is_matmul(assignment) && rhs_is_access_product(assignment) {
         Box::new(GemmKernel)
     } else {
         Box::new(InterpreterKernel::new(assignment.clone()))
+    }
+}
+
+/// Chooses a *sparse* leaf kernel when the statement shape and the
+/// operands' level formats admit one. `compressed` flags each input
+/// access (in [`Assignment::input_accesses`] order) whose tensor has a
+/// compressed level format.
+///
+/// The supported shapes mirror SpDISTAL's core workloads, each with the
+/// *first* input compressed:
+///
+/// * SpMV — `a(i) = B(i,j) * c(j)`;
+/// * SpMM — matmul-shaped `A(i,j) = B(i,k) * C(k,j)`;
+/// * SDDMM — `A(i,j) = B(i,j) * C(i,k) * D(k,j)`.
+///
+/// Returns `None` otherwise — compressed formats outside these shapes
+/// fall back to the dense leaves, which remain numerically correct
+/// (buffers are dense underneath; compression then only drives the
+/// byte/cost accounting).
+pub fn sparse_leaf_for(assignment: &Assignment, compressed: &[bool]) -> Option<Box<dyn Kernel>> {
+    let first_only =
+        compressed.first().copied().unwrap_or(false) && compressed.iter().skip(1).all(|c| !c);
+    if !first_only || !rhs_is_access_product(assignment) {
+        return None;
+    }
+    if is_spmv(assignment) {
+        Some(Box::new(distal_sparse::SpmvLeaf))
+    } else if is_matmul(assignment) {
+        Some(Box::new(distal_sparse::SpmmLeaf))
+    } else if is_sddmm(assignment) {
+        Some(Box::new(distal_sparse::SddmmLeaf))
+    } else {
+        None
     }
 }
 
@@ -193,6 +245,54 @@ pub fn is_matmul(a: &Assignment) -> bool {
     let k = &red[0];
     inputs[0].indices == vec![i.clone(), k.clone()]
         && inputs[1].indices == vec![k.clone(), j.clone()]
+}
+
+/// True for `a(i) = B(i,j) * c(j)`-shaped statements (any var names): the
+/// matrix-vector product, SpMV when B is compressed.
+pub fn is_spmv(a: &Assignment) -> bool {
+    if a.lhs.indices.len() != 1 {
+        return false;
+    }
+    let inputs = a.input_accesses();
+    if inputs.len() != 2 || !matches!(a.rhs, Expr::Mul(_, _)) {
+        return false;
+    }
+    let i = &a.lhs.indices[0];
+    let red = a.reduction_vars();
+    if red.len() != 1 {
+        return false;
+    }
+    let j = &red[0];
+    inputs[0].indices == vec![i.clone(), j.clone()] && inputs[1].indices == vec![j.clone()]
+}
+
+/// True for `A(i,j) = B(i,j) * C(i,k) * D(k,j)`-shaped statements (any var
+/// names): the sampled dense-dense matrix multiply, SDDMM when B is
+/// compressed.
+pub fn is_sddmm(a: &Assignment) -> bool {
+    if a.lhs.indices.len() != 2 {
+        return false;
+    }
+    let inputs = a.input_accesses();
+    if inputs.len() != 3 {
+        return false;
+    }
+    // A left-leaning pure product of the three accesses.
+    let Expr::Mul(outer, _) = &a.rhs else {
+        return false;
+    };
+    if !matches!(outer.as_ref(), Expr::Mul(_, _)) {
+        return false;
+    }
+    let (i, j) = (&a.lhs.indices[0], &a.lhs.indices[1]);
+    let red = a.reduction_vars();
+    if red.len() != 1 {
+        return false;
+    }
+    let k = &red[0];
+    inputs[0].indices == vec![i.clone(), j.clone()]
+        && inputs[1].indices == vec![i.clone(), k.clone()]
+        && inputs[2].indices == vec![k.clone(), j.clone()]
 }
 
 /// True when an expression is bandwidth-bound at the leaves (element-wise
@@ -294,6 +394,55 @@ mod tests {
         };
         interp.execute(&mut ctx);
         assert_eq!(ctx.args[0].data, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn literal_factors_disable_specialized_leaves() {
+        // The shape guards only look at the access list, so a trailing
+        // literal factor still matches them — but the specialized leaves
+        // compute only the access product and would silently drop it.
+        // Both the GEMM and sparse substitutions must refuse.
+        let spmv = distal_ir::expr::Assignment::parse("a(i) = B(i,j) * c(j) * 3.0").unwrap();
+        assert!(is_spmv(&spmv), "shape guard still matches");
+        assert!(sparse_leaf_for(&spmv, &[true, false]).is_none());
+
+        let mm = distal_ir::expr::Assignment::parse("A(i,j) = B(i,k) * C(k,j) * 2.0").unwrap();
+        assert!(is_matmul(&mm), "shape guard still matches");
+        assert!(sparse_leaf_for(&mm, &[true, false]).is_none());
+        assert_eq!(leaf_kernel_for(&mm).name(), "interpreter");
+
+        // Pure products keep their specialized leaves.
+        let pure = distal_ir::expr::kernels::matmul();
+        assert_eq!(leaf_kernel_for(&pure).name(), "gemm");
+        assert!(sparse_leaf_for(&pure, &[true, false]).is_some());
+    }
+
+    #[test]
+    fn sparse_leaf_selection_by_shape_and_compression() {
+        let spmv = distal_ir::expr::Assignment::parse("a(i) = B(i,j) * c(j)").unwrap();
+        assert!(is_spmv(&spmv));
+        assert_eq!(
+            sparse_leaf_for(&spmv, &[true, false]).map(|k| k.name().to_string()),
+            Some("spmv".into())
+        );
+        // Compression elsewhere than the first input falls back to dense.
+        assert!(sparse_leaf_for(&spmv, &[false, true]).is_none());
+        assert!(sparse_leaf_for(&spmv, &[false, false]).is_none());
+
+        let sddmm =
+            distal_ir::expr::Assignment::parse("A(i,j) = B(i,j) * C(i,k) * D(k,j)").unwrap();
+        assert!(is_sddmm(&sddmm));
+        assert!(!is_sddmm(&distal_ir::expr::kernels::matmul()));
+        assert_eq!(
+            sparse_leaf_for(&sddmm, &[true, false, false]).map(|k| k.name().to_string()),
+            Some("sddmm".into())
+        );
+
+        let mm = distal_ir::expr::kernels::matmul();
+        assert_eq!(
+            sparse_leaf_for(&mm, &[true, false]).map(|k| k.name().to_string()),
+            Some("spmm".into())
+        );
     }
 
     #[test]

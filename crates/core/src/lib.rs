@@ -79,7 +79,7 @@ pub use error::CompileError;
 pub use lower::{compile, CompileOptions, CompiledKernel};
 pub use machine::DistalMachine;
 pub use mapper::GridMapper;
-pub use problem::{random_data, Problem, TensorInit};
+pub use problem::{random_data, sparse_random_data, Problem, TensorInit};
 pub use report::{Provenance, Report};
 pub use schedule::{LeafKind, SchedCmd, Schedule};
 pub use session::{Session, TensorSpec};

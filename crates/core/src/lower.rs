@@ -20,7 +20,7 @@
 //! `ReadWrite` accumulation; pure element-wise statements use `Write`.
 
 use crate::error::CompileError;
-use crate::kernels::{is_matmul, is_streaming, leaf_kernel_for};
+use crate::kernels::{is_matmul, is_streaming, leaf_kernel_for, sparse_leaf_for};
 use crate::machine::DistalMachine;
 use crate::mapper::GridMapper;
 use crate::schedule::Schedule;
@@ -226,12 +226,21 @@ pub fn compile(
         });
     }
     // Leaf kernel: a `substitute` command overrides the automatic choice
-    // (Figure 2 line 40 substitutes a vendor GEMM at the leaves).
+    // (Figure 2 line 40 substitutes a vendor GEMM at the leaves). The
+    // automatic choice prefers a sparse leaf (SpMV/SpMM/SDDMM iterating
+    // only stored coordinates) when the statement shape admits one and the
+    // first input operand's format carries a compressed level.
+    let compressed_inputs: Vec<bool> = assignment
+        .input_accesses()
+        .iter()
+        .map(|acc| tensors[&acc.tensor].format.has_compressed())
+        .collect();
     let leaf_kernel: Arc<dyn distal_runtime::kernel::Kernel> = match schedule.leaf_choice() {
         Some((_, crate::schedule::LeafKind::Gemm)) => {
-            if !is_matmul(assignment) {
+            if !is_matmul(assignment) || !crate::kernels::rhs_is_access_product(assignment) {
                 return Err(CompileError::BadSubstitution(format!(
-                    "the GEMM leaf requires a matmul-shaped statement, got `{assignment}`"
+                    "the GEMM leaf requires a matmul-shaped statement \
+                     (a pure product of two accesses), got `{assignment}`"
                 )));
             }
             Arc::new(crate::kernels::GemmKernel)
@@ -239,7 +248,12 @@ pub fn compile(
         Some((_, crate::schedule::LeafKind::Interpreter)) => {
             Arc::new(crate::kernels::InterpreterKernel::new(assignment.clone()))
         }
-        Some((_, crate::schedule::LeafKind::Auto)) | None => Arc::from(leaf_kernel_for(assignment)),
+        Some((_, crate::schedule::LeafKind::Auto)) | None => {
+            match sparse_leaf_for(assignment, &compressed_inputs) {
+                Some(sparse) => Arc::from(sparse),
+                None => Arc::from(leaf_kernel_for(assignment)),
+            }
+        }
     };
     let leaf = compute.register_kernel(leaf_kernel);
     let all_vars = assignment.all_vars();

@@ -38,6 +38,35 @@ pub fn random_data(n: usize, seed: u64) -> Vec<f64> {
         .collect()
 }
 
+/// Deterministic pseudo-random data with explicit `+0.0` entries at the
+/// given density: element `i` keeps the value [`random_data`] would assign
+/// it with probability `density` (drawn from an independent xorshift64*
+/// mask stream) and is an exact `+0.0` otherwise.
+///
+/// `density >= 1.0` returns exactly `random_data(n, seed)`, so the dense
+/// and sparse seeding paths coincide at full density. Like [`random_data`]
+/// this is shared by every backend, which is what makes sparse problems
+/// cross-backend bit-comparable.
+pub fn sparse_random_data(n: usize, seed: u64, density: f64) -> Vec<f64> {
+    let mut vals = random_data(n, seed);
+    if density >= 1.0 {
+        return vals;
+    }
+    let mut state = (seed ^ 0x5DEE_CE66_D171_9B4B)
+        .wrapping_mul(0xD1B5_4A32_D192_ED03)
+        .max(1);
+    for v in &mut vals {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let u = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+        if u >= density {
+            *v = 0.0;
+        }
+    }
+    vals
+}
+
 /// How a registered tensor's initial contents are defined.
 #[derive(Clone, Debug, PartialEq)]
 pub enum TensorInit {
@@ -47,6 +76,14 @@ pub enum TensorInit {
     Data(Vec<f64>),
     /// Deterministic pseudo-random data from a seed (see [`random_data`]).
     Random(u64),
+    /// Deterministic pseudo-random data with explicit zeros: each element
+    /// is nonzero with probability `density` (see [`sparse_random_data`]).
+    RandomSparse {
+        /// The seed shared with [`TensorInit::Random`]'s value stream.
+        seed: u64,
+        /// Expected fraction of nonzero elements, in `[0, 1]`.
+        density: f64,
+    },
 }
 
 impl TensorInit {
@@ -57,6 +94,7 @@ impl TensorInit {
             TensorInit::Value(v) => vec![*v; n],
             TensorInit::Data(d) => d.clone(),
             TensorInit::Random(seed) => random_data(n, *seed),
+            TensorInit::RandomSparse { seed, density } => sparse_random_data(n, *seed, *density),
         }
     }
 }
@@ -206,9 +244,92 @@ impl Problem {
         Ok(self)
     }
 
+    /// Seeds a tensor with deterministic pseudo-random values thinned to
+    /// the given density: each element is nonzero with probability
+    /// `density`, exactly `+0.0` otherwise ([`sparse_random_data`]) — the
+    /// density knob of [`Problem::fill_random`]. At `density = 1.0` the
+    /// two coincide. The materialized data is independent of the tensor's
+    /// level formats, so a compressed and a dense registration of the same
+    /// `(seed, density)` hold bit-identical logical contents (the basis of
+    /// the sparse/dense parity suite). For [`Problem::set_data`] no knob is
+    /// needed: the explicit zeros in the data itself determine the nnz
+    /// ([`Problem::nnz_of`]).
+    ///
+    /// # Errors
+    ///
+    /// Unknown tensor names, and densities outside `[0, 1]`.
+    pub fn fill_random_sparse(
+        &mut self,
+        name: &str,
+        seed: u64,
+        density: f64,
+    ) -> Result<&mut Self, CompileError> {
+        self.require(name)?;
+        if !(0.0..=1.0).contains(&density) {
+            return Err(CompileError::Session(format!(
+                "density must be in [0, 1], got {density}"
+            )));
+        }
+        self.init
+            .insert(name.into(), TensorInit::RandomSparse { seed, density });
+        Ok(self)
+    }
+
     /// The declared initializer of a tensor, if any.
     pub fn init_of(&self, name: &str) -> Option<&TensorInit> {
         self.init.get(name)
+    }
+
+    /// The number of stored (nonzero-bit-pattern) elements of a tensor's
+    /// initial contents; `None` when the tensor is unknown or has no
+    /// initializer. This is the nnz the registry advertises to nnz-aware
+    /// cost accounting on every backend.
+    ///
+    /// `Value` and `Random` initializers are answered analytically without
+    /// materializing the data, and `Data` is scanned in place (`Random`
+    /// values are uniform in `[-1, 1)`, so they are treated as fully
+    /// dense; a stream value landing on exactly `+0.0` has probability
+    /// `2^-53` per element and would only make the accounting
+    /// infinitesimally conservative). Only `RandomSparse` generates its
+    /// stream to count the surviving entries exactly.
+    pub fn nnz_of(&self, name: &str) -> Option<u64> {
+        let spec = self.tensors.get(name)?;
+        let volume = spec.dims.iter().product::<i64>().max(1) as u64;
+        match self.init.get(name)? {
+            TensorInit::Value(v) => Some(if v.to_bits() == 0 { 0 } else { volume }),
+            TensorInit::Random(_) => Some(volume),
+            TensorInit::Data(d) => Some(d.iter().filter(|v| v.to_bits() != 0).count() as u64),
+            init @ TensorInit::RandomSparse { .. } => {
+                let data = init.materialize(&spec.dims);
+                Some(data.iter().filter(|v| v.to_bits() != 0).count() as u64)
+            }
+        }
+    }
+
+    /// Fraction of stored elements of a tensor's initial contents (`None`
+    /// when unknown or uninitialized).
+    pub fn density_of(&self, name: &str) -> Option<f64> {
+        let spec = self.tensors.get(name)?;
+        let volume = spec.dims.iter().product::<i64>().max(1) as f64;
+        Some(self.nnz_of(name)? as f64 / volume)
+    }
+
+    /// Wire-payload bytes per dense byte for a tensor: `1.0` for dense
+    /// level formats; for compressed formats, the ratio of the CSR
+    /// `pos`/`crd`/`vals` payload (at the initializer's nnz) to the flat
+    /// dense size. Tensors without an initializer (e.g. outputs)
+    /// conservatively report `1.0`.
+    pub fn payload_scale(&self, name: &str) -> f64 {
+        let Some(spec) = self.tensors.get(name) else {
+            return 1.0;
+        };
+        if !spec.format.has_compressed() {
+            return 1.0;
+        }
+        let Some(nnz) = self.nnz_of(name) else {
+            return 1.0;
+        };
+        distal_sparse::csr_payload_scale(&spec.dims, nnz)
     }
 
     /// All declared initializers.
@@ -335,6 +456,57 @@ mod tests {
         ));
         p.set_data("B", vec![1.0; 4]).unwrap();
         assert_eq!(p.initial_data("B").unwrap(), vec![1.0; 4]);
+    }
+
+    #[test]
+    fn sparse_initializers_and_nnz() {
+        let mut p = problem();
+        let f = distal_format::Format::parse_levels("xy->xy", "ds", MemKind::Sys).unwrap();
+        p.tensor(TensorSpec::new("B", vec![4, 4], f)).unwrap();
+        // Full density coincides with the dense random stream.
+        p.fill_random_sparse("B", 7, 1.0).unwrap();
+        assert_eq!(p.initial_data("B").unwrap(), random_data(16, 7));
+        assert_eq!(p.nnz_of("B"), Some(16));
+        // Zero density is all explicit zeros.
+        p.fill_random_sparse("B", 7, 0.0).unwrap();
+        assert_eq!(p.nnz_of("B"), Some(0));
+        assert_eq!(p.density_of("B"), Some(0.0));
+        // Intermediate densities thin the same value stream.
+        p.fill_random_sparse("B", 7, 0.5).unwrap();
+        let data = p.initial_data("B").unwrap();
+        let dense = random_data(16, 7);
+        let nnz = p.nnz_of("B").unwrap();
+        assert!(nnz < 16);
+        for (s, d) in data.iter().zip(dense.iter()) {
+            assert!(*s == 0.0 || s.to_bits() == d.to_bits());
+        }
+        // Bad densities are rejected.
+        assert!(p.fill_random_sparse("B", 7, 1.5).is_err());
+        assert!(matches!(
+            p.fill_random_sparse("nope", 1, 0.5),
+            Err(CompileError::UnknownTensor(_))
+        ));
+    }
+
+    #[test]
+    fn payload_scale_reflects_compression() {
+        let mut p = problem();
+        let sparse = distal_format::Format::parse_levels("xy->xy", "ds", MemKind::Sys).unwrap();
+        let dense = Format::parse("xy->xy", MemKind::Sys).unwrap();
+        p.tensor(TensorSpec::new("B", vec![8, 8], sparse)).unwrap();
+        p.tensor(TensorSpec::new("C", vec![8, 8], dense)).unwrap();
+        p.fill_random_sparse("B", 3, 0.0).unwrap();
+        p.fill_random("C", 3).unwrap();
+        // Dense formats always report flat accounting.
+        assert_eq!(p.payload_scale("C"), 1.0);
+        // Empty compressed tensor: just the pos array.
+        let pos_only = (8 + 1) * 8;
+        assert!((p.payload_scale("B") - pos_only as f64 / (64.0 * 8.0)).abs() < 1e-12);
+        // Full compressed tensor costs more than dense (crd overhead).
+        p.fill_random_sparse("B", 3, 1.0).unwrap();
+        assert!(p.payload_scale("B") > 1.0);
+        // Unknown / uninitialized tensors are conservatively flat.
+        assert_eq!(p.payload_scale("nope"), 1.0);
     }
 
     #[test]

@@ -152,16 +152,35 @@ impl Session {
         self.regions.get(name).copied()
     }
 
-    /// Seeds a tensor with row-major data (functional mode).
+    /// Seeds a tensor with row-major data (functional mode). For tensors
+    /// registered with a compressed level format, the explicit zeros in
+    /// `data` are the density knob: the region's wire-payload accounting
+    /// is set from the data's nnz so copies charge `pos`/`crd`/`vals`
+    /// bytes instead of dense volume.
     ///
     /// # Errors
     ///
     /// Unknown tensors and size mismatches.
     pub fn set_data(&mut self, name: &str, data: Vec<f64>) -> Result<(), CompileError> {
         let region = self.require(name)?;
+        self.update_payload_scale(name, region, &data);
         self.runtime
             .set_region_data(region, data)
             .map_err(|e| CompileError::Session(e.to_string()))
+    }
+
+    /// Sets a compressed-format tensor's region payload scale from the
+    /// actual nnz of `data`; dense formats keep flat accounting.
+    fn update_payload_scale(&mut self, name: &str, region: RegionId, data: &[f64]) {
+        let Some(spec) = self.problem.tensor_spec(name) else {
+            return;
+        };
+        if !spec.format.has_compressed() {
+            return;
+        }
+        let nnz = data.iter().filter(|v| v.to_bits() != 0).count() as u64;
+        let scale = distal_sparse::csr_payload_scale(&spec.dims, nnz);
+        self.runtime.set_region_payload_scale(region, scale);
     }
 
     /// Fills a tensor with a constant (both modes).
@@ -193,6 +212,53 @@ impl Session {
                 .set_region_data(region, data)
                 .map_err(|e| CompileError::Session(e.to_string()))
         } else {
+            self.runtime
+                .fill_region(region, 0.0)
+                .map_err(|e| CompileError::Session(e.to_string()))
+        }
+    }
+
+    /// Fills a tensor with deterministic pseudo-random values thinned to
+    /// `density` (the density knob of [`Session::fill_random`]; see
+    /// [`crate::problem::sparse_random_data`]). Functional mode seeds the
+    /// data (and, for compressed formats, the nnz-derived payload
+    /// accounting); model mode marks the region valid.
+    ///
+    /// # Errors
+    ///
+    /// Unknown tensor names and densities outside `[0, 1]`.
+    pub fn fill_random_sparse(
+        &mut self,
+        name: &str,
+        seed: u64,
+        density: f64,
+    ) -> Result<(), CompileError> {
+        let region = self.require(name)?;
+        if !(0.0..=1.0).contains(&density) {
+            return Err(CompileError::Session(format!(
+                "density must be in [0, 1], got {density}"
+            )));
+        }
+        if self.runtime.mode() == Mode::Functional {
+            let dims = &self.problem.tensor_spec(name).expect("required above").dims;
+            let n = dims.iter().product::<i64>().max(1) as usize;
+            let data = crate::problem::sparse_random_data(n, seed, density);
+            self.update_payload_scale(name, region, &data);
+            self.runtime
+                .set_region_data(region, data)
+                .map_err(|e| CompileError::Session(e.to_string()))
+        } else {
+            // Model mode holds no data, but the *accounting* must still be
+            // nnz-aware: derive the payload scale analytically from the
+            // expected nnz at this density, so modeled copy bytes/timing
+            // see the compression.
+            let spec = self.problem.tensor_spec(name).expect("required above");
+            if spec.format.has_compressed() {
+                let volume = spec.dims.iter().product::<i64>().max(1) as f64;
+                let nnz = (volume * density).round() as u64;
+                let scale = distal_sparse::csr_payload_scale(&spec.dims, nnz);
+                self.runtime.set_region_payload_scale(region, scale);
+            }
             self.runtime
                 .fill_region(region, 0.0)
                 .map_err(|e| CompileError::Session(e.to_string()))

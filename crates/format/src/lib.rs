@@ -42,5 +42,5 @@ pub mod lower;
 pub mod notation;
 pub mod semantics;
 
-pub use format::Format;
+pub use format::{Format, LevelFormat};
 pub use notation::{DimName, NotationError, PartitionKind, TensorDistribution};

@@ -273,11 +273,19 @@ impl Runtime {
             id,
             name: name.into(),
             rect,
+            payload_scale: 1.0,
         });
         self.store.by_region.push(Vec::new());
         self.store.reductions_by_region.push(Vec::new());
         self.store.scratch_gen.push(0);
         id
+    }
+
+    /// Sets a region's wire-payload scale (compressed-format byte
+    /// accounting; see [`LogicalRegion::payload_scale`]). Values are
+    /// clamped to be positive; `1.0` restores flat dense accounting.
+    pub fn set_region_payload_scale(&mut self, region: RegionId, scale: f64) {
+        self.store.regions[region.0 as usize].payload_scale = scale.max(f64::MIN_POSITIVE);
     }
 
     /// Seeds a region with row-major data in the staging memory

@@ -618,7 +618,7 @@ impl<'a> GraphBuilder<'a> {
         }
         for piece in resolved {
             let src = self.select_source(region, &piece, dest)?;
-            let bytes = piece.volume() as u64 * ELEM_BYTES;
+            let bytes = self.store.region(region).payload_bytes(piece.volume());
             let (src_mem, dst_mem) = (self.store.instance(src).mem, mem);
             let class = self.machine.channel_class(src_mem, dst_mem);
             let duration = self.machine.copy_time_s(src_mem, dst_mem, bytes);
@@ -722,6 +722,9 @@ impl<'a> GraphBuilder<'a> {
             if inter.is_empty() {
                 continue;
             }
+            // Reduction payloads are partial sums — generally dense even
+            // when the tensor's at-rest format is compressed — so they
+            // keep flat dense accounting.
             let bytes = inter.volume() as u64 * ELEM_BYTES;
             let src_mem = self.store.instance(rid).mem;
             let dst_mem = self.store.instance(dest).mem;

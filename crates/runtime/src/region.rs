@@ -39,6 +39,14 @@ pub struct LogicalRegion {
     pub name: String,
     /// The region's index space.
     pub rect: Rect,
+    /// Wire-payload bytes per dense byte moved out of this region
+    /// (`1.0` = flat dense data). Tensors stored in a compressed level
+    /// format ship `pos`/`crd`/`vals` payloads instead of dense tiles;
+    /// the owning session sets this to `payload / dense` so copy byte
+    /// accounting (and model-mode copy timing) charges nnz-sized
+    /// transfers. Functional buffers stay dense either way — only the
+    /// communication accounting is scaled.
+    pub payload_scale: f64,
 }
 
 pub use distal_machine::ELEM_BYTES;
@@ -47,6 +55,17 @@ impl LogicalRegion {
     /// Size of the full region in bytes.
     pub fn bytes(&self) -> u64 {
         self.rect.volume() as u64 * ELEM_BYTES
+    }
+
+    /// Wire bytes of moving `volume` elements of this region: dense bytes
+    /// scaled by [`LogicalRegion::payload_scale`], rounded up.
+    pub fn payload_bytes(&self, volume: i64) -> u64 {
+        let dense = volume.max(0) as u64 * ELEM_BYTES;
+        if self.payload_scale == 1.0 {
+            dense
+        } else {
+            (dense as f64 * self.payload_scale).ceil() as u64
+        }
     }
 }
 

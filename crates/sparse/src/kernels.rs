@@ -1,0 +1,353 @@
+//! Sparse leaf kernels: SpMV, SpMM, and SDDMM over [`SparseBuffer`]s.
+//!
+//! Two surfaces:
+//!
+//! * pure functions ([`spmv`], [`spmm`], [`sddmm`]) over whole buffers —
+//!   the reference kernels used by tests and benches;
+//! * [`distal_runtime::kernel::Kernel`] implementations ([`SpmvLeaf`],
+//!   [`SpmmLeaf`], [`SddmmLeaf`]) that the compiler substitutes at leaves
+//!   whose first input operand is compressed. Each builds a CSR view of
+//!   the compressed operand's *tile* (the task's bounds box) and then
+//!   iterates only the stored coordinates.
+//!
+//! # Bit-parity with the dense leaves
+//!
+//! All three kernels preserve the dense kernels' loop order and product
+//! association exactly, and differ only in *skipping* iteration points
+//! where the compressed operand holds an exact `+0.0`. For finite data
+//! whose nonzero products do not underflow to zero, the skipped terms
+//! contribute only `±0.0` additions, which never change an accumulator
+//! that starts at `+0.0` and otherwise receives nonzero terms — so sparse
+//! and dense executions of the same data are bit-identical. This is
+//! asserted across backends in the workspace's `backend_parity` suite.
+
+use crate::buffer::SparseBuffer;
+use distal_runtime::kernel::{Kernel, KernelArg, KernelCtx};
+
+/// `y(i) += Σ_j B(i,j) · x(j)` iterating only B's stored entries.
+pub fn spmv(y: &mut [f64], b: &SparseBuffer, x: &[f64]) {
+    for (r, y_r) in y.iter_mut().enumerate().take(b.rows()) {
+        let (lo, hi) = b.row_range(r);
+        for e in lo..hi {
+            *y_r += b.vals[e] * x[b.crd[e] as usize];
+        }
+    }
+}
+
+/// `A(i,j) += Σ_k B(i,k) · C(k,j)` (row-major `C` with `n_cols` columns),
+/// iterating only B's stored entries. Loop order `(i, stored k, j)`
+/// mirrors the dense blocked GEMM leaf.
+pub fn spmm(a: &mut [f64], b: &SparseBuffer, c: &[f64], n_cols: usize) {
+    for i in 0..b.rows() {
+        let (lo, hi) = b.row_range(i);
+        for e in lo..hi {
+            let bv = b.vals[e];
+            let k = b.crd[e] as usize;
+            let a_row = i * n_cols;
+            let c_row = k * n_cols;
+            for j in 0..n_cols {
+                a[a_row + j] += bv * c[c_row + j];
+            }
+        }
+    }
+}
+
+/// `A(i,j) += Σ_k (B(i,j) · C(i,k)) · D(k,j)` iterating only B's stored
+/// `(i,j)` entries (`C` is `rows × k_extent`, `D` is `k_extent × n_cols`
+/// where `n_cols` is B's inner extent). The product associates left, like
+/// the dense interpreter's parse tree.
+pub fn sddmm(a: &mut [f64], b: &SparseBuffer, c: &[f64], d: &[f64], k_extent: usize) {
+    let n_cols = b.inner_extent() as usize;
+    for i in 0..b.rows() {
+        let (lo, hi) = b.row_range(i);
+        for e in lo..hi {
+            let bv = b.vals[e];
+            let j = b.crd[e] as usize;
+            for k in 0..k_extent {
+                a[i * n_cols + j] += (bv * c[i * k_extent + k]) * d[k * n_cols + j];
+            }
+        }
+    }
+}
+
+/// Builds a CSR view of a 2-D kernel argument's tile
+/// `[ilo..=ihi] × [jlo..=jhi]` (coordinates relative to the tile origin).
+fn tile2(arg: &KernelArg, ilo: i64, ihi: i64, jlo: i64, jhi: i64) -> SparseBuffer {
+    let (ni, nj) = (ihi - ilo + 1, jhi - jlo + 1);
+    let mut data = Vec::with_capacity((ni * nj) as usize);
+    for i in ilo..=ihi {
+        for j in jlo..=jhi {
+            data.push(arg.at(&[i, j]));
+        }
+    }
+    SparseBuffer::from_dense(&[ni, nj], &data)
+}
+
+/// Sparse SpMV leaf for `a(i) = B(i,j) * c(j)` with B compressed.
+///
+/// Task scalars carry `[ilo, ihi, jlo, jhi]` (`all_vars` order `[i, j]`);
+/// args are `[a, B, c]`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpmvLeaf;
+
+impl Kernel for SpmvLeaf {
+    fn name(&self) -> &str {
+        "spmv"
+    }
+
+    fn execute(&self, ctx: &mut KernelCtx) {
+        let s = &ctx.scalars;
+        assert_eq!(s.len(), 4, "spmv bounds mismatch");
+        let (ilo, ihi, jlo, jhi) = (s[0], s[1], s[2], s[3]);
+        if ihi < ilo || jhi < jlo {
+            return;
+        }
+        let b = tile2(&ctx.args[1], ilo, ihi, jlo, jhi);
+        for r in 0..b.rows() {
+            let i = ilo + r as i64;
+            let (lo, hi) = b.row_range(r);
+            for e in lo..hi {
+                let j = jlo + b.crd[e];
+                let v = b.vals[e] * ctx.args[2].at(&[j]);
+                ctx.args[0].add(&[i], v);
+            }
+        }
+    }
+}
+
+/// Sparse SpMM leaf for matmul-shaped statements
+/// `A(i,j) = B(i,k) * C(k,j)` with B compressed.
+///
+/// Task scalars carry `[ilo, ihi, jlo, jhi, klo, khi]` (`all_vars` order
+/// `[i, j, k]`, same as the dense GEMM leaf); args are `[A, B, C]`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpmmLeaf;
+
+impl Kernel for SpmmLeaf {
+    fn name(&self) -> &str {
+        "spmm"
+    }
+
+    fn execute(&self, ctx: &mut KernelCtx) {
+        let s = &ctx.scalars;
+        assert_eq!(s.len(), 6, "spmm bounds mismatch");
+        let (ilo, ihi, jlo, jhi, klo, khi) = (s[0], s[1], s[2], s[3], s[4], s[5]);
+        if ihi < ilo || jhi < jlo || khi < klo {
+            return;
+        }
+        let b = tile2(&ctx.args[1], ilo, ihi, klo, khi);
+        for r in 0..b.rows() {
+            let i = ilo + r as i64;
+            let (lo, hi) = b.row_range(r);
+            for e in lo..hi {
+                let bv = b.vals[e];
+                let k = klo + b.crd[e];
+                for j in jlo..=jhi {
+                    let cv = ctx.args[2].at(&[k, j]);
+                    ctx.args[0].add(&[i, j], bv * cv);
+                }
+            }
+        }
+    }
+}
+
+/// Sparse SDDMM leaf for `A(i,j) = B(i,j) * C(i,k) * D(k,j)` with B
+/// compressed (the sampled dense-dense matrix multiply).
+///
+/// Task scalars carry `[ilo, ihi, jlo, jhi, klo, khi]` (`all_vars` order
+/// `[i, j, k]`); args are `[A, B, C, D]`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SddmmLeaf;
+
+impl Kernel for SddmmLeaf {
+    fn name(&self) -> &str {
+        "sddmm"
+    }
+
+    fn execute(&self, ctx: &mut KernelCtx) {
+        let s = &ctx.scalars;
+        assert_eq!(s.len(), 6, "sddmm bounds mismatch");
+        let (ilo, ihi, jlo, jhi, klo, khi) = (s[0], s[1], s[2], s[3], s[4], s[5]);
+        if ihi < ilo || jhi < jlo || khi < klo {
+            return;
+        }
+        let b = tile2(&ctx.args[1], ilo, ihi, jlo, jhi);
+        for r in 0..b.rows() {
+            let i = ilo + r as i64;
+            let (lo, hi) = b.row_range(r);
+            for e in lo..hi {
+                let bv = b.vals[e];
+                let j = jlo + b.crd[e];
+                for k in klo..=khi {
+                    let v = (bv * ctx.args[2].at(&[i, k])) * ctx.args[3].at(&[k, j]);
+                    ctx.args[0].add(&[i, j], v);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distal_machine::geom::{Point, Rect};
+    use distal_runtime::program::Privilege;
+
+    fn arg(rect: Rect, data: Vec<f64>) -> KernelArg {
+        KernelArg {
+            privilege: Privilege::ReadWrite,
+            rect: rect.clone(),
+            alloc: rect,
+            data,
+        }
+    }
+
+    /// Deterministic data with explicit zeros at the given density.
+    fn sparse_data(n: usize, seed: u64, density: f64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| {
+                let keep = next() < density;
+                let v = next() * 2.0 - 1.0;
+                if keep {
+                    v
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let (m, n) = (7, 9);
+        let b_dense = sparse_data(m * n, 3, 0.3);
+        let x = sparse_data(n, 5, 1.0);
+        let b = SparseBuffer::from_dense(&[m as i64, n as i64], &b_dense);
+        let mut y = vec![0.0; m];
+        spmv(&mut y, &b, &x);
+        for i in 0..m {
+            let mut want = 0.0;
+            for j in 0..n {
+                let v = b_dense[i * n + j];
+                if v != 0.0 {
+                    want += v * x[j];
+                }
+            }
+            assert_eq!(y[i].to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn spmm_matches_dense_gemm_order() {
+        let n = 6;
+        let b_dense = sparse_data(n * n, 7, 0.4);
+        let c = sparse_data(n * n, 11, 1.0);
+        let b = SparseBuffer::from_dense(&[n as i64, n as i64], &b_dense);
+        let mut a = vec![0.0; n * n];
+        spmm(&mut a, &b, &c, n);
+        // Dense GEMM in (i, k, j) order, skipping nothing.
+        let mut want = vec![0.0; n * n];
+        for i in 0..n {
+            for k in 0..n {
+                let bv = b_dense[i * n + k];
+                for j in 0..n {
+                    want[i * n + j] += bv * c[k * n + j];
+                }
+            }
+        }
+        for (g, w) in a.iter().zip(want.iter()) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn sddmm_matches_dense_interpreter_order() {
+        let (m, n, kk) = (4, 5, 3);
+        let b_dense = sparse_data(m * n, 13, 0.5);
+        let c = sparse_data(m * kk, 17, 1.0);
+        let d = sparse_data(kk * n, 19, 1.0);
+        let b = SparseBuffer::from_dense(&[m as i64, n as i64], &b_dense);
+        let mut a = vec![0.0; m * n];
+        sddmm(&mut a, &b, &c, &d, kk);
+        let mut want = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for k in 0..kk {
+                    want[i * n + j] += (b_dense[i * n + j] * c[i * kk + k]) * d[k * n + j];
+                }
+            }
+        }
+        for (g, w) in a.iter().zip(want.iter()) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn spmm_leaf_partial_bounds() {
+        // Only the [1,2]x[1,2]x[0,2] sub-block, like the dense leaf test.
+        let sq = Rect::sized(&[4, 4]);
+        let mut b_data = vec![1.0; 16];
+        b_data[5] = 0.0; // (1,1) pruned from the sparse iteration
+        let mut ctx = KernelCtx {
+            args: vec![
+                arg(sq.clone(), vec![0.0; 16]),
+                arg(sq.clone(), b_data),
+                arg(sq, vec![1.0; 16]),
+            ],
+            point: Point::zeros(2),
+            scalars: vec![1, 2, 1, 2, 0, 2],
+        };
+        SpmmLeaf.execute(&mut ctx);
+        let a = &ctx.args[0].data;
+        assert_eq!(a[5], 2.0); // (1,1): k=0..2 minus the pruned (1,1) entry
+        assert_eq!(a[10], 3.0); // (2,2): all three k
+        assert_eq!(a[0], 0.0); // outside bounds untouched
+    }
+
+    #[test]
+    fn spmv_leaf_accumulates_rows() {
+        let mat = Rect::sized(&[3, 4]);
+        let vec4 = Rect::sized(&[4]);
+        let vec3 = Rect::sized(&[3]);
+        #[rustfmt::skip]
+        let b = vec![
+            1.0, 0.0, 0.0, 2.0,
+            0.0, 0.0, 0.0, 0.0,
+            0.0, 3.0, 0.0, 0.0,
+        ];
+        let mut ctx = KernelCtx {
+            args: vec![
+                arg(vec3, vec![0.0; 3]),
+                arg(mat, b),
+                arg(vec4, vec![1.0, 10.0, 100.0, 1000.0]),
+            ],
+            point: Point::zeros(1),
+            scalars: vec![0, 2, 0, 3],
+        };
+        SpmvLeaf.execute(&mut ctx);
+        assert_eq!(ctx.args[0].data, vec![2001.0, 0.0, 30.0]);
+    }
+
+    #[test]
+    fn empty_bounds_are_noops() {
+        let sq = Rect::sized(&[2, 2]);
+        let mut ctx = KernelCtx {
+            args: vec![
+                arg(sq.clone(), vec![0.0; 4]),
+                arg(sq.clone(), vec![1.0; 4]),
+                arg(sq, vec![1.0; 4]),
+            ],
+            point: Point::zeros(2),
+            scalars: vec![0, 1, 0, 1, 1, 0],
+        };
+        SpmmLeaf.execute(&mut ctx);
+        assert_eq!(ctx.args[0].data, vec![0.0; 4]);
+    }
+}

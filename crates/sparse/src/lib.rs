@@ -1,0 +1,35 @@
+//! Compressed tensor storage and sparse leaf kernels (the SpDISTAL layer).
+//!
+//! DISTAL's sequel, *SpDISTAL: Compiling Distributed Sparse Tensor
+//! Computations* (Yadav et al.), distributes sparse tensors through the
+//! same scheduling and distribution language as the dense compiler; the
+//! per-dimension level-format interface follows *Format Abstraction for
+//! Sparse Tensor Algebra Compilers* (Chou et al.). This crate supplies the
+//! storage half of that design for the rest of the workspace:
+//!
+//! * [`SparseBuffer`] — a CSR-style compressed buffer (`pos`/`crd`/`vals`
+//!   arrays over the innermost dimension) with lossless dense↔sparse
+//!   conversion and exact payload-byte accounting;
+//! * [`kernels`] — sparse leaf kernels for SpMV, SpMM, and SDDMM, both as
+//!   pure functions over [`SparseBuffer`]s and as
+//!   [`distal_runtime::kernel::Kernel`] implementations the compiler
+//!   substitutes at leaves whose operands are compressed. The kernels
+//!   iterate only stored coordinates and are bit-identical to the dense
+//!   leaves on the same data (skipped entries are exact zeros, whose
+//!   products contribute `±0.0` that never changes an accumulator that is
+//!   itself never `-0.0`);
+//! * payload-size helpers ([`csr_payload_bytes`],
+//!   [`estimated_payload_bytes`]) shared by the runtime's copy accounting
+//!   and the SPMD backend's nnz-sized messages.
+
+pub mod buffer;
+pub mod kernels;
+
+pub use buffer::{csr_payload_bytes, csr_payload_scale, estimated_payload_bytes, SparseBuffer};
+pub use kernels::{SddmmLeaf, SpmmLeaf, SpmvLeaf};
+
+/// Bytes of one `pos` array entry (row offsets, `u64`-sized on the wire).
+pub const POS_BYTES: u64 = 8;
+
+/// Bytes of one `crd` array entry (stored coordinates, `i64`-sized).
+pub const CRD_BYTES: u64 = 8;

@@ -42,12 +42,18 @@ use distal_core::{Problem, Provenance, Report, RuntimeBackend, Schedule, TensorI
 use distal_ir::expr::Assignment;
 use std::collections::BTreeMap;
 
-/// Derives the SPMD tensor descriptions from a problem's registry.
+/// Derives the SPMD tensor descriptions from a problem's registry,
+/// including each initialized tensor's nnz (the input to nnz-sized
+/// message accounting for compressed level formats).
 pub fn problem_tensors(problem: &Problem) -> Vec<SpmdTensor> {
     problem
         .tensors()
         .values()
-        .map(|s| SpmdTensor::new(s.name.clone(), s.dims.clone(), s.format.clone()))
+        .map(|s| {
+            let mut t = SpmdTensor::new(s.name.clone(), s.dims.clone(), s.format.clone());
+            t.nnz = problem.nnz_of(&s.name);
+            t
+        })
         .collect()
 }
 
@@ -121,16 +127,25 @@ fn count_tasks(program: &SpmdProgram) -> u64 {
         .count() as u64
 }
 
-/// A report for a lowered program: exact static message/byte counts plus
-/// the α-β critical path.
+/// A report for a lowered program: message/byte counts (the static
+/// nnz-density estimate, unless the caller supplies the executed exact
+/// statistics) plus the α-β critical path.
 fn program_report(
     backend: &str,
     provenance: Provenance,
     program: &SpmdProgram,
     model: &AlphaBeta,
     peak_bytes: u64,
+    stats: Option<&crate::stats::CommStats>,
 ) -> Report {
-    let stats = program.stats();
+    let static_stats;
+    let stats = match stats {
+        Some(s) => s,
+        None => {
+            static_stats = program.stats();
+            &static_stats
+        }
+    };
     let cost = program.cost(model);
     Report {
         backend: backend.into(),
@@ -262,16 +277,18 @@ impl Artifact for SpmdArtifact {
         let peak = result.peak_scratch_bytes;
         self.result = Some(result);
         // Bytes, messages, flops, and the numerics behind `read` are
-        // exact properties of the executed program, but the headline
-        // `critical_path_s` comes from the α-β model — report the phase
-        // as modeled so timing consumers don't mistake it for a
-        // measurement.
+        // exact properties of the executed program — compressed operand
+        // tiles are charged their actual per-tile pos/crd/vals payloads —
+        // but the headline `critical_path_s` comes from the α-β model, so
+        // the phase reports as modeled to keep timing consumers honest.
+        let exact = self.result.as_ref().map(|r| &r.stats);
         Ok(program_report(
             "spmd",
             Provenance::Modeled,
             &self.program,
             &self.model,
             peak,
+            exact,
         ))
     }
 
@@ -418,6 +435,7 @@ impl Artifact for CostArtifact {
                 program,
                 model,
                 0,
+                None,
             )),
         }
     }

@@ -30,25 +30,75 @@ use distal_machine::grid::Grid;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-/// A tensor visible to the SPMD backend: name, shape, and format.
+/// A tensor visible to the SPMD backend: name, shape, format, and (for
+/// compressed level formats) the stored-entry count driving nnz-sized
+/// message accounting.
 #[derive(Clone, Debug)]
 pub struct SpmdTensor {
     /// Name used in expressions.
     pub name: String,
     /// Dimension sizes.
     pub dims: Vec<i64>,
-    /// Distribution (single-level) + memory kind.
+    /// Distribution (single-level) + level formats + memory kind.
     pub format: Format,
+    /// Stored entries of the tensor's data, when known (set by
+    /// `lower_problem` from the problem's initializer). `None` means
+    /// "assume dense" — compressed formats then price messages at full
+    /// volume plus compression overhead.
+    pub nnz: Option<u64>,
 }
 
 impl SpmdTensor {
-    /// Creates a tensor description.
+    /// Creates a tensor description (nnz unknown).
     pub fn new(name: impl Into<String>, dims: Vec<i64>, format: Format) -> Self {
         SpmdTensor {
             name: name.into(),
             dims,
             format,
+            nnz: None,
         }
+    }
+
+    /// Attaches the stored-entry count of the tensor's data.
+    #[must_use]
+    pub fn with_nnz(mut self, nnz: u64) -> Self {
+        self.nnz = Some(nnz);
+        self
+    }
+}
+
+/// Per-tensor sparsity metadata carried by a lowered [`SpmdProgram`]:
+/// what the static message-byte and cost accounting needs to price
+/// compressed operand tiles by nnz instead of dense volume.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TensorSparsity {
+    /// True when the tensor's format carries a compressed level.
+    pub compressed: bool,
+    /// Stored entries (= volume when unknown or dense).
+    pub nnz: u64,
+    /// Dense element count.
+    pub volume: u64,
+    /// Extent of the innermost (compressed) dimension.
+    pub inner: u64,
+}
+
+impl TensorSparsity {
+    /// Fraction of stored entries.
+    pub fn density(&self) -> f64 {
+        if self.volume == 0 {
+            return 1.0;
+        }
+        self.nnz as f64 / self.volume as f64
+    }
+}
+
+fn sparsity_of(tensor: &SpmdTensor) -> TensorSparsity {
+    let volume = tensor.dims.iter().product::<i64>().max(1) as u64;
+    TensorSparsity {
+        compressed: tensor.format.has_compressed(),
+        nnz: tensor.nnz.unwrap_or(volume).min(volume),
+        volume,
+        inner: tensor.dims.last().copied().unwrap_or(1).max(1) as u64,
     }
 }
 
@@ -116,8 +166,17 @@ fn ownership(tensor: &SpmdTensor, grid: &Grid) -> Result<Ownership, SpmdError> {
     }
     if tensor.format.distributions.len() != 1 {
         return Err(SpmdError::Unsupported(format!(
-            "tensor '{}' has a hierarchical format; the SPMD backend targets flat machines",
-            tensor.name
+            "tensor '{}' has a hierarchical format with {} levels ({}); \
+             the SPMD backend targets flat machines",
+            tensor.name,
+            tensor.format.distributions.len(),
+            tensor
+                .format
+                .distributions
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
         )));
     }
     let dist = &tensor.format.distributions[0];
@@ -478,6 +537,10 @@ pub fn lower_with(
         }
     }
 
+    let sparsity: BTreeMap<String, TensorSparsity> = dims_map
+        .keys()
+        .map(|n| (n.clone(), sparsity_of(by_name[n.as_str()])))
+        .collect();
     let mut program = SpmdProgram {
         assignment: assignment.clone(),
         grid: grid.clone(),
@@ -490,6 +553,7 @@ pub fn lower_with(
         total_flops,
         dist_reduces,
         collectives: Vec::new(),
+        sparsity,
     };
     collective::apply(&mut program, collectives);
     Ok(program)
@@ -541,6 +605,30 @@ mod tests {
         // A is stationary (communicate(A, jo)): no messages carry A.
         assert!(p.messages().iter().all(|m| m.tensor != "A"));
         assert!((p.total_flops - 2.0 * 8.0f64.powi(3)).abs() < 1.0);
+    }
+
+    #[test]
+    fn hierarchical_format_rejected_with_tensor_and_format() {
+        let a = Assignment::parse("A(i,j) = B(i,k) * C(k,j)").unwrap();
+        let mut tensors = tiled_tensors(8);
+        tensors[1].format = Format::hierarchical(
+            vec![
+                distal_format::TensorDistribution::parse("xy->xy").unwrap(),
+                distal_format::TensorDistribution::parse("xy->x").unwrap(),
+            ],
+            MemKind::Sys,
+        );
+        let err = lower(&a, &tensors, &Grid::grid2(2, 2), &Schedule::summa(2, 2, 4)).unwrap_err();
+        let SpmdError::Unsupported(msg) = &err else {
+            panic!("expected Unsupported, got {err:?}");
+        };
+        // The diagnostic names the offending tensor AND its format.
+        assert!(msg.contains("'B'"), "missing tensor name: {msg}");
+        assert!(msg.contains("2 levels"), "missing level count: {msg}");
+        assert!(
+            msg.contains("xy ↦ xy") && msg.contains("xy ↦ x"),
+            "missing offending distributions: {msg}"
+        );
     }
 
     #[test]

@@ -2,14 +2,35 @@
 
 use crate::collective::Collective;
 use crate::cost::{AlphaBeta, CostReport};
-use crate::lower::{Ownership, SpmdError, SpmdTensor};
+use crate::lower::{Ownership, SpmdError, SpmdTensor, TensorSparsity};
 use crate::ops::{Message, SpmdOp};
 use crate::stats::CommStats;
 use crate::vm::{Buf, RankStore};
-use distal_ir::expr::{Assignment, IndexVar};
+use distal_ir::expr::{Assignment, Expr, IndexVar};
 use distal_machine::geom::{Point, Rect, RectSet};
 use distal_machine::grid::Grid;
+use distal_sparse::csr_payload_bytes;
 use std::collections::BTreeMap;
+
+/// Extent of a rectangle's innermost dimension (1 for order-0 rects).
+fn rect_inner_extent(rect: &Rect) -> u64 {
+    if rect.dim() == 0 {
+        1
+    } else {
+        rect.extent(rect.dim() - 1).max(1) as u64
+    }
+}
+
+/// True for expressions that are pure products of accesses/literals — the
+/// precondition for pruning iteration points where a compressed operand
+/// stores no entry (a zero factor annihilates the whole term).
+fn is_pure_product(e: &Expr) -> bool {
+    match e {
+        Expr::Access(_) | Expr::Literal(_) => true,
+        Expr::Mul(l, r) => is_pure_product(l) && is_pure_product(r),
+        Expr::Add(_, _) => false,
+    }
+}
 
 /// A fully lowered SPMD program: per-rank operation lists plus the global
 /// execution order and the metadata needed to run and analyze it.
@@ -38,6 +59,9 @@ pub struct SpmdProgram {
     /// Collectives recognized and lowered into the message schedule
     /// (empty for point-to-point programs).
     pub collectives: Vec<Collective>,
+    /// Per-tensor sparsity metadata (level-format compression + nnz),
+    /// driving nnz-sized message accounting and the α-β cost model.
+    pub sparsity: BTreeMap<String, TensorSparsity>,
 }
 
 /// The result of executing an SPMD program.
@@ -74,9 +98,35 @@ impl SpmdProgram {
             .collect()
     }
 
-    /// Communication statistics of the static program.
+    /// Wire bytes of one message. Tiles of compressed *operand* tensors
+    /// ship CSR `pos`/`crd`/`vals` payloads sized by the tensor's global
+    /// density (the static estimate; [`SpmdProgram::execute`] refines it
+    /// to the exact per-tile nnz). Output-tensor messages are partial
+    /// sums — dense regardless of the output's at-rest format — and
+    /// dense tensors ship flat tiles.
+    pub fn message_bytes(&self, m: &Message) -> u64 {
+        if m.tensor == self.assignment.lhs.tensor {
+            return m.bytes();
+        }
+        match self.sparsity.get(&m.tensor) {
+            Some(s) if s.compressed => {
+                let volume = m.rect.volume().max(0) as u64;
+                let rows = volume / rect_inner_extent(&m.rect);
+                distal_sparse::estimated_payload_bytes(volume, rows, s.density())
+            }
+            _ => m.bytes(),
+        }
+    }
+
+    /// Communication statistics of the static program (nnz-sized bytes
+    /// for compressed operand tiles; see [`SpmdProgram::message_bytes`]).
     pub fn stats(&self) -> CommStats {
-        CommStats::from_messages(&self.grid, self.ranks(), &self.messages())
+        let weighted: Vec<(&Message, u64)> = self
+            .messages()
+            .into_iter()
+            .map(|m| (m, self.message_bytes(m)))
+            .collect();
+        CommStats::from_weighted(&self.grid, self.ranks(), &weighted)
     }
 
     /// Prices the program under an α-β model (per-rank timeline and
@@ -163,15 +213,30 @@ impl SpmdProgram {
             }
         }
 
+        // Compressed pure-product operands let the leaf skip iteration
+        // points where they store no entry; see `compute`.
+        let pure_product = is_pure_product(&self.assignment.rhs);
+        let skip_mask: Vec<bool> = self
+            .assignment
+            .input_accesses()
+            .iter()
+            .map(|acc| pure_product && self.sparsity.get(&acc.tensor).is_some_and(|s| s.compressed))
+            .collect();
+
         // Execute in global (tag) order. Payloads are snapshotted at send
-        // time; `pending` carries them to the matching receive.
+        // time; `pending` carries them to the matching receive. For
+        // compressed operand tensors the executed statistics charge each
+        // message its *actual* CSR payload (pos + per-stored-entry
+        // crd/vals), refining the static density estimate.
         let mut pending: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
         let mut peak_scratch = 0u64;
+        let mut sent: Vec<(Message, u64)> = Vec::new();
         for (rank, op) in &self.global {
             let rank = *rank;
             match op {
                 SpmdOp::Send(m) | SpmdOp::ReduceSend(m) => {
                     let payload = self.read_payload(&stores[rank], m, out_name)?;
+                    sent.push((m.clone(), self.exact_message_bytes(m, &payload)));
                     pending.insert(m.tag, payload);
                 }
                 SpmdOp::Recv(m) | SpmdOp::ReduceRecv(m) => {
@@ -190,7 +255,7 @@ impl SpmdProgram {
                     }
                 }
                 SpmdOp::Compute { bounds, .. } => {
-                    self.compute(&mut stores[rank], bounds)?;
+                    self.compute(&mut stores[rank], bounds, &skip_mask)?;
                     peak_scratch = peak_scratch.max(stores[rank].scratch_bytes());
                 }
                 SpmdOp::RetireScratch { keep } => {
@@ -221,11 +286,30 @@ impl SpmdProgram {
             }
         }
 
+        let weighted: Vec<(&Message, u64)> = sent.iter().map(|(m, b)| (m, *b)).collect();
         Ok(SpmdResult {
             output,
-            stats: self.stats(),
+            stats: CommStats::from_weighted(&self.grid, ranks, &weighted),
             peak_scratch_bytes: peak_scratch,
         })
+    }
+
+    /// Exact wire bytes of a message given its snapshotted payload:
+    /// compressed operand tiles ship `pos` plus `(crd, val)` per stored
+    /// entry; everything else (dense tensors, output partial sums) ships
+    /// flat.
+    fn exact_message_bytes(&self, m: &Message, payload: &[f64]) -> u64 {
+        if m.tensor == self.assignment.lhs.tensor {
+            return m.bytes();
+        }
+        match self.sparsity.get(&m.tensor) {
+            Some(s) if s.compressed => {
+                let rows = payload.len() as u64 / rect_inner_extent(&m.rect).max(1);
+                let nnz = payload.iter().filter(|v| v.to_bits() != 0).count() as u64;
+                csr_payload_bytes(rows, nnz)
+            }
+            _ => m.bytes(),
+        }
     }
 
     /// Reads a message payload from the sender's store: output-tensor
@@ -254,7 +338,20 @@ impl SpmdProgram {
     /// Runs the leaf kernel over the iteration sub-box `bounds` (inclusive
     /// per-variable), reading inputs from the store and accumulating into
     /// the output accumulator.
-    fn compute(&self, store: &mut RankStore, bounds: &[(i64, i64)]) -> Result<(), SpmdError> {
+    ///
+    /// `skip_mask` flags input accesses (in `input_accesses` order) whose
+    /// tensor is compressed within a pure-product statement: points where
+    /// such an operand holds an exact `+0.0` accumulate nothing — the
+    /// sparse-leaf semantics of computing only over stored coordinates.
+    /// Skipping is bit-identical to the dense accumulation of the same
+    /// data because the skipped terms are `±0.0` products that never
+    /// change an accumulator which itself is never `-0.0`.
+    fn compute(
+        &self,
+        store: &mut RankStore,
+        bounds: &[(i64, i64)],
+        skip_mask: &[bool],
+    ) -> Result<(), SpmdError> {
         let a = &self.assignment;
         let inputs = a.input_accesses();
         // Output accumulator covering this block's output rectangle.
@@ -284,10 +381,16 @@ impl SpmdProgram {
                     ))
                 })?);
             }
-            let mut it = vals.iter().copied();
-            let v = a.rhs.eval(&mut it);
-            let out_p = Point::new(a.lhs.indices.iter().map(|v| idx[var_pos[v]]).collect());
-            store.acc_buf(&out_rect).add(&out_p, v);
+            let pruned = vals
+                .iter()
+                .zip(skip_mask.iter())
+                .any(|(v, skip)| *skip && v.to_bits() == 0);
+            if !pruned {
+                let mut it = vals.iter().copied();
+                let v = a.rhs.eval(&mut it);
+                let out_p = Point::new(a.lhs.indices.iter().map(|v| idx[var_pos[v]]).collect());
+                store.acc_buf(&out_rect).add(&out_p, v);
+            }
 
             // Advance the odometer (last variable fastest).
             let mut d = n;

@@ -34,14 +34,23 @@ pub struct CommStats {
 }
 
 impl CommStats {
-    /// Builds statistics from a message list.
+    /// Builds statistics from a message list, each message charged its
+    /// flat dense payload ([`Message::bytes`]).
     pub fn from_messages(grid: &Grid, ranks: usize, messages: &[&Message]) -> Self {
+        let weighted: Vec<(&Message, u64)> = messages.iter().map(|m| (*m, m.bytes())).collect();
+        CommStats::from_weighted(grid, ranks, &weighted)
+    }
+
+    /// Builds statistics from messages with explicit per-message wire
+    /// bytes — how compressed (CSR-payload) tensors are accounted, where
+    /// the rectangle's dense volume overstates the wire size.
+    pub fn from_weighted(grid: &Grid, ranks: usize, messages: &[(&Message, u64)]) -> Self {
         let mut s = CommStats {
             matrix: vec![vec![0; ranks]; ranks],
             ..CommStats::default()
         };
-        for m in messages {
-            let bytes = m.bytes();
+        for (m, bytes) in messages {
+            let bytes = *bytes;
             s.messages += 1;
             s.bytes += bytes;
             s.matrix[m.from][m.to] += bytes;

@@ -12,7 +12,8 @@
 //! | [`machine`] | `distal-machine` | machine grids, hierarchies, cost model |
 //! | [`runtime`] | `distal-runtime` | Legion-like runtime (regions, tasks, mapper, simulator) |
 //! | [`ir`] | `distal-ir` | tensor index notation, concrete index notation, scheduling rewrites |
-//! | [`mod@format`] | `distal-format` | tensor distribution notation (`T xy ↦ xy0 M`) |
+//! | [`mod@format`] | `distal-format` | tensor distribution notation (`T xy ↦ xy0 M`) + per-dimension level formats |
+//! | [`sparse`] | `distal-sparse` | CSR-style compressed storage and sparse leaf kernels (SpMV/SpMM/SDDMM) |
 //! | [`core`] | `distal-core` | the compiler: sessions, schedules, lowering |
 //! | [`algs`] | `distal-algs` | Figure 9 algorithms + §7.2 higher-order kernels |
 //! | [`baselines`] | `distal-baselines` | ScaLAPACK / CTF / COSMA re-implementations |
@@ -62,6 +63,7 @@ pub use distal_format as format;
 pub use distal_ir as ir;
 pub use distal_machine as machine;
 pub use distal_runtime as runtime;
+pub use distal_sparse as sparse;
 pub use distal_spmd as spmd;
 
 /// Commonly used items for examples and applications.
@@ -73,7 +75,7 @@ pub mod prelude {
         Artifact, Backend, BackendError, CompileError, CompiledKernel, DistalMachine, LeafKind,
         Problem, Provenance, Report, RuntimeBackend, Schedule, Session, TensorInit, TensorSpec,
     };
-    pub use distal_format::{Format, TensorDistribution};
+    pub use distal_format::{Format, LevelFormat, TensorDistribution};
     pub use distal_ir::expr::Assignment;
     pub use distal_machine::geom::{Point, Rect};
     pub use distal_machine::grid::{Grid, MachineHierarchy};
@@ -81,5 +83,6 @@ pub mod prelude {
     pub use distal_runtime::{
         Executor, ExecutorKind, Mode, ParallelExecutor, RunStats, Runtime, SerialExecutor,
     };
+    pub use distal_sparse::SparseBuffer;
     pub use distal_spmd::{AlphaBeta, CostBackend, SpmdBackend};
 }

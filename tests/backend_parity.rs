@@ -25,15 +25,25 @@ fn run_both(
     schedule: &Schedule,
     runtime: &RuntimeBackend,
 ) -> ((Vec<f64>, Report), (Vec<f64>, Report)) {
+    run_both_tensor(problem, schedule, runtime, "A")
+}
+
+/// [`run_both`] reading an arbitrary output tensor.
+fn run_both_tensor(
+    problem: &Problem,
+    schedule: &Schedule,
+    runtime: &RuntimeBackend,
+    out: &str,
+) -> ((Vec<f64>, Report), (Vec<f64>, Report)) {
     let mut rt = problem.compile(runtime, schedule).unwrap();
     rt.place().unwrap();
     let rt_report = rt.execute().unwrap();
-    let rt_a = rt.read("A").unwrap();
+    let rt_a = rt.read(out).unwrap();
 
     let mut sp = problem.compile(&SpmdBackend::new(), schedule).unwrap();
     sp.place().unwrap();
     let sp_report = sp.execute().unwrap();
-    let sp_a = sp.read("A").unwrap();
+    let sp_a = sp.read(out).unwrap();
     ((rt_a, rt_report), (sp_a, sp_report))
 }
 
@@ -155,6 +165,162 @@ fn artifact_error_surface_is_uniform() {
         .unwrap();
     model.run().unwrap();
     assert!(matches!(model.read("A"), Err(BackendError::NoData(_))));
+}
+
+/// Builds SpMV (`a(i) = B(i,j) * c(j)`) problems on a `p`-rank line
+/// machine at the given B density, with B either dense or CSR-compressed
+/// (`ds` levels). B lives whole on rank 0 so every rank pulls its row
+/// block — the message stream the nnz-sized accounting must shrink.
+fn spmv_problem(p: i64, n: i64, density: f64, compressed: bool) -> (Problem, Schedule) {
+    let machine = DistalMachine::flat(Grid::line(p), ProcKind::Cpu);
+    let mut problem = Problem::new(MachineSpec::small(p as usize), machine);
+    problem.statement("a(i) = B(i,j) * c(j)").unwrap();
+    let b_fmt = if compressed {
+        Format::parse_levels("xy->x", "ds", MemKind::Sys).unwrap()
+    } else {
+        Format::parse("xy->x", MemKind::Sys).unwrap()
+    };
+    problem
+        .tensor(TensorSpec::new(
+            "a",
+            vec![n],
+            Format::parse("x->x", MemKind::Sys).unwrap(),
+        ))
+        .unwrap();
+    problem
+        .tensor(TensorSpec::new("B", vec![n, n], b_fmt))
+        .unwrap();
+    problem
+        .tensor(TensorSpec::new(
+            "c",
+            vec![n],
+            Format::undistributed_in(MemKind::Global),
+        ))
+        .unwrap();
+    problem.fill_random_sparse("B", 0xB, density).unwrap();
+    problem.fill_random("c", 0xC).unwrap();
+    let schedule = Schedule::new()
+        .divide("i", "io", "ii", p)
+        .reorder(&["io", "ii"])
+        .distribute(&["io"]);
+    (problem, schedule)
+}
+
+/// Builds SUMMA SpMM problems at the given B density with B dense or
+/// CSR-compressed; B and C are both communicated per k-chunk, so the
+/// compressed registration must shrink the B half of the traffic.
+fn spmm_problem(n: i64, density: f64, compressed: bool) -> (Problem, Schedule) {
+    let machine = DistalMachine::flat(Grid::grid2(2, 2), ProcKind::Cpu);
+    let mut problem = Problem::new(MachineSpec::small(2), machine);
+    problem.statement("A(i,j) = B(i,k) * C(k,j)").unwrap();
+    let tiles = Format::parse("xy->xy", MemKind::Sys).unwrap();
+    let b_fmt = if compressed {
+        Format::parse_levels("xy->xy", "ds", MemKind::Sys).unwrap()
+    } else {
+        tiles.clone()
+    };
+    problem
+        .tensor(TensorSpec::new("A", vec![n, n], tiles.clone()))
+        .unwrap();
+    problem
+        .tensor(TensorSpec::new("B", vec![n, n], b_fmt))
+        .unwrap();
+    problem
+        .tensor(TensorSpec::new("C", vec![n, n], tiles))
+        .unwrap();
+    problem.fill_random_sparse("B", 0xB, density).unwrap();
+    problem.fill_random("C", 0xC).unwrap();
+    (problem, Schedule::summa(2, 2, (n / 2).max(1)))
+}
+
+#[test]
+fn sparse_spmv_bit_identical_to_dense_on_both_backends() {
+    for density in [0.01, 0.3, 1.0] {
+        let (dense, schedule) = spmv_problem(4, 24, density, false);
+        let (sparse, _) = spmv_problem(4, 24, density, true);
+        let ((rt_dense, _), (sp_dense, _)) =
+            run_both_tensor(&dense, &schedule, &RuntimeBackend::functional(), "a");
+        let ((rt_sparse, _), (sp_sparse, _)) =
+            run_both_tensor(&sparse, &schedule, &RuntimeBackend::functional(), "a");
+        // Sparse executions (CSR leaf on the runtime, stored-coordinate
+        // pruning on the SPMD VM) match the dense executions bit for bit.
+        for (which, got) in [
+            ("runtime sparse", &rt_sparse),
+            ("spmd dense", &sp_dense),
+            ("spmd sparse", &sp_sparse),
+        ] {
+            assert_eq!(rt_dense.len(), got.len(), "{which} at density {density}");
+            for (i, (x, y)) in rt_dense.iter().zip(got.iter()).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{which} idx {i} at density {density}: {x} vs {y}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sparse_spmm_bit_identical_and_bytes_shrink() {
+    let density = 0.05;
+    let (dense, schedule) = spmm_problem(16, density, false);
+    let (sparse, _) = spmm_problem(16, density, true);
+    let ((rt_dense, rt_dense_rep), (sp_dense, sp_dense_rep)) =
+        run_both_tensor(&dense, &schedule, &RuntimeBackend::functional(), "A");
+    let ((rt_sparse, rt_sparse_rep), (sp_sparse, sp_sparse_rep)) =
+        run_both_tensor(&sparse, &schedule, &RuntimeBackend::functional(), "A");
+    for (which, got) in [
+        ("runtime sparse", &rt_sparse),
+        ("spmd dense", &sp_dense),
+        ("spmd sparse", &sp_sparse),
+    ] {
+        for (i, (x, y)) in rt_dense.iter().zip(got.iter()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{which} idx {i}: {x} vs {y}");
+        }
+    }
+    // Compressed B at 5% density must shrink reported traffic on both
+    // backends (C stays dense, so totals shrink but don't vanish).
+    assert!(
+        sp_sparse_rep.bytes_moved < sp_dense_rep.bytes_moved,
+        "spmd: {} !< {}",
+        sp_sparse_rep.bytes_moved,
+        sp_dense_rep.bytes_moved
+    );
+    assert!(
+        rt_sparse_rep.bytes_moved < rt_dense_rep.bytes_moved,
+        "runtime: {} !< {}",
+        rt_sparse_rep.bytes_moved,
+        rt_dense_rep.bytes_moved
+    );
+    assert!(sp_sparse_rep.bytes_moved > 0 && rt_sparse_rep.bytes_moved > 0);
+}
+
+#[test]
+fn cost_backend_prices_density() {
+    // The α-β cost model must price the same schedule differently as the
+    // sparse operand's density changes: cheaper at 1% than at 50%, and
+    // both at most the dense registration's cost.
+    use distal::spmd::{AlphaBeta, CostBackend};
+    let schedule = spmm_problem(16, 1.0, false).1;
+    let makespan = |density: f64, compressed: bool| {
+        let (p, _) = spmm_problem(16, density, compressed);
+        let mut art = p
+            .compile(&CostBackend::alpha_beta(AlphaBeta::default()), &schedule)
+            .unwrap();
+        art.run().unwrap().critical_path_s
+    };
+    let dense = makespan(0.5, false);
+    let half = makespan(0.5, true);
+    let one_pct = makespan(0.01, true);
+    assert!(
+        one_pct < half,
+        "1% density must be cheaper than 50%: {one_pct} vs {half}"
+    );
+    assert!(
+        one_pct < dense,
+        "1% compressed must beat dense: {one_pct} vs {dense}"
+    );
 }
 
 #[test]

@@ -10,10 +10,13 @@
 //! [`Report`](distal_core::Report) says is the score.
 
 use crate::space::{enumerate_candidates, AutoschedError, Candidate, SpaceOptions};
-use distal_core::{Backend, DistalMachine, Problem, RuntimeBackend, TensorSpec};
+use distal_core::{
+    Backend, CacheStats, DistalMachine, PlanCache, Problem, RuntimeBackend, TensorSpec,
+};
 use distal_machine::spec::{MachineSpec, MemKind, ProcKind};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Mutex;
 
 /// What machine the search targets and how it scores candidates.
 #[derive(Clone, Debug)]
@@ -116,20 +119,61 @@ impl SearchResult {
 }
 
 /// Automatic schedule and format selection (paper §9).
-#[derive(Clone, Debug)]
+///
+/// The scheduler scores candidates through an internal
+/// [`PlanCache`]: each candidate's (grid, formats, schedule) bundle is
+/// planned once and the plan reused on every later scoring with the same
+/// key — so re-running a search, or sweeping overlapping candidate sets,
+/// never re-lowers a candidate it has already seen.
 pub struct AutoScheduler {
     config: SearchConfig,
+    cache: Mutex<PlanCache>,
+}
+
+/// Candidate spaces are tens of entries; a few searches' worth fit
+/// comfortably.
+const SCORE_CACHE_CAPACITY: usize = 256;
+
+impl Clone for AutoScheduler {
+    fn clone(&self) -> Self {
+        AutoScheduler {
+            config: self.config.clone(),
+            cache: Mutex::new(self.lock_cache().clone()),
+        }
+    }
+}
+
+impl fmt::Debug for AutoScheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AutoScheduler")
+            .field("config", &self.config)
+            .field("cache", &self.lock_cache().stats())
+            .finish()
+    }
 }
 
 impl AutoScheduler {
     /// A scheduler for the given target.
     pub fn new(config: SearchConfig) -> Self {
-        AutoScheduler { config }
+        AutoScheduler {
+            config,
+            cache: Mutex::new(PlanCache::new(SCORE_CACHE_CAPACITY)),
+        }
     }
 
     /// The search configuration.
     pub fn config(&self) -> &SearchConfig {
         &self.config
+    }
+
+    /// The internal plan cache's counters (hits = candidates scored
+    /// without re-lowering).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.lock_cache().stats()
+    }
+
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, PlanCache> {
+        self.cache.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Enumerates and scores every candidate for `expr` under the default
@@ -188,9 +232,10 @@ impl AutoScheduler {
     }
 
     /// Scores one candidate on an explicit backend: builds the candidate's
-    /// [`Problem`] (its grid + formats over the shared spec), compiles it
-    /// through the unified pipeline, and reads the score off the backend's
-    /// normalized report.
+    /// [`Problem`] (its grid + formats over the shared spec), fetches its
+    /// plan from the internal [`PlanCache`] (planning only on the first
+    /// encounter of the key), binds the problem's data, and reads the
+    /// score off the backend's normalized report.
     pub fn score_with(
         &self,
         backend: &dyn Backend,
@@ -221,7 +266,27 @@ impl AutoScheduler {
                 return infeasible(candidate, e.to_string());
             }
         }
-        let mut artifact = match problem.compile(backend, &candidate.schedule) {
+        // Look up under the lock, but plan *outside* it: a cache miss
+        // must not serialize concurrent scorers on this lowering.
+        let key = distal_core::PlanKey::new(backend, &problem, &candidate.schedule);
+        // Bind the lookup to its own statement so the guard drops here —
+        // a `match self.lock_cache().get(..)` scrutinee would hold the
+        // lock across the whole match, deadlocking the miss arm's
+        // re-lock.
+        let cached = self.lock_cache().get(&key);
+        let plan = match cached {
+            Some(p) => p,
+            None => match problem.plan(backend, &candidate.schedule) {
+                Ok(p) => {
+                    let p: std::sync::Arc<dyn distal_core::Plan> = std::sync::Arc::from(p);
+                    self.lock_cache()
+                        .insert_planned(key, std::sync::Arc::clone(&p));
+                    p
+                }
+                Err(e) => return infeasible(candidate, e.to_string()),
+            },
+        };
+        let mut artifact = match plan.bind(&problem.bindings()) {
             Ok(a) => a,
             Err(e) => return infeasible(candidate, e.to_string()),
         };
@@ -323,6 +388,49 @@ mod tests {
                 "{} feasible under α-β but not the simulator",
                 e.candidate.name
             );
+        }
+    }
+
+    #[test]
+    fn repeat_searches_reuse_cached_plans() {
+        let scheduler = AutoScheduler::new(SearchConfig::cpu(MachineSpec::small(2)));
+        let first = scheduler
+            .search("A(i,j) = B(i,k) * C(k,j)", &matmul_dims(64))
+            .unwrap();
+        let after_first = scheduler.cache_stats();
+        assert!(after_first.misses > 0);
+        let feasible = first.evaluations.iter().filter(|e| e.feasible()).count();
+        // Every feasible candidate planned exactly once (infeasible ones
+        // may fail before/at planning and are not cached).
+        assert!(after_first.len >= feasible);
+
+        // The second identical search performs ZERO new lowering work:
+        // every feasible candidate is a cache hit.
+        let lowerings = distal_core::lower::compile_count();
+        let applications = distal_core::schedule::apply_count();
+        let second = scheduler
+            .search("A(i,j) = B(i,k) * C(k,j)", &matmul_dims(64))
+            .unwrap();
+        let after_second = scheduler.cache_stats();
+        assert!(after_second.hits >= feasible as u64);
+        assert_eq!(after_second.misses, after_first.misses);
+        // Infeasible candidates that fail *during* planning still pay a
+        // (failed, uncached) lowering attempt; the feasible set must not
+        // add any. Bound: new lowerings <= infeasible candidates.
+        let infeasible = first.evaluations.len() - feasible;
+        assert!(
+            distal_core::lower::compile_count() - lowerings <= infeasible as u64,
+            "feasible candidates re-lowered on a warm cache"
+        );
+        assert!(
+            distal_core::schedule::apply_count() - applications <= infeasible as u64,
+            "feasible candidates re-applied schedules on a warm cache"
+        );
+        // And scoring is unchanged by the cache.
+        for (a, b) in first.evaluations.iter().zip(second.evaluations.iter()) {
+            assert_eq!(a.candidate.name, b.candidate.name);
+            assert_eq!(a.makespan_s, b.makespan_s);
+            assert_eq!(a.comm_bytes, b.comm_bytes);
         }
     }
 

@@ -1,0 +1,106 @@
+//! Serving benchmark and CI gate; writes `BENCH_serving.json` at the
+//! repo root.
+//!
+//! Usage: `cargo run --release -p distal-bench --bin serving
+//! [--requests N] [--size N] [--assert-cache]`
+//!
+//! Serves N requests (default 32) of fresh random matmul data over fixed
+//! shapes on both executable backends (dynamic runtime + static SPMD),
+//! recompile-per-request vs the keyed plan-cache path, verifying
+//! bit-identical outputs. `--assert-cache` is the CI gate:
+//!
+//! * 100% cache hit rate after warm-up (exactly 1 miss, N-1 hits);
+//! * zero lowerings on the cached path after warm-up (binding never
+//!   re-applies schedules or re-lowers);
+//! * amortized per-request compile time on the cached path strictly
+//!   below the recompile path's.
+
+use distal_bench::serving;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serving cache gate FAILED: {msg}");
+    std::process::exit(3);
+}
+
+fn main() {
+    let mut assert_cache = false;
+    let mut requests: u64 = 32;
+    let mut n: i64 = 24;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--assert-cache" => assert_cache = true,
+            "--requests" => {
+                let v = args.next().unwrap_or_default();
+                requests = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--requests takes a positive integer, got '{v}'");
+                    std::process::exit(2);
+                });
+            }
+            "--size" => {
+                let v = args.next().unwrap_or_default();
+                n = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--size takes a positive integer, got '{v}'");
+                    std::process::exit(2);
+                });
+            }
+            other => eprintln!("ignoring unrecognized argument '{other}'"),
+        }
+    }
+    if requests == 0 {
+        eprintln!("--requests must be at least 1");
+        std::process::exit(2);
+    }
+    if n < 2 {
+        eprintln!("--size must be at least 2 (the shapes tile onto a 2x2 grid)");
+        std::process::exit(2);
+    }
+
+    let rows = serving::serving_bench(requests, n);
+    print!("{}", serving::render(&rows));
+    let json = serving::to_json(&rows);
+    let path = std::path::Path::new("BENCH_serving.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+
+    if let Some(bad) = rows.iter().find(|r| !r.verified) {
+        fail(&format!(
+            "plan-cache and recompile outputs diverged on the {} backend",
+            bad.backend
+        ));
+    }
+    if !assert_cache {
+        return;
+    }
+    for r in &rows {
+        if r.cache.misses != 1 || r.cache.hits != r.requests - 1 {
+            fail(&format!(
+                "{}: expected 1 miss / {} hits after warm-up, got {} / {}",
+                r.backend,
+                r.requests - 1,
+                r.cache.misses,
+                r.cache.hits
+            ));
+        }
+        if r.lowerings_after_warmup != 0 {
+            fail(&format!(
+                "{}: {} lowerings ran on the cached path after warm-up (bind must not lower)",
+                r.backend, r.lowerings_after_warmup
+            ));
+        }
+        if r.cached_amortized_s >= r.recompile_amortized_s {
+            fail(&format!(
+                "{}: cached amortized compile {:.1}us is not below recompile {:.1}us",
+                r.backend,
+                r.cached_amortized_s * 1e6,
+                r.recompile_amortized_s * 1e6
+            ));
+        }
+    }
+    println!(
+        "serving cache gate passed: 100% hits after warm-up, zero bind-path lowerings, \
+         amortized compile below recompile on both backends"
+    );
+}

@@ -24,7 +24,12 @@
 //! p ∈ {4, 9, 16}; writes `BENCH_backends.json`), and `sparse`
 //! (dense vs CSR-compressed bytes moved and α-β makespan for SpMV/SpMM
 //! at density ∈ {0.01, 0.1, 0.5} on p ∈ {4, 16}, with the <10%
-//! compression gate; writes `BENCH_sparse.json`).
+//! compression gate; writes `BENCH_sparse.json`), and `serving`
+//! (compile-once/execute-many: N fresh-data requests over fixed shapes,
+//! recompile-per-request vs the keyed plan-cache path on both executable
+//! backends, with the `--assert-cache` gate — 100% hits after warm-up,
+//! zero bind-path lowerings, amortized compile strictly below recompile;
+//! writes `BENCH_serving.json`).
 //! Criterion benches (`benches/paper_figures.rs`) run reduced-scale
 //! versions of the same harnesses.
 
@@ -36,5 +41,6 @@ pub mod fig16;
 pub mod fig9;
 pub mod headline;
 pub mod series;
+pub mod serving;
 pub mod sparse;
 pub mod spmd;

@@ -1,0 +1,284 @@
+//! Serving benchmark: recompile-per-request vs the plan-cache path.
+//!
+//! A request stream of N matmuls over *fixed* shapes with *fresh* random
+//! operands is served two ways on each executable backend (dynamic
+//! runtime, static SPMD):
+//!
+//! * **recompile** — every request runs `Problem::compile` (full
+//!   schedule application + lowering) and then executes;
+//! * **plan cache** — every request goes through a keyed
+//!   [`PlanCache`]: after the first miss the stream is 100% hits, each
+//!   request paying only `Plan::bind` (data seeding, no lowering).
+//!
+//! Both paths verify bit-identical outputs per request. The row reports
+//! amortized per-request compile time on both paths, end-to-end
+//! requests/sec, the cache counters, and the per-thread lowering
+//! counters — the CI gate (`--assert-cache`) requires a 100% hit rate
+//! after warm-up, zero lowerings on the bound path after warm-up, and
+//! the cached path's amortized compile time strictly below the recompile
+//! path's.
+
+use distal_core::{
+    Backend, Bindings, CacheStats, DistalMachine, PlanCache, Problem, RuntimeBackend, Schedule,
+    TensorSpec,
+};
+use distal_format::Format;
+use distal_machine::grid::Grid;
+use distal_machine::spec::{MachineSpec, MemKind, ProcKind};
+use distal_spmd::SpmdBackend;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One (backend, request-count) serving measurement.
+#[derive(Clone, Debug)]
+pub struct ServingBenchRow {
+    /// Backend name (`runtime` or `spmd`).
+    pub backend: String,
+    /// Requests served.
+    pub requests: u64,
+    /// Matrix side length.
+    pub n: i64,
+    /// Total compile time on the recompile path (seconds).
+    pub recompile_compile_s: f64,
+    /// Amortized per-request compile time, recompile path (seconds).
+    pub recompile_amortized_s: f64,
+    /// End-to-end wall clock of the recompile path (seconds).
+    pub recompile_wall_s: f64,
+    /// Requests/sec, recompile path.
+    pub recompile_rps: f64,
+    /// Total plan (cache miss) + bind time on the cached path (seconds).
+    pub cached_compile_s: f64,
+    /// Amortized per-request plan+bind time, cached path (seconds).
+    pub cached_amortized_s: f64,
+    /// End-to-end wall clock of the cached path (seconds).
+    pub cached_wall_s: f64,
+    /// Requests/sec, cached path.
+    pub cached_rps: f64,
+    /// Cache counters after the stream.
+    pub cache: CacheStats,
+    /// Lowerings performed by the cached path *after* the warm-up
+    /// request (must be 0: binding never re-lowers).
+    pub lowerings_after_warmup: u64,
+    /// Whether both paths produced bit-identical outputs per request.
+    pub verified: bool,
+}
+
+impl ServingBenchRow {
+    /// Amortized-compile speedup of the cached path over recompiling.
+    pub fn compile_speedup(&self) -> f64 {
+        if self.cached_amortized_s <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.recompile_amortized_s / self.cached_amortized_s
+    }
+}
+
+/// The fixed-shape problem the request stream serves (no initializers —
+/// data arrives per request).
+fn serving_shapes(n: i64) -> (Problem, Schedule) {
+    let machine = DistalMachine::flat(Grid::grid2(2, 2), ProcKind::Cpu);
+    let mut p = Problem::new(MachineSpec::small(2), machine);
+    p.statement("A(i,j) = B(i,k) * C(k,j)").unwrap();
+    let tiles = Format::parse("xy->xy", MemKind::Sys).unwrap();
+    for t in ["A", "B", "C"] {
+        p.tensor(TensorSpec::new(t, vec![n, n], tiles.clone()))
+            .unwrap();
+    }
+    (p, Schedule::summa(2, 2, (n / 2).max(1)))
+}
+
+fn request_bindings(r: u64) -> Bindings {
+    let mut b = Bindings::new();
+    b.fill_random("B", 2 * r + 1).fill_random("C", 2 * r + 2);
+    b
+}
+
+/// Total lowering work the calling thread has performed so far (runtime
+/// compilations + SPMD lowerings; the bound path must not move either).
+fn thread_lowerings() -> u64 {
+    distal_core::lower::compile_count() + distal_spmd::lower_count()
+}
+
+/// Serves `requests` fresh-data requests on `backend` both ways and
+/// measures them. Outputs are verified bit-identical request by request.
+pub fn serve_one(backend: &dyn Backend, requests: u64, n: i64) -> ServingBenchRow {
+    let (shapes, schedule) = serving_shapes(n);
+
+    // --- Recompile path: full Problem::compile per request. -------------
+    let mut recompile_outputs = Vec::new();
+    let mut recompile_compile_s = 0.0;
+    let recompile_start = Instant::now();
+    for r in 0..requests {
+        let mut problem = shapes.clone();
+        problem.fill_random("B", 2 * r + 1).unwrap();
+        problem.fill_random("C", 2 * r + 2).unwrap();
+        let t = Instant::now();
+        let mut artifact = problem
+            .compile(backend, &schedule)
+            .unwrap_or_else(|e| panic!("recompile path failed: {e}"));
+        recompile_compile_s += t.elapsed().as_secs_f64();
+        artifact.run().unwrap_or_else(|e| panic!("run failed: {e}"));
+        recompile_outputs.push(artifact.read("A").unwrap());
+    }
+    let recompile_wall_s = recompile_start.elapsed().as_secs_f64();
+
+    // --- Plan-cache path: keyed plan reuse + per-request bind. ----------
+    let mut cache = PlanCache::new(8);
+    let mut cached_outputs = Vec::new();
+    let mut cached_compile_s = 0.0;
+    let mut lowerings_after_warmup = 0;
+    let cached_start = Instant::now();
+    for r in 0..requests {
+        let lowerings = thread_lowerings();
+        let t = Instant::now();
+        let plan = cache
+            .get_or_plan(backend, &shapes, &schedule)
+            .unwrap_or_else(|e| panic!("plan failed: {e}"));
+        let mut instance = plan
+            .bind(&request_bindings(r))
+            .unwrap_or_else(|e| panic!("bind failed: {e}"));
+        cached_compile_s += t.elapsed().as_secs_f64();
+        if r > 0 {
+            lowerings_after_warmup += thread_lowerings() - lowerings;
+        }
+        instance.run().unwrap_or_else(|e| panic!("run failed: {e}"));
+        cached_outputs.push(instance.read("A").unwrap());
+    }
+    let cached_wall_s = cached_start.elapsed().as_secs_f64();
+
+    let verified = recompile_outputs
+        .iter()
+        .zip(cached_outputs.iter())
+        .all(|(a, b)| {
+            a.len() == b.len()
+                && a.iter()
+                    .zip(b.iter())
+                    .all(|(x, y)| x.to_bits() == y.to_bits())
+        });
+
+    let req = requests.max(1) as f64;
+    ServingBenchRow {
+        backend: backend.name().to_string(),
+        requests,
+        n,
+        recompile_compile_s,
+        recompile_amortized_s: recompile_compile_s / req,
+        recompile_wall_s,
+        recompile_rps: req / recompile_wall_s.max(f64::MIN_POSITIVE),
+        cached_compile_s,
+        cached_amortized_s: cached_compile_s / req,
+        cached_wall_s,
+        cached_rps: req / cached_wall_s.max(f64::MIN_POSITIVE),
+        cache: cache.stats(),
+        lowerings_after_warmup,
+        verified,
+    }
+}
+
+/// Runs the serving sweep on both executable backends.
+pub fn serving_bench(requests: u64, n: i64) -> Vec<ServingBenchRow> {
+    vec![
+        serve_one(&RuntimeBackend::functional(), requests, n),
+        serve_one(&SpmdBackend::new(), requests, n),
+    ]
+}
+
+/// Renders the sweep as an aligned table.
+pub fn render(rows: &[ServingBenchRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<8} {:>5} {:>5} {:>14} {:>14} {:>9} {:>10} {:>10} {:>9} {:>6}",
+        "backend",
+        "reqs",
+        "n",
+        "recomp amort",
+        "cached amort",
+        "speedup",
+        "recomp r/s",
+        "cached r/s",
+        "hit rate",
+        "ok"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>5} {:>5} {:>12.1}us {:>12.1}us {:>8.1}x {:>10.1} {:>10.1} {:>8.0}% {:>6}",
+            r.backend,
+            r.requests,
+            r.n,
+            r.recompile_amortized_s * 1e6,
+            r.cached_amortized_s * 1e6,
+            r.compile_speedup(),
+            r.recompile_rps,
+            r.cached_rps,
+            r.cache.hit_rate() * 100.0,
+            if r.verified { "yes" } else { "NO" }
+        );
+    }
+    out
+}
+
+/// Serializes the sweep to the `BENCH_serving.json` schema.
+pub fn to_json(rows: &[ServingBenchRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"backend\": \"{}\", \"requests\": {}, \"n\": {}, \
+             \"recompile_compile_s\": {:.9}, \"recompile_amortized_s\": {:.9}, \
+             \"recompile_wall_s\": {:.9}, \"recompile_rps\": {:.3}, \
+             \"cached_compile_s\": {:.9}, \"cached_amortized_s\": {:.9}, \
+             \"cached_wall_s\": {:.9}, \"cached_rps\": {:.3}, \
+             \"compile_speedup\": {:.3}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"cache_evictions\": {}, \
+             \"lowerings_after_warmup\": {}, \"verified\": {}}}{comma}",
+            r.backend,
+            r.requests,
+            r.n,
+            r.recompile_compile_s,
+            r.recompile_amortized_s,
+            r.recompile_wall_s,
+            r.recompile_rps,
+            r.cached_compile_s,
+            r.cached_amortized_s,
+            r.cached_wall_s,
+            r.cached_rps,
+            r.compile_speedup(),
+            r.cache.hits,
+            r.cache.misses,
+            r.cache.evictions,
+            r.lowerings_after_warmup,
+            r.verified
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serving_rows_verify_and_cache_hits() {
+        let rows = serving_bench(4, 16);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.verified, "{}: outputs diverged", r.backend);
+            assert_eq!(r.cache.misses, 1, "{}", r.backend);
+            assert_eq!(r.cache.hits, 3, "{}", r.backend);
+            assert_eq!(r.lowerings_after_warmup, 0, "{}", r.backend);
+            assert!(r.recompile_compile_s > 0.0);
+            assert!(r.cached_compile_s > 0.0);
+        }
+        let json = to_json(&rows);
+        assert!(json.contains("\"backend\": \"runtime\""));
+        assert!(json.contains("\"backend\": \"spmd\""));
+        assert!(render(&rows).contains("spmd"));
+    }
+}

@@ -10,9 +10,19 @@
 //!   model mode), `SpmdBackend` and `CostBackend` (in `distal-spmd`:
 //!   static MPI-style lowering, and pure cost estimation under either the
 //!   model-mode simulator or the SPMD α-β model).
-//! * [`Artifact`] — what a backend compiles to. Every artifact exposes
-//!   the same surface (`place`, `execute`, `read`, [`Report`]s), so
-//!   callers never special-case the backend they run on.
+//! * [`Plan`] — what [`Backend::plan`] compiles to: a **data-independent**
+//!   lowered object (launch domain, programs, cost model — no operand
+//!   values). Plans are cacheable ([`crate::cache::PlanCache`]) and
+//!   reusable: serving many requests over the same shapes pays for
+//!   lowering once.
+//! * [`Instance`] — a plan bound to per-request [`Bindings`] via
+//!   [`Plan::bind`]. Every instance exposes the same surface (`place`,
+//!   `execute`, `read`, [`Report`]s), so callers never special-case the
+//!   backend they run on. `Artifact` is the pre-split name of this trait
+//!   and remains as an alias.
+//!
+//! [`Backend::compile`] (and [`Problem::compile`]) is the one-shot shim:
+//! exactly `plan(...)` then `bind(problem's own initializers)`.
 //!
 //! ```
 //! use distal_core::{DistalMachine, Problem, RuntimeBackend, Schedule, TensorSpec};
@@ -39,13 +49,20 @@
 
 use crate::error::CompileError;
 use crate::lower::{CompileOptions, CompiledKernel};
+use crate::plan::{init_nnz, Bindings, Instance, Plan};
 use crate::problem::Problem;
 use crate::report::{Provenance, Report};
 use crate::schedule::Schedule;
-use crate::session::Session;
+use crate::session::{Session, TensorSpec};
 use distal_runtime::exec::{Mode, RuntimeError};
 use distal_runtime::executor::ExecutorKind;
+use distal_runtime::region::RegionId;
+use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
+
+/// Pre-split name of [`Instance`], re-exported where it always lived.
+pub use crate::plan::Instance as Artifact;
 
 /// Errors from compiling or running a problem on a backend.
 #[derive(Clone, Debug, PartialEq)]
@@ -56,8 +73,8 @@ pub enum BackendError {
     Runtime(RuntimeError),
     /// A tensor name is not registered on the problem.
     UnknownTensor(String),
-    /// The artifact holds no readable data (model/cost execution, or the
-    /// artifact was not executed yet).
+    /// The instance holds no readable data (model/cost execution, or the
+    /// instance was not executed yet).
     NoData(String),
     /// The problem/schedule combination is outside the backend's scope.
     Unsupported(String),
@@ -95,64 +112,49 @@ impl From<RuntimeError> for BackendError {
     }
 }
 
-/// A compilation target: lowers a [`Problem`] + [`Schedule`] to an
-/// executable [`Artifact`]. See the [module docs](self).
+/// A compilation target: lowers a [`Problem`] + [`Schedule`] to a
+/// data-independent [`Plan`], which [`Bindings`] turn into executable
+/// [`Instance`]s. See the [module docs](self).
 pub trait Backend {
     /// Short stable name (`"runtime"`, `"spmd"`, `"cost"`), used in
-    /// [`Report::backend`] and diagnostics.
+    /// [`Report::backend`], [`crate::cache::PlanKey`]s, and diagnostics.
     fn name(&self) -> &str;
 
-    /// Compiles the problem for this target.
+    /// A stable textual form of every knob that changes what
+    /// [`Backend::plan`] produces (mode, compile options, collective
+    /// configuration, cost-model parameters, …). [`crate::cache::PlanKey`]
+    /// hashes it alongside [`Backend::name`], so two differently-configured
+    /// instances of one backend never share cached plans. The default
+    /// (empty) is only right for backends without compile-relevant
+    /// configuration.
+    fn config_fingerprint(&self) -> String {
+        String::new()
+    }
+
+    /// Compiles the problem's *data-independent* part for this target:
+    /// schedule application, lowering, launch-domain construction — no
+    /// operand values. The resulting plan serves any number of
+    /// [`Plan::bind`] calls without re-lowering.
     ///
     /// # Errors
     ///
     /// [`BackendError::Compile`] when the problem has no statement or the
     /// lowering rejects it; backend-specific errors otherwise.
+    fn plan(&self, problem: &Problem, schedule: &Schedule) -> Result<Box<dyn Plan>, BackendError>;
+
+    /// The compile-once/execute-once shim: [`Backend::plan`] followed by
+    /// [`Plan::bind`] on the problem's own initializers.
+    ///
+    /// # Errors
+    ///
+    /// Errors from either half.
     fn compile(
         &self,
         problem: &Problem,
         schedule: &Schedule,
-    ) -> Result<Box<dyn Artifact>, BackendError>;
-}
-
-/// A compiled problem on one backend: the common executable surface.
-pub trait Artifact {
-    /// The producing backend's name.
-    fn backend(&self) -> &str;
-
-    /// Moves tensors into their formats' distributions (a no-op report on
-    /// backends whose data starts at rest).
-    ///
-    /// # Errors
-    ///
-    /// Backend execution errors (OOM, missing data).
-    fn place(&mut self) -> Result<Report, BackendError>;
-
-    /// Runs the computation.
-    ///
-    /// # Errors
-    ///
-    /// Backend execution errors (OOM, missing data).
-    fn execute(&mut self) -> Result<Report, BackendError>;
-
-    /// Reads a tensor's current contents (row-major).
-    ///
-    /// # Errors
-    ///
-    /// [`BackendError::UnknownTensor`] for unregistered names;
-    /// [`BackendError::NoData`] on backends that hold no numerics (model
-    /// mode, cost estimation) or before the artifact executed.
-    fn read(&self, tensor: &str) -> Result<Vec<f64>, BackendError>;
-
-    /// Places then executes, returning the merged report.
-    ///
-    /// # Errors
-    ///
-    /// Errors from either phase.
-    fn run(&mut self) -> Result<Report, BackendError> {
-        let mut r = self.place()?;
-        r.merge(&self.execute()?);
-        Ok(r)
+    ) -> Result<Box<dyn Instance>, BackendError> {
+        self.plan(problem, schedule)?
+            .bind(&Bindings::from_problem(problem))
     }
 }
 
@@ -201,6 +203,25 @@ impl RuntimeBackend {
         self.executor = Some(kind);
         self
     }
+
+    /// A fresh session with the given tensors registered, in the
+    /// deterministic registry order the plan's kernel was compiled
+    /// against.
+    fn session_for(
+        &self,
+        spec: &distal_machine::spec::MachineSpec,
+        machine: &crate::machine::DistalMachine,
+        tensors: &BTreeMap<String, TensorSpec>,
+    ) -> Result<Session, BackendError> {
+        let mut session = Session::new(spec.clone(), machine.clone(), self.mode);
+        if let Some(kind) = self.executor {
+            session.set_executor(kind);
+        }
+        for spec in tensors.values() {
+            session.tensor(spec.clone())?;
+        }
+        Ok(session)
+    }
 }
 
 impl Backend for RuntimeBackend {
@@ -208,38 +229,107 @@ impl Backend for RuntimeBackend {
         "runtime"
     }
 
-    fn compile(
-        &self,
-        problem: &Problem,
-        schedule: &Schedule,
-    ) -> Result<Box<dyn Artifact>, BackendError> {
+    fn config_fingerprint(&self) -> String {
+        // Mode decides functional vs model plans, the executor is baked
+        // into bound sessions, and the options steer the lowering — all
+        // plan-relevant. Debug covers every field.
+        format!("{:?};{:?};{:?}", self.mode, self.executor, self.options)
+    }
+
+    fn plan(&self, problem: &Problem, schedule: &Schedule) -> Result<Box<dyn Plan>, BackendError> {
         let assignment = problem
             .assignment()
             .ok_or_else(|| {
                 BackendError::Compile(CompileError::Expression("problem has no statement".into()))
             })?
             .clone();
-        let mut session =
-            Session::new(problem.spec().clone(), problem.machine().clone(), self.mode);
-        if let Some(kind) = self.executor {
-            session.set_executor(kind);
+        let tensors = problem.tensors().clone();
+        // A throwaway planning session: registers the tensors (allocating
+        // the region ids the kernel's programs will reference) and runs
+        // schedule application + lowering exactly once. Bind-time
+        // sessions re-register in the same deterministic order, so their
+        // region ids coincide — asserted in `bind`.
+        let session = self.session_for(problem.spec(), problem.machine(), &tensors)?;
+        let regions = tensors
+            .keys()
+            .map(|name| {
+                let region = session.region(name).expect("registered above");
+                (name.clone(), region)
+            })
+            .collect();
+        let kernel = session.compile_assignment(&assignment, schedule, &self.options)?;
+        Ok(Box::new(RuntimePlan {
+            backend: self.clone(),
+            spec: problem.spec().clone(),
+            machine: problem.machine().clone(),
+            tensors,
+            regions,
+            kernel: Arc::new(kernel),
+        }))
+    }
+}
+
+/// A [`RuntimeBackend`] plan: the compiled kernel + the immutable
+/// registry it was lowered against. Binding creates a fresh session
+/// seeded with the request's data; the kernel is shared, never
+/// recompiled.
+pub struct RuntimePlan {
+    backend: RuntimeBackend,
+    spec: distal_machine::spec::MachineSpec,
+    machine: crate::machine::DistalMachine,
+    tensors: BTreeMap<String, TensorSpec>,
+    regions: BTreeMap<String, RegionId>,
+    // Shared with every instance the plan binds — binding never copies
+    // the lowered programs.
+    kernel: Arc<CompiledKernel>,
+}
+
+impl RuntimePlan {
+    /// The compiled kernel (launch domain, programs, flops).
+    pub fn kernel(&self) -> &CompiledKernel {
+        &self.kernel
+    }
+}
+
+impl Plan for RuntimePlan {
+    fn backend(&self) -> &str {
+        "runtime"
+    }
+
+    fn tensors(&self) -> &BTreeMap<String, TensorSpec> {
+        &self.tensors
+    }
+
+    fn bind(&self, bindings: &Bindings) -> Result<Box<dyn Instance>, BackendError> {
+        bindings.validate(&self.tensors)?;
+        let mut session = self
+            .backend
+            .session_for(&self.spec, &self.machine, &self.tensors)?;
+        // The kernel's programs reference the planning session's region
+        // ids; identical registration order makes the fresh session's ids
+        // identical. Guard the invariant rather than assuming it.
+        for (name, expected) in &self.regions {
+            if session.region(name) != Some(*expected) {
+                return Err(BackendError::Backend(format!(
+                    "internal: region id drift for tensor '{name}' between plan and bind"
+                )));
+            }
         }
-        for spec in problem.tensors().values() {
-            session.tensor(spec.clone())?;
-        }
-        for (name, init) in problem.inits() {
-            match self.mode {
+        for (name, init) in bindings.iter() {
+            let dims = &self.tensors[name.as_str()].dims;
+            match self.backend.mode {
                 Mode::Functional => {
-                    let dims = &problem.tensors()[name].dims;
                     session.set_data(name, init.materialize(dims))?;
                 }
                 // Model mode holds no data; filling marks regions valid.
                 // Compressed-format tensors still get nnz-aware byte
-                // accounting, derived from the initializer's nnz.
+                // accounting, derived from this binding's nnz (never an
+                // earlier instance's).
                 Mode::Model => {
                     session.fill(name, 0.0)?;
-                    let scale = problem.payload_scale(name);
-                    if scale != 1.0 {
+                    let spec = &self.tensors[name.as_str()];
+                    if spec.format.has_compressed() {
+                        let scale = distal_sparse::csr_payload_scale(dims, init_nnz(init, dims));
                         if let Some(region) = session.region(name) {
                             session
                                 .runtime_mut()
@@ -249,23 +339,26 @@ impl Backend for RuntimeBackend {
                 }
             }
         }
-        let kernel = session.compile_assignment(&assignment, schedule, &self.options)?;
-        Ok(Box::new(RuntimeArtifact {
+        Ok(Box::new(RuntimeInstance {
             session,
-            kernel,
-            mode: self.mode,
+            kernel: Arc::clone(&self.kernel),
+            mode: self.backend.mode,
         }))
     }
 }
 
-/// A [`RuntimeBackend`] artifact: a private session + compiled kernel.
-pub struct RuntimeArtifact {
+/// A [`RuntimeBackend`] instance: a private session + shared compiled
+/// kernel. (`RuntimeArtifact` is the pre-split alias.)
+pub struct RuntimeInstance {
     session: Session,
-    kernel: CompiledKernel,
+    kernel: Arc<CompiledKernel>,
     mode: Mode,
 }
 
-impl RuntimeArtifact {
+/// Pre-split name of [`RuntimeInstance`].
+pub type RuntimeArtifact = RuntimeInstance;
+
+impl RuntimeInstance {
     /// The compiled kernel (launch domain, programs, flops).
     pub fn kernel(&self) -> &CompiledKernel {
         &self.kernel
@@ -289,7 +382,7 @@ impl RuntimeArtifact {
     }
 }
 
-impl Artifact for RuntimeArtifact {
+impl Instance for RuntimeInstance {
     fn backend(&self) -> &str {
         "runtime"
     }
@@ -310,7 +403,7 @@ impl Artifact for RuntimeArtifact {
         }
         if self.mode == Mode::Model {
             return Err(BackendError::NoData(format!(
-                "model-mode artifacts hold no numerics; '{tensor}' cannot be read"
+                "model-mode instances hold no numerics; '{tensor}' cannot be read"
             )));
         }
         self.session.read(tensor).map_err(BackendError::from)
@@ -376,6 +469,44 @@ mod tests {
         assert!(matches!(
             p.compile(&RuntimeBackend::functional(), &Schedule::new()),
             Err(BackendError::Compile(_))
+        ));
+    }
+
+    #[test]
+    fn one_plan_binds_many_instances_without_recompiling() {
+        let p = matmul_problem(8);
+        let backend = RuntimeBackend::functional();
+        let plan = backend.plan(&p, &Schedule::summa(2, 2, 4)).unwrap();
+        assert_eq!(plan.backend(), "runtime");
+        assert_eq!(plan.tensors().len(), 3);
+
+        let lowerings = crate::lower::compile_count();
+        let applications = crate::schedule::apply_count();
+        let mut outputs = Vec::new();
+        for seed in [7u64, 8u64] {
+            let mut b = Bindings::new();
+            b.fill_random("B", seed).fill_random("C", seed + 50);
+            let mut inst = plan.bind(&b).unwrap();
+            inst.run().unwrap();
+            outputs.push(inst.read("A").unwrap());
+        }
+        // Binding performed zero schedule-application / lowering work.
+        assert_eq!(crate::lower::compile_count(), lowerings);
+        assert_eq!(crate::schedule::apply_count(), applications);
+        assert_ne!(outputs[0], outputs[1]);
+
+        // Bind-time validation: unknown tensors and mis-sized data.
+        let mut bad = Bindings::new();
+        bad.fill("Z", 1.0);
+        assert!(matches!(
+            plan.bind(&bad),
+            Err(BackendError::UnknownTensor(t)) if t == "Z"
+        ));
+        let mut short = Bindings::new();
+        short.set_data("B", vec![1.0; 3]);
+        assert!(matches!(
+            plan.bind(&short),
+            Err(BackendError::Compile(CompileError::DataSize { .. }))
         ));
     }
 }

@@ -1,0 +1,491 @@
+//! Keyed plan reuse: [`PlanKey`] + a bounded LRU [`PlanCache`].
+//!
+//! Serving workloads compile the *same* (statement, shapes + formats,
+//! machine, schedule) bundle over and over with fresh operand values.
+//! Because [`Plan`]s are data-independent, one lowering can serve every
+//! such request: the cache canonicalizes the compile-relevant inputs into
+//! a [`PlanKey`], hands back a shared `Arc<dyn Plan>` on a hit, and
+//! plans-and-inserts on a miss. Hit/miss/eviction statistics are
+//! surfaced through [`CacheStats`], which [`PlanCache::annotate`]
+//! attaches to any [`Report`].
+//!
+//! # What a key covers
+//!
+//! A [`PlanKey`] hashes exactly the inputs lowering depends on — and
+//! nothing the data may vary: the backend's name *and* configuration
+//! fingerprint ([`Backend::config_fingerprint`]: mode, compile options,
+//! collective configuration, cost-model parameters), the statement text,
+//! every tensor's name/shape/format, the machine spec and grid
+//! hierarchy, and the schedule's stable [`Display`](std::fmt::Display)
+//! form. Two problems differing only in initializers (values, seeds,
+//! densities) share a key; anything that changes the plan — including
+//! reconfiguring the backend — changes the key.
+
+use crate::backend::{Backend, BackendError};
+use crate::plan::Plan;
+use crate::problem::Problem;
+use crate::report::Report;
+use crate::schedule::Schedule;
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A canonical, stable identity for one compilation: the backend, the
+/// statement, the tensors (shape, level formats, distribution, memory),
+/// the machine (spec, grid hierarchy, processor kind), and the
+/// schedule's stable `Display` form. Equality is exact (the full
+/// canonical text is kept); the 64-bit FNV-1a digest only accelerates
+/// hashing.
+#[derive(Clone, Debug, Eq)]
+pub struct PlanKey {
+    canonical: String,
+    digest: u64,
+}
+
+impl PlanKey {
+    /// The key of compiling `problem` with `schedule` on `backend` —
+    /// covering both the backend's name and its configuration
+    /// fingerprint, so differently-configured instances of one backend
+    /// never collide.
+    pub fn new(backend: &dyn Backend, problem: &Problem, schedule: &Schedule) -> Self {
+        let mut c = String::new();
+        let _ = write!(
+            c,
+            "backend={}[{}];stmt=",
+            backend.name(),
+            backend.config_fingerprint()
+        );
+        match problem.assignment() {
+            Some(a) => {
+                let _ = write!(c, "{a}");
+            }
+            None => c.push_str("<none>"),
+        }
+        c.push_str(";tensors=");
+        for (name, spec) in problem.tensors() {
+            let _ = write!(c, "{name}:{:?}:", spec.dims);
+            // Normalize levels to one character per dimension: an empty
+            // `levels` vector and an explicit all-dense one describe the
+            // same storage, so they must share a key.
+            for d in 0..spec.dims.len() {
+                c.push(match spec.format.level(d) {
+                    distal_format::LevelFormat::Dense => 'd',
+                    distal_format::LevelFormat::Compressed => 's',
+                });
+            }
+            let _ = write!(c, ":{:?}:[", spec.format.mem);
+            for d in &spec.format.distributions {
+                let _ = write!(c, "{d},");
+            }
+            c.push_str("];");
+        }
+        let machine = problem.machine();
+        let _ = write!(c, "machine=proc:{:?};levels:", machine.proc_kind);
+        for level in machine.hierarchy.levels() {
+            let _ = write!(c, "{:?},", level.dims());
+        }
+        // The physical model prices plans (model mode, α-β inputs), so it
+        // is compile-relevant; Debug covers every field.
+        let _ = write!(c, ";spec={:?}", problem.spec());
+        let _ = write!(c, ";schedule={schedule}");
+        let digest = fnv1a(c.as_bytes());
+        PlanKey {
+            canonical: c,
+            digest,
+        }
+    }
+
+    /// The full canonical text (diagnostics; equality is defined on it).
+    pub fn canonical(&self) -> &str {
+        &self.canonical
+    }
+
+    /// The 64-bit FNV-1a digest of the canonical text — stable across
+    /// processes and toolchains (unlike `DefaultHasher`).
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+}
+
+impl PartialEq for PlanKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.digest == other.digest && self.canonical == other.canonical
+    }
+}
+
+impl Hash for PlanKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.digest);
+    }
+}
+
+impl fmt::Display for PlanKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "plan:{:016x}", self.digest)
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hit/miss/eviction counters of a [`PlanCache`], surfaced in
+/// [`Report::cache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that reused a cached plan.
+    pub hits: u64,
+    /// Lookups that planned fresh and inserted the result. Lookups whose
+    /// planning *failed* count in neither bucket — nothing was cached,
+    /// and retrying the same failing key should not depress the hit
+    /// rate.
+    pub misses: u64,
+    /// Plans dropped to respect the capacity bound.
+    pub evictions: u64,
+    /// Plans currently cached.
+    pub len: usize,
+    /// Capacity bound.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hits per lookup (0.0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses / {} evictions ({}/{} cached, {:.0}% hit rate)",
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.len,
+            self.capacity,
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
+#[derive(Clone)]
+struct Entry {
+    plan: Arc<dyn Plan>,
+    last_used: u64,
+}
+
+/// A bounded LRU cache of [`Plan`]s keyed by [`PlanKey`].
+///
+/// The cache owns no backend: [`PlanCache::get_or_plan`] takes the
+/// backend per call, so one cache can serve plans for several targets
+/// (keys embed the backend name, so they never collide).
+#[derive(Clone)]
+pub struct PlanCache {
+    entries: HashMap<PlanKey, Entry>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The plan for (backend, problem, schedule): cached if present,
+    /// freshly planned and inserted otherwise. This is the serving front
+    /// door — on a hit, zero schedule-application or lowering work runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Backend::plan`] errors; nothing is inserted then and
+    /// neither counter moves (a plan-failing key retried N times is N
+    /// errors, not N misses).
+    pub fn get_or_plan(
+        &mut self,
+        backend: &dyn Backend,
+        problem: &Problem,
+        schedule: &Schedule,
+    ) -> Result<Arc<dyn Plan>, BackendError> {
+        let key = PlanKey::new(backend, problem, schedule);
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.last_used = tick;
+            self.hits += 1;
+            return Ok(Arc::clone(&e.plan));
+        }
+        let plan: Arc<dyn Plan> = Arc::from(backend.plan(problem, schedule)?);
+        self.misses += 1;
+        self.insert_entry(key, Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Looks up a key without planning on miss. A found plan counts as a
+    /// hit (a not-found key counts nothing — the caller may or may not
+    /// go on to plan it).
+    pub fn get(&mut self, key: &PlanKey) -> Option<Arc<dyn Plan>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let e = self.entries.get_mut(key)?;
+        e.last_used = tick;
+        self.hits += 1;
+        Some(Arc::clone(&e.plan))
+    }
+
+    /// Inserts a plan under a key (evicting the least-recently-used entry
+    /// when full). Does not touch the hit/miss counters.
+    pub fn insert(&mut self, key: PlanKey, plan: Arc<dyn Plan>) {
+        self.tick += 1;
+        self.insert_entry(key, plan);
+    }
+
+    /// Records a successful out-of-band planning: counts the miss and
+    /// inserts the plan. With [`PlanCache::get`], this is the
+    /// lock-friendly split of [`PlanCache::get_or_plan`] — look up under
+    /// the lock, plan *outside* it, then record — so concurrent callers
+    /// never serialize on each other's lowering.
+    pub fn insert_planned(&mut self, key: PlanKey, plan: Arc<dyn Plan>) {
+        self.misses += 1;
+        self.insert(key, plan);
+    }
+
+    fn insert_entry(&mut self, key: PlanKey, plan: Arc<dyn Plan>) {
+        let tick = self.tick;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&lru);
+                self.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                plan,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            len: self.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Attaches the cache's counters to a report
+    /// ([`Report::cache`]).
+    pub fn annotate(&self, report: &mut Report) {
+        report.cache = Some(self.stats());
+    }
+
+    /// Plans currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every cached plan (counters keep accumulating).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::RuntimeBackend;
+    use crate::machine::DistalMachine;
+    use crate::plan::Bindings;
+    use crate::session::TensorSpec;
+    use distal_format::Format;
+    use distal_machine::grid::Grid;
+    use distal_machine::spec::{MachineSpec, MemKind, ProcKind};
+
+    fn problem(n: i64) -> Problem {
+        let machine = DistalMachine::flat(Grid::grid2(2, 2), ProcKind::Cpu);
+        let mut p = Problem::new(MachineSpec::small(2), machine);
+        p.statement("A(i,j) = B(i,k) * C(k,j)").unwrap();
+        let f = Format::parse("xy->xy", MemKind::Sys).unwrap();
+        for t in ["A", "B", "C"] {
+            p.tensor(TensorSpec::new(t, vec![n, n], f.clone())).unwrap();
+        }
+        p
+    }
+
+    #[test]
+    fn keys_ignore_data_but_see_compile_inputs() {
+        let mut p1 = problem(8);
+        let mut p2 = problem(8);
+        p1.fill_random("B", 1).unwrap();
+        p2.fill_random("B", 999).unwrap(); // data only — same key
+        let s = Schedule::summa(2, 2, 4);
+        let functional = RuntimeBackend::functional();
+        assert_eq!(
+            PlanKey::new(&functional, &p1, &s),
+            PlanKey::new(&functional, &p2, &s)
+        );
+        // Shapes, schedules, and backend configuration all split keys.
+        let p3 = problem(16);
+        assert_ne!(
+            PlanKey::new(&functional, &p1, &s),
+            PlanKey::new(&functional, &p3, &s)
+        );
+        let s2 = Schedule::summa(2, 2, 8);
+        assert_ne!(
+            PlanKey::new(&functional, &p1, &s),
+            PlanKey::new(&functional, &p1, &s2)
+        );
+        // Same backend name, different configuration: a model-mode plan
+        // must never be served to a functional caller (or vice versa).
+        assert_ne!(
+            PlanKey::new(&functional, &p1, &s),
+            PlanKey::new(&RuntimeBackend::model(), &p1, &s)
+        );
+    }
+
+    #[test]
+    fn cache_hits_and_serves_bindable_plans() {
+        let p = problem(8);
+        let s = Schedule::summa(2, 2, 4);
+        let backend = RuntimeBackend::functional();
+        let mut cache = PlanCache::new(4);
+        let plan1 = cache.get_or_plan(&backend, &p, &s).unwrap();
+        let plan2 = cache.get_or_plan(&backend, &p, &s).unwrap();
+        assert!(Arc::ptr_eq(&plan1, &plan2));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+
+        let mut b = Bindings::new();
+        b.fill_random("B", 1).fill_random("C", 2);
+        let mut inst = plan2.bind(&b).unwrap();
+        inst.run().unwrap();
+        assert_eq!(inst.read("A").unwrap().len(), 64);
+
+        let mut report = Report::empty("runtime", crate::report::Provenance::Measured);
+        cache.annotate(&mut report);
+        assert_eq!(report.cache.unwrap().hits, 1);
+    }
+
+    #[test]
+    fn equivalent_dense_level_spellings_share_a_key() {
+        // `levels: []` and an explicit all-dense string describe the
+        // same storage; the key must not split them.
+        let machine = DistalMachine::flat(Grid::grid2(2, 2), ProcKind::Cpu);
+        let mut implicit = Problem::new(MachineSpec::small(2), machine.clone());
+        let mut explicit = Problem::new(MachineSpec::small(2), machine);
+        for p in [&mut implicit, &mut explicit] {
+            p.statement("A(i,j) = B(i,k) * C(k,j)").unwrap();
+        }
+        let bare = Format::parse("xy->xy", MemKind::Sys).unwrap();
+        let spelled = distal_format::Format::parse_levels("xy->xy", "dd", MemKind::Sys).unwrap();
+        for t in ["A", "B", "C"] {
+            implicit
+                .tensor(TensorSpec::new(t, vec![8, 8], bare.clone()))
+                .unwrap();
+            explicit
+                .tensor(TensorSpec::new(t, vec![8, 8], spelled.clone()))
+                .unwrap();
+        }
+        let s = Schedule::summa(2, 2, 4);
+        let backend = RuntimeBackend::functional();
+        assert_eq!(
+            PlanKey::new(&backend, &implicit, &s),
+            PlanKey::new(&backend, &explicit, &s)
+        );
+        // A genuinely compressed level still splits the key.
+        let mut compressed = implicit.clone();
+        let ds = distal_format::Format::parse_levels("xy->xy", "ds", MemKind::Sys).unwrap();
+        compressed
+            .tensor(TensorSpec::new("B", vec![8, 8], ds))
+            .unwrap();
+        assert_ne!(
+            PlanKey::new(&backend, &implicit, &s),
+            PlanKey::new(&backend, &compressed, &s)
+        );
+    }
+
+    #[test]
+    fn failed_plans_move_no_counters_and_cache_nothing() {
+        // No statement -> RuntimeBackend::plan errors. Retrying must not
+        // inflate misses or depress the hit rate.
+        let machine = DistalMachine::flat(Grid::grid2(2, 2), ProcKind::Cpu);
+        let broken = Problem::new(MachineSpec::small(2), machine);
+        let backend = RuntimeBackend::functional();
+        let mut cache = PlanCache::new(4);
+        let s = Schedule::summa(2, 2, 4);
+        for _ in 0..3 {
+            assert!(cache.get_or_plan(&backend, &broken, &s).is_err());
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (0, 0, 0));
+        assert_eq!(stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let backend = RuntimeBackend::model();
+        let mut cache = PlanCache::new(2);
+        let s4 = Schedule::summa(2, 2, 4);
+        let s8 = Schedule::summa(2, 2, 8);
+        let s2 = Schedule::summa(2, 2, 2);
+        let p = problem(16);
+        cache.get_or_plan(&backend, &p, &s4).unwrap();
+        cache.get_or_plan(&backend, &p, &s8).unwrap();
+        // Touch s4 so s8 is the LRU victim.
+        cache.get_or_plan(&backend, &p, &s4).unwrap();
+        cache.get_or_plan(&backend, &p, &s2).unwrap();
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&PlanKey::new(&backend, &p, &s4)).is_some());
+        assert!(cache.get(&PlanKey::new(&backend, &p, &s8)).is_none());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -26,6 +26,16 @@ pub enum CompileError {
     Format(String),
     /// The session has no tensor data where it was required.
     Session(String),
+    /// Explicit tensor data whose length doesn't match the registered
+    /// shape (caught at registration/bind, never silently materialized).
+    DataSize {
+        /// The tensor being seeded.
+        tensor: String,
+        /// Elements the registered shape requires.
+        expected: usize,
+        /// Elements the data provided.
+        got: usize,
+    },
     /// A `substitute` command named a kernel the statement cannot use
     /// (e.g. the GEMM leaf for a non-matmul statement).
     BadSubstitution(String),
@@ -49,6 +59,11 @@ impl fmt::Display for CompileError {
             ),
             CompileError::Format(e) => write!(f, "format error: {e}"),
             CompileError::Session(e) => write!(f, "session error: {e}"),
+            CompileError::DataSize {
+                tensor,
+                expected,
+                got,
+            } => write!(f, "tensor '{tensor}' expects {expected} values, got {got}"),
             CompileError::BadSubstitution(e) => write!(f, "bad substitution: {e}"),
         }
     }

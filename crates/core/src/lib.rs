@@ -60,25 +60,34 @@
 //! ```
 
 pub mod backend;
+pub mod cache;
 pub mod error;
 pub mod kernels;
 pub mod lower;
 pub mod machine;
 pub mod mapper;
 pub mod oracle;
+pub mod plan;
 pub mod problem;
 pub mod report;
 pub mod schedule;
 pub mod session;
 
 /// `Target` is the pipeline-vocabulary alias for [`Backend`]: a `Problem`
-/// compiles against a target into an `Artifact`.
+/// compiles against a target into a `Plan`, then binds into an `Instance`.
 pub use backend::Backend as Target;
-pub use backend::{Artifact, Backend, BackendError, RuntimeArtifact, RuntimeBackend};
+pub use backend::{
+    Backend, BackendError, RuntimeArtifact, RuntimeBackend, RuntimeInstance, RuntimePlan,
+};
+pub use cache::{CacheStats, PlanCache, PlanKey};
 pub use error::CompileError;
 pub use lower::{compile, CompileOptions, CompiledKernel};
 pub use machine::DistalMachine;
 pub use mapper::GridMapper;
+/// `Artifact` is the pre-split name of [`Instance`] (a plan bound to
+/// data); kept as an alias so existing callers read unchanged.
+pub use plan::Instance as Artifact;
+pub use plan::{init_nnz, Bindings, Instance, Plan};
 pub use problem::{random_data, sparse_random_data, Problem, TensorInit};
 pub use report::{Provenance, Report};
 pub use schedule::{LeafKind, SchedCmd, Schedule};

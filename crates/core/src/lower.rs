@@ -36,6 +36,21 @@ use distal_runtime::topology::PhysicalMachine;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
+thread_local! {
+    /// Per-thread count of [`compile`] invocations (schedule application
+    /// + lowering). The plan/bind split's observable invariant: binding
+    /// an already-compiled plan leaves this counter untouched.
+    /// Thread-local so concurrent tests/requests don't perturb each
+    /// other's readings.
+    static COMPILATIONS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// How many times the runtime lowering ([`compile`]) ran on the calling
+/// thread.
+pub fn compile_count() -> u64 {
+    COMPILATIONS.with(|c| c.get())
+}
+
 /// A tensor bound to a region with a format.
 #[derive(Clone, Debug)]
 pub struct TensorBinding {
@@ -126,6 +141,7 @@ pub fn compile(
     schedule: &Schedule,
     options: &CompileOptions,
 ) -> Result<CompiledKernel, CompileError> {
+    COMPILATIONS.with(|c| c.set(c.get() + 1));
     // Extents from tensor dims.
     let mut dims_map = BTreeMap::new();
     for acc in assignment.accesses() {

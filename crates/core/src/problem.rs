@@ -10,9 +10,10 @@
 //! [`Problem::compile`]; schedules stay separate so an autoscheduler can
 //! sweep them over one immutable problem.
 
-use crate::backend::{Artifact, Backend, BackendError};
+use crate::backend::{Backend, BackendError};
 use crate::error::CompileError;
 use crate::machine::DistalMachine;
+use crate::plan::{Bindings, Instance, Plan};
 use crate::schedule::Schedule;
 use crate::session::TensorSpec;
 use distal_ir::expr::Assignment;
@@ -210,14 +211,12 @@ impl Problem {
             .tensors
             .get(name)
             .ok_or_else(|| CompileError::UnknownTensor(name.into()))?;
-        let n = spec.dims.iter().product::<i64>().max(1) as usize;
-        if data.len() != n {
-            return Err(CompileError::Session(format!(
-                "tensor '{name}' expects {n} values, got {}",
-                data.len()
-            )));
-        }
-        self.init.insert(name.into(), TensorInit::Data(data));
+        let init = TensorInit::Data(data);
+        // The typed length check: a mis-sized `Data` initializer would
+        // otherwise materialize silently (`d.clone()` regardless of the
+        // registered shape) and fail much later, inside a backend.
+        init.validate(name, &spec.dims)?;
+        self.init.insert(name.into(), init);
         Ok(self)
     }
 
@@ -294,16 +293,7 @@ impl Problem {
     /// stream to count the surviving entries exactly.
     pub fn nnz_of(&self, name: &str) -> Option<u64> {
         let spec = self.tensors.get(name)?;
-        let volume = spec.dims.iter().product::<i64>().max(1) as u64;
-        match self.init.get(name)? {
-            TensorInit::Value(v) => Some(if v.to_bits() == 0 { 0 } else { volume }),
-            TensorInit::Random(_) => Some(volume),
-            TensorInit::Data(d) => Some(d.iter().filter(|v| v.to_bits() != 0).count() as u64),
-            init @ TensorInit::RandomSparse { .. } => {
-                let data = init.materialize(&spec.dims);
-                Some(data.iter().filter(|v| v.to_bits() != 0).count() as u64)
-            }
-        }
+        Some(crate::plan::init_nnz(self.init.get(name)?, &spec.dims))
     }
 
     /// Fraction of stored elements of a tensor's initial contents (`None`
@@ -352,9 +342,34 @@ impl Problem {
         }
     }
 
+    /// The bindings this problem's own initializers describe — what
+    /// [`Problem::compile`] attaches to the plan it builds.
+    pub fn bindings(&self) -> Bindings {
+        Bindings::from_problem(self)
+    }
+
+    /// Compiles this problem's data-independent part for a schedule onto
+    /// a target backend, producing a reusable [`Plan`] (see
+    /// [`Backend::plan`] and [`crate::cache::PlanCache`]).
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError::Compile`] when no statement was set, plus whatever
+    /// the target's lowering rejects.
+    pub fn plan(
+        &self,
+        target: &dyn Backend,
+        schedule: &Schedule,
+    ) -> Result<Box<dyn Plan>, BackendError> {
+        target.plan(self, schedule)
+    }
+
     /// Compiles this problem for a schedule onto a target backend,
-    /// producing an executable [`Artifact`]. This is the single front
-    /// door: `Problem` → target ([`Backend`]) → [`Artifact`].
+    /// producing an executable [`Instance`]. This is the single-shot
+    /// front door — exactly [`Problem::plan`] followed by [`Plan::bind`]
+    /// on [`Problem::bindings`]; serving paths that reuse shapes should
+    /// hold the plan (or a [`crate::cache::PlanCache`]) and bind
+    /// per-request data instead.
     ///
     /// # Errors
     ///
@@ -364,7 +379,7 @@ impl Problem {
         &self,
         target: &dyn Backend,
         schedule: &Schedule,
-    ) -> Result<Box<dyn Artifact>, BackendError> {
+    ) -> Result<Box<dyn Instance>, BackendError> {
         target.compile(self, schedule)
     }
 }
@@ -452,7 +467,11 @@ mod tests {
         p.tensor(TensorSpec::new("B", vec![2, 2], f)).unwrap();
         assert!(matches!(
             p.set_data("B", vec![1.0]),
-            Err(CompileError::Session(_))
+            Err(CompileError::DataSize {
+                tensor,
+                expected: 4,
+                got: 1,
+            }) if tensor == "B"
         ));
         p.set_data("B", vec![1.0; 4]).unwrap();
         assert_eq!(p.initial_data("B").unwrap(), vec![1.0; 4]);

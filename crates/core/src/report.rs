@@ -7,6 +7,7 @@
 //! The runtime's [`RunStats`] and the SPMD backend's `CommStats` +
 //! α-β `CostReport` both normalize into it.
 
+use crate::cache::CacheStats;
 use distal_runtime::stats::RunStats;
 use std::fmt;
 
@@ -40,6 +41,10 @@ pub struct Report {
     /// Peak transient memory attributable to the phase (scratch or
     /// instance buffers), in bytes. Backends that don't track it report 0.
     pub peak_bytes: u64,
+    /// Plan-cache counters, when a [`crate::cache::PlanCache`] served the
+    /// plan behind this report (see `PlanCache::annotate`). `None` for
+    /// uncached compilations.
+    pub cache: Option<CacheStats>,
 }
 
 impl Report {
@@ -55,6 +60,7 @@ impl Report {
             flops: 0.0,
             tasks: 0,
             peak_bytes: 0,
+            cache: None,
         }
     }
 
@@ -73,6 +79,7 @@ impl Report {
             flops: s.total_flops,
             tasks: s.tasks,
             peak_bytes: s.peak_mem_bytes.values().copied().max().unwrap_or(0),
+            cache: None,
         }
     }
 
@@ -87,6 +94,11 @@ impl Report {
         self.peak_bytes = self.peak_bytes.max(other.peak_bytes);
         if other.provenance == Provenance::Modeled {
             self.provenance = Provenance::Modeled;
+        }
+        // The later phase's cache view wins (it has seen more lookups);
+        // keep ours when the other phase was uncached.
+        if other.cache.is_some() {
+            self.cache = other.cache;
         }
     }
 

@@ -21,6 +21,22 @@
 use distal_ir::cin::ConcreteNotation;
 use distal_ir::expr::IndexVar;
 use distal_ir::transform::ScheduleError;
+use std::fmt;
+
+thread_local! {
+    /// Per-thread count of [`Schedule::apply`] invocations. Together with
+    /// `crate::lower::compile_count` this is the observable "no
+    /// re-lowering" invariant of the plan/bind split: binding a compiled
+    /// plan must leave this counter untouched. Thread-local (compilation
+    /// runs on the caller's thread) so concurrent tests/requests don't
+    /// perturb each other's readings.
+    static APPLICATIONS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// How many times [`Schedule::apply`] ran on the calling thread.
+pub fn apply_count() -> u64 {
+    APPLICATIONS.with(|c| c.get())
+}
 
 /// One scheduling command.
 #[derive(Clone, Debug, PartialEq)]
@@ -264,6 +280,7 @@ impl Schedule {
     ///
     /// Propagates the first failing command's [`ScheduleError`].
     pub fn apply(&self, cin: &mut ConcreteNotation) -> Result<(), ScheduleError> {
+        APPLICATIONS.with(|c| c.set(c.get() + 1));
         for cmd in &self.cmds {
             match cmd {
                 SchedCmd::Divide {
@@ -348,6 +365,15 @@ impl Schedule {
         Ok(())
     }
 
+    /// The stable textual form of the schedule (see the [`fmt::Display`]
+    /// impls): the canonical identity [`crate::cache::PlanKey`] hashes.
+    /// Identically-built schedules render identically; any parameter
+    /// change (chunk sizes, grids, orders, leaf kinds) renders
+    /// differently.
+    pub fn canonical(&self) -> String {
+        self.to_string()
+    }
+
     /// The SUMMA schedule of Figure 2 for `A(i,j) = B(i,k) * C(k,j)` on a
     /// `gx × gy` grid, stepping `k` in chunks of `chunk` — including the
     /// line-40 substitution of the optimized GEMM at the leaves.
@@ -360,6 +386,87 @@ impl Schedule {
             .communicate(&["A"], "jo")
             .communicate(&["B", "C"], "ko")
             .substitute(&["ii", "ji", "ki"], LeafKind::Gemm)
+    }
+}
+
+impl fmt::Display for LeafKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LeafKind::Auto => write!(f, "auto"),
+            LeafKind::Gemm => write!(f, "gemm"),
+            LeafKind::Interpreter => write!(f, "interpreter"),
+        }
+    }
+}
+
+/// The stable textual form of one command, e.g.
+/// `distribute(i,j -> io,jo | ii,ji onto 2x2)`. Used by
+/// [`crate::cache::PlanKey`] and diagnostics; every parameter appears, so
+/// two commands render identically iff they are equal.
+impl fmt::Display for SchedCmd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedCmd::Divide {
+                var,
+                outer,
+                inner,
+                parts,
+            } => write!(f, "divide({var} -> {outer},{inner} into {parts})"),
+            SchedCmd::Split {
+                var,
+                outer,
+                inner,
+                chunk,
+            } => write!(f, "split({var} -> {outer},{inner} chunk {chunk})"),
+            SchedCmd::Reorder(order) => write!(f, "reorder({})", order.join(",")),
+            SchedCmd::Distribute(vars) => write!(f, "distribute({})", vars.join(",")),
+            SchedCmd::DistributeOnto {
+                targets,
+                dist,
+                local,
+                dims,
+            } => write!(
+                f,
+                "distribute({} -> {} | {} onto {})",
+                targets.join(","),
+                dist.join(","),
+                local.join(","),
+                dims.iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join("x")
+            ),
+            SchedCmd::Communicate { tensors, var } => {
+                write!(f, "communicate({} @ {var})", tensors.join(","))
+            }
+            SchedCmd::Rotate {
+                target,
+                over,
+                result,
+            } => write!(f, "rotate({target} over {} -> {result})", over.join(",")),
+            SchedCmd::Parallelize(var) => write!(f, "parallelize({var})"),
+            SchedCmd::Collapse { a, b, fused } => write!(f, "collapse({a},{b} -> {fused})"),
+            SchedCmd::Substitute { vars, leaf } => {
+                write!(f, "substitute({} -> {leaf})", vars.join(","))
+            }
+        }
+    }
+}
+
+/// The stable textual form of a whole schedule: its commands joined with
+/// `; ` (empty schedules render as `(empty)`).
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cmds.is_empty() {
+            return write!(f, "(empty)");
+        }
+        for (i, cmd) in self.cmds.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{cmd}")?;
+        }
+        Ok(())
     }
 }
 
@@ -406,6 +513,61 @@ mod tests {
         let mut cin = matmul_cin(8);
         let s = Schedule::new().divide("zz", "a", "b", 2);
         assert!(s.apply(&mut cin).is_err());
+    }
+
+    #[test]
+    fn display_is_stable_and_parameter_sensitive() {
+        // Two identically-built schedules render identically.
+        let a = Schedule::summa(2, 2, 16);
+        let b = Schedule::summa(2, 2, 16);
+        assert_eq!(a.to_string(), b.to_string());
+        assert_eq!(a.canonical(), b.to_string());
+        // Different chunk sizes render differently.
+        let c = Schedule::summa(2, 2, 8);
+        assert_ne!(a.to_string(), c.to_string());
+        // Different grids render differently.
+        let d = Schedule::summa(4, 1, 16);
+        assert_ne!(a.to_string(), d.to_string());
+        // The compound distribute renders in the documented shape.
+        assert!(
+            a.to_string()
+                .contains("distribute(i,j -> io,jo | ii,ji onto 2x2)"),
+            "{a}"
+        );
+        assert!(a.to_string().contains("split(k -> ko,ki chunk 16)"));
+        assert!(a.to_string().contains("substitute(ii,ji,ki -> gemm)"));
+        // Every command kind renders with all its parameters.
+        let all = Schedule::new()
+            .divide("i", "io", "ii", 2)
+            .reorder(&["io", "ii"])
+            .distribute(&["io"])
+            .communicate(&["A", "B"], "io")
+            .rotate("ko", &["io"], "kos")
+            .parallelize("ii")
+            .collapse("a", "b", "ab")
+            .substitute(&["ii"], LeafKind::Auto);
+        let text = all.to_string();
+        for needle in [
+            "divide(i -> io,ii into 2)",
+            "reorder(io,ii)",
+            "distribute(io)",
+            "communicate(A,B @ io)",
+            "rotate(ko over io -> kos)",
+            "parallelize(ii)",
+            "collapse(a,b -> ab)",
+            "substitute(ii -> auto)",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in `{text}`");
+        }
+        assert_eq!(Schedule::new().to_string(), "(empty)");
+    }
+
+    #[test]
+    fn apply_bumps_the_process_counter() {
+        let before = apply_count();
+        let mut cin = matmul_cin(16);
+        Schedule::summa(2, 2, 4).apply(&mut cin).unwrap();
+        assert!(apply_count() > before);
     }
 
     #[test]

@@ -6,7 +6,15 @@
 //! rebuild grids. Together with `distal_core::RuntimeBackend` they close
 //! the paper's portability claim: the same `Problem` + `Schedule` compiles
 //! onto the dynamic runtime, the static MPI-style program, or a pure cost
-//! model, all behind one [`Artifact`] surface.
+//! model, all behind one [`Plan`]/[`Instance`] surface.
+//!
+//! The plan/bind split maps exactly onto this backend's structure: the
+//! lowered [`SpmdProgram`] — message schedule, collectives, per-rank
+//! programs — is data-independent, so [`SpmdBackend::plan`] lowers once
+//! and [`Plan::bind`] only re-seeds the rank VM's inputs and recomputes
+//! each binding's nnz-derived byte accounting
+//! ([`SpmdProgram::set_tensor_nnz`]); the message schedule is shared,
+//! never re-lowered.
 //!
 //! ```
 //! use distal_core::{DistalMachine, Problem, Schedule, TensorSpec};
@@ -37,10 +45,11 @@ use crate::cost::AlphaBeta;
 use crate::lower::{lower_with, SpmdError, SpmdTensor};
 use crate::ops::SpmdOp;
 use crate::program::{SpmdProgram, SpmdResult};
-use distal_core::backend::{Artifact, Backend, BackendError};
-use distal_core::{Problem, Provenance, Report, RuntimeBackend, Schedule, TensorInit};
-use distal_ir::expr::Assignment;
+use distal_core::backend::{Backend, BackendError};
+use distal_core::plan::{init_nnz, Bindings, Instance, Plan};
+use distal_core::{Problem, Provenance, Report, RuntimeBackend, Schedule, TensorInit, TensorSpec};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Derives the SPMD tensor descriptions from a problem's registry,
 /// including each initialized tensor's nnz (the input to nnz-sized
@@ -57,10 +66,22 @@ pub fn problem_tensors(problem: &Problem) -> Vec<SpmdTensor> {
         .collect()
 }
 
+/// The *data-independent* SPMD tensor descriptions of a problem's
+/// registry: shapes + formats, nnz unknown. This is what plans lower
+/// against — binding attaches each request's nnz afterwards.
+fn problem_tensor_shapes(problem: &Problem) -> Vec<SpmdTensor> {
+    problem
+        .tensors()
+        .values()
+        .map(|s| SpmdTensor::new(s.name.clone(), s.dims.clone(), s.format.clone()))
+        .collect()
+}
+
 /// Lowers a problem's statement for a schedule onto the problem machine's
 /// (flattened) grid, with explicit collective configuration. The shared
 /// registry path every test/bench should use instead of hand-building
-/// [`SpmdTensor`] lists.
+/// [`SpmdTensor`] lists. (Unlike the plan path, this bakes the problem's
+/// own initializer nnz into the program's static accounting.)
 ///
 /// # Errors
 ///
@@ -93,24 +114,94 @@ fn backend_err(e: SpmdError) -> BackendError {
     }
 }
 
-/// Gathers the VM inputs for every right-hand-side tensor from the
-/// problem's initializers. Tensors without one are reported back so the
-/// artifact can fail at `execute()` — exactly where the dynamic runtime
-/// surfaces uninitialized data — instead of silently zero-filling.
-fn vm_inputs(
+/// The shared plan-side lowering of [`SpmdBackend`] and the α-β
+/// [`CostBackend`]: the problem's statement over its *data-independent*
+/// tensor shapes on the machine's flattened grid.
+fn plan_program(
     problem: &Problem,
-    assignment: &Assignment,
+    schedule: &Schedule,
+    collectives: &CollectiveConfig,
+) -> Result<SpmdProgram, BackendError> {
+    let assignment = problem.assignment().ok_or_else(|| {
+        BackendError::Compile(distal_core::CompileError::Expression(
+            "problem has no statement".into(),
+        ))
+    })?;
+    lower_with(
+        assignment,
+        &problem_tensor_shapes(problem),
+        &problem.machine().grid(),
+        schedule,
+        collectives,
+    )
+    .map_err(backend_err)
+}
+
+/// Rejects output initializers the rank VM would silently drop: it
+/// always starts output accumulators and home pieces at zero, so only an
+/// absent initializer or an explicit zero fill is faithful.
+fn check_output_binding(out: &str, bindings: &Bindings) -> Result<(), BackendError> {
+    match bindings.get(out) {
+        None => Ok(()),
+        // A zero fill matches the VM's starting state exactly.
+        Some(TensorInit::Value(v)) if *v == 0.0 => Ok(()),
+        Some(init) => Err(BackendError::Unsupported(format!(
+            "the SPMD backend starts output '{out}' at zero; its initializer \
+             ({init:?}) would be ignored"
+        ))),
+    }
+}
+
+/// The program a binding executes and prices against: the plan's shared
+/// program as-is when every tensor is dense (nnz cannot affect message
+/// pricing then), otherwise a copy carrying this binding's exact
+/// per-tensor stored-entry counts — bound tensors get their request's
+/// nnz (via `nnz_of`, so callers that already materialized the data can
+/// count from the buffer instead of regenerating the stream), unbound
+/// tensors keep the dense assumption. Purely an accounting update; never
+/// re-lowers, and never mutates the shared plan. (The copy is
+/// O(program); a per-instance sparsity overlay consulted by the pricing
+/// paths would make this O(tensors), at the cost of threading the
+/// overlay through `message_bytes`/`stats`/`cost`.)
+fn bound_program(
+    shared: &Arc<SpmdProgram>,
+    tensors: &BTreeMap<String, TensorSpec>,
+    nnz_of: impl Fn(&str, &TensorSpec) -> Option<u64>,
+) -> Arc<SpmdProgram> {
+    if !tensors.values().any(|s| s.format.has_compressed()) {
+        return Arc::clone(shared);
+    }
+    let mut program = (**shared).clone();
+    for (name, spec) in tensors {
+        program.set_tensor_nnz(name, nnz_of(name, spec));
+    }
+    Arc::new(program)
+}
+
+/// Counts stored (nonzero-bit-pattern) entries of materialized data.
+fn data_nnz(data: &[f64]) -> u64 {
+    data.iter().filter(|v| v.to_bits() != 0).count() as u64
+}
+
+/// Gathers the VM inputs for every right-hand-side tensor from the
+/// bindings. Tensors without one are reported back so the instance can
+/// fail at `execute()` — exactly where the dynamic runtime surfaces
+/// uninitialized data — instead of silently zero-filling.
+fn vm_inputs(
+    tensors: &BTreeMap<String, TensorSpec>,
+    program: &SpmdProgram,
+    bindings: &Bindings,
 ) -> (BTreeMap<String, Vec<f64>>, Vec<String>) {
     let mut inputs = BTreeMap::new();
     let mut missing = Vec::new();
-    for acc in assignment.input_accesses() {
-        if inputs.contains_key(&acc.tensor) || acc.tensor == assignment.lhs.tensor {
+    for acc in program.assignment.input_accesses() {
+        if inputs.contains_key(&acc.tensor) || acc.tensor == program.assignment.lhs.tensor {
             continue;
         }
-        if problem.tensor_spec(&acc.tensor).is_some() {
-            match problem.initial_data(&acc.tensor) {
-                Some(data) => {
-                    inputs.insert(acc.tensor.clone(), data);
+        if let Some(spec) = tensors.get(&acc.tensor) {
+            match bindings.get(&acc.tensor) {
+                Some(init) => {
+                    inputs.insert(acc.tensor.clone(), init.materialize(&spec.dims));
                 }
                 None => missing.push(acc.tensor.clone()),
             }
@@ -156,6 +247,7 @@ fn program_report(
         flops: program.total_flops,
         tasks: count_tasks(program),
         peak_bytes,
+        cache: None,
     }
 }
 
@@ -199,31 +291,63 @@ impl Backend for SpmdBackend {
         "spmd"
     }
 
-    fn compile(
-        &self,
-        problem: &Problem,
-        schedule: &Schedule,
-    ) -> Result<Box<dyn Artifact>, BackendError> {
-        // The rank VM always starts output accumulators and home pieces
-        // at zero; a nonzero output initializer would be honored by the
-        // runtime backend but silently dropped here — reject it.
-        if let Some(assignment) = problem.assignment() {
-            let out = &assignment.lhs.tensor;
-            match problem.init_of(out) {
-                None => {}
-                // A zero fill matches the VM's starting state exactly.
-                Some(TensorInit::Value(v)) if *v == 0.0 => {}
-                Some(init) => {
-                    return Err(BackendError::Unsupported(format!(
-                        "the SPMD backend starts output '{out}' at zero; its initializer \
-                         ({init:?}) would be ignored"
-                    )))
-                }
+    fn config_fingerprint(&self) -> String {
+        // Collectives shape the lowered message schedule; the α-β model
+        // prices every bound instance's reports.
+        format!("{:?};{:?}", self.collectives, self.model)
+    }
+
+    fn plan(&self, problem: &Problem, schedule: &Schedule) -> Result<Box<dyn Plan>, BackendError> {
+        let program = plan_program(problem, schedule, &self.collectives)?;
+        Ok(Box::new(SpmdPlan {
+            tensors: problem.tensors().clone(),
+            program: Arc::new(program),
+            model: self.model,
+        }))
+    }
+}
+
+/// A data-independent SPMD plan: the lowered per-rank message schedule +
+/// the registry it was lowered against. Binding re-seeds the rank VM and
+/// attaches per-request nnz accounting — the program is never re-lowered.
+pub struct SpmdPlan {
+    tensors: BTreeMap<String, TensorSpec>,
+    // Shared with every all-dense instance; compressed bindings get a
+    // per-instance copy carrying their nnz (see `bound_program`).
+    program: Arc<SpmdProgram>,
+    model: AlphaBeta,
+}
+
+impl SpmdPlan {
+    /// The shared lowered program (messages, collectives, cost).
+    pub fn program(&self) -> &SpmdProgram {
+        &self.program
+    }
+}
+
+impl Plan for SpmdPlan {
+    fn backend(&self) -> &str {
+        "spmd"
+    }
+
+    fn tensors(&self) -> &BTreeMap<String, TensorSpec> {
+        &self.tensors
+    }
+
+    fn bind(&self, bindings: &Bindings) -> Result<Box<dyn Instance>, BackendError> {
+        bindings.validate(&self.tensors)?;
+        check_output_binding(&self.program.assignment.lhs.tensor, bindings)?;
+        let (inputs, missing) = vm_inputs(&self.tensors, &self.program, bindings);
+        // Count nnz from the already-materialized VM inputs where
+        // possible — materializing a RandomSparse stream once, not twice.
+        let program = bound_program(&self.program, &self.tensors, |name, spec| {
+            if let Some(data) = inputs.get(name) {
+                Some(data_nnz(data))
+            } else {
+                bindings.get(name).map(|init| init_nnz(init, &spec.dims))
             }
-        }
-        let program = lower_problem(problem, schedule, &self.collectives).map_err(backend_err)?;
-        let (inputs, missing) = vm_inputs(problem, &program.assignment);
-        Ok(Box::new(SpmdArtifact {
+        });
+        Ok(Box::new(SpmdInstance {
             program,
             inputs,
             missing_inputs: missing,
@@ -233,28 +357,33 @@ impl Backend for SpmdBackend {
     }
 }
 
-/// A compiled SPMD program plus its inputs and (after execution) result.
-pub struct SpmdArtifact {
-    program: SpmdProgram,
+/// A bound SPMD program plus its inputs and (after execution) result.
+/// (`SpmdArtifact` is the pre-split alias.)
+pub struct SpmdInstance {
+    program: Arc<SpmdProgram>,
     inputs: BTreeMap<String, Vec<f64>>,
     missing_inputs: Vec<String>,
     model: AlphaBeta,
     result: Option<SpmdResult>,
 }
 
-impl SpmdArtifact {
-    /// The lowered per-rank program (messages, collectives, cost).
+/// Pre-split name of [`SpmdInstance`].
+pub type SpmdArtifact = SpmdInstance;
+
+impl SpmdInstance {
+    /// The lowered per-rank program (messages, collectives, cost), with
+    /// this binding's nnz accounting applied.
     pub fn program(&self) -> &SpmdProgram {
         &self.program
     }
 
-    /// The VM result, once [`Artifact::execute`] ran.
+    /// The VM result, once [`Instance::execute`] ran.
     pub fn result(&self) -> Option<&SpmdResult> {
         self.result.as_ref()
     }
 }
 
-impl Artifact for SpmdArtifact {
+impl Instance for SpmdInstance {
     fn backend(&self) -> &str {
         "spmd"
     }
@@ -329,8 +458,9 @@ pub enum CostModel {
 /// A pure estimation target: compiles the problem but never touches
 /// numerics — `execute()` returns a modeled [`Report`], `read()` always
 /// fails with [`BackendError::NoData`]. This is the backend the
-/// autoscheduler's `score_with` path plugs in to rank candidates under
-/// either cost model.
+/// autoscheduler's `search_with` path plugs in to rank candidates under
+/// either cost model (through its plan cache: candidates re-scored under
+/// the same key reuse their lowering).
 #[derive(Clone, Debug)]
 pub struct CostBackend {
     /// The pricing model.
@@ -369,21 +499,24 @@ impl Backend for CostBackend {
         "cost"
     }
 
-    fn compile(
-        &self,
-        problem: &Problem,
-        schedule: &Schedule,
-    ) -> Result<Box<dyn Artifact>, BackendError> {
+    fn config_fingerprint(&self) -> String {
+        // The pricing model decides what a plan *is* (a wrapped runtime
+        // sim vs a lowered program), and the collectives shape the α-β
+        // lowering.
+        format!("{:?};{:?}", self.model, self.collectives)
+    }
+
+    fn plan(&self, problem: &Problem, schedule: &Schedule) -> Result<Box<dyn Plan>, BackendError> {
         match &self.model {
             CostModel::RuntimeSim => {
-                let inner = RuntimeBackend::model().compile(problem, schedule)?;
-                Ok(Box::new(CostArtifact::Sim(inner)))
+                let inner = RuntimeBackend::model().plan(problem, schedule)?;
+                Ok(Box::new(CostPlan::Sim(inner)))
             }
             CostModel::AlphaBeta(model) => {
-                let program =
-                    lower_problem(problem, schedule, &self.collectives).map_err(backend_err)?;
-                Ok(Box::new(CostArtifact::AlphaBeta {
-                    program: Box::new(program),
+                let program = plan_program(problem, schedule, &self.collectives)?;
+                Ok(Box::new(CostPlan::AlphaBeta {
+                    tensors: problem.tensors().clone(),
+                    program: Arc::new(program),
                     model: *model,
                 }))
             }
@@ -391,45 +524,99 @@ impl Backend for CostBackend {
     }
 }
 
-/// A [`CostBackend`] artifact: estimation only, no numerics.
-pub enum CostArtifact {
-    /// Wraps a model-mode runtime artifact.
-    Sim(Box<dyn Artifact>),
-    /// Prices a statically lowered program without running the VM.
+/// A [`CostBackend`] plan: either a wrapped model-mode runtime plan or a
+/// statically lowered program awaiting per-binding nnz accounting.
+pub enum CostPlan {
+    /// Wraps a model-mode runtime plan.
+    Sim(Box<dyn Plan>),
+    /// A lowered program priced without running the VM.
     AlphaBeta {
-        /// The lowered program.
-        program: Box<SpmdProgram>,
+        /// The registry the program was lowered against.
+        tensors: BTreeMap<String, TensorSpec>,
+        /// The shared lowered program (instances with compressed
+        /// bindings get a per-instance copy; see `bound_program`).
+        program: Arc<SpmdProgram>,
         /// The α-β parameters.
         model: AlphaBeta,
     },
 }
 
-impl Artifact for CostArtifact {
+impl Plan for CostPlan {
+    fn backend(&self) -> &str {
+        "cost"
+    }
+
+    fn tensors(&self) -> &BTreeMap<String, TensorSpec> {
+        match self {
+            CostPlan::Sim(inner) => inner.tensors(),
+            CostPlan::AlphaBeta { tensors, .. } => tensors,
+        }
+    }
+
+    fn bind(&self, bindings: &Bindings) -> Result<Box<dyn Instance>, BackendError> {
+        match self {
+            CostPlan::Sim(inner) => Ok(Box::new(CostInstance::Sim(inner.bind(bindings)?))),
+            CostPlan::AlphaBeta {
+                tensors,
+                program,
+                model,
+            } => {
+                bindings.validate(tensors)?;
+                let program = bound_program(program, tensors, |name, spec| {
+                    bindings.get(name).map(|init| init_nnz(init, &spec.dims))
+                });
+                Ok(Box::new(CostInstance::AlphaBeta {
+                    program,
+                    model: *model,
+                }))
+            }
+        }
+    }
+}
+
+/// A [`CostBackend`] instance: estimation only, no numerics.
+/// (`CostArtifact` is the pre-split alias.)
+pub enum CostInstance {
+    /// Wraps a model-mode runtime instance.
+    Sim(Box<dyn Instance>),
+    /// Prices a statically lowered program without running the VM.
+    AlphaBeta {
+        /// The lowered program (this binding's nnz accounting applied).
+        program: Arc<SpmdProgram>,
+        /// The α-β parameters.
+        model: AlphaBeta,
+    },
+}
+
+/// Pre-split name of [`CostInstance`].
+pub type CostArtifact = CostInstance;
+
+impl Instance for CostInstance {
     fn backend(&self) -> &str {
         "cost"
     }
 
     fn place(&mut self) -> Result<Report, BackendError> {
         match self {
-            CostArtifact::Sim(inner) => {
+            CostInstance::Sim(inner) => {
                 let mut r = inner.place()?;
                 r.backend = "cost".into();
                 r.provenance = Provenance::Modeled;
                 Ok(r)
             }
-            CostArtifact::AlphaBeta { .. } => Ok(Report::empty("cost", Provenance::Modeled)),
+            CostInstance::AlphaBeta { .. } => Ok(Report::empty("cost", Provenance::Modeled)),
         }
     }
 
     fn execute(&mut self) -> Result<Report, BackendError> {
         match self {
-            CostArtifact::Sim(inner) => {
+            CostInstance::Sim(inner) => {
                 let mut r = inner.execute()?;
                 r.backend = "cost".into();
                 r.provenance = Provenance::Modeled;
                 Ok(r)
             }
-            CostArtifact::AlphaBeta { program, model } => Ok(program_report(
+            CostInstance::AlphaBeta { program, model } => Ok(program_report(
                 "cost",
                 Provenance::Modeled,
                 program,
@@ -441,13 +628,13 @@ impl Artifact for CostArtifact {
     }
 
     fn read(&self, tensor: &str) -> Result<Vec<f64>, BackendError> {
-        // Honor the Artifact contract: unknown names are unknown-tensor
+        // Honor the Instance contract: unknown names are unknown-tensor
         // errors; only registered tensors report no-data.
         let known = match self {
-            // The model-mode runtime artifact already distinguishes the
+            // The model-mode runtime instance already distinguishes the
             // two; its NoData message is as good as ours.
-            CostArtifact::Sim(inner) => return inner.read(tensor),
-            CostArtifact::AlphaBeta { program, .. } => {
+            CostInstance::Sim(inner) => return inner.read(tensor),
+            CostInstance::AlphaBeta { program, .. } => {
                 program.tensors.iter().any(|t| t.name == tensor)
             }
         };
@@ -502,6 +689,50 @@ mod tests {
     }
 
     #[test]
+    fn one_spmd_plan_binds_many_without_relowering() {
+        let p = matmul_problem(8);
+        let plan = SpmdBackend::new()
+            .plan(&p, &Schedule::summa(2, 2, 4))
+            .unwrap();
+        let lowerings = crate::lower::lower_count();
+        let mut outputs = Vec::new();
+        for seed in [3u64, 4u64] {
+            let mut b = Bindings::new();
+            b.fill_random("B", seed).fill_random("C", seed + 10);
+            let mut inst = plan.bind(&b).unwrap();
+            inst.run().unwrap();
+            outputs.push(inst.read("A").unwrap());
+        }
+        assert_eq!(crate::lower::lower_count(), lowerings);
+        assert_ne!(outputs[0], outputs[1]);
+    }
+
+    #[test]
+    fn differently_configured_backends_never_share_cached_plans() {
+        // Same backend *name*, different collective configuration: the
+        // cache must miss twice and serve each caller its own lowering
+        // (the point-to-point program keeps the naive owner fans).
+        let p = matmul_problem(8);
+        let schedule = Schedule::summa(2, 2, 4);
+        let tree = SpmdBackend::new();
+        let naive = SpmdBackend::new().with_collectives(CollectiveConfig::point_to_point());
+        let mut cache = distal_core::PlanCache::new(8);
+        cache.get_or_plan(&tree, &p, &schedule).unwrap();
+        cache.get_or_plan(&naive, &p, &schedule).unwrap();
+        assert_eq!(cache.stats().misses, 2, "configs must split keys");
+        assert_eq!(cache.stats().hits, 0);
+        // And runtime functional vs model likewise.
+        let mut cache = distal_core::PlanCache::new(8);
+        cache
+            .get_or_plan(&RuntimeBackend::functional(), &p, &schedule)
+            .unwrap();
+        cache
+            .get_or_plan(&RuntimeBackend::model(), &p, &schedule)
+            .unwrap();
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
     fn cost_backends_estimate_without_numerics() {
         let p = matmul_problem(16);
         let schedule = Schedule::summa(2, 2, 8);
@@ -544,7 +775,7 @@ mod tests {
     #[test]
     fn nonzero_output_initializer_rejected() {
         // The VM starts outputs at zero; a nonzero initializer would be
-        // silently dropped, so compile refuses it (a zero fill is fine).
+        // silently dropped, so binding refuses it (a zero fill is fine).
         let mut p = matmul_problem(8);
         p.fill("A", 0.0).unwrap();
         assert!(p

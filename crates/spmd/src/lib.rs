@@ -89,11 +89,12 @@ pub mod stats;
 pub mod vm;
 
 pub use backend::{
-    lower_problem, problem_tensors, CostArtifact, CostBackend, CostModel, SpmdArtifact, SpmdBackend,
+    lower_problem, problem_tensors, CostArtifact, CostBackend, CostInstance, CostModel, CostPlan,
+    SpmdArtifact, SpmdBackend, SpmdInstance, SpmdPlan,
 };
 pub use collective::{Collective, CollectiveConfig, CollectiveKind, Topology};
 pub use cost::{AlphaBeta, CostReport};
-pub use lower::{lower, lower_with, SpmdError, SpmdTensor};
+pub use lower::{lower, lower_count, lower_with, SpmdError, SpmdTensor};
 pub use ops::{Message, SpmdOp};
 pub use program::{SpmdProgram, SpmdResult};
 pub use stats::CommStats;

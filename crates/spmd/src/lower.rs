@@ -92,7 +92,7 @@ impl TensorSparsity {
     }
 }
 
-fn sparsity_of(tensor: &SpmdTensor) -> TensorSparsity {
+pub(crate) fn sparsity_of(tensor: &SpmdTensor) -> TensorSparsity {
     let volume = tensor.dims.iter().product::<i64>().max(1) as u64;
     TensorSparsity {
         compressed: tensor.format.has_compressed(),
@@ -100,6 +100,20 @@ fn sparsity_of(tensor: &SpmdTensor) -> TensorSparsity {
         volume,
         inner: tensor.dims.last().copied().unwrap_or(1).max(1) as u64,
     }
+}
+
+thread_local! {
+    /// Per-thread count of [`lower_with`] invocations (schedule
+    /// application + static communication solving). The plan/bind split's
+    /// observable invariant on this backend: binding an already-lowered
+    /// plan leaves this counter untouched. Thread-local so concurrent
+    /// tests/requests don't perturb each other's readings.
+    static LOWERINGS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// How many times the SPMD lowering ran on the calling thread.
+pub fn lower_count() -> u64 {
+    LOWERINGS.with(|c| c.get())
 }
 
 /// Errors from SPMD lowering and execution.
@@ -268,6 +282,7 @@ pub fn lower_with(
     schedule: &Schedule,
     collectives: &CollectiveConfig,
 ) -> Result<SpmdProgram, SpmdError> {
+    LOWERINGS.with(|c| c.set(c.get() + 1));
     let by_name: BTreeMap<&str, &SpmdTensor> =
         tensors.iter().map(|t| (t.name.as_str(), t)).collect();
     let mut dims_map = BTreeMap::new();

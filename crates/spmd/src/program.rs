@@ -158,6 +158,20 @@ impl SpmdProgram {
         steps
     }
 
+    /// Overrides one tensor's stored-entry count and refreshes its
+    /// [`TensorSparsity`] accordingly (`None` restores the dense
+    /// assumption). This is how plan binding attaches *per-instance*
+    /// nnz-derived byte accounting to a shared, data-independent lowered
+    /// program: the message schedule is untouched (nnz never shapes the
+    /// lowering, only the pricing), so no re-lowering happens.
+    pub fn set_tensor_nnz(&mut self, name: &str, nnz: Option<u64>) {
+        if let Some(t) = self.tensors.iter_mut().find(|t| t.name == name) {
+            t.nnz = nnz;
+            self.sparsity
+                .insert(name.to_string(), crate::lower::sparsity_of(t));
+        }
+    }
+
     /// The tensor description of `name`.
     fn tensor(&self, name: &str) -> Result<&SpmdTensor, SpmdError> {
         self.tensors

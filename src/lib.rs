@@ -72,8 +72,9 @@ pub mod prelude {
     pub use distal_algs::matmul::MatmulAlgorithm;
     pub use distal_algs::setup::RunConfig;
     pub use distal_core::{
-        Artifact, Backend, BackendError, CompileError, CompiledKernel, DistalMachine, LeafKind,
-        Problem, Provenance, Report, RuntimeBackend, Schedule, Session, TensorInit, TensorSpec,
+        Artifact, Backend, BackendError, Bindings, CacheStats, CompileError, CompiledKernel,
+        DistalMachine, Instance, LeafKind, Plan, PlanCache, PlanKey, Problem, Provenance, Report,
+        RuntimeBackend, Schedule, Session, TensorInit, TensorSpec,
     };
     pub use distal_format::{Format, LevelFormat, TensorDistribution};
     pub use distal_ir::expr::Assignment;

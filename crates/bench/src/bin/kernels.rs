@@ -1,0 +1,71 @@
+//! Interpreted-vs-generated leaf kernel flop-rate comparison; writes
+//! `BENCH_kernels.json` at the repo root.
+//!
+//! Usage: `cargo run --release -p distal-bench --bin kernels \
+//!   [--assert-speedup X] [--gemm N] [--einsum N] [--spmv N] [--reps R]`
+//!
+//! `--assert-speedup X` exits nonzero unless the generated dense GEMM
+//! reaches `X`× the interpreted flop rate — the kernelgen-regression gate
+//! CI runs. Output parity (bit-identical interpreted vs generated
+//! results) is always enforced.
+
+use distal_bench::kernels;
+
+fn main() {
+    let mut assert_speedup: Option<f64> = None;
+    let (mut gemm_n, mut einsum_n, mut spmv_n, mut reps) = (96i64, 16i64, 384i64, 3usize);
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut num = |name: &str| {
+            args.next()
+                .and_then(|s| s.parse::<f64>().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("{name} requires a numeric value");
+                    std::process::exit(2);
+                })
+        };
+        match a.as_str() {
+            "--assert-speedup" => assert_speedup = Some(num("--assert-speedup")),
+            "--gemm" => gemm_n = num("--gemm") as i64,
+            "--einsum" => einsum_n = num("--einsum") as i64,
+            "--spmv" => spmv_n = num("--spmv") as i64,
+            "--reps" => reps = num("--reps") as usize,
+            other => eprintln!("ignoring unrecognized argument '{other}'"),
+        }
+    }
+
+    let rows = kernels::kernels_bench(gemm_n, einsum_n, spmv_n, reps);
+    let measured = rows
+        .iter()
+        .find(|r| r.workload == "gemm")
+        .map(|r| r.generated_gflops)
+        .unwrap_or(0.0);
+    let calibration = kernels::calibrate(measured.max(1e-3));
+    print!("{}", kernels::render(&rows, &calibration));
+    let json = kernels::to_json(&rows, &calibration);
+    let path = std::path::Path::new("BENCH_kernels.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+
+    if rows.iter().any(|r| !r.verified) {
+        eprintln!("generated kernels diverged from the interpreter; see table");
+        std::process::exit(1);
+    }
+    if let Some(threshold) = assert_speedup {
+        let gemm_speedup = rows
+            .iter()
+            .filter(|r| r.workload == "gemm")
+            .map(|r| r.speedup)
+            .fold(f64::MIN, f64::max);
+        if gemm_speedup < threshold {
+            eprintln!(
+                "kernelgen speedup regression: generated dense GEMM is {gemm_speedup:.2}x \
+                 the interpreter, required {threshold:.2}x"
+            );
+            std::process::exit(3);
+        }
+        println!("speedup assertion passed: {gemm_speedup:.2}x >= {threshold:.2}x");
+    }
+}

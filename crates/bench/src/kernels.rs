@@ -1,0 +1,386 @@
+//! Interpreted-vs-generated leaf kernel benchmark: host wall-clock flop
+//! rates of the same statements executed through the per-point
+//! [`InterpreterKernel`](distal_core::kernels::InterpreterKernel) and
+//! through the plan-time specialized kernels
+//! ([`distal_core::kernelgen`]): the tiled dense GEMM, the tape-compiled
+//! three-input einsum, and the CSR-specialized SpMV.
+//!
+//! Each measurement runs the full single-rank pipeline twice — once with
+//! the leaf forced to the interpreter via `substitute(.., Interpreter)`,
+//! once with the default plan-time specialization — on identical data,
+//! verifies the outputs are bit-identical (the kernelgen contract), and
+//! reports both flop rates. The dense-GEMM speedup is the CI gate
+//! (`--assert-speedup`); the measured generated rate also feeds
+//! [`MachineSpec::with_cpu_socket_gflops`] so the cost models price real
+//! per-core throughput instead of the Lassen constant.
+
+use distal_core::{DistalMachine, LeafKind, Problem, Report, RuntimeBackend, Schedule, TensorSpec};
+use distal_format::Format;
+use distal_machine::grid::Grid;
+use distal_machine::spec::{MachineSpec, MemKind, ProcKind};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One interpreted-vs-generated comparison.
+#[derive(Clone, Debug)]
+pub struct KernelBenchRow {
+    /// Workload name: `gemm`, `einsum3`, or `spmv`.
+    pub workload: String,
+    /// Problem side length.
+    pub n: i64,
+    /// Floating-point work of one execution.
+    pub flops: f64,
+    /// Best wall-clock seconds through the interpreter leaf.
+    pub interpreted_s: f64,
+    /// Best wall-clock seconds through the generated leaf.
+    pub generated_s: f64,
+    /// Interpreter flop rate, GFLOP/s.
+    pub interpreted_gflops: f64,
+    /// Generated-kernel flop rate, GFLOP/s.
+    pub generated_gflops: f64,
+    /// `interpreted_s / generated_s`.
+    pub speedup: f64,
+    /// The kernel variant the generated run actually dispatched.
+    pub variant: String,
+    /// Whether both paths produced bit-identical outputs.
+    pub verified: bool,
+}
+
+/// Cost-model recalibration from the measured generated-GEMM rate.
+#[derive(Clone, Debug)]
+pub struct Calibration {
+    /// Generated dense-GEMM rate measured on one host core, GFLOP/s.
+    pub measured_core_gflops: f64,
+    /// The spec's default per-socket rate (Lassen's 375.0).
+    pub default_socket_gflops: f64,
+    /// `measured_core_gflops × cores_per_socket` — what the builder
+    /// installs.
+    pub calibrated_socket_gflops: f64,
+    /// Reference SUMMA makespan priced with the default spec, seconds.
+    pub default_makespan_s: f64,
+    /// The same problem priced with the calibrated spec, seconds.
+    pub calibrated_makespan_s: f64,
+}
+
+fn single_rank_problem(statement: &str, tensors: &[(&str, Vec<i64>, Format)]) -> Problem {
+    let machine = DistalMachine::flat(Grid::line(1), ProcKind::Cpu);
+    let mut problem = Problem::new(MachineSpec::small(1), machine);
+    problem.statement(statement).unwrap();
+    for (name, dims, format) in tensors {
+        problem
+            .tensor(TensorSpec::new(*name, dims.clone(), format.clone()))
+            .unwrap();
+    }
+    problem
+}
+
+/// Dense matmul `A(i,j) = B(i,k) * C(k,j)` whole on one rank.
+fn gemm_problem(n: i64) -> Problem {
+    let tiles = Format::parse("xy->x", MemKind::Sys).unwrap();
+    let mut p = single_rank_problem(
+        "A(i,j) = B(i,k) * C(k,j)",
+        &[
+            ("A", vec![n, n], tiles.clone()),
+            ("B", vec![n, n], tiles.clone()),
+            ("C", vec![n, n], tiles),
+        ],
+    );
+    p.fill_random("B", 0xB).unwrap();
+    p.fill_random("C", 0xC).unwrap();
+    p
+}
+
+/// Three-input chain contraction `A(i,l) = B(i,j) * C(j,k) * D(k,l)` —
+/// no monomorphized fast path matches, so this measures the tape
+/// compiler against per-point AST interpretation.
+fn einsum3_problem(n: i64) -> Problem {
+    let tiles = Format::parse("xy->x", MemKind::Sys).unwrap();
+    let mut p = single_rank_problem(
+        "A(i,l) = B(i,j) * C(j,k) * D(k,l)",
+        &[
+            ("A", vec![n, n], tiles.clone()),
+            ("B", vec![n, n], tiles.clone()),
+            ("C", vec![n, n], tiles.clone()),
+            ("D", vec![n, n], tiles),
+        ],
+    );
+    p.fill_random("B", 0xB).unwrap();
+    p.fill_random("C", 0xC).unwrap();
+    p.fill_random("D", 0xD).unwrap();
+    p
+}
+
+/// CSR SpMV `a(i) = B(i,j) * c(j)` with B compressed at `density`.
+fn spmv_problem(n: i64, density: f64) -> Problem {
+    let mut p = single_rank_problem(
+        "a(i) = B(i,j) * c(j)",
+        &[
+            ("a", vec![n], Format::parse("x->x", MemKind::Sys).unwrap()),
+            (
+                "B",
+                vec![n, n],
+                Format::parse_levels("xy->x", "ds", MemKind::Sys).unwrap(),
+            ),
+            ("c", vec![n], Format::undistributed_in(MemKind::Global)),
+        ],
+    );
+    p.fill_random_sparse("B", 0xB, density).unwrap();
+    p.fill_random("c", 0xC).unwrap();
+    p
+}
+
+/// Compiles + places + executes once per rep, returning the best
+/// wall-clock execute time, the output read, and the last report.
+fn timed(
+    problem: &Problem,
+    schedule: &Schedule,
+    out: &str,
+    reps: usize,
+) -> (f64, Vec<f64>, Report) {
+    let backend = RuntimeBackend::functional();
+    let mut best = f64::INFINITY;
+    let mut data = Vec::new();
+    let mut report = None;
+    for _ in 0..reps.max(1) {
+        let mut art = problem.compile(&backend, schedule).expect("bench compile");
+        art.place().expect("bench placement");
+        let t0 = Instant::now();
+        let r = art.execute().expect("bench execute");
+        best = best.min(t0.elapsed().as_secs_f64());
+        data = art.read(out).expect("bench output");
+        report = Some(r);
+    }
+    (best, data, report.expect("at least one rep"))
+}
+
+/// The kernel variant that did the run's flops (ignores zero-flop helper
+/// kernels like fills).
+fn dominant_variant(report: &Report) -> String {
+    report
+        .kernel_classes
+        .iter()
+        .max_by(|a, b| a.1.flops.total_cmp(&b.1.flops))
+        .map(|(name, _)| name.clone())
+        .unwrap_or_default()
+}
+
+/// Benchmarks one workload: interpreter-forced vs default specialization.
+fn bench_one(workload: &str, problem: &Problem, n: i64, out: &str, reps: usize) -> KernelBenchRow {
+    let generated_schedule = Schedule::new();
+    let interpreter_schedule = Schedule::new().substitute(&["i"], LeafKind::Interpreter);
+    let (interpreted_s, interp_data, _) = timed(problem, &interpreter_schedule, out, reps);
+    let (generated_s, gen_data, report) = timed(problem, &generated_schedule, out, reps);
+    let verified = interp_data.len() == gen_data.len()
+        && interp_data
+            .iter()
+            .zip(&gen_data)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    let flops = report.flops;
+    KernelBenchRow {
+        workload: workload.to_string(),
+        n,
+        flops,
+        interpreted_s,
+        generated_s,
+        interpreted_gflops: flops / interpreted_s.max(1e-12) / 1e9,
+        generated_gflops: flops / generated_s.max(1e-12) / 1e9,
+        speedup: interpreted_s / generated_s.max(1e-12),
+        variant: dominant_variant(&report),
+        verified,
+    }
+}
+
+/// The default sweep: dense GEMM, the three-input einsum, and CSR SpMV.
+pub fn kernels_bench(gemm_n: i64, einsum_n: i64, spmv_n: i64, reps: usize) -> Vec<KernelBenchRow> {
+    vec![
+        bench_one("gemm", &gemm_problem(gemm_n), gemm_n, "A", reps),
+        bench_one("einsum3", &einsum3_problem(einsum_n), einsum_n, "A", reps),
+        bench_one("spmv", &spmv_problem(spmv_n, 0.05), spmv_n, "a", reps),
+    ]
+}
+
+/// Prices a reference SUMMA problem with the default and the
+/// measured-rate-calibrated machine specs, so the report shows the cost
+/// model following the host's real per-core throughput.
+pub fn calibrate(measured_core_gflops: f64) -> Calibration {
+    use distal_algs::matmul::MatmulAlgorithm;
+    use distal_algs::setup::matmul_problem_on;
+    use distal_spmd::CostBackend;
+    let (p, n) = (4i64, 64i64);
+    let default_spec = MachineSpec::small(p as usize);
+    let cores = default_spec.node.cores_per_socket as f64;
+    let calibrated_spec = default_spec
+        .clone()
+        .with_cpu_socket_gflops(measured_core_gflops * cores);
+    let price = |spec: MachineSpec| {
+        let (mut problem, schedule) = matmul_problem_on(
+            MatmulAlgorithm::Summa,
+            spec,
+            ProcKind::Cpu,
+            MemKind::Sys,
+            p,
+            n,
+            (n / 4).max(1),
+        )
+        .unwrap();
+        for t in ["B", "C"] {
+            problem.fill(t, 0.0).unwrap();
+        }
+        let mut art = problem
+            .compile(&CostBackend::runtime_sim(), &schedule)
+            .expect("cost compile");
+        art.run().expect("cost run").critical_path_s
+    };
+    Calibration {
+        measured_core_gflops,
+        default_socket_gflops: default_spec.node.cpu_socket_gflops,
+        calibrated_socket_gflops: calibrated_spec.node.cpu_socket_gflops,
+        default_makespan_s: price(default_spec),
+        calibrated_makespan_s: price(calibrated_spec),
+    }
+}
+
+/// Renders the comparison as a table.
+pub fn render(rows: &[KernelBenchRow], calibration: &Calibration) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>6} {:>12} {:>12} {:>12} {:>12} {:>9} {:<12} {:>9}",
+        "workload",
+        "n",
+        "interp s",
+        "gen s",
+        "interp GF/s",
+        "gen GF/s",
+        "speedup",
+        "variant",
+        "parity"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>6} {:>12.5} {:>12.5} {:>12.3} {:>12.3} {:>8.2}x {:<12} {:>9}",
+            r.workload,
+            r.n,
+            r.interpreted_s,
+            r.generated_s,
+            r.interpreted_gflops,
+            r.generated_gflops,
+            r.speedup,
+            r.variant,
+            if r.verified { "ok" } else { "MISMATCH" }
+        );
+    }
+    let _ = writeln!(
+        out,
+        "calibration: measured {:.3} GFLOP/s/core -> socket {:.1} (default {:.1}); \
+         SUMMA n=64 p=4 makespan {:.3e}s -> {:.3e}s",
+        calibration.measured_core_gflops,
+        calibration.calibrated_socket_gflops,
+        calibration.default_socket_gflops,
+        calibration.default_makespan_s,
+        calibration.calibrated_makespan_s,
+    );
+    out
+}
+
+/// Serializes rows + calibration as JSON (hand-rolled; no serde in the
+/// workspace).
+pub fn to_json(rows: &[KernelBenchRow], calibration: &Calibration) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"workload\": \"{}\", \"n\": {}, \"flops\": {:.1}, \
+             \"interpreted_s\": {:.6}, \"generated_s\": {:.6}, \
+             \"interpreted_gflops\": {:.4}, \"generated_gflops\": {:.4}, \
+             \"speedup\": {:.4}, \"variant\": \"{}\", \"verified\": {}}}{comma}",
+            r.workload,
+            r.n,
+            r.flops,
+            r.interpreted_s,
+            r.generated_s,
+            r.interpreted_gflops,
+            r.generated_gflops,
+            r.speedup,
+            r.variant,
+            r.verified
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"calibration\": {{");
+    let _ = writeln!(
+        out,
+        "    \"measured_core_gflops\": {:.4},",
+        calibration.measured_core_gflops
+    );
+    let _ = writeln!(
+        out,
+        "    \"default_socket_gflops\": {:.4},",
+        calibration.default_socket_gflops
+    );
+    let _ = writeln!(
+        out,
+        "    \"calibrated_socket_gflops\": {:.4},",
+        calibration.calibrated_socket_gflops
+    );
+    let _ = writeln!(
+        out,
+        "    \"default_makespan_s\": {:.6e},",
+        calibration.default_makespan_s
+    );
+    let _ = writeln!(
+        out,
+        "    \"calibrated_makespan_s\": {:.6e}",
+        calibration.calibrated_makespan_s
+    );
+    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_verify_parity_and_dispatch() {
+        let rows = kernels_bench(24, 8, 64, 1);
+        for r in &rows {
+            assert!(r.verified, "{}: outputs diverged", r.workload);
+            assert!(r.flops > 0.0, "{}", r.workload);
+        }
+        assert_eq!(rows[0].variant, "gemm.gen");
+        assert!(rows[1].variant.starts_with("tape"), "{}", rows[1].variant);
+        assert_eq!(rows[2].variant, "spmv.gen");
+    }
+
+    #[test]
+    fn calibration_scales_the_cost_model() {
+        // A machine 10× slower than another must price a compute-bound
+        // problem no cheaper; the rates land where the builder put them.
+        let c = calibrate(1.0);
+        assert_eq!(c.calibrated_socket_gflops, 20.0);
+        assert_eq!(c.default_socket_gflops, 375.0);
+        assert!(c.default_makespan_s > 0.0 && c.calibrated_makespan_s > 0.0);
+        assert!(
+            c.calibrated_makespan_s > c.default_makespan_s,
+            "a 20 GFLOP/s socket cannot beat a 375 GFLOP/s one: {} vs {}",
+            c.calibrated_makespan_s,
+            c.default_makespan_s
+        );
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let rows = kernels_bench(12, 6, 32, 1);
+        let cal = calibrate(10.0);
+        let j = to_json(&rows, &cal);
+        assert!(j.contains("\"workload\": \"gemm\""));
+        assert!(j.contains("\"calibration\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

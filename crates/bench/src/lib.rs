@@ -40,6 +40,7 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig9;
 pub mod headline;
+pub mod kernels;
 pub mod series;
 pub mod serving;
 pub mod sparse;

@@ -1,0 +1,589 @@
+//! The compiler's [`KernelGen`] implementation: statements become
+//! monomorphized leaf kernels at plan time.
+//!
+//! Three layers of specialization, tried in order:
+//!
+//! 1. **CSR fast paths** (`spmv.gen` / `spmm.gen` / `sddmm.gen`, in
+//!    `distal-sparse`) for the SpDISTAL shapes whose first input is
+//!    compressed: row slices are scanned directly with the row base
+//!    hoisted out of the inner loop — no per-execute CSR build, no
+//!    per-element coordinate mapping.
+//! 2. **Generated dense GEMM** (`gemm.gen`) for matmul-shaped pure
+//!    access products: the `(i, k, j)` loop nest over contiguous row
+//!    slices. The inner loop is a bare mul-add pair rather than
+//!    `f64::mul_add` — without a guaranteed FMA target feature the
+//!    intrinsic falls back to a libm call with different rounding, which
+//!    would break bit-parity with the interpreter.
+//! 3. **The tape compiler** (`tape` / `tape.s1`) for everything else:
+//!    the expression tree is flattened once into a postfix op tape, and
+//!    per-access offsets are strength-reduced along the innermost
+//!    statement variable — eliminating the interpreter's per-point
+//!    recursion and coordinate re-mapping while preserving its exact
+//!    evaluation order (postfix evaluation of the same tree with the
+//!    same operand order is the same float sequence). `tape.s1` marks
+//!    statements whose innermost variable is the final index of every
+//!    access that carries it, i.e. the inner loop walks every operand at
+//!    stride 1.
+//!
+//! Every generated kernel is **bit-identical** to
+//! [`crate::kernels::InterpreterKernel`] over the same request: fast
+//! paths reorder only independent output elements, never the
+//! accumulation order within one output element, and zero-skipping
+//! follows the `±0.0` argument documented in `distal-sparse`.
+//!
+//! Specializations are cached process-wide by request fingerprint, so a
+//! plan bound many times — or many plans over the same statement — pays
+//! for kernel generation once. [`specialize_count`] counts cache misses
+//! on the calling thread; `tests/plan_reuse.rs` asserts it stays flat
+//! across `bind`/`run` of an existing plan.
+
+use crate::kernels::{is_matmul, is_sddmm, is_spmv, rhs_is_access_product};
+use distal_ir::expr::{Expr, IndexVar};
+use distal_runtime::kernel::{Kernel, KernelCtx};
+use distal_runtime::kernelgen::{KernelGen, LeafRequest};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+thread_local! {
+    /// Per-thread count of *fresh* specializations (cache misses).
+    /// Binding or running an already-planned statement must leave this
+    /// untouched — the plan-reuse analogue of `lower::compile_count`.
+    static SPECIALIZATIONS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// How many leaf kernels were generated (not served from cache) on the
+/// calling thread.
+pub fn specialize_count() -> u64 {
+    SPECIALIZATIONS.with(|c| c.get())
+}
+
+/// Process-wide specialization cache, keyed by request fingerprint.
+/// Bounded: past [`CACHE_CAP`] entries it resets rather than growing
+/// without limit (specializations are cheap to redo; unbounded maps in a
+/// long-lived serving process are not).
+static CACHE: OnceLock<Mutex<HashMap<String, Arc<dyn Kernel>>>> = OnceLock::new();
+
+const CACHE_CAP: usize = 256;
+
+/// Specializes a leaf request into a kernel, serving repeats from the
+/// process-wide cache. This is the entry point both backends call at
+/// plan time; `bind` never reaches it.
+pub fn specialize(req: &LeafRequest) -> Arc<dyn Kernel> {
+    let key = req.fingerprint();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(k) = cache.lock().expect("kernel cache poisoned").get(&key) {
+        return Arc::clone(k);
+    }
+    SPECIALIZATIONS.with(|c| c.set(c.get() + 1));
+    let kernel = build(req);
+    let mut map = cache.lock().expect("kernel cache poisoned");
+    if map.len() >= CACHE_CAP {
+        map.clear();
+    }
+    map.insert(key, Arc::clone(&kernel));
+    kernel
+}
+
+/// The compiler's kernel generator as a [`KernelGen`] trait object (for
+/// callers that take the runtime-crate abstraction rather than this
+/// crate's [`specialize`] directly).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Generator;
+
+impl KernelGen for Generator {
+    fn name(&self) -> &str {
+        "distal-kernelgen"
+    }
+
+    fn specialize(&self, req: &LeafRequest) -> Arc<dyn Kernel> {
+        specialize(req)
+    }
+}
+
+/// Uncached specialization: shape dispatch per the module docs.
+fn build(req: &LeafRequest) -> Arc<dyn Kernel> {
+    let a = &req.assignment;
+    let pure = rhs_is_access_product(a);
+    let first_only = req.compressed.first().copied().unwrap_or(false)
+        && req.compressed.iter().skip(1).all(|c| !c);
+    // The CSR paths skip exactly the first operand's stored zeros, which
+    // is both the runtime's canonical sparse-leaf behaviour and the SPMD
+    // VM's pruning discipline when only that operand is compressed.
+    if pure && first_only && req.accumulate {
+        if is_spmv(a) {
+            return Arc::new(distal_sparse::SpmvGenLeaf);
+        }
+        if is_matmul(a) {
+            return Arc::new(distal_sparse::SpmmGenLeaf);
+        }
+        if is_sddmm(a) {
+            return Arc::new(distal_sparse::SddmmGenLeaf);
+        }
+    }
+    // The dense GEMM never skips, so it is only valid when no skipping
+    // was requested (compressed operands outside the canonical shapes
+    // execute densely in the runtime, where skip_zero is false).
+    let skip_needed = req.skip_zero && req.any_compressed();
+    if pure && req.accumulate && !skip_needed && is_matmul(a) {
+        return Arc::new(GemmGenKernel);
+    }
+    Arc::new(TapeKernel::new(req))
+}
+
+/// One postfix tape operation.
+#[derive(Clone, Copy, Debug)]
+enum TapeOp {
+    /// Push the `n`th gathered input value (right-hand-side access
+    /// order — the order `Expr::eval` consumes them).
+    Load(usize),
+    /// Push a literal.
+    Lit(f64),
+    /// Pop two, push their sum (left operand pushed first).
+    Add,
+    /// Pop two, push their product.
+    Mul,
+}
+
+fn flatten(e: &Expr, next: &mut usize, tape: &mut Vec<TapeOp>) {
+    match e {
+        Expr::Access(_) => {
+            tape.push(TapeOp::Load(*next));
+            *next += 1;
+        }
+        Expr::Literal(c) => tape.push(TapeOp::Lit(*c)),
+        Expr::Add(l, r) => {
+            flatten(l, next, tape);
+            flatten(r, next, tape);
+            tape.push(TapeOp::Add);
+        }
+        Expr::Mul(l, r) => {
+            flatten(l, next, tape);
+            flatten(r, next, tape);
+            tape.push(TapeOp::Mul);
+        }
+    }
+}
+
+fn eval_tape(tape: &[TapeOp], vals: &[f64], stack: &mut Vec<f64>) -> f64 {
+    stack.clear();
+    for op in tape {
+        match *op {
+            TapeOp::Load(i) => stack.push(vals[i]),
+            TapeOp::Lit(c) => stack.push(c),
+            TapeOp::Add => {
+                let b = stack.pop().expect("tape underflow");
+                let a = stack.pop().expect("tape underflow");
+                stack.push(a + b);
+            }
+            TapeOp::Mul => {
+                let b = stack.pop().expect("tape underflow");
+                let a = stack.pop().expect("tape underflow");
+                stack.push(a * b);
+            }
+        }
+    }
+    stack.pop().expect("empty tape")
+}
+
+/// A tape-compiled leaf: postfix op tape + precomputed access maps, with
+/// strength-reduced offsets along the innermost statement variable.
+pub struct TapeKernel {
+    name: &'static str,
+    tape: Vec<TapeOp>,
+    stack_cap: usize,
+    /// Per access (destination first): positions into `all_vars` of each
+    /// of the access's index variables.
+    maps: Vec<Vec<usize>>,
+    n_vars: usize,
+    accumulate: bool,
+    /// Per input access: prune points where this operand's value has a
+    /// zero bit pattern (the SPMD VM's compressed-operand discipline).
+    skip: Vec<bool>,
+    any_skip: bool,
+}
+
+impl TapeKernel {
+    /// Compiles a request's statement into a tape kernel.
+    pub fn new(req: &LeafRequest) -> Self {
+        let a = &req.assignment;
+        let vars: Vec<IndexVar> = a.all_vars();
+        let pos = |v: &IndexVar| vars.iter().position(|x| x == v).expect("unknown var");
+        let mut maps: Vec<Vec<usize>> = Vec::new();
+        maps.push(a.lhs.indices.iter().map(pos).collect());
+        for acc in a.input_accesses() {
+            maps.push(acc.indices.iter().map(pos).collect());
+        }
+        let mut tape = Vec::new();
+        let mut next = 0usize;
+        flatten(&a.rhs, &mut next, &mut tape);
+        debug_assert_eq!(next, maps.len() - 1, "tape loads vs accesses");
+        let mut depth = 0usize;
+        let mut stack_cap = 0usize;
+        for op in &tape {
+            match op {
+                TapeOp::Load(_) | TapeOp::Lit(_) => depth += 1,
+                TapeOp::Add | TapeOp::Mul => depth -= 1,
+            }
+            stack_cap = stack_cap.max(depth);
+        }
+        // Stride-1 innermost loop: the last statement variable only ever
+        // appears as the *final* index of an access, so every operand
+        // that moves in the inner loop moves contiguously.
+        let n_vars = vars.len();
+        let stride1 = n_vars > 0
+            && maps.iter().all(|m| {
+                m.iter()
+                    .enumerate()
+                    .all(|(d, &vi)| vi != n_vars - 1 || d == m.len() - 1)
+            });
+        let skip = if req.skip_zero {
+            req.compressed.clone()
+        } else {
+            vec![false; maps.len() - 1]
+        };
+        let any_skip = skip.iter().any(|&s| s);
+        TapeKernel {
+            name: if stride1 { "tape.s1" } else { "tape" },
+            tape,
+            stack_cap,
+            maps,
+            n_vars,
+            accumulate: req.accumulate,
+            skip,
+            any_skip,
+        }
+    }
+}
+
+impl Kernel for TapeKernel {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn execute(&self, ctx: &mut KernelCtx) {
+        let nv = self.n_vars;
+        assert_eq!(ctx.scalars.len(), 2 * nv, "bounds scalars mismatch");
+        let na = self.maps.len();
+        let n_inputs = na - 1;
+        let mut stack: Vec<f64> = Vec::with_capacity(self.stack_cap);
+        let mut vals = vec![0.0f64; n_inputs];
+        if nv == 0 {
+            // Scalar statement: a single point, every access 0-d.
+            let mut pruned = false;
+            for (ii, val) in vals.iter_mut().enumerate() {
+                let v = ctx.args[ii + 1].at(&[]);
+                *val = v;
+                pruned |= self.skip[ii] && v.to_bits() == 0;
+            }
+            if !pruned {
+                let v = eval_tape(&self.tape, &vals, &mut stack);
+                let out = &mut ctx.args[0];
+                if self.accumulate {
+                    out.add(&[], v);
+                } else {
+                    out.set(&[], v);
+                }
+            }
+            return;
+        }
+        let mut lo = vec![0i64; nv];
+        let mut hi = vec![0i64; nv];
+        for v in 0..nv {
+            lo[v] = ctx.scalars[2 * v];
+            hi[v] = ctx.scalars[2 * v + 1];
+            if hi[v] < lo[v] {
+                return; // empty leaf (over-decomposed launch point)
+            }
+        }
+        // Per access: row-major base offset at the `lo` corner and the
+        // linear stride of each statement variable (repeated variables
+        // within one access sum their dimension strides).
+        let mut base = vec![0i64; na];
+        let mut strides = vec![0i64; na * nv];
+        let mut coords: Vec<i64> = Vec::with_capacity(nv);
+        for (ai, map) in self.maps.iter().enumerate() {
+            let arg = &ctx.args[ai];
+            coords.clear();
+            coords.extend(map.iter().map(|&vi| lo[vi]));
+            base[ai] = arg.offset(&coords) as i64;
+            let mut s = 1i64;
+            for d in (0..map.len()).rev() {
+                strides[ai * nv + map[d]] += s;
+                s *= arg.alloc.extent(d);
+            }
+        }
+        let inner = nv - 1;
+        let n_inner = (hi[inner] - lo[inner]) as usize + 1;
+        let mut point = lo.clone();
+        let mut offs = vec![0i64; na];
+        loop {
+            // Offsets for this row (inner variable at its lower bound).
+            for ai in 0..na {
+                let mut o = base[ai];
+                for v in 0..inner {
+                    o += strides[ai * nv + v] * (point[v] - lo[v]);
+                }
+                offs[ai] = o;
+            }
+            for step in 0..n_inner as i64 {
+                let mut pruned = false;
+                for (ii, val) in vals.iter_mut().enumerate() {
+                    let ai = ii + 1;
+                    let off = offs[ai] + step * strides[ai * nv + inner];
+                    let v = ctx.args[ai].data[off as usize];
+                    *val = v;
+                    pruned |= self.any_skip && self.skip[ii] && v.to_bits() == 0;
+                }
+                if pruned {
+                    continue;
+                }
+                let v = eval_tape(&self.tape, &vals, &mut stack);
+                let oo = (offs[0] + step * strides[inner]) as usize;
+                if self.accumulate {
+                    ctx.args[0].data[oo] += v;
+                } else {
+                    ctx.args[0].data[oo] = v;
+                }
+            }
+            // Advance the outer odometer (variables before the inner one).
+            if inner == 0 {
+                return;
+            }
+            let mut d = inner;
+            loop {
+                if d == 0 {
+                    return;
+                }
+                d -= 1;
+                point[d] += 1;
+                if point[d] <= hi[d] {
+                    break;
+                }
+                point[d] = lo[d];
+                if d == 0 {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// The generated dense GEMM: `A(i,j) += B(i,k) * C(k,j)` in the same
+/// `(i, ascending k, contiguous j)` order as the blocked
+/// [`crate::kernels::GemmKernel`] — bit-identical to it and to the
+/// interpreter — but with the inner loop over bounds-check-free row
+/// slices.
+pub struct GemmGenKernel;
+
+impl Kernel for GemmGenKernel {
+    fn name(&self) -> &str {
+        "gemm.gen"
+    }
+
+    fn execute(&self, ctx: &mut KernelCtx) {
+        let s = &ctx.scalars;
+        assert_eq!(s.len(), 6, "gemm bounds mismatch");
+        let (ilo, ihi, jlo, jhi, klo, khi) = (s[0], s[1], s[2], s[3], s[4], s[5]);
+        if ihi < ilo || jhi < jlo || khi < klo {
+            return;
+        }
+        let (nj, nk) = ((jhi - jlo + 1) as usize, (khi - klo + 1) as usize);
+        let (a_arg, rest) = ctx.args.split_at_mut(1);
+        let (a, b, c) = (&mut a_arg[0], &rest[0], &rest[1]);
+        let a_cols = a.alloc.extent(1) as usize;
+        let b_cols = b.alloc.extent(1) as usize;
+        let c_cols = c.alloc.extent(1) as usize;
+        let a_base = a.offset(&[ilo, jlo]);
+        let b_base = b.offset(&[ilo, klo]);
+        let c_base = c.offset(&[klo, jlo]);
+        for i in 0..=(ihi - ilo) as usize {
+            let b_row = &b.data[b_base + i * b_cols..b_base + i * b_cols + nk];
+            let a_row = &mut a.data[a_base + i * a_cols..a_base + i * a_cols + nj];
+            for (k, &bv) in b_row.iter().enumerate() {
+                let c_row = &c.data[c_base + k * c_cols..c_base + k * c_cols + nj];
+                for (av, &cv) in a_row.iter_mut().zip(c_row) {
+                    *av += bv * cv;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{GemmKernel, InterpreterKernel};
+    use distal_ir::expr::Assignment;
+    use distal_machine::geom::{Point, Rect};
+    use distal_runtime::kernel::KernelArg;
+    use distal_runtime::program::Privilege;
+
+    fn arg(rect: Rect, data: Vec<f64>) -> KernelArg {
+        KernelArg {
+            privilege: Privilege::ReadWrite,
+            rect: rect.clone(),
+            alloc: rect,
+            data,
+        }
+    }
+
+    fn data(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        (0..n)
+            .map(|_| {
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    /// Runs `kernel` over dense args shaped for `a`, with each variable
+    /// spanning `0..n`.
+    fn run(kernel: &dyn Kernel, a: &Assignment, n: i64, seed: u64) -> Vec<f64> {
+        let nv = a.all_vars().len();
+        let mut args = Vec::new();
+        for (idx, acc) in a.accesses().iter().enumerate() {
+            let dims: Vec<i64> = acc.indices.iter().map(|_| n).collect();
+            let rect = Rect::sized(&dims);
+            let vol = rect.volume().max(1) as usize;
+            let d = if idx == 0 {
+                vec![0.0; vol]
+            } else {
+                data(vol, seed + idx as u64)
+            };
+            args.push(arg(rect, d));
+        }
+        let mut scalars = Vec::new();
+        for _ in 0..nv {
+            scalars.push(0);
+            scalars.push(n - 1);
+        }
+        let mut ctx = KernelCtx {
+            args,
+            point: Point::zeros(1),
+            scalars,
+        };
+        kernel.execute(&mut ctx);
+        ctx.args.swap_remove(0).data
+    }
+
+    #[test]
+    fn tape_matches_interpreter_across_statements() {
+        for stmt in [
+            "A(i,j) = B(i,k) * C(k,j)",
+            "A(i,j) = B(i,j,k) * c(k)",
+            "A(i,l) = B(i,j,k) * C(j,l) * D(k,l)",
+            "a = B(i,j,k) * C(i,j,k)",
+            "A(i) = B(i) + C(i)",
+            "A(i) = B(i) * 2.5 + C(i)",
+            "A(i,j) = B(j,i)",
+        ] {
+            let a = Assignment::parse(stmt).unwrap();
+            let interp = InterpreterKernel::new(a.clone());
+            let req = LeafRequest::dense(a.clone(), a.is_reduction());
+            let tape = TapeKernel::new(&req);
+            let want = run(&interp, &a, 5, 11);
+            let got = run(&tape, &a, 5, 11);
+            assert_eq!(want.len(), got.len(), "{stmt}");
+            for (g, w) in got.iter().zip(want.iter()) {
+                assert_eq!(g.to_bits(), w.to_bits(), "{stmt}");
+            }
+        }
+    }
+
+    #[test]
+    fn tape_stride1_naming() {
+        // Last var `k` is the final index of B and c: stride-1.
+        let ttv = Assignment::parse("A(i,j) = B(i,j,k) * c(k)").unwrap();
+        assert_eq!(
+            TapeKernel::new(&LeafRequest::dense(ttv, true)).name(),
+            "tape.s1"
+        );
+        // Matmul's last var `k` is B's *first* index: strided.
+        let mm = distal_ir::expr::kernels::matmul();
+        assert_eq!(
+            TapeKernel::new(&LeafRequest::dense(mm, true)).name(),
+            "tape"
+        );
+    }
+
+    #[test]
+    fn generated_gemm_matches_blocked_gemm_and_interpreter() {
+        let a = distal_ir::expr::kernels::matmul();
+        let blocked = run(&GemmKernel, &a, 7, 3);
+        let gen = run(&GemmGenKernel, &a, 7, 3);
+        let interp = run(&InterpreterKernel::new(a.clone()), &a, 7, 3);
+        for ((g, b), i) in gen.iter().zip(blocked.iter()).zip(interp.iter()) {
+            assert_eq!(g.to_bits(), b.to_bits());
+            assert_eq!(g.to_bits(), i.to_bits());
+        }
+    }
+
+    #[test]
+    fn tape_skip_zero_prunes_flagged_operands() {
+        let a = Assignment::parse("A(i) = B(i) * C(i)").unwrap();
+        let mut req = LeafRequest::dense(a, true);
+        req.compressed = vec![true, false];
+        req.skip_zero = true;
+        let tape = TapeKernel::new(&req);
+        let r = Rect::sized(&[3]);
+        let mut ctx = KernelCtx {
+            args: vec![
+                arg(r.clone(), vec![0.0; 3]),
+                arg(r.clone(), vec![0.0, -0.0, 2.0]),
+                arg(r, vec![5.0, 5.0, 5.0]),
+            ],
+            point: Point::zeros(1),
+            scalars: vec![0, 2],
+        };
+        tape.execute(&mut ctx);
+        // +0.0 pruned; -0.0 is a *stored* entry (nonzero bits) and
+        // computes -0.0 * 5.0 = -0.0 added into +0.0 -> +0.0.
+        assert_eq!(ctx.args[0].data, vec![0.0, 0.0, 10.0]);
+        assert_eq!(ctx.args[0].data[1].to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn dispatch_picks_expected_variants() {
+        let mm = distal_ir::expr::kernels::matmul();
+        assert_eq!(
+            build(&LeafRequest::dense(mm.clone(), true)).name(),
+            "gemm.gen"
+        );
+        let mut sp = LeafRequest::dense(mm.clone(), true);
+        sp.compressed = vec![true, false];
+        assert_eq!(build(&sp).name(), "spmm.gen");
+        let spmv = Assignment::parse("a(i) = B(i,j) * c(j)").unwrap();
+        let mut r = LeafRequest::dense(spmv, true);
+        r.compressed = vec![true, false];
+        assert_eq!(build(&r).name(), "spmv.gen");
+        let sddmm = Assignment::parse("A(i,j) = B(i,j) * C(i,k) * D(k,j)").unwrap();
+        let mut r = LeafRequest::dense(sddmm, true);
+        r.compressed = vec![true, false, false];
+        assert_eq!(build(&r).name(), "sddmm.gen");
+        // Compression beyond the first operand with skipping: tape.
+        let mut both = LeafRequest::dense(mm.clone(), true);
+        both.compressed = vec![true, true];
+        both.skip_zero = true;
+        assert_eq!(build(&both).name(), "tape");
+        // Literal factor: never a specialized product kernel.
+        let lit = Assignment::parse("A(i,j) = B(i,k) * C(k,j) * 2.0").unwrap();
+        assert_eq!(build(&LeafRequest::dense(lit, true)).name(), "tape");
+    }
+
+    #[test]
+    fn cache_counts_only_fresh_specializations() {
+        // A statement no other test specializes, so the first call is a
+        // genuine miss on this thread.
+        let a = Assignment::parse("Zq(u,v) = Qz(u,w) * Wz(w,v) + Qz(u,v)").unwrap();
+        let req = LeafRequest::dense(a, true);
+        let before = specialize_count();
+        let k1 = specialize(&req);
+        assert_eq!(specialize_count(), before + 1);
+        let k2 = specialize(&req);
+        assert_eq!(specialize_count(), before + 1, "second call must hit");
+        assert!(Arc::ptr_eq(&k1, &k2));
+    }
+}

@@ -9,6 +9,27 @@
 
 use distal_ir::expr::{Assignment, Expr, IndexVar};
 use distal_runtime::kernel::{Kernel, KernelCtx};
+use std::cell::RefCell;
+
+/// Reusable per-leaf-execution scratch. Leaf kernels run thousands of
+/// times per program with tiny per-task bounds, so per-execute heap
+/// allocation is measurable; these buffers live per thread and are only
+/// resized (never reallocated after warmup). Safe because leaf kernels
+/// never invoke other leaf kernels.
+#[derive(Default)]
+struct Scratch {
+    lo: Vec<i64>,
+    hi: Vec<i64>,
+    point: Vec<i64>,
+    /// All access coordinate tuples, flattened back-to-back (the layout —
+    /// one range per access — is precomputed at kernel construction).
+    coords: Vec<i64>,
+    values: Vec<f64>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::default();
+}
 
 /// A generic interpreter for one dense tensor algebra statement.
 ///
@@ -21,6 +42,9 @@ pub struct InterpreterKernel {
     /// Positions (into `vars`) of each access's index variables; entry 0 is
     /// the destination.
     access_maps: Vec<Vec<usize>>,
+    /// Start of each access's coordinate tuple within the flat scratch
+    /// buffer, plus a trailing total-length entry.
+    coord_starts: Vec<usize>,
     accumulate: bool,
 }
 
@@ -29,16 +53,24 @@ impl InterpreterKernel {
     pub fn new(assignment: Assignment) -> Self {
         let vars = assignment.all_vars();
         let pos = |v: &IndexVar| vars.iter().position(|x| x == v).expect("unknown var");
-        let mut access_maps = Vec::new();
+        let mut access_maps: Vec<Vec<usize>> = Vec::new();
         access_maps.push(assignment.lhs.indices.iter().map(pos).collect());
         for acc in assignment.input_accesses() {
             access_maps.push(acc.indices.iter().map(pos).collect());
         }
+        let mut coord_starts = Vec::with_capacity(access_maps.len() + 1);
+        let mut total = 0usize;
+        for m in &access_maps {
+            coord_starts.push(total);
+            total += m.len();
+        }
+        coord_starts.push(total);
         let accumulate = assignment.is_reduction();
         InterpreterKernel {
             assignment,
             vars,
             access_maps,
+            coord_starts,
             accumulate,
         }
     }
@@ -57,55 +89,70 @@ impl Kernel for InterpreterKernel {
     fn execute(&self, ctx: &mut KernelCtx) {
         let nv = self.vars.len();
         assert_eq!(ctx.scalars.len(), 2 * nv, "bounds scalars mismatch");
-        let lo: Vec<i64> = (0..nv).map(|i| ctx.scalars[2 * i]).collect();
-        let hi: Vec<i64> = (0..nv).map(|i| ctx.scalars[2 * i + 1]).collect();
-        if (0..nv).any(|i| hi[i] < lo[i]) {
-            return; // empty leaf (over-decomposed launch point)
-        }
         let n_inputs = self.access_maps.len() - 1;
-        let mut point = lo.clone();
-        let mut coords: Vec<Vec<i64>> = self
-            .access_maps
-            .iter()
-            .map(|m| vec![0i64; m.len()])
-            .collect();
-        let mut values = vec![0.0f64; n_inputs];
-        loop {
-            // Gather input values.
-            for (ai, map) in self.access_maps.iter().enumerate().skip(1) {
-                for (d, &vi) in map.iter().enumerate() {
-                    coords[ai][d] = point[vi];
-                }
-                values[ai - 1] = ctx.args[ai].at(&coords[ai]);
+        SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let Scratch {
+                lo,
+                hi,
+                point,
+                coords,
+                values,
+            } = scratch;
+            lo.clear();
+            hi.clear();
+            for i in 0..nv {
+                lo.push(ctx.scalars[2 * i]);
+                hi.push(ctx.scalars[2 * i + 1]);
             }
-            let mut it = values.iter().copied();
-            let v = eval_expr(&self.assignment.rhs, &mut it);
-            for (d, &vi) in self.access_maps[0].iter().enumerate() {
-                coords[0][d] = point[vi];
+            if (0..nv).any(|i| hi[i] < lo[i]) {
+                return; // empty leaf (over-decomposed launch point)
             }
-            let out = &mut ctx.args[0];
-            if self.accumulate {
-                out.add(&coords[0], v);
-            } else {
-                out.set(&coords[0], v);
-            }
-            // Odometer advance.
-            let mut d = nv;
+            point.clear();
+            point.extend_from_slice(lo);
+            coords.clear();
+            coords.resize(*self.coord_starts.last().unwrap(), 0);
+            values.clear();
+            values.resize(n_inputs, 0.0);
             loop {
-                if d == 0 {
-                    return;
+                // Gather input values.
+                for (ai, map) in self.access_maps.iter().enumerate().skip(1) {
+                    let c = &mut coords[self.coord_starts[ai]..self.coord_starts[ai + 1]];
+                    for (d, &vi) in map.iter().enumerate() {
+                        c[d] = point[vi];
+                    }
+                    values[ai - 1] = ctx.args[ai].at(c);
                 }
-                d -= 1;
-                point[d] += 1;
-                if point[d] <= hi[d] {
-                    break;
+                let mut it = values.iter().copied();
+                let v = eval_expr(&self.assignment.rhs, &mut it);
+                let c = &mut coords[self.coord_starts[0]..self.coord_starts[1]];
+                for (d, &vi) in self.access_maps[0].iter().enumerate() {
+                    c[d] = point[vi];
                 }
-                point[d] = lo[d];
-                if d == 0 {
-                    return;
+                let out = &mut ctx.args[0];
+                if self.accumulate {
+                    out.add(c, v);
+                } else {
+                    out.set(c, v);
+                }
+                // Odometer advance.
+                let mut d = nv;
+                loop {
+                    if d == 0 {
+                        return;
+                    }
+                    d -= 1;
+                    point[d] += 1;
+                    if point[d] <= hi[d] {
+                        break;
+                    }
+                    point[d] = lo[d];
+                    if d == 0 {
+                        return;
+                    }
                 }
             }
-        }
+        })
     }
 }
 

@@ -62,6 +62,7 @@
 pub mod backend;
 pub mod cache;
 pub mod error;
+pub mod kernelgen;
 pub mod kernels;
 pub mod lower;
 pub mod machine;

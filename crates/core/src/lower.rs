@@ -20,7 +20,7 @@
 //! `ReadWrite` accumulation; pure element-wise statements use `Write`.
 
 use crate::error::CompileError;
-use crate::kernels::{is_matmul, is_streaming, leaf_kernel_for, sparse_leaf_for};
+use crate::kernels::{is_matmul, is_streaming};
 use crate::machine::DistalMachine;
 use crate::mapper::GridMapper;
 use crate::schedule::Schedule;
@@ -243,9 +243,13 @@ pub fn compile(
     }
     // Leaf kernel: a `substitute` command overrides the automatic choice
     // (Figure 2 line 40 substitutes a vendor GEMM at the leaves). The
-    // automatic choice prefers a sparse leaf (SpMV/SpMM/SDDMM iterating
-    // only stored coordinates) when the statement shape admits one and the
-    // first input operand's format carries a compressed level.
+    // automatic choice asks the kernel generator (`crate::kernelgen`) to
+    // specialize the statement + formats into a monomorphized kernel —
+    // CSR-specialized SpMV/SpMM/SDDMM when the shape admits one and the
+    // first input operand's format carries a compressed level, the
+    // generated dense GEMM for pure matmul products, and a tape-compiled
+    // einsum otherwise. `compile` runs at plan time, so a cached plan
+    // re-binds without ever re-specializing.
     let compressed_inputs: Vec<bool> = assignment
         .input_accesses()
         .iter()
@@ -259,16 +263,26 @@ pub fn compile(
                      (a pure product of two accesses), got `{assignment}`"
                 )));
             }
-            Arc::new(crate::kernels::GemmKernel)
+            // The substitution asks for the optimized leaf; compression
+            // still routes to the CSR-specialized SpMM when the stored
+            // operand admits it (a strictly better "vendor kernel").
+            crate::kernelgen::specialize(&distal_runtime::kernelgen::LeafRequest {
+                assignment: assignment.clone(),
+                compressed: compressed_inputs.clone(),
+                accumulate: true,
+                skip_zero: false,
+            })
         }
         Some((_, crate::schedule::LeafKind::Interpreter)) => {
             Arc::new(crate::kernels::InterpreterKernel::new(assignment.clone()))
         }
         Some((_, crate::schedule::LeafKind::Auto)) | None => {
-            match sparse_leaf_for(assignment, &compressed_inputs) {
-                Some(sparse) => Arc::from(sparse),
-                None => Arc::from(leaf_kernel_for(assignment)),
-            }
+            crate::kernelgen::specialize(&distal_runtime::kernelgen::LeafRequest {
+                assignment: assignment.clone(),
+                compressed: compressed_inputs.clone(),
+                accumulate: assignment.is_reduction(),
+                skip_zero: false,
+            })
         }
     };
     let leaf = compute.register_kernel(leaf_kernel);

@@ -8,8 +8,10 @@
 //! α-β `CostReport` both normalize into it.
 
 use crate::cache::CacheStats;
-use distal_runtime::stats::RunStats;
+use distal_runtime::stats::{KernelClassStats, RunStats};
+use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Write as _;
 
 /// How a [`Report`]'s numbers were obtained.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,6 +47,9 @@ pub struct Report {
     /// plan behind this report (see `PlanCache::annotate`). `None` for
     /// uncached compilations.
     pub cache: Option<CacheStats>,
+    /// Work executed per leaf-kernel variant (`tape`, `gemm.gen`,
+    /// `interpreter`, …), when the backend tracks it. Empty otherwise.
+    pub kernel_classes: BTreeMap<String, KernelClassStats>,
 }
 
 impl Report {
@@ -61,6 +66,7 @@ impl Report {
             tasks: 0,
             peak_bytes: 0,
             cache: None,
+            kernel_classes: BTreeMap::new(),
         }
     }
 
@@ -80,6 +86,7 @@ impl Report {
             tasks: s.tasks,
             peak_bytes: s.peak_mem_bytes.values().copied().max().unwrap_or(0),
             cache: None,
+            kernel_classes: s.task_classes.clone(),
         }
     }
 
@@ -100,6 +107,12 @@ impl Report {
         if other.cache.is_some() {
             self.cache = other.cache;
         }
+        for (k, v) in &other.kernel_classes {
+            let e = self.kernel_classes.entry(k.clone()).or_default();
+            e.tasks += v.tasks;
+            e.flops += v.flops;
+            e.busy_s += v.busy_s;
+        }
     }
 
     /// Achieved (or modeled) GFLOP/s over the critical path.
@@ -108,6 +121,23 @@ impl Report {
             return 0.0;
         }
         self.flops / self.critical_path_s / 1e9
+    }
+
+    /// One line per kernel variant with its task count, flop share, and
+    /// busy-time flop rate — empty string when the backend doesn't track
+    /// variants. Feeds the bench reports and CI summaries.
+    pub fn kernel_summary(&self) -> String {
+        let mut out = String::new();
+        for (name, c) in &self.kernel_classes {
+            let _ = writeln!(
+                out,
+                "  {name}: {} tasks, {:.3e} flops, {:.2} GFLOP/s",
+                c.tasks,
+                c.flops,
+                c.gflops()
+            );
+        }
+        out
     }
 }
 

@@ -179,6 +179,26 @@ impl MachineSpec {
         m
     }
 
+    /// Replaces the hardcoded per-socket CPU rate with a measured one —
+    /// the calibration hook the kernel benchmark feeds with the flop rate
+    /// its generated leaves actually sustain on the host, so cost-model
+    /// pricing (`proc_gflops`, task durations) reflects real per-core
+    /// throughput instead of the Lassen constant.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use distal_machine::spec::{MachineSpec, ProcKind};
+    /// let m = MachineSpec::small(2).with_cpu_socket_gflops(42.0);
+    /// assert_eq!(m.node.cpu_socket_gflops, 42.0);
+    /// assert!(m.proc_gflops(ProcKind::Cpu) < 42.0); // worker fraction
+    /// ```
+    #[must_use]
+    pub fn with_cpu_socket_gflops(mut self, gflops: f64) -> Self {
+        self.node.cpu_socket_gflops = gflops;
+        self
+    }
+
     /// Total CPU sockets across the machine.
     pub fn total_cpu_sockets(&self) -> usize {
         self.nodes * self.node.cpu_sockets

@@ -55,6 +55,9 @@ pub enum GNodeKind {
 pub struct TaskNode {
     /// Kernel to run.
     pub kernel: crate::program::KernelId,
+    /// Resolved kernel variant name (`tape`, `gemm.gen`, `interpreter`, …)
+    /// for per-variant statistics.
+    pub kernel_name: std::sync::Arc<str>,
     /// Processor.
     pub proc: ProcId,
     /// Launch point.
@@ -191,6 +194,8 @@ pub(crate) struct GraphBuilder<'a> {
     barrier: Option<u32>,
     /// Planned outbound bytes per memory (source-selection heuristic).
     planned_out: Vec<u64>,
+    /// Variant name per kernel id (for task-class statistics).
+    kernel_names: Vec<std::sync::Arc<str>>,
     rmap: ResourceMap,
 }
 
@@ -207,6 +212,11 @@ impl<'a> GraphBuilder<'a> {
             rmap: ResourceMap::new(machine),
             meta: vec![InstMeta::default(); store.instances.len()],
             planned_out: vec![0; machine.mems().len()],
+            kernel_names: program
+                .kernels
+                .iter()
+                .map(|k| std::sync::Arc::from(k.name()))
+                .collect(),
             machine,
             store,
             functional,
@@ -450,6 +460,7 @@ impl<'a> GraphBuilder<'a> {
         let node = self.add_node(
             GNodeKind::Task(TaskNode {
                 kernel: t.kernel,
+                kernel_name: self.kernel_names[t.kernel.0 as usize].clone(),
                 proc: t.proc,
                 point: t.point.clone(),
                 scalars: t.scalars.clone(),

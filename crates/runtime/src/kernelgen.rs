@@ -1,0 +1,124 @@
+//! `KernelGen`: plan-time specialization of leaf statements into
+//! monomorphized [`Kernel`]s.
+//!
+//! DISTAL's leaves are vendor-grade kernels — Figure 2 of the paper
+//! substitutes `CuBLAS::GeMM` for the inner loop nest — while a generic
+//! interpreter walks the expression tree point by point. This trait is the
+//! seam between the two: the compiler (in `distal-core`) implements it,
+//! and calls it at **plan time** (`Backend::plan`), so the cost of
+//! specialization is paid once per plan and every `bind` of that plan
+//! reuses the same generated kernel.
+//!
+//! Where this sits in the `Problem -> Plan -> Instance` pipeline:
+//!
+//! ```text
+//! Problem + Schedule ──► Backend::plan ──► Plan (cacheable, data-free)
+//!                          │                 │
+//!                          │ KernelGen::specialize(LeafRequest)
+//!                          ▼                 ▼
+//!                     Arc<dyn Kernel>   Plan::bind(Bindings) ──► Instance
+//!                     (tape / gemm /      (shares the Arc; never
+//!                      spmv / ...)         re-specializes)
+//! ```
+//!
+//! A [`LeafRequest`] carries everything that decides the generated code:
+//! the statement, which inputs are stored compressed, and the accumulation
+//! discipline of the executing backend. Generators return a kernel that is
+//! **bit-identical** to the interpreter over the same request — fast paths
+//! may reorder *independent* output elements but never the floating-point
+//! accumulation order within one output element.
+//!
+//! Adding a new kernel class means adding a shape test + emitter inside
+//! the implementation of this trait; callers (the runtime lowering, the
+//! SPMD rank VM) are oblivious — they just execute whatever `specialize`
+//! returned, and the kernel's [`Kernel::name`] surfaces the chosen variant
+//! in run statistics and traces.
+
+use crate::kernel::Kernel;
+use distal_ir::expr::Assignment;
+use std::sync::Arc;
+
+/// One leaf statement to specialize: the inputs to kernel generation that
+/// change what code should run.
+#[derive(Clone, Debug)]
+pub struct LeafRequest {
+    /// The statement the leaf executes.
+    pub assignment: Assignment,
+    /// Per right-hand-side access (in access order): is that operand
+    /// stored in a compressed level format? Drives sparse fast paths and
+    /// zero-skipping.
+    pub compressed: Vec<bool>,
+    /// `true` when the kernel must *add* into the output (reductions, and
+    /// the SPMD rank VM which always accumulates into a zeroed buffer);
+    /// `false` when it overwrites.
+    pub accumulate: bool,
+    /// `true` when points where any compressed operand's gathered value
+    /// has a zero bit pattern must be skipped entirely (the SPMD VM's
+    /// pruning discipline for pure-product statements over dense tiles of
+    /// compressed tensors). Dense-path requests leave this `false`.
+    pub skip_zero: bool,
+}
+
+impl LeafRequest {
+    /// A dense, non-skipping request for `assignment`.
+    pub fn dense(assignment: Assignment, accumulate: bool) -> Self {
+        let n = assignment.input_accesses().len();
+        LeafRequest {
+            assignment,
+            compressed: vec![false; n],
+            accumulate,
+            skip_zero: false,
+        }
+    }
+
+    /// True when any input operand is compressed.
+    pub fn any_compressed(&self) -> bool {
+        self.compressed.iter().any(|&c| c)
+    }
+
+    /// A stable textual identity of the request: everything that changes
+    /// the generated kernel. Used as the specialization-cache key.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "{};compressed={:?};accumulate={};skip_zero={}",
+            self.assignment, self.compressed, self.accumulate, self.skip_zero
+        )
+    }
+}
+
+/// A leaf-kernel generator: compiles a [`LeafRequest`] into a specialized
+/// [`Kernel`] at plan time. See the [module docs](self).
+pub trait KernelGen: Send + Sync {
+    /// Generator name (diagnostics).
+    fn name(&self) -> &str;
+
+    /// Specializes the request into an executable kernel. Total: requests
+    /// with no matching fast path still get at least a tape-compiled
+    /// kernel, so callers never fall back themselves.
+    fn specialize(&self, req: &LeafRequest) -> Arc<dyn Kernel>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_request_shape() {
+        let a = Assignment::parse("A(i,j) = B(i,k) * C(k,j)").unwrap();
+        let req = LeafRequest::dense(a, true);
+        assert_eq!(req.compressed, vec![false, false]);
+        assert!(!req.any_compressed());
+        assert!(req.fingerprint().contains("accumulate=true"));
+    }
+
+    #[test]
+    fn fingerprints_split_on_flags() {
+        let a = Assignment::parse("A(i,j) = B(i,k) * C(k,j)").unwrap();
+        let d = LeafRequest::dense(a.clone(), true);
+        let mut s = LeafRequest::dense(a, true);
+        s.compressed[0] = true;
+        s.skip_zero = true;
+        assert!(s.any_compressed());
+        assert_ne!(d.fingerprint(), s.fingerprint());
+    }
+}

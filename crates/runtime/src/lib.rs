@@ -47,6 +47,7 @@ pub mod exec;
 pub mod executor;
 pub mod graph;
 pub mod kernel;
+pub mod kernelgen;
 pub mod program;
 pub mod region;
 pub(crate) mod sim;
@@ -57,6 +58,7 @@ pub mod trace;
 pub use exec::{Mode, Runtime, RuntimeError};
 pub use executor::{ExecCtx, Executor, ExecutorKind, ParallelExecutor, SerialExecutor};
 pub use kernel::{Kernel, KernelArg, KernelCtx};
+pub use kernelgen::{KernelGen, LeafRequest};
 pub use program::{IndexLaunch, KernelId, Op, Privilege, Program, RegionReq, TaskDesc};
 pub use region::RegionId;
 pub use stats::{ChannelClass, CopyKind, CopyLogEntry, RunStats};

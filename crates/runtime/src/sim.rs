@@ -16,7 +16,7 @@
 //! bit-identical by construction.
 
 use crate::graph::{GNodeKind, Graph, ResourceMap};
-use crate::stats::{ChannelClass, CopyKind, CopyLogEntry, RunStats};
+use crate::stats::{ChannelClass, CopyKind, CopyLogEntry, RunStats, TaskLogEntry};
 use crate::topology::PhysicalMachine;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -71,6 +71,11 @@ pub(crate) fn schedule_graph(
         ..RunStats::default()
     };
     let mut copy_log = if record_copies {
+        Some(Vec::new())
+    } else {
+        None
+    };
+    let mut task_log = if record_copies {
         Some(Vec::new())
     } else {
         None
@@ -138,6 +143,22 @@ pub(crate) fn schedule_graph(
                 stats.tasks += 1;
                 stats.total_flops += task.flops;
                 stats.proc_busy_s[task.proc.0 as usize] += node.duration;
+                let class = stats
+                    .task_classes
+                    .entry(task.kernel_name.as_ref().to_string())
+                    .or_default();
+                class.tasks += 1;
+                class.flops += task.flops;
+                class.busy_s += node.duration;
+                if let Some(log) = &mut task_log {
+                    log.push(TaskLogEntry {
+                        kernel: task.kernel_name.as_ref().to_string(),
+                        proc: task.proc.0,
+                        flops: task.flops,
+                        start_s: start,
+                        end_s: end,
+                    });
+                }
             }
         }
 
@@ -157,5 +178,6 @@ pub(crate) fn schedule_graph(
 
     stats.makespan_s = makespan;
     stats.copy_log = copy_log;
+    stats.task_log = task_log;
     SimSchedule { order, stats }
 }

@@ -30,6 +30,46 @@ pub enum CopyKind {
     ReduceApply,
 }
 
+/// Per-kernel-variant execution totals: how much work ran under each
+/// generated-leaf class (`interpreter`, `tape`, `gemm.gen`, `spmv.gen`,
+/// …). Accumulated in the shared timing pass, so the totals are identical
+/// across executors by construction.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct KernelClassStats {
+    /// Tasks executed under this variant.
+    pub tasks: u64,
+    /// Floating-point work attributed to this variant.
+    pub flops: f64,
+    /// Processor-busy seconds attributed to this variant.
+    pub busy_s: f64,
+}
+
+impl KernelClassStats {
+    /// Modeled GFLOP/s of this variant (0 when no busy time).
+    pub fn gflops(&self) -> f64 {
+        if self.busy_s <= 0.0 {
+            return 0.0;
+        }
+        self.flops / self.busy_s / 1e9
+    }
+}
+
+/// One logged task execution (recorded when `record_copies` is enabled,
+/// which turns on the full event log).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TaskLogEntry {
+    /// Kernel variant name.
+    pub kernel: String,
+    /// Processor the task ran on (`ProcId.0`).
+    pub proc: u32,
+    /// Floating-point work of the task.
+    pub flops: f64,
+    /// Simulated start time, seconds.
+    pub start_s: f64,
+    /// Simulated end time, seconds.
+    pub end_s: f64,
+}
+
 /// One logged copy (recorded when `record_copies` is enabled).
 #[derive(Clone, Debug, PartialEq)]
 pub struct CopyLogEntry {
@@ -76,8 +116,13 @@ pub struct RunStats {
     pub peak_mem_bytes: BTreeMap<String, u64>,
     /// Busy seconds per processor (indexed by `ProcId.0`).
     pub proc_busy_s: Vec<f64>,
+    /// Work executed per kernel variant (`interpreter`, `tape`,
+    /// `gemm.gen`, `spmv.gen`, …).
+    pub task_classes: BTreeMap<String, KernelClassStats>,
     /// Copy log (only when requested).
     pub copy_log: Option<Vec<CopyLogEntry>>,
+    /// Task log (only when requested, alongside the copy log).
+    pub task_log: Option<Vec<TaskLogEntry>>,
 }
 
 impl RunStats {
@@ -155,8 +200,19 @@ impl RunStats {
         for (i, b) in other.proc_busy_s.iter().enumerate() {
             self.proc_busy_s[i] += b;
         }
+        for (k, v) in &other.task_classes {
+            let e = self.task_classes.entry(k.clone()).or_default();
+            e.tasks += v.tasks;
+            e.flops += v.flops;
+            e.busy_s += v.busy_s;
+        }
         if let Some(log) = &other.copy_log {
             self.copy_log
+                .get_or_insert_with(Vec::new)
+                .extend(log.iter().cloned());
+        }
+        if let Some(log) = &other.task_log {
+            self.task_log
                 .get_or_insert_with(Vec::new)
                 .extend(log.iter().cloned());
         }

@@ -13,10 +13,12 @@ fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-/// Renders the run's copy log as Chrome trace-event JSON.
+/// Renders the run's copy and task logs as Chrome trace-event JSON.
 ///
 /// Each copy becomes a complete ("X") event on a track identified by its
-/// source→destination memory pair; times are microseconds. Returns an empty
+/// source→destination memory pair; each task becomes an "X" event on its
+/// processor's track, named after the kernel variant that ran (`tape`,
+/// `gemm.gen`, `interpreter`, …). Times are microseconds. Returns an empty
 /// trace when the run was executed without `record_copies`.
 pub fn chrome_trace(stats: &RunStats) -> String {
     let mut out = String::from("[\n");
@@ -49,6 +51,23 @@ pub fn chrome_trace(stats: &RunStats) -> String {
             );
         }
     }
+    if let Some(log) = &stats.task_log {
+        for t in log {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "  {{\"name\": \"{}\", \"cat\": \"task\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": 0, \"tid\": \"proc{}\", \"args\": {{\"flops\": {}}}}}",
+                escape(&t.kernel),
+                t.start_s * 1e6,
+                (t.end_s - t.start_s).max(0.0) * 1e6,
+                t.proc,
+                t.flops
+            );
+        }
+    }
     out.push_str("\n]\n");
     out
 }
@@ -56,7 +75,7 @@ pub fn chrome_trace(stats: &RunStats) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stats::CopyLogEntry;
+    use crate::stats::{CopyLogEntry, TaskLogEntry};
     use crate::{MemId, RegionId};
 
     #[test]
@@ -73,12 +92,22 @@ mod tests {
                 end_s: 0.002,
                 kind: CopyKind::Data,
             }]),
+            task_log: Some(vec![TaskLogEntry {
+                kernel: "gemm.gen".into(),
+                proc: 2,
+                flops: 2048.0,
+                start_s: 0.002,
+                end_s: 0.004,
+            }]),
             ..RunStats::default()
         };
         let json = chrome_trace(&stats);
         assert!(json.contains("\"copy R3\""));
         assert!(json.contains("node0->node1"));
         assert!(json.contains("\"bytes\": 4096"));
+        assert!(json.contains("\"gemm.gen\""));
+        assert!(json.contains("\"proc2\""));
+        assert!(json.contains("\"flops\": 2048"));
         // Must be valid-ish JSON array.
         assert!(json.trim_start().starts_with('['));
         assert!(json.trim_end().ends_with(']'));

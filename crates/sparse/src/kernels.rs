@@ -1,14 +1,21 @@
 //! Sparse leaf kernels: SpMV, SpMM, and SDDMM over [`SparseBuffer`]s.
 //!
-//! Two surfaces:
+//! Three surfaces:
 //!
 //! * pure functions ([`spmv`], [`spmm`], [`sddmm`]) over whole buffers —
 //!   the reference kernels used by tests and benches;
 //! * [`distal_runtime::kernel::Kernel`] implementations ([`SpmvLeaf`],
-//!   [`SpmmLeaf`], [`SddmmLeaf`]) that the compiler substitutes at leaves
-//!   whose first input operand is compressed. Each builds a CSR view of
-//!   the compressed operand's *tile* (the task's bounds box) and then
-//!   iterates only the stored coordinates.
+//!   [`SpmmLeaf`], [`SddmmLeaf`]) that build a CSR view of the compressed
+//!   operand's *tile* (the task's bounds box) per execute and then iterate
+//!   only the stored coordinates;
+//! * **generated** leaves ([`SpmvGenLeaf`], [`SpmmGenLeaf`],
+//!   [`SddmmGenLeaf`]) — the kernel-generation replacements the compiler's
+//!   `KernelGen` emits at plan time. They visit the same stored entries in
+//!   the same order as the CSR-building leaves (a dense tile row scanned
+//!   left-to-right, skipping zero bit patterns, is exactly the stored-entry
+//!   sequence `SparseBuffer::from_dense` would produce), but with **no
+//!   per-execute allocation**: row base offsets are hoisted out of the
+//!   inner loop and the inner loop runs over contiguous row slices.
 //!
 //! # Bit-parity with the dense leaves
 //!
@@ -187,6 +194,144 @@ impl Kernel for SddmmLeaf {
     }
 }
 
+/// Generated SpMV leaf for `a(i) = B(i,j) * c(j)` with B compressed:
+/// the plan-time specialization of [`SpmvLeaf`]. Scans B's tile rows
+/// directly (no CSR build), skipping entries with a zero bit pattern —
+/// the exact stored-entry sequence of the CSR leaf — with the row base
+/// and the output element hoisted out of the inner loop.
+///
+/// Task scalars carry `[ilo, ihi, jlo, jhi]`; args are `[a, B, c]`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpmvGenLeaf;
+
+impl Kernel for SpmvGenLeaf {
+    fn name(&self) -> &str {
+        "spmv.gen"
+    }
+
+    fn execute(&self, ctx: &mut KernelCtx) {
+        let s = &ctx.scalars;
+        assert_eq!(s.len(), 4, "spmv bounds mismatch");
+        let (ilo, ihi, jlo, jhi) = (s[0], s[1], s[2], s[3]);
+        if ihi < ilo || jhi < jlo {
+            return;
+        }
+        let nj = (jhi - jlo + 1) as usize;
+        let (y_arg, rest) = ctx.args.split_at_mut(1);
+        let (y, b, x) = (&mut y_arg[0], &rest[0], &rest[1]);
+        let b_cols = b.alloc.extent(1) as usize;
+        let b_base = b.offset(&[ilo, jlo]);
+        let x_base = x.offset(&[jlo]);
+        let y_base = y.offset(&[ilo]);
+        for r in 0..=(ihi - ilo) as usize {
+            let row = &b.data[b_base + r * b_cols..b_base + r * b_cols + nj];
+            let acc = &mut y.data[y_base + r];
+            for (e, &bv) in row.iter().enumerate() {
+                if bv.to_bits() == 0 {
+                    continue;
+                }
+                *acc += bv * x.data[x_base + e];
+            }
+        }
+    }
+}
+
+/// Generated SpMM leaf for `A(i,j) = B(i,k) * C(k,j)` with B compressed:
+/// the plan-time specialization of [`SpmmLeaf`]. Loop order
+/// `(i, stored k, j)` with contiguous row slices and no CSR build.
+///
+/// Task scalars carry `[ilo, ihi, jlo, jhi, klo, khi]`; args `[A, B, C]`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpmmGenLeaf;
+
+impl Kernel for SpmmGenLeaf {
+    fn name(&self) -> &str {
+        "spmm.gen"
+    }
+
+    fn execute(&self, ctx: &mut KernelCtx) {
+        let s = &ctx.scalars;
+        assert_eq!(s.len(), 6, "spmm bounds mismatch");
+        let (ilo, ihi, jlo, jhi, klo, khi) = (s[0], s[1], s[2], s[3], s[4], s[5]);
+        if ihi < ilo || jhi < jlo || khi < klo {
+            return;
+        }
+        let (nj, nk) = ((jhi - jlo + 1) as usize, (khi - klo + 1) as usize);
+        let (a_arg, rest) = ctx.args.split_at_mut(1);
+        let (a, b, c) = (&mut a_arg[0], &rest[0], &rest[1]);
+        let a_cols = a.alloc.extent(1) as usize;
+        let b_cols = b.alloc.extent(1) as usize;
+        let c_cols = c.alloc.extent(1) as usize;
+        let a_base = a.offset(&[ilo, jlo]);
+        let b_base = b.offset(&[ilo, klo]);
+        let c_base = c.offset(&[klo, jlo]);
+        for i in 0..=(ihi - ilo) as usize {
+            let b_row = &b.data[b_base + i * b_cols..b_base + i * b_cols + nk];
+            let a_row = &mut a.data[a_base + i * a_cols..a_base + i * a_cols + nj];
+            for (e, &bv) in b_row.iter().enumerate() {
+                if bv.to_bits() == 0 {
+                    continue;
+                }
+                let c_row = &c.data[c_base + e * c_cols..c_base + e * c_cols + nj];
+                for (av, &cv) in a_row.iter_mut().zip(c_row) {
+                    *av += bv * cv;
+                }
+            }
+        }
+    }
+}
+
+/// Generated SDDMM leaf for `A(i,j) = B(i,j) * C(i,k) * D(k,j)` with B
+/// compressed: the plan-time specialization of [`SddmmLeaf`]. Iterates
+/// B's stored `(i,j)` entries with left-associated products, hoisting the
+/// output element and C's row out of the `k` loop.
+///
+/// Task scalars carry `[ilo, ihi, jlo, jhi, klo, khi]`; args
+/// `[A, B, C, D]`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SddmmGenLeaf;
+
+impl Kernel for SddmmGenLeaf {
+    fn name(&self) -> &str {
+        "sddmm.gen"
+    }
+
+    fn execute(&self, ctx: &mut KernelCtx) {
+        let s = &ctx.scalars;
+        assert_eq!(s.len(), 6, "sddmm bounds mismatch");
+        let (ilo, ihi, jlo, jhi, klo, khi) = (s[0], s[1], s[2], s[3], s[4], s[5]);
+        if ihi < ilo || jhi < jlo || khi < klo {
+            return;
+        }
+        let (nj, nk) = ((jhi - jlo + 1) as usize, (khi - klo + 1) as usize);
+        let (a_arg, rest) = ctx.args.split_at_mut(1);
+        let (a, b, c, d) = (&mut a_arg[0], &rest[0], &rest[1], &rest[2]);
+        let a_cols = a.alloc.extent(1) as usize;
+        let b_cols = b.alloc.extent(1) as usize;
+        let c_cols = c.alloc.extent(1) as usize;
+        let d_cols = d.alloc.extent(1) as usize;
+        let a_base = a.offset(&[ilo, jlo]);
+        let b_base = b.offset(&[ilo, jlo]);
+        let c_base = c.offset(&[ilo, klo]);
+        let d_base = d.offset(&[klo, jlo]);
+        for i in 0..=(ihi - ilo) as usize {
+            let b_row = &b.data[b_base + i * b_cols..b_base + i * b_cols + nj];
+            let c_row = &c.data[c_base + i * c_cols..c_base + i * c_cols + nk];
+            for (e, &bv) in b_row.iter().enumerate() {
+                if bv.to_bits() == 0 {
+                    continue;
+                }
+                let a_off = a_base + i * a_cols + e;
+                let mut acc = a.data[a_off];
+                for (k, &cv) in c_row.iter().enumerate() {
+                    acc += (bv * cv) * d.data[d_base + k * d_cols + e];
+                }
+                a.data[a_off] = acc;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,6 +478,77 @@ mod tests {
         };
         SpmvLeaf.execute(&mut ctx);
         assert_eq!(ctx.args[0].data, vec![2001.0, 0.0, 30.0]);
+    }
+
+    /// A tile-shaped ctx over dense data for a statement with `n_args`
+    /// square 2-D operands plus vectors where noted by `shapes`.
+    fn ctx_from(shapes: &[&[i64]], seeds: &[u64], density: f64, scalars: Vec<i64>) -> KernelCtx {
+        let args = shapes
+            .iter()
+            .zip(seeds)
+            .map(|(dims, &seed)| {
+                let rect = Rect::sized(dims);
+                let vol = rect.volume() as usize;
+                let data = if seed == 0 {
+                    vec![0.0; vol]
+                } else {
+                    sparse_data(vol, seed, density)
+                };
+                arg(rect, data)
+            })
+            .collect();
+        KernelCtx {
+            args,
+            point: Point::zeros(1),
+            scalars,
+        }
+    }
+
+    #[test]
+    fn generated_leaves_match_csr_leaves_bitwise() {
+        for density in [0.05, 0.5, 1.0] {
+            // SpMV over a partial tile.
+            let shapes: &[&[i64]] = &[&[6], &[6, 8], &[8]];
+            let mut old = ctx_from(shapes, &[0, 21, 22], density, vec![1, 4, 2, 7]);
+            let mut gen = ctx_from(shapes, &[0, 21, 22], density, vec![1, 4, 2, 7]);
+            SpmvLeaf.execute(&mut old);
+            SpmvGenLeaf.execute(&mut gen);
+            assert_eq!(old.args[0].data, gen.args[0].data);
+            // SpMM over a partial tile.
+            let shapes: &[&[i64]] = &[&[5, 6], &[5, 7], &[7, 6]];
+            let mut old = ctx_from(shapes, &[0, 31, 32], density, vec![1, 3, 0, 5, 2, 6]);
+            let mut gen = ctx_from(shapes, &[0, 31, 32], density, vec![1, 3, 0, 5, 2, 6]);
+            SpmmLeaf.execute(&mut old);
+            SpmmGenLeaf.execute(&mut gen);
+            for (o, g) in old.args[0].data.iter().zip(gen.args[0].data.iter()) {
+                assert_eq!(o.to_bits(), g.to_bits());
+            }
+            // SDDMM over a partial tile.
+            let shapes: &[&[i64]] = &[&[5, 6], &[5, 6], &[5, 4], &[4, 6]];
+            let mut old = ctx_from(shapes, &[0, 41, 42, 43], density, vec![0, 4, 1, 5, 0, 3]);
+            let mut gen = ctx_from(shapes, &[0, 41, 42, 43], density, vec![0, 4, 1, 5, 0, 3]);
+            SddmmLeaf.execute(&mut old);
+            SddmmGenLeaf.execute(&mut gen);
+            for (o, g) in old.args[0].data.iter().zip(gen.args[0].data.iter()) {
+                assert_eq!(o.to_bits(), g.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn generated_leaves_ignore_empty_bounds() {
+        let sq = Rect::sized(&[2, 2]);
+        let mut ctx = KernelCtx {
+            args: vec![
+                arg(sq.clone(), vec![0.0; 4]),
+                arg(sq.clone(), vec![1.0; 4]),
+                arg(sq, vec![1.0; 4]),
+            ],
+            point: Point::zeros(2),
+            scalars: vec![0, 1, 0, 1, 1, 0],
+        };
+        SpmmGenLeaf.execute(&mut ctx);
+        assert_eq!(ctx.args[0].data, vec![0.0; 4]);
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod buffer;
 pub mod kernels;
 
 pub use buffer::{csr_payload_bytes, csr_payload_scale, estimated_payload_bytes, SparseBuffer};
-pub use kernels::{SddmmLeaf, SpmmLeaf, SpmvLeaf};
+pub use kernels::{SddmmGenLeaf, SddmmLeaf, SpmmGenLeaf, SpmmLeaf, SpmvGenLeaf, SpmvLeaf};
 
 /// Bytes of one `pos` array entry (row offsets, `u64`-sized on the wire).
 pub const POS_BYTES: u64 = 8;

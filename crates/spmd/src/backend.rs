@@ -238,6 +238,23 @@ fn program_report(
         }
     };
     let cost = program.cost(model);
+    let tasks = count_tasks(program);
+    let mut kernel_classes = std::collections::BTreeMap::new();
+    if tasks > 0 {
+        let variant = if program.interpreted_leaves {
+            "interpreter".to_string()
+        } else {
+            program.leaf.0.name().to_string()
+        };
+        kernel_classes.insert(
+            variant,
+            distal_runtime::stats::KernelClassStats {
+                tasks,
+                flops: program.total_flops,
+                busy_s: cost.compute_s,
+            },
+        );
+    }
     Report {
         backend: backend.into(),
         provenance,
@@ -245,9 +262,10 @@ fn program_report(
         messages: stats.messages,
         critical_path_s: cost.makespan_s,
         flops: program.total_flops,
-        tasks: count_tasks(program),
+        tasks,
         peak_bytes,
         cache: None,
+        kernel_classes,
     }
 }
 
@@ -262,6 +280,9 @@ pub struct SpmdBackend {
     pub collectives: CollectiveConfig,
     /// The α-β model pricing [`Report::critical_path_s`].
     pub model: AlphaBeta,
+    /// Execute leaves through the per-point interpreter instead of the
+    /// generated kernels (parity/benchmark escape hatch).
+    pub interpreted_leaves: bool,
 }
 
 impl SpmdBackend {
@@ -284,6 +305,14 @@ impl SpmdBackend {
         self.model = model;
         self
     }
+
+    /// Runs leaves through the per-point interpreter instead of the
+    /// generated kernels.
+    #[must_use]
+    pub fn with_interpreted_leaves(mut self) -> Self {
+        self.interpreted_leaves = true;
+        self
+    }
 }
 
 impl Backend for SpmdBackend {
@@ -293,12 +322,17 @@ impl Backend for SpmdBackend {
 
     fn config_fingerprint(&self) -> String {
         // Collectives shape the lowered message schedule; the α-β model
-        // prices every bound instance's reports.
-        format!("{:?};{:?}", self.collectives, self.model)
+        // prices every bound instance's reports; the leaf-execution mode
+        // changes what a bound instance runs.
+        format!(
+            "{:?};{:?};interpreted_leaves={}",
+            self.collectives, self.model, self.interpreted_leaves
+        )
     }
 
     fn plan(&self, problem: &Problem, schedule: &Schedule) -> Result<Box<dyn Plan>, BackendError> {
-        let program = plan_program(problem, schedule, &self.collectives)?;
+        let mut program = plan_program(problem, schedule, &self.collectives)?;
+        program.interpreted_leaves = self.interpreted_leaves;
         Ok(Box::new(SpmdPlan {
             tensors: problem.tensors().clone(),
             program: Arc::new(program),

@@ -556,6 +556,24 @@ pub fn lower_with(
         .keys()
         .map(|n| (n.clone(), sparsity_of(by_name[n.as_str()])))
         .collect();
+    // Specialize the leaf kernel now, at lowering (= plan) time: the rank
+    // VM always *adds* into a zeroed accumulator, and prunes compressed
+    // operands' unstored points only for pure-product statements — the
+    // same discipline the per-point interpreter applies dynamically.
+    let pure_product = crate::program::is_pure_product(&assignment.rhs);
+    let leaf_compressed: Vec<bool> = assignment
+        .input_accesses()
+        .iter()
+        .map(|acc| sparsity.get(&acc.tensor).is_some_and(|s| s.compressed))
+        .collect();
+    let leaf = crate::program::LeafKernel(distal_core::kernelgen::specialize(
+        &distal_runtime::kernelgen::LeafRequest {
+            assignment: assignment.clone(),
+            compressed: leaf_compressed,
+            accumulate: true,
+            skip_zero: pure_product,
+        },
+    ));
     let mut program = SpmdProgram {
         assignment: assignment.clone(),
         grid: grid.clone(),
@@ -569,6 +587,8 @@ pub fn lower_with(
         dist_reduces,
         collectives: Vec::new(),
         sparsity,
+        leaf,
+        interpreted_leaves: false,
     };
     collective::apply(&mut program, collectives);
     Ok(program)

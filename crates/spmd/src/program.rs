@@ -9,8 +9,25 @@ use crate::vm::{Buf, RankStore};
 use distal_ir::expr::{Assignment, Expr, IndexVar};
 use distal_machine::geom::{Point, Rect, RectSet};
 use distal_machine::grid::Grid;
+use distal_runtime::kernel::{Kernel, KernelArg, KernelCtx};
+use distal_runtime::program::Privilege;
 use distal_sparse::csr_payload_bytes;
 use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// The rank VM's generated leaf kernel, shared (via `Arc`) across every
+/// clone and binding of the lowered program — plan-time specialization,
+/// never re-done at bind or execute time. The wrapper exists to give the
+/// trait object `Clone`/`Debug` so [`SpmdProgram`] keeps deriving both.
+#[derive(Clone)]
+pub struct LeafKernel(pub Arc<dyn Kernel>);
+
+impl fmt::Debug for LeafKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LeafKernel({})", self.0.name())
+    }
+}
 
 /// Extent of a rectangle's innermost dimension (1 for order-0 rects).
 fn rect_inner_extent(rect: &Rect) -> u64 {
@@ -24,7 +41,7 @@ fn rect_inner_extent(rect: &Rect) -> u64 {
 /// True for expressions that are pure products of accesses/literals — the
 /// precondition for pruning iteration points where a compressed operand
 /// stores no entry (a zero factor annihilates the whole term).
-fn is_pure_product(e: &Expr) -> bool {
+pub(crate) fn is_pure_product(e: &Expr) -> bool {
     match e {
         Expr::Access(_) | Expr::Literal(_) => true,
         Expr::Mul(l, r) => is_pure_product(l) && is_pure_product(r),
@@ -62,6 +79,13 @@ pub struct SpmdProgram {
     /// Per-tensor sparsity metadata (level-format compression + nnz),
     /// driving nnz-sized message accounting and the α-β cost model.
     pub sparsity: BTreeMap<String, TensorSparsity>,
+    /// The generated leaf kernel every `Compute` op runs (specialized
+    /// once, at lowering time).
+    pub leaf: LeafKernel,
+    /// Run leaves through the per-point interpreter instead of the
+    /// generated kernel — the escape hatch parity suites use to compare
+    /// both paths. Off by default.
+    pub interpreted_leaves: bool,
 }
 
 /// The result of executing an SPMD program.
@@ -349,9 +373,100 @@ impl SpmdProgram {
         Ok(payload)
     }
 
-    /// Runs the leaf kernel over the iteration sub-box `bounds` (inclusive
-    /// per-variable), reading inputs from the store and accumulating into
-    /// the output accumulator.
+    /// Runs the leaf over the iteration sub-box `bounds` (inclusive
+    /// per-variable): the generated kernel by default, the per-point
+    /// interpreter when [`SpmdProgram::interpreted_leaves`] is set. Both
+    /// paths are bit-identical (asserted by the parity suites).
+    fn compute(
+        &self,
+        store: &mut RankStore,
+        bounds: &[(i64, i64)],
+        skip_mask: &[bool],
+    ) -> Result<(), SpmdError> {
+        if self.interpreted_leaves {
+            self.compute_interpreted(store, bounds, skip_mask)
+        } else {
+            self.compute_generated(store, bounds)
+        }
+    }
+
+    /// Generated-kernel leaf execution: gathers each operand's *face* of
+    /// the iteration sub-box into a dense buffer (for a reduction this is
+    /// far smaller than the box itself — SUMMA's leaves look up `n²`
+    /// values per operand instead of `n³`), exposes the rank accumulator
+    /// as the output argument, and runs the plan-time specialized kernel
+    /// over contiguous data. Zero-skipping for compressed operands is
+    /// baked into the kernel (`skip_zero` in the request mirrors the
+    /// interpreter's `skip_mask`).
+    fn compute_generated(
+        &self,
+        store: &mut RankStore,
+        bounds: &[(i64, i64)],
+    ) -> Result<(), SpmdError> {
+        if bounds.iter().any(|(lo, hi)| hi < lo) {
+            return Ok(());
+        }
+        let a = &self.assignment;
+        let var_pos: BTreeMap<&IndexVar, usize> = self
+            .all_vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v, i))
+            .collect();
+        let rect_of = |indices: &[IndexVar]| {
+            let lo: Vec<i64> = indices.iter().map(|v| bounds[var_pos[v]].0).collect();
+            let hi: Vec<i64> = indices.iter().map(|v| bounds[var_pos[v]].1).collect();
+            Rect::new(Point::new(lo), Point::new(hi))
+        };
+        let out_rect = rect_of(&a.lhs.indices);
+        // The accumulator buffer doubles as the kernel's output argument:
+        // its data moves into the arg (zero-copy) and back afterwards.
+        let (acc_rect, acc_data) = {
+            let buf = store.acc_buf(&out_rect);
+            (buf.rect.clone(), std::mem::take(&mut buf.data))
+        };
+        let mut args = Vec::with_capacity(a.accesses().len());
+        args.push(KernelArg {
+            privilege: Privilege::ReadWrite,
+            rect: out_rect.clone(),
+            alloc: acc_rect,
+            data: acc_data,
+        });
+        for acc in a.input_accesses() {
+            let rect = rect_of(&acc.indices);
+            let mut data = Vec::with_capacity(rect.volume().max(0) as usize);
+            for p in rect.points() {
+                data.push(store.lookup(&acc.tensor, &p).ok_or_else(|| {
+                    SpmdError::Data(format!(
+                        "compute reads {}{p} with no valid local copy",
+                        acc.tensor
+                    ))
+                })?);
+            }
+            args.push(KernelArg {
+                privilege: Privilege::Read,
+                rect: rect.clone(),
+                alloc: rect,
+                data,
+            });
+        }
+        let mut scalars = Vec::with_capacity(bounds.len() * 2);
+        for (lo, hi) in bounds {
+            scalars.push(*lo);
+            scalars.push(*hi);
+        }
+        let mut kctx = KernelCtx {
+            args,
+            point: Point::zeros(1),
+            scalars,
+        };
+        self.leaf.0.execute(&mut kctx);
+        store.acc_buf(&out_rect).data = kctx.args.swap_remove(0).data;
+        Ok(())
+    }
+
+    /// Per-point interpreted leaf execution (the pre-generation path,
+    /// kept as the parity reference).
     ///
     /// `skip_mask` flags input accesses (in `input_accesses` order) whose
     /// tensor is compressed within a pure-product statement: points where
@@ -360,7 +475,7 @@ impl SpmdProgram {
     /// Skipping is bit-identical to the dense accumulation of the same
     /// data because the skipped terms are `±0.0` products that never
     /// change an accumulator which itself is never `-0.0`.
-    fn compute(
+    fn compute_interpreted(
         &self,
         store: &mut RankStore,
         bounds: &[(i64, i64)],

@@ -10,6 +10,9 @@ use distal::core::{BackendError, CompileOptions, Problem, RuntimeBackend, Schedu
 use distal::prelude::*;
 use distal::spmd::SpmdBackend;
 
+mod common;
+use common::{format_1d, generate, schedule_1d, Rng};
+
 /// Builds the shared problem of one Figure 9 algorithm on `nodes`
 /// small-machine nodes.
 fn problem_for(alg: MatmulAlgorithm, nodes: usize, n: i64) -> (Problem, Schedule) {
@@ -321,6 +324,241 @@ fn cost_backend_prices_density() {
         one_pct < dense,
         "1% compressed must beat dense: {one_pct} vs {dense}"
     );
+}
+
+/// Runs `problem` four ways — runtime and SPMD, generated leaves and
+/// interpreter-forced leaves — and asserts all four reads of `out` are
+/// bit-identical within each backend (generated vs interpreter is the
+/// kernelgen correctness contract; cross-backend equality is asserted
+/// where the existing tests already guarantee it). Returns the generated
+/// runtime report so callers can check which kernel variant actually ran.
+fn assert_generated_matches_interpreter(
+    problem: &Problem,
+    schedule: &Schedule,
+    interpreter_schedule: &Schedule,
+    out: &str,
+    label: &str,
+) -> Report {
+    let run = |backend: &dyn Backend, schedule: &Schedule| {
+        let mut art = problem
+            .compile(backend, schedule)
+            .unwrap_or_else(|e| panic!("{label} [{}]: {e}", backend.name()));
+        let report = art
+            .run()
+            .unwrap_or_else(|e| panic!("{label} [{}]: {e}", backend.name()));
+        (art.read(out).unwrap(), report)
+    };
+    let (rt_gen, rt_report) = run(&RuntimeBackend::functional(), schedule);
+    let (rt_interp, rt_interp_report) = run(&RuntimeBackend::functional(), interpreter_schedule);
+    let (sp_gen, _) = run(&SpmdBackend::new(), schedule);
+    let (sp_interp, _) = run(&SpmdBackend::new().with_interpreted_leaves(), schedule);
+    assert!(
+        rt_interp_report.kernel_classes.contains_key("interpreter"),
+        "{label}: interpreter-forced runtime run dispatched {:?}",
+        rt_interp_report.kernel_classes.keys().collect::<Vec<_>>()
+    );
+    for (which, got) in [
+        ("runtime interpreter", &rt_interp),
+        ("spmd generated", &sp_gen),
+        ("spmd interpreter", &sp_interp),
+    ] {
+        let want = if which.starts_with("runtime") {
+            &rt_gen
+        } else {
+            &sp_gen
+        };
+        assert_eq!(want.len(), got.len(), "{label} {which}: lengths");
+        for (i, (x, y)) in want.iter().zip(got.iter()).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{label} {which} idx {i}: {x} vs {y}"
+            );
+        }
+    }
+    // Cross-backend, generated vs generated: same values to 1e-9 always
+    // (bitwise equality across backends is covered by the matmul suites
+    // above, whose loop structures provably agree).
+    for (i, (x, y)) in rt_gen.iter().zip(sp_gen.iter()).enumerate() {
+        assert!(
+            (x - y).abs() < 1e-9 * (1.0 + x.abs()),
+            "{label} cross-backend idx {i}: {x} vs {y}"
+        );
+    }
+    rt_report
+}
+
+#[test]
+fn generated_kernels_match_interpreter_on_random_einsums() {
+    // ~24 random statements (arity 1-3 inputs, scalar and tensor outputs,
+    // reductions and pointwise maps): the tape-compiled leaves must be
+    // bit-identical to the per-point interpreter on both backends.
+    let mut rng = Rng(0x6E5E12A7);
+    let p = 3i64;
+    for round in 0..24 {
+        let case = generate(&mut rng);
+        let assignment = distal::ir::expr::Assignment::parse(&case.expr).unwrap();
+        let all_vars: Vec<String> = assignment.all_vars().iter().map(|v| v.0.clone()).collect();
+        let dist_var = case
+            .out_vars
+            .first()
+            .cloned()
+            .unwrap_or_else(|| all_vars[0].clone());
+        let schedule = schedule_1d(&case, &all_vars, &dist_var, p);
+        let interp = schedule
+            .clone()
+            .substitute(&[&format!("{dist_var}_i")], LeafKind::Interpreter);
+
+        let machine = DistalMachine::flat(Grid::line(p), ProcKind::Cpu);
+        let mut problem = Problem::new(MachineSpec::small(2), machine);
+        problem.set_assignment(assignment);
+        for (name, dims) in &case.dims {
+            let format = if name == &case.out && case.out_vars.is_empty() {
+                Format::undistributed()
+            } else if name == &case.out {
+                format_1d(&case.out_vars, &dist_var)
+            } else {
+                let idx = if name == "B" { 0 } else { 1 };
+                format_1d(&case.input_vars[idx], &dist_var)
+            };
+            problem
+                .tensor(TensorSpec::new(name.clone(), dims.clone(), format))
+                .unwrap();
+            if name != &case.out {
+                let len = dims.iter().product::<i64>().max(1) as usize;
+                problem.set_data(name, rng.data(len)).unwrap();
+            }
+        }
+        let label = format!("round {round} '{}'", case.expr);
+        assert_generated_matches_interpreter(&problem, &schedule, &interp, &case.out, &label);
+    }
+}
+
+#[test]
+fn generated_kernels_match_interpreter_on_figure9_matmuls() {
+    for (alg, nodes) in [
+        (MatmulAlgorithm::Summa, 2),
+        (MatmulAlgorithm::Cannon, 2),
+        (MatmulAlgorithm::Johnson, 4),
+    ] {
+        let (problem, schedule) = problem_for(alg, nodes, 12);
+        // The last `substitute` wins: appending the interpreter choice
+        // overrides the algorithms' built-in GEMM substitution.
+        let interp = schedule.clone().substitute(&["ii"], LeafKind::Interpreter);
+        let report = assert_generated_matches_interpreter(
+            &problem,
+            &schedule,
+            &interp,
+            "A",
+            &format!("{alg:?}"),
+        );
+        // Figure 9 matmuls must actually dispatch the specialized GEMM.
+        assert!(
+            report.kernel_classes.contains_key("gemm.gen"),
+            "{alg:?} dispatched {:?}",
+            report.kernel_classes.keys().collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn generated_sparse_kernels_match_interpreter_at_both_densities() {
+    for density in [0.01, 0.5] {
+        for compressed in [false, true] {
+            let (spmv, spmv_sched) = spmv_problem(4, 24, density, compressed);
+            let spmv_interp = spmv_sched
+                .clone()
+                .substitute(&["ii"], LeafKind::Interpreter);
+            let report = assert_generated_matches_interpreter(
+                &spmv,
+                &spmv_sched,
+                &spmv_interp,
+                "a",
+                &format!("spmv d={density} compressed={compressed}"),
+            );
+            if compressed {
+                assert!(
+                    report.kernel_classes.contains_key("spmv.gen"),
+                    "spmv d={density}: dispatched {:?}",
+                    report.kernel_classes.keys().collect::<Vec<_>>()
+                );
+            }
+
+            let (spmm, spmm_sched) = spmm_problem(16, density, compressed);
+            let spmm_interp = spmm_sched
+                .clone()
+                .substitute(&["ii"], LeafKind::Interpreter);
+            let report = assert_generated_matches_interpreter(
+                &spmm,
+                &spmm_sched,
+                &spmm_interp,
+                "A",
+                &format!("spmm d={density} compressed={compressed}"),
+            );
+            if compressed {
+                assert!(
+                    report.kernel_classes.contains_key("spmm.gen"),
+                    "spmm d={density}: dispatched {:?}",
+                    report.kernel_classes.keys().collect::<Vec<_>>()
+                );
+            }
+
+            let (sddmm, sddmm_sched) = sddmm_problem(16, density, compressed);
+            let sddmm_interp = sddmm_sched
+                .clone()
+                .substitute(&["ii"], LeafKind::Interpreter);
+            let report = assert_generated_matches_interpreter(
+                &sddmm,
+                &sddmm_sched,
+                &sddmm_interp,
+                "A",
+                &format!("sddmm d={density} compressed={compressed}"),
+            );
+            if compressed {
+                assert!(
+                    report.kernel_classes.contains_key("sddmm.gen"),
+                    "sddmm d={density}: dispatched {:?}",
+                    report.kernel_classes.keys().collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+}
+
+/// The sampled dense-dense matmul `A(i,j) = B(i,j) * C(i,k) * D(k,j)` on a
+/// 2×2 grid, with the sampling matrix B dense or CSR-compressed.
+fn sddmm_problem(n: i64, density: f64, compressed: bool) -> (Problem, Schedule) {
+    let machine = DistalMachine::flat(Grid::grid2(2, 2), ProcKind::Cpu);
+    let mut problem = Problem::new(MachineSpec::small(2), machine);
+    problem
+        .statement("A(i,j) = B(i,j) * C(i,k) * D(k,j)")
+        .unwrap();
+    let tiles = Format::parse("xy->xy", MemKind::Sys).unwrap();
+    let b_fmt = if compressed {
+        Format::parse_levels("xy->xy", "ds", MemKind::Sys).unwrap()
+    } else {
+        tiles.clone()
+    };
+    problem
+        .tensor(TensorSpec::new("A", vec![n, n], tiles.clone()))
+        .unwrap();
+    problem
+        .tensor(TensorSpec::new("B", vec![n, n], b_fmt))
+        .unwrap();
+    problem
+        .tensor(TensorSpec::new("C", vec![n, n], tiles.clone()))
+        .unwrap();
+    problem
+        .tensor(TensorSpec::new("D", vec![n, n], tiles))
+        .unwrap();
+    problem.fill_random_sparse("B", 0xB, density).unwrap();
+    problem.fill_random("C", 0xC).unwrap();
+    problem.fill_random("D", 0xD).unwrap();
+    let schedule = Schedule::new()
+        .distribute_onto(&["i", "j"], &["io", "jo"], &["ii", "ji"], &[2, 2])
+        .reorder(&["io", "jo", "ii", "ji", "k"])
+        .communicate(&["A", "B", "C", "D"], "jo");
+    (problem, schedule)
 }
 
 #[test]

@@ -55,11 +55,13 @@ fn runtime_plan_rebinds_match_fresh_compiles() {
     for (round, (b_seed, c_seed)) in [(11u64, 12u64), (21u64, 22u64)].into_iter().enumerate() {
         let lowerings = distal_core::lower::compile_count();
         let applications = distal_core::schedule::apply_count();
+        let specializations = distal_core::kernelgen::specialize_count();
         let mut inst = plan.bind(&seeded_bindings(b_seed, c_seed)).unwrap();
         inst.run().unwrap();
-        // Binding + running performs no lowering and no schedule
-        // application, on every binding (the second is the acceptance
-        // gate; the first already holds because planning did the work).
+        // Binding + running performs no lowering, no schedule
+        // application, and no leaf-kernel specialization, on every
+        // binding (the second is the acceptance gate; the first already
+        // holds because planning did the work).
         assert_eq!(
             distal_core::lower::compile_count(),
             lowerings,
@@ -69,6 +71,11 @@ fn runtime_plan_rebinds_match_fresh_compiles() {
             distal_core::schedule::apply_count(),
             applications,
             "bind #{round} re-applied the schedule"
+        );
+        assert_eq!(
+            distal_core::kernelgen::specialize_count(),
+            specializations,
+            "bind #{round} re-specialized a leaf kernel"
         );
 
         // Bit-identical to the one-shot path with the same data.
@@ -94,12 +101,18 @@ fn spmd_plan_rebinds_match_fresh_compiles() {
 
     for (b_seed, c_seed) in [(31u64, 32u64), (41u64, 42u64)] {
         let lowerings = distal_spmd::lower_count();
+        let specializations = distal_core::kernelgen::specialize_count();
         let mut inst = plan.bind(&seeded_bindings(b_seed, c_seed)).unwrap();
         inst.run().unwrap();
         assert_eq!(
             distal_spmd::lower_count(),
             lowerings,
             "binding an SPMD plan re-lowered"
+        );
+        assert_eq!(
+            distal_core::kernelgen::specialize_count(),
+            specializations,
+            "binding an SPMD plan re-specialized a leaf kernel"
         );
 
         let mut fresh_problem = shapes.clone();
@@ -221,8 +234,16 @@ fn plan_cache_serves_identical_results() {
 
     let miss_plan = cache.get_or_plan(&backend, &shapes, &schedule).unwrap();
     let hit_plan = cache.get_or_plan(&backend, &shapes, &schedule).unwrap();
+    // Specialization is paid at plan time; binding a cached plan (and
+    // re-binding it) performs zero further kernel generation.
+    let specializations = distal_core::kernelgen::specialize_count();
     let mut a = miss_plan.bind(&shapes.bindings()).unwrap();
     let mut b = hit_plan.bind(&shapes.bindings()).unwrap();
+    assert_eq!(
+        distal_core::kernelgen::specialize_count() - specializations,
+        0,
+        "binding cached plans specialized kernels"
+    );
     let mut report = a.run().unwrap();
     b.run().unwrap();
     assert_eq!(a.read("A").unwrap(), b.read("A").unwrap());

@@ -1,5 +1,8 @@
 //! The algorithm case studies of the paper.
 //!
+//! Pipeline layer 2 (schedules as reusable builders) —
+//! `ARCHITECTURE.md` at the workspace root maps all six layers.
+//!
 //! * [`matmul`] — the six distributed matrix-multiplication algorithms of
 //!   Figure 9 (Cannon, PUMMA, SUMMA, Johnson, Solomonik 2.5D, COSMA), each
 //!   expressed exactly as a target machine grid + tensor distribution

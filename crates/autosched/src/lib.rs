@@ -1,5 +1,8 @@
 //! Automatic schedule and format selection for DISTAL.
 //!
+//! Searches over pipeline layers 2–3 (schedules, scored plans) —
+//! `ARCHITECTURE.md` at the workspace root maps all six layers.
+//!
 //! The paper's future-work section (§9) envisions "auto-scheduling and
 //! auto-formatting frameworks for DISTAL ... With automatic schedule and
 //! format selection, application developers could independently achieve

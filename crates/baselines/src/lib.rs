@@ -1,4 +1,9 @@
-//! Re-implementations of the systems the paper compares against (§7.1):
+//! Re-implementations of the systems the paper compares against (§7.1).
+//!
+//! Comparison systems beside the pipeline — `ARCHITECTURE.md` at the
+//! workspace root maps the six layers they are measured against.
+//!
+//! The systems:
 //! ScaLAPACK, the Cyclops Tensor Framework (CTF), and COSMA — each running
 //! on the same simulated substrate as DISTAL so that the comparison isolates
 //! the *distribution strategy*, which is exactly what the paper evaluates.

@@ -2,7 +2,15 @@
 //! `BENCH_spmd.json` at the repo root.
 //!
 //! Usage: `cargo run --release -p distal-bench --bin spmd
-//! [--assert-depth log|N] [gx gy n]` (defaults: 4 4 32).
+//! [--assert-depth log|N] [--threads N] [--assert-parity] [gx gy n]`
+//! (defaults: 4 4 32, threads auto-sized to the host).
+//!
+//! Every configuration is executed twice — once on the sequential VM
+//! (the oracle) and once on the rank-per-thread channel transport —
+//! and the JSON gains the measured wall-clock makespan plus the
+//! modeled-vs-measured ratio per row. `--threads N` bounds the rank
+//! pool; `--assert-parity` is the CI gate requiring the threaded run
+//! to be bit-identical to the sequential VM on every row.
 //!
 //! `--assert-depth log` is the CI gate: on a SUMMA over `gx · gy` ranks
 //! (lowered on the algorithm's near-square grid of width `g`) it
@@ -23,10 +31,26 @@ fn fail(msg: &str) -> ! {
 
 fn main() {
     let mut assert_depth: Option<Option<usize>> = None; // Some(None) = log
+    let mut assert_parity = false;
+    let mut threads: usize = 0; // 0 = auto-size to the host
     let mut dims: Vec<i64> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--assert-depth" {
+        if a == "--assert-parity" {
+            assert_parity = true;
+        } else if a == "--threads" {
+            let v = args.next().unwrap_or_else(|| {
+                eprintln!("--threads requires an integer worker count");
+                std::process::exit(2);
+            });
+            match v.parse() {
+                Ok(t) => threads = t,
+                Err(_) => {
+                    eprintln!("--threads requires an integer worker count, got '{v}'");
+                    std::process::exit(2);
+                }
+            }
+        } else if a == "--assert-depth" {
             let v = args.next().unwrap_or_else(|| {
                 eprintln!("--assert-depth requires 'log' or an integer bound");
                 std::process::exit(2);
@@ -58,7 +82,7 @@ fn main() {
         }
     };
 
-    let (rows, programs) = spmd::spmd_bench_with_programs(gx, gy, n);
+    let (rows, programs) = spmd::spmd_bench_with_programs(gx, gy, n, threads);
     // The 2-D algorithms refactor the rank count into their own
     // near-square grid; all depth bounds below come from the grid the
     // programs were actually lowered for.
@@ -83,6 +107,19 @@ fn main() {
 
     if rows.iter().any(|r| !r.verified) {
         fail("a lowered program diverged from the sequential oracle; see table");
+    }
+    if assert_parity {
+        if let Some(r) = rows.iter().find(|r| !r.parity) {
+            fail(&format!(
+                "threaded transport diverged from the sequential VM on {} ({})",
+                r.algorithm, r.lowering
+            ));
+        }
+        println!(
+            "parity gate passed: threaded transport bit-identical to the \
+             sequential VM on all {} configurations",
+            rows.len()
+        );
     }
     let Some(depth_bound) = assert_depth else {
         return;

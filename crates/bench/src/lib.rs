@@ -1,6 +1,9 @@
 //! Benchmark harness regenerating every table and figure of the paper's
 //! evaluation (§7).
 //!
+//! Measures the whole pipeline end to end — `ARCHITECTURE.md` at the
+//! workspace root maps the six layers under test.
+//!
 //! Each module reproduces one artifact:
 //!
 //! * [`fig9`] — the Figure 9 algorithm table: per-algorithm communication

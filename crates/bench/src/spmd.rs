@@ -1,5 +1,6 @@
 //! SPMD collective-lowering benchmark: naive vs tree vs ring schedules
-//! for the Figure 9 algorithms, priced under the α-β cost model.
+//! for the Figure 9 algorithms, priced under the α-β cost model *and*
+//! measured on the threaded rank transport.
 //!
 //! For each (algorithm, lowering) pair the harness lowers the schedule,
 //! verifies the execution against the sequential oracle, and reports the
@@ -10,6 +11,12 @@
 //! sends to `⌈log₂ g⌉ ≤ ⌈log₂ g⌉ + 1` tree rounds at identical byte
 //! volume, while Cannon must stay fully systolic (nothing recognized,
 //! all steady-state traffic at torus distance 1).
+//!
+//! Each row additionally runs the program on real rank threads
+//! ([`distal_spmd::Transport::Threaded`]) and records the measured
+//! wall-clock makespan, the modeled-over-measured ratio, and whether the
+//! threaded output was bit-identical to the sequential reference (the
+//! `--assert-parity` CI gate).
 
 use distal_algs::matmul::MatmulAlgorithm;
 use distal_algs::setup::matmul_problem_on;
@@ -18,6 +25,7 @@ use distal_ir::expr::Assignment;
 use distal_machine::spec::{MachineSpec, MemKind, ProcKind};
 use distal_spmd::{
     collective, lower_problem, AlphaBeta, CollectiveConfig, CommStats, Message, SpmdProgram,
+    Transport,
 };
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -52,6 +60,17 @@ pub struct SpmdBenchRow {
     pub makespan_s: f64,
     /// Whether execution matched the sequential oracle.
     pub verified: bool,
+    /// Rank-pool worker threads the threaded run used.
+    pub threads: usize,
+    /// Measured wall-clock makespan of the threaded run, in seconds
+    /// (0.0 when the threaded run failed).
+    pub measured_s: f64,
+    /// Modeled-over-measured makespan ratio (`makespan_s / measured_s`;
+    /// 0.0 when unmeasured). A perfectly calibrated α-β model scores 1.
+    pub model_ratio: f64,
+    /// Whether the threaded output was bit-identical to the sequential
+    /// transport's (the `--assert-parity` gate).
+    pub parity: bool,
 }
 
 fn deterministic_data(n: usize, seed: u64) -> Vec<f64> {
@@ -115,13 +134,17 @@ impl OracleCase {
     }
 }
 
-/// Measures one lowered program, verifying against the oracle.
+/// Measures one lowered program: verifies the sequential execution
+/// against the oracle, then runs the same program on the threaded
+/// transport (`threads` pool workers, `0` = auto) for the measured
+/// wall-clock makespan and the sequential-vs-threaded parity bit.
 pub fn measure(
     alg: MatmulAlgorithm,
     lowering: &str,
     n: i64,
     program: &SpmdProgram,
     case: &OracleCase,
+    threads: usize,
 ) -> SpmdBenchRow {
     let stats = program.stats();
     let depth = if program.collectives.is_empty() {
@@ -134,14 +157,30 @@ pub fn measure(
         program.collective_depth()
     };
     let (inputs, want) = (&case.inputs, &case.want);
-    let verified = match program.execute(inputs) {
-        Ok(result) => result
+    let sequential = program.execute(inputs).ok();
+    let verified = sequential.as_ref().is_some_and(|result| {
+        result
             .output
             .iter()
             .zip(want.iter())
-            .all(|(g, w)| (g - w).abs() < 1e-9 * (1.0 + w.abs())),
-        Err(_) => false,
+            .all(|(g, w)| (g - w).abs() < 1e-9 * (1.0 + w.abs()))
+    });
+    let makespan_s = program.cost(&AlphaBeta::default()).makespan_s;
+    let threaded = program
+        .execute_with(inputs, &Transport::threaded_with(threads))
+        .ok();
+    let parity = match (&sequential, &threaded) {
+        (Some(s), Some(t)) => {
+            s.output.len() == t.output.len()
+                && s.output
+                    .iter()
+                    .zip(t.output.iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits())
+        }
+        _ => false,
     };
+    let measured = threaded.as_ref().and_then(|t| t.measured.as_ref());
+    let measured_s = measured.map_or(0.0, |m| m.wall_s);
     SpmdBenchRow {
         algorithm: alg.name(),
         lowering: lowering.to_string(),
@@ -153,8 +192,16 @@ pub fn measure(
         neighbor_fraction: stats.neighbor_fraction(),
         collectives: program.collectives.len(),
         depth,
-        makespan_s: program.cost(&AlphaBeta::default()).makespan_s,
+        makespan_s,
         verified,
+        threads: measured.map_or(0, |m| m.threads),
+        measured_s,
+        model_ratio: if measured_s > 0.0 {
+            makespan_s / measured_s
+        } else {
+            0.0
+        },
+        parity,
     }
 }
 
@@ -166,12 +213,18 @@ pub fn measure(
 /// ranks still run on a `4 × 4` grid); every row records the actual
 /// grid, and depth gates must read it from there.
 pub fn spmd_bench(gx: i64, gy: i64, n: i64) -> Vec<SpmdBenchRow> {
-    spmd_bench_with_programs(gx, gy, n).0
+    spmd_bench_with_programs(gx, gy, n, 0).0
 }
 
 /// [`spmd_bench`], also returning the lowered programs (same order as
-/// the rows) so gates can inspect them without re-lowering.
-pub fn spmd_bench_with_programs(gx: i64, gy: i64, n: i64) -> (Vec<SpmdBenchRow>, Vec<SpmdProgram>) {
+/// the rows) so gates can inspect them without re-lowering. `threads`
+/// sizes the threaded transport's rank pool (`0` = auto).
+pub fn spmd_bench_with_programs(
+    gx: i64,
+    gy: i64,
+    n: i64,
+    threads: usize,
+) -> (Vec<SpmdBenchRow>, Vec<SpmdProgram>) {
     let p = gx * gy;
     let case = OracleCase::matmul(n);
     let mut rows = Vec::new();
@@ -188,11 +241,19 @@ pub fn spmd_bench_with_programs(gx: i64, gy: i64, n: i64) -> (Vec<SpmdBenchRow>,
             n,
             &program,
             &case,
+            threads,
         ));
         programs.push(program);
     }
     let cannon = lower_algorithm(MatmulAlgorithm::Cannon, p, n, &CollectiveConfig::trees());
-    rows.push(measure(MatmulAlgorithm::Cannon, "tree", n, &cannon, &case));
+    rows.push(measure(
+        MatmulAlgorithm::Cannon,
+        "tree",
+        n,
+        &cannon,
+        &case,
+        threads,
+    ));
     programs.push(cannon);
     (rows, programs)
 }
@@ -215,7 +276,7 @@ pub fn render(rows: &[SpmdBenchRow]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<16} {:>6} {:>6} {:>7} {:>9} {:>10} {:>7} {:>6} {:>12} {:>9}",
+        "{:<16} {:>6} {:>6} {:>7} {:>9} {:>10} {:>7} {:>6} {:>12} {:>11} {:>7} {:>9} {:>7}",
         "algorithm",
         "mode",
         "n",
@@ -224,8 +285,11 @@ pub fn render(rows: &[SpmdBenchRow]) -> String {
         "bytes",
         "nbr%",
         "depth",
-        "makespan",
-        "oracle"
+        "modeled",
+        "measured",
+        "ratio",
+        "oracle",
+        "parity"
     );
     for r in rows {
         let grid = r
@@ -236,7 +300,7 @@ pub fn render(rows: &[SpmdBenchRow]) -> String {
             .join("x");
         let _ = writeln!(
             out,
-            "{:<16} {:>6} {:>6} {:>7} {:>9} {:>10} {:>6.0}% {:>6} {:>10.1}us {:>9}",
+            "{:<16} {:>6} {:>6} {:>7} {:>9} {:>10} {:>6.0}% {:>6} {:>10.1}us {:>9.1}us {:>7.2} {:>9} {:>7}",
             r.algorithm,
             r.lowering,
             r.n,
@@ -246,7 +310,10 @@ pub fn render(rows: &[SpmdBenchRow]) -> String {
             r.neighbor_fraction * 100.0,
             r.depth,
             r.makespan_s * 1e6,
-            if r.verified { "ok" } else { "MISMATCH" }
+            r.measured_s * 1e6,
+            r.model_ratio,
+            if r.verified { "ok" } else { "MISMATCH" },
+            if r.parity { "ok" } else { "DIVERGED" }
         );
     }
     out
@@ -264,7 +331,9 @@ pub fn to_json(rows: &[SpmdBenchRow]) -> String {
             "    {{\"algorithm\": \"{}\", \"lowering\": \"{}\", \"n\": {}, \"ranks\": {}, \
              \"grid\": {:?}, \
              \"messages\": {}, \"bytes\": {}, \"neighbor_fraction\": {:.4}, \
-             \"collectives\": {}, \"depth\": {}, \"makespan_s\": {:.9}, \"verified\": {}}}{comma}",
+             \"collectives\": {}, \"depth\": {}, \"makespan_s\": {:.9}, \"verified\": {}, \
+             \"threads\": {}, \"measured_s\": {:.9}, \"model_ratio\": {:.4}, \
+             \"parity\": {}}}{comma}",
             r.algorithm,
             r.lowering,
             r.n,
@@ -276,7 +345,11 @@ pub fn to_json(rows: &[SpmdBenchRow]) -> String {
             r.collectives,
             r.depth,
             r.makespan_s,
-            r.verified
+            r.verified,
+            r.threads,
+            r.measured_s,
+            r.model_ratio,
+            r.parity
         );
     }
     let _ = writeln!(out, "  ]");

@@ -1,6 +1,10 @@
 //! The DISTAL compiler: from tensor index notation + formats + schedules to
 //! distributed task programs.
 //!
+//! Pipeline layers 1–3 and 5 (problem, schedule, plan/instance, kernel
+//! specialization) — `ARCHITECTURE.md` at the workspace root maps all
+//! six layers.
+//!
 //! This crate ties the workspace together, mirroring the pipeline of paper
 //! Figure 3:
 //!

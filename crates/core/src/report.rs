@@ -34,8 +34,15 @@ pub struct Report {
     pub bytes_moved: u64,
     /// Discrete transfers: runtime copies, or SPMD messages.
     pub messages: u64,
-    /// Critical-path (makespan) seconds under the backend's timing model.
+    /// Critical-path (makespan) seconds: measured wall clock when the
+    /// backend really ran (functional runtime, threaded SPMD transport),
+    /// else the backend's timing model.
     pub critical_path_s: f64,
+    /// The model's critical-path prediction when `critical_path_s` is a
+    /// *measured* wall clock (e.g. the SPMD α-β makespan alongside a
+    /// threaded-transport run) — `None` when the headline number is
+    /// itself the model's. See [`Report::modeled_vs_measured`].
+    pub modeled_s: Option<f64>,
     /// Floating-point work performed (or modeled).
     pub flops: f64,
     /// Leaf tasks / compute blocks executed.
@@ -62,6 +69,7 @@ impl Report {
             bytes_moved: 0,
             messages: 0,
             critical_path_s: 0.0,
+            modeled_s: None,
             flops: 0.0,
             tasks: 0,
             peak_bytes: 0,
@@ -82,6 +90,7 @@ impl Report {
             bytes_moved: s.total_bytes(),
             messages: s.copies + s.reductions_applied,
             critical_path_s: s.makespan_s,
+            modeled_s: None,
             flops: s.total_flops,
             tasks: s.tasks,
             peak_bytes: s.peak_mem_bytes.values().copied().max().unwrap_or(0),
@@ -96,6 +105,15 @@ impl Report {
         self.bytes_moved += other.bytes_moved;
         self.messages += other.messages;
         self.critical_path_s += other.critical_path_s;
+        // A phase without its own model prediction contributes its
+        // headline time, so the merged ratio still compares like spans.
+        self.modeled_s = match (self.modeled_s, other.modeled_s) {
+            (None, None) => None,
+            (a, b) => Some(
+                a.unwrap_or(self.critical_path_s - other.critical_path_s)
+                    + b.unwrap_or(other.critical_path_s),
+            ),
+        };
         self.flops += other.flops;
         self.tasks += other.tasks;
         self.peak_bytes = self.peak_bytes.max(other.peak_bytes);
@@ -112,6 +130,17 @@ impl Report {
             e.tasks += v.tasks;
             e.flops += v.flops;
             e.busy_s += v.busy_s;
+        }
+    }
+
+    /// Modeled-over-measured critical-path ratio (`modeled_s /
+    /// critical_path_s`): `1.0` means the cost model predicted the
+    /// measured wall clock exactly, `> 1` that it over-estimated. `None`
+    /// unless the report carries both numbers (threaded SPMD runs).
+    pub fn modeled_vs_measured(&self) -> Option<f64> {
+        match self.modeled_s {
+            Some(m) if self.critical_path_s > 0.0 => Some(m / self.critical_path_s),
+            _ => None,
         }
     }
 
@@ -156,7 +185,11 @@ impl fmt::Display for Report {
             self.flops,
             self.tasks,
             self.critical_path_s * 1e6
-        )
+        )?;
+        if let Some(ratio) = self.modeled_vs_measured() {
+            write!(f, " (modeled/measured {ratio:.2})")?;
+        }
+        Ok(())
     }
 }
 

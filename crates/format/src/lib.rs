@@ -1,5 +1,8 @@
 //! Tensor distribution notation and formats (paper §3.2).
 //!
+//! Pipeline layer 1 (tensor registry) — `ARCHITECTURE.md` at the
+//! workspace root maps all six layers.
+//!
 //! A tensor's *format* describes how it is stored — for DISTAL, how its
 //! dimensions map onto the dimensions of a machine grid, and which memory
 //! kind holds each piece. The mapping is written in *tensor distribution

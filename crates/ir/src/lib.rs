@@ -1,5 +1,8 @@
 //! Intermediate representations for DISTAL.
 //!
+//! Pipeline layers 1–2 (statement + scheduling rewrites) —
+//! `ARCHITECTURE.md` at the workspace root maps all six layers.
+//!
 //! This crate implements the compiler-side languages of the paper:
 //!
 //! * [`expr`] — *tensor index notation* (§2): `A(i,j) = B(i,k) * C(k,j)`,

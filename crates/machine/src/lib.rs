@@ -1,5 +1,8 @@
 //! Machine models for DISTAL.
 //!
+//! Pipeline layer 1 (problem definition) — `ARCHITECTURE.md` at the
+//! workspace root maps all six layers.
+//!
 //! DISTAL models a distributed machine as a multidimensional grid of abstract
 //! processors, each with an associated local memory (paper §3.1). Grids may be
 //! hierarchical: each abstract processor can itself be a machine (e.g. a grid

@@ -133,21 +133,30 @@ impl ParallelExecutor {
 
     /// The worker count this executor will use.
     pub fn worker_count(&self) -> usize {
-        if self.threads > 0 {
-            return self.threads;
-        }
-        if let Some(n) = std::env::var("DISTAL_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-        {
-            if n > 0 {
-                return n;
-            }
-        }
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        host_worker_count(self.threads)
     }
+}
+
+/// Resolves a requested thread count against the host: an explicit
+/// `requested > 0` wins, then a positive `DISTAL_THREADS` environment
+/// variable, then one worker per available core. Shared by the
+/// work-stealing [`ParallelExecutor`] and the SPMD backend's threaded
+/// rank transport, so `DISTAL_THREADS` caps both kinds of pools.
+pub fn host_worker_count(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Some(n) = std::env::var("DISTAL_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        if n > 0 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl Executor for ParallelExecutor {

@@ -1,6 +1,9 @@
 //! A Legion-like distributed task-based runtime, as a deterministic
 //! discrete-event simulator.
 //!
+//! Pipeline layers 5–6 (kernel generation, dynamic-runtime execution) —
+//! `ARCHITECTURE.md` at the workspace root maps all six layers.
+//!
 //! DISTAL (PLDI 2022) targets the Legion runtime system, which supplies
 //! (§6): overlap of communication and computation, data movement through deep
 //! memory hierarchies, native accelerator support, and control over the

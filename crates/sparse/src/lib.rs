@@ -1,5 +1,8 @@
 //! Compressed tensor storage and sparse leaf kernels (the SpDISTAL layer).
 //!
+//! Pipeline layers 1 and 5 (storage formats, sparse leaves) —
+//! `ARCHITECTURE.md` at the workspace root maps all six layers.
+//!
 //! DISTAL's sequel, *SpDISTAL: Compiling Distributed Sparse Tensor
 //! Computations* (Yadav et al.), distributes sparse tensors through the
 //! same scheduling and distribution language as the dense compiler; the

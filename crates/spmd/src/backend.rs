@@ -45,6 +45,7 @@ use crate::cost::AlphaBeta;
 use crate::lower::{lower_with, SpmdError, SpmdTensor};
 use crate::ops::SpmdOp;
 use crate::program::{SpmdProgram, SpmdResult};
+use crate::transport::Transport;
 use distal_core::backend::{Backend, BackendError};
 use distal_core::plan::{init_nnz, Bindings, Instance, Plan};
 use distal_core::{Problem, Provenance, Report, RuntimeBackend, Schedule, TensorInit, TensorSpec};
@@ -261,6 +262,7 @@ fn program_report(
         bytes_moved: stats.bytes,
         messages: stats.messages,
         critical_path_s: cost.makespan_s,
+        modeled_s: None,
         flops: program.total_flops,
         tasks,
         peak_bytes,
@@ -278,11 +280,17 @@ fn program_report(
 pub struct SpmdBackend {
     /// Collective recognition/lowering configuration.
     pub collectives: CollectiveConfig,
-    /// The α-β model pricing [`Report::critical_path_s`].
+    /// The α-β model pricing [`Report::critical_path_s`] (sequential
+    /// transport) or [`Report::modeled_s`] (threaded transport, where the
+    /// headline number is measured wall clock).
     pub model: AlphaBeta,
     /// Execute leaves through the per-point interpreter instead of the
     /// generated kernels (parity/benchmark escape hatch).
     pub interpreted_leaves: bool,
+    /// How bound instances run the rank programs: the sequential
+    /// simulation (default) or real rank threads (see
+    /// [`crate::transport`]).
+    pub transport: Transport,
 }
 
 impl SpmdBackend {
@@ -313,6 +321,21 @@ impl SpmdBackend {
         self.interpreted_leaves = true;
         self
     }
+
+    /// Overrides the execution transport.
+    #[must_use]
+    pub fn with_transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Shorthand for the threaded transport with an explicit rank-pool
+    /// width (`0` = auto: `DISTAL_THREADS` or one worker per host core).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.transport = Transport::threaded_with(threads);
+        self
+    }
 }
 
 impl Backend for SpmdBackend {
@@ -323,10 +346,13 @@ impl Backend for SpmdBackend {
     fn config_fingerprint(&self) -> String {
         // Collectives shape the lowered message schedule; the α-β model
         // prices every bound instance's reports; the leaf-execution mode
-        // changes what a bound instance runs.
+        // and transport change what a bound instance runs.
         format!(
-            "{:?};{:?};interpreted_leaves={}",
-            self.collectives, self.model, self.interpreted_leaves
+            "{:?};{:?};interpreted_leaves={};transport={}",
+            self.collectives,
+            self.model,
+            self.interpreted_leaves,
+            self.transport.label()
         )
     }
 
@@ -337,6 +363,7 @@ impl Backend for SpmdBackend {
             tensors: problem.tensors().clone(),
             program: Arc::new(program),
             model: self.model,
+            transport: self.transport.clone(),
         }))
     }
 }
@@ -350,6 +377,7 @@ pub struct SpmdPlan {
     // per-instance copy carrying their nnz (see `bound_program`).
     program: Arc<SpmdProgram>,
     model: AlphaBeta,
+    transport: Transport,
 }
 
 impl SpmdPlan {
@@ -386,6 +414,7 @@ impl Plan for SpmdPlan {
             inputs,
             missing_inputs: missing,
             model: self.model,
+            transport: self.transport.clone(),
             result: None,
         }))
     }
@@ -398,6 +427,7 @@ pub struct SpmdInstance {
     inputs: BTreeMap<String, Vec<f64>>,
     missing_inputs: Vec<String>,
     model: AlphaBeta,
+    transport: Transport,
     result: Option<SpmdResult>,
 }
 
@@ -436,23 +466,38 @@ impl Instance for SpmdInstance {
                 "input '{name}' has no initializer on the problem"
             )));
         }
-        let result = self.program.execute(&self.inputs).map_err(backend_err)?;
+        let result = self
+            .program
+            .execute_with(&self.inputs, &self.transport)
+            .map_err(backend_err)?;
         let peak = result.peak_scratch_bytes;
+        let measured = result.measured.clone();
         self.result = Some(result);
         // Bytes, messages, flops, and the numerics behind `read` are
         // exact properties of the executed program — compressed operand
-        // tiles are charged their actual per-tile pos/crd/vals payloads —
-        // but the headline `critical_path_s` comes from the α-β model, so
-        // the phase reports as modeled to keep timing consumers honest.
+        // tiles are charged their actual per-tile pos/crd/vals payloads.
+        // On the sequential transport the headline `critical_path_s`
+        // comes from the α-β model (whose serialized-injection assumption
+        // matches that transport exactly), so the phase reports as
+        // modeled. The threaded transport measured real rank threads: the
+        // headline becomes the wall-clock makespan, the α-β prediction
+        // moves to `modeled_s`, and `Report::modeled_vs_measured` exposes
+        // the calibration ratio.
         let exact = self.result.as_ref().map(|r| &r.stats);
-        Ok(program_report(
+        let mut report = program_report(
             "spmd",
             Provenance::Modeled,
             &self.program,
             &self.model,
             peak,
             exact,
-        ))
+        );
+        if let Some(m) = measured {
+            report.modeled_s = Some(report.critical_path_s);
+            report.critical_path_s = m.wall_s;
+            report.provenance = Provenance::Measured;
+        }
+        Ok(report)
     }
 
     fn read(&self, tensor: &str) -> Result<Vec<f64>, BackendError> {

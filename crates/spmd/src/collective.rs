@@ -25,8 +25,10 @@
 //!    messages over the torus. The expansion stays inside the existing
 //!    two-sided, compile-time-ordered execution model — every `Send`
 //!    still has exactly one tag-matched `Recv`, emitted in dependency
-//!    order, so [`crate::program::SpmdProgram::execute`] and the rank VM
-//!    run the result unchanged and deadlock remains impossible.
+//!    order, so both transports ([`crate::transport::Transport`]) run
+//!    the result unchanged and deadlock remains impossible; on the
+//!    threaded transport the tree rounds genuinely overlap across
+//!    subtree threads.
 //!
 //! Tree and ring expansions move exactly the bytes of the naive fan
 //! (each non-root member receives the payload once), so total volume and

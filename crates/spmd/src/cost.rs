@@ -12,11 +12,28 @@
 //! where `d` is the torus hop distance ([`crate::lower::torus_distance`])
 //! and `β` the per-link bandwidth, and each leaf block `flops / rate`.
 //! Senders serialize their own injections (one NIC per rank), receivers
-//! wait for arrival — exactly the discipline the rank VM executes, so the
-//! makespan orders schedules the way execution would on a real torus.
-//! This is what makes tree, ring, and naive lowerings of the same
-//! schedule quantitatively comparable next to their (identical) byte
-//! counts in [`crate::stats::CommStats`].
+//! wait for arrival — exactly the discipline the sequential rank VM
+//! replays, so the makespan orders schedules the way execution would on
+//! a real torus. This is what makes tree, ring, and naive lowerings of
+//! the same schedule quantitatively comparable next to their (identical)
+//! byte counts in [`crate::stats::CommStats`].
+//!
+//! # Scope of the serialized-injection assumption
+//!
+//! The one-NIC-per-rank serialization is a *model* of network injection,
+//! and it is the timing discipline of [`Transport::Sequential`] only:
+//! there, modeled time is the execution's sole clock, and reports carry
+//! it as `critical_path_s` under `Provenance::Modeled`. The threaded
+//! transport ([`Transport::Threaded`]) moves payloads over in-memory
+//! channels where "injection" is a `memcpy` — sends genuinely overlap
+//! across ranks and nothing serializes on a NIC — so its reports do
+//! **not** reuse this model as their headline: measured wall clock is
+//! `critical_path_s` (`Provenance::Measured`) and the α-β makespan is
+//! kept alongside in `Report::modeled_s`, with
+//! `Report::modeled_vs_measured()` exposing the ratio between the two.
+//!
+//! [`Transport::Sequential`]: crate::transport::Transport::Sequential
+//! [`Transport::Threaded`]: crate::transport::Transport::Threaded
 
 use crate::lower::torus_distance;
 use crate::ops::{Message, SpmdOp};

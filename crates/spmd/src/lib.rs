@@ -1,5 +1,8 @@
 //! A static SPMD (MPI-style) backend for DISTAL schedules.
 //!
+//! Pipeline layers 4 and 6 (collective lowering, rank execution) —
+//! `ARCHITECTURE.md` at the workspace root maps all six layers.
+//!
 //! The paper targets the Legion runtime, which discovers communication
 //! *dynamically* from region requirements (§6). Its related-work section
 //! (§8) observes that the polyhedral communication analyses of Amarasinghe
@@ -28,10 +31,12 @@
 //!    producing per-rank timelines and a makespan so tree vs. naive vs.
 //!    systolic schedules are quantitatively comparable alongside
 //!    [`CommStats`].
-//! 4. [`SpmdProgram::execute`](program::SpmdProgram::execute) runs the
-//!    per-rank programs on a deterministic rank virtual machine with real
-//!    numerics, so the static analysis is verified against the sequential
-//!    oracle and against the dynamic runtime's results.
+//! 4. [`SpmdProgram::execute_with`](program::SpmdProgram::execute_with)
+//!    runs the per-rank programs on a deterministic rank virtual machine
+//!    with real numerics, over either [`transport`]: the sequential
+//!    simulation (the oracle the parity suites trust) or real rank
+//!    threads exchanging tagged messages over channels, which measures
+//!    wall-clock makespans the α-β model can be validated against.
 //! 5. [`backend`] plugs all of it into the unified compile pipeline:
 //!    [`SpmdBackend`] compiles a `distal_core::Problem` to an SPMD
 //!    artifact behind the shared `Backend`/`Artifact` traits (deriving
@@ -86,6 +91,7 @@ pub mod lower;
 pub mod ops;
 pub mod program;
 pub mod stats;
+pub mod transport;
 pub mod vm;
 
 pub use backend::{
@@ -96,5 +102,6 @@ pub use collective::{Collective, CollectiveConfig, CollectiveKind, Topology};
 pub use cost::{AlphaBeta, CostReport};
 pub use lower::{lower, lower_count, lower_with, SpmdError, SpmdTensor};
 pub use ops::{Message, SpmdOp};
-pub use program::{SpmdProgram, SpmdResult};
+pub use program::{MeasuredRun, SpmdProgram, SpmdResult};
 pub use stats::CommStats;
+pub use transport::{ThreadedConfig, Transport};

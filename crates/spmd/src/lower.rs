@@ -129,6 +129,10 @@ pub enum SpmdError {
     Unsupported(String),
     /// Input data missing or mis-sized at execution time.
     Data(String),
+    /// The threaded transport's watchdog fired: some rank blocked on a
+    /// receive past the deadline (a lowering bug — a well-formed program
+    /// cannot deadlock; see [`crate::transport`]).
+    Timeout(String),
 }
 
 impl fmt::Display for SpmdError {
@@ -139,6 +143,7 @@ impl fmt::Display for SpmdError {
             SpmdError::Schedule(m) => write!(f, "schedule error: {m}"),
             SpmdError::Unsupported(m) => write!(f, "unsupported by the SPMD backend: {m}"),
             SpmdError::Data(m) => write!(f, "data error: {m}"),
+            SpmdError::Timeout(m) => write!(f, "threaded transport watchdog: {m}"),
         }
     }
 }

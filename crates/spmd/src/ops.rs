@@ -6,6 +6,12 @@
 //! together by the static analysis — there is no runtime matching logic to
 //! go wrong, and no deadlock is possible because the execution order is
 //! fixed at compile time.
+//!
+//! The [`Message::tag`] is the matching key at execution time on *both*
+//! transports: the sequential VM uses it to index its in-flight payload
+//! map, and the threaded transport stamps it on every channel packet so
+//! a receiver can stash early arrivals and block on exactly the tag its
+//! program order demands next (see [`crate::transport`]).
 
 use distal_ir::expr::IndexVar;
 use distal_machine::geom::Rect;
@@ -16,7 +22,10 @@ use std::fmt;
 /// The identity of one point-to-point transfer.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Message {
-    /// Globally unique tag (generation order).
+    /// Globally unique tag (generation order). This is the only key the
+    /// transports match on: payloads carry it over the network (the
+    /// sequential VM's pending map, the threaded transport's channel
+    /// packets) and the receiver's program names the tag it needs next.
     pub tag: u64,
     /// Source rank.
     pub from: usize,

@@ -97,6 +97,21 @@ pub struct SpmdResult {
     pub stats: CommStats,
     /// Peak bytes of live scratch across ranks (double-buffering bound).
     pub peak_scratch_bytes: u64,
+    /// Wall-clock timings when the program ran on the threaded transport;
+    /// `None` for the sequential simulation, whose only timeline is the
+    /// α-β model's (see [`SpmdProgram::cost`]).
+    pub measured: Option<MeasuredRun>,
+}
+
+/// Wall-clock timings of one threaded execution.
+#[derive(Clone, Debug)]
+pub struct MeasuredRun {
+    /// Measured makespan: the latest rank finish time, seconds.
+    pub wall_s: f64,
+    /// Per-rank finish times (seconds since the ranks were released).
+    pub per_rank_s: Vec<f64>,
+    /// Worker threads the rank pool actually used.
+    pub threads: usize,
 }
 
 impl SpmdProgram {
@@ -204,7 +219,8 @@ impl SpmdProgram {
             .ok_or_else(|| SpmdError::UnknownTensor(name.to_string()))
     }
 
-    /// Executes the program on the rank VM.
+    /// Executes the program on the rank VM over the sequential transport
+    /// (see [`SpmdProgram::execute_with`] for the threaded alternative).
     ///
     /// `inputs` supplies row-major data for every right-hand-side tensor.
     /// Returns the output tensor assembled from its home owners.
@@ -214,12 +230,90 @@ impl SpmdProgram {
     /// [`SpmdError::Data`] for missing or mis-sized inputs, and internal
     /// consistency failures (a send whose payload is not locally valid).
     pub fn execute(&self, inputs: &BTreeMap<String, Vec<f64>>) -> Result<SpmdResult, SpmdError> {
+        self.execute_sequential(inputs)
+    }
+
+    /// Executes the program over the chosen [`Transport`]: the sequential
+    /// single-loop simulation, or real rank threads exchanging tagged
+    /// messages over channels. Both produce bit-identical outputs and
+    /// statistics; only the threaded path reports wall-clock timings in
+    /// [`SpmdResult::measured`].
+    ///
+    /// [`Transport`]: crate::transport::Transport
+    pub fn execute_with(
+        &self,
+        inputs: &BTreeMap<String, Vec<f64>>,
+        transport: &crate::transport::Transport,
+    ) -> Result<SpmdResult, SpmdError> {
+        match transport {
+            crate::transport::Transport::Sequential => self.execute_sequential(inputs),
+            crate::transport::Transport::Threaded(cfg) => {
+                crate::transport::execute_threaded(self, inputs, cfg)
+            }
+        }
+    }
+
+    /// The sequential transport: one loop over the global op order, with
+    /// a tag-keyed map standing in for the network. Payloads are
+    /// snapshotted at send time; `pending` carries them to the matching
+    /// receive. For compressed operand tensors the executed statistics
+    /// charge each message its *actual* CSR payload (pos +
+    /// per-stored-entry crd/vals), refining the static density estimate.
+    fn execute_sequential(
+        &self,
+        inputs: &BTreeMap<String, Vec<f64>>,
+    ) -> Result<SpmdResult, SpmdError> {
         let ranks = self.ranks();
         let out_name = &self.assignment.lhs.tensor;
-        let mut stores: Vec<RankStore> = vec![RankStore::default(); ranks];
+        let mut stores = self.seed_stores(inputs)?;
+        let skip_mask = self.skip_mask();
 
-        // Install home pieces: inputs from the provided data, outputs as
-        // zeros (data starts "at rest" in its distribution).
+        let mut pending: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
+        let mut peak_scratch = 0u64;
+        let mut sent: Vec<(Message, u64)> = Vec::new();
+        for (rank, op) in &self.global {
+            let rank = *rank;
+            match op {
+                SpmdOp::Send(m) | SpmdOp::ReduceSend(m) => {
+                    let payload = self.read_payload(&stores[rank], m, out_name)?;
+                    sent.push((m.clone(), self.exact_message_bytes(m, &payload)));
+                    pending.insert(m.tag, payload);
+                }
+                SpmdOp::Recv(m) | SpmdOp::ReduceRecv(m) => {
+                    let payload = pending
+                        .remove(&m.tag)
+                        .ok_or_else(|| SpmdError::Data(format!("recv before send: {m}")))?;
+                    self.apply_recv(&mut stores[rank], m, payload);
+                }
+                SpmdOp::Compute { bounds, .. } => {
+                    self.compute(&mut stores[rank], bounds, &skip_mask)?;
+                    peak_scratch = peak_scratch.max(stores[rank].scratch_bytes());
+                }
+                SpmdOp::RetireScratch { keep } => {
+                    stores[rank].retire_scratch(*keep);
+                }
+            }
+        }
+
+        let output = self.finalize_output(&mut stores)?;
+        let weighted: Vec<(&Message, u64)> = sent.iter().map(|(m, b)| (m, *b)).collect();
+        Ok(SpmdResult {
+            output,
+            stats: CommStats::from_weighted(&self.grid, ranks, &weighted),
+            peak_scratch_bytes: peak_scratch,
+            measured: None,
+        })
+    }
+
+    /// Builds every rank's initial store: home pieces of inputs from the
+    /// provided data, outputs as zeros (data starts "at rest" in its
+    /// distribution — placement is free in the SPMD model).
+    pub(crate) fn seed_stores(
+        &self,
+        inputs: &BTreeMap<String, Vec<f64>>,
+    ) -> Result<Vec<RankStore>, SpmdError> {
+        let out_name = &self.assignment.lhs.tensor;
+        let mut stores: Vec<RankStore> = vec![RankStore::default(); self.ranks()];
         for t in &self.tensors {
             let rect = Rect::sized(&t.dims);
             let data = if &t.name == out_name {
@@ -250,67 +344,46 @@ impl SpmdProgram {
                 }
             }
         }
+        Ok(stores)
+    }
 
-        // Compressed pure-product operands let the leaf skip iteration
-        // points where they store no entry; see `compute`.
+    /// Per-input flags for the leaf's zero-skipping: compressed
+    /// pure-product operands let it skip iteration points where they
+    /// store no entry; see `compute`.
+    pub(crate) fn skip_mask(&self) -> Vec<bool> {
         let pure_product = is_pure_product(&self.assignment.rhs);
-        let skip_mask: Vec<bool> = self
-            .assignment
+        self.assignment
             .input_accesses()
             .iter()
             .map(|acc| pure_product && self.sparsity.get(&acc.tensor).is_some_and(|s| s.compressed))
-            .collect();
+            .collect()
+    }
 
-        // Execute in global (tag) order. Payloads are snapshotted at send
-        // time; `pending` carries them to the matching receive. For
-        // compressed operand tensors the executed statistics charge each
-        // message its *actual* CSR payload (pos + per-stored-entry
-        // crd/vals), refining the static density estimate.
-        let mut pending: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
-        let mut peak_scratch = 0u64;
-        let mut sent: Vec<(Message, u64)> = Vec::new();
-        for (rank, op) in &self.global {
-            let rank = *rank;
-            match op {
-                SpmdOp::Send(m) | SpmdOp::ReduceSend(m) => {
-                    let payload = self.read_payload(&stores[rank], m, out_name)?;
-                    sent.push((m.clone(), self.exact_message_bytes(m, &payload)));
-                    pending.insert(m.tag, payload);
-                }
-                SpmdOp::Recv(m) | SpmdOp::ReduceRecv(m) => {
-                    let payload = pending
-                        .remove(&m.tag)
-                        .ok_or_else(|| SpmdError::Data(format!("recv before send: {m}")))?;
-                    if &m.tensor == out_name {
-                        // Gather messages fold into home output pieces;
-                        // reduce-tree relays (no home here) fold into the
-                        // accumulator and forward.
-                        stores[rank].fold_output(&m.tensor, &m.rect, &payload);
-                    } else {
-                        let mut buf = Buf::zeros(m.rect.clone());
-                        buf.data = payload;
-                        stores[rank].receive(&m.tensor, buf);
-                    }
-                }
-                SpmdOp::Compute { bounds, .. } => {
-                    self.compute(&mut stores[rank], bounds, &skip_mask)?;
-                    peak_scratch = peak_scratch.max(stores[rank].scratch_bytes());
-                }
-                SpmdOp::RetireScratch { keep } => {
-                    stores[rank].retire_scratch(*keep);
-                }
-            }
+    /// Applies a received payload to a rank store. Output-tensor (gather)
+    /// messages fold into home output pieces — reduce-tree relays with no
+    /// home piece here fold into the accumulator and forward — while
+    /// input-tensor payloads land in scratch.
+    pub(crate) fn apply_recv(&self, store: &mut RankStore, m: &Message, payload: Vec<f64>) {
+        if m.tensor == self.assignment.lhs.tensor {
+            store.fold_output(&m.tensor, &m.rect, &payload);
+        } else {
+            let mut buf = Buf::zeros(m.rect.clone());
+            buf.data = payload;
+            store.receive(&m.tensor, buf);
         }
+    }
 
-        // Fold each rank's local contributions into its own home pieces.
-        for store in &mut stores {
+    /// Folds every rank's local accumulator contributions into its own
+    /// home pieces, then assembles the global output tensor from its home
+    /// owners.
+    pub(crate) fn finalize_output(&self, stores: &mut [RankStore]) -> Result<Vec<f64>, SpmdError> {
+        let out_name = &self.assignment.lhs.tensor;
+        for store in stores.iter_mut() {
             let accs: Vec<Buf> = store.acc_bufs().to_vec();
             for acc in accs {
                 store.fold_into_home(out_name, &acc.rect, &acc.data);
             }
         }
-
-        // Assemble the output from its home owners.
         let out_t = self.tensor(out_name)?;
         let out_rect = Rect::sized(&out_t.dims);
         let mut output = vec![0.0; out_rect.volume().max(1) as usize];
@@ -323,20 +396,14 @@ impl SpmdProgram {
                 }
             }
         }
-
-        let weighted: Vec<(&Message, u64)> = sent.iter().map(|(m, b)| (m, *b)).collect();
-        Ok(SpmdResult {
-            output,
-            stats: CommStats::from_weighted(&self.grid, ranks, &weighted),
-            peak_scratch_bytes: peak_scratch,
-        })
+        Ok(output)
     }
 
     /// Exact wire bytes of a message given its snapshotted payload:
     /// compressed operand tiles ship `pos` plus `(crd, val)` per stored
     /// entry; everything else (dense tensors, output partial sums) ships
     /// flat.
-    fn exact_message_bytes(&self, m: &Message, payload: &[f64]) -> u64 {
+    pub(crate) fn exact_message_bytes(&self, m: &Message, payload: &[f64]) -> u64 {
         if m.tensor == self.assignment.lhs.tensor {
             return m.bytes();
         }
@@ -353,7 +420,7 @@ impl SpmdProgram {
     /// Reads a message payload from the sender's store: output-tensor
     /// payloads come from the local accumulator, input payloads from
     /// scratch/home.
-    fn read_payload(
+    pub(crate) fn read_payload(
         &self,
         store: &RankStore,
         m: &Message,
@@ -377,7 +444,7 @@ impl SpmdProgram {
     /// per-variable): the generated kernel by default, the per-point
     /// interpreter when [`SpmdProgram::interpreted_leaves`] is set. Both
     /// paths are bit-identical (asserted by the parity suites).
-    fn compute(
+    pub(crate) fn compute(
         &self,
         store: &mut RankStore,
         bounds: &[(i64, i64)],

@@ -1,0 +1,396 @@
+//! How SPMD ranks actually run: sequential simulation or real threads.
+//!
+//! A lowered [`SpmdProgram`] is a set of per-rank op lists plus a global
+//! order. Two transports execute it:
+//!
+//! * [`Transport::Sequential`] — the original single-threaded simulation:
+//!   one loop walks the global order with a tag-keyed map standing in for
+//!   the network. Deterministic by construction; this is the discipline
+//!   the α-β cost model (see [`crate::cost`]) prices with its serialized
+//!   per-rank injection assumption, and the reference the parity suites
+//!   compare everything else against.
+//! * [`Transport::Threaded`] — real concurrency: each rank becomes a
+//!   state machine advanced by a worker thread of a bounded *rank pool*
+//!   ([`ThreadedConfig::threads`] workers multiplex the ranks, so `p = 16`
+//!   runs fine on a 2-core host). Every rank owns an inbound
+//!   [`std::sync::mpsc`] channel; sends are nonblocking channel pushes of
+//!   `(tag, payload)` packets, receives match on the tag — packets that
+//!   arrive early are stashed per-rank until their `Recv` retires. A rank
+//!   keeps computing and sending while messages it has not yet asked for
+//!   are in flight, which is exactly the comm/compute overlap the paper's
+//!   generated programs get from Legion's deferred execution.
+//!
+//! # Why the threaded path is bit-identical to the sequential one
+//!
+//! Each rank's op list is a subsequence of the global order, every
+//! transfer is a 1:1 tag-matched message, and payloads are pure functions
+//! of the sender's local state — so any interleaving that respects
+//! per-rank order and send-before-receive produces the same values. The
+//! backend-parity suite asserts this bitwise over the Figure 9 algorithms
+//! and the sparse kernels.
+//!
+//! # Why no deadlock
+//!
+//! Sends never block (channels are unbounded), so a rank can only wait on
+//! a receive. The global order itself is a linearization in which every
+//! send precedes its matching receive and per-rank order is respected;
+//! its existence means the dependency graph is acyclic, so some rank can
+//! always make progress. The watchdog ([`ThreadedConfig::watchdog`],
+//! surfacing as [`SpmdError::Timeout`]) is a backstop against lowering
+//! bugs, not a scheduling necessity.
+
+use crate::lower::SpmdError;
+use crate::ops::{Message, SpmdOp};
+use crate::program::{MeasuredRun, SpmdProgram, SpmdResult};
+use crate::stats::CommStats;
+use crate::vm::RankStore;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+/// How [`SpmdProgram::execute_with`] runs the lowered rank programs.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum Transport {
+    /// Single-threaded simulation in global op order — the deterministic
+    /// reference, and the discipline `SpmdProgram::cost` models.
+    #[default]
+    Sequential,
+    /// One rank per thread (bounded by a pool) over mpsc channels, with
+    /// measured wall-clock timings.
+    Threaded(ThreadedConfig),
+}
+
+impl Transport {
+    /// The threaded transport with default settings (pool sized to the
+    /// host, 60 s watchdog).
+    pub fn threaded() -> Self {
+        Transport::Threaded(ThreadedConfig::default())
+    }
+
+    /// The threaded transport with an explicit worker count
+    /// (`0` = auto: `DISTAL_THREADS` or one per host core).
+    pub fn threaded_with(threads: usize) -> Self {
+        Transport::Threaded(ThreadedConfig {
+            threads,
+            ..ThreadedConfig::default()
+        })
+    }
+
+    /// A short stable label for plan-cache fingerprints and reports.
+    pub fn label(&self) -> String {
+        match self {
+            Transport::Sequential => "sequential".to_string(),
+            Transport::Threaded(cfg) => format!("threaded(threads={})", cfg.threads),
+        }
+    }
+}
+
+/// Settings for [`Transport::Threaded`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ThreadedConfig {
+    /// Worker threads in the rank pool. `0` resolves like the runtime's
+    /// parallel executor: `DISTAL_THREADS` if set, else one per host
+    /// core. The pool never exceeds the rank count.
+    pub threads: usize,
+    /// Abort threshold for ranks blocked on a receive — a well-formed
+    /// program always completes, so firing means a lowering bug (surfaced
+    /// as [`SpmdError::Timeout`]).
+    pub watchdog: Duration,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        ThreadedConfig {
+            threads: 0,
+            watchdog: Duration::from_secs(60),
+        }
+    }
+}
+
+/// A tagged message in flight between two rank threads.
+struct Packet {
+    tag: u64,
+    data: Vec<f64>,
+}
+
+/// What one rank hands back after running to completion.
+struct RankOutcome {
+    rank: usize,
+    store: RankStore,
+    sent: Vec<(Message, u64)>,
+    peak_scratch: u64,
+    finish_s: f64,
+}
+
+/// One rank's execution state: a resumable cursor over its op list.
+struct RankTask<'p> {
+    rank: usize,
+    ops: &'p [SpmdOp],
+    pc: usize,
+    store: RankStore,
+    rx: Receiver<Packet>,
+    /// Early arrivals, keyed by tag until their `Recv` retires them.
+    stash: BTreeMap<u64, Vec<f64>>,
+    sent: Vec<(Message, u64)>,
+    peak_scratch: u64,
+    finish_s: Option<f64>,
+}
+
+impl<'p> RankTask<'p> {
+    fn done(&self) -> bool {
+        self.finish_s.is_some()
+    }
+
+    /// Moves everything already queued on the inbound channel into the
+    /// tag-keyed stash without blocking.
+    fn drain(&mut self) {
+        while let Ok(p) = self.rx.try_recv() {
+            self.stash.insert(p.tag, p.data);
+        }
+    }
+
+    /// Runs ops until the rank finishes or blocks on a receive whose
+    /// packet has not arrived. Returns whether any op retired.
+    fn advance(
+        &mut self,
+        program: &SpmdProgram,
+        senders: &[Sender<Packet>],
+        skip_mask: &[bool],
+        start: Instant,
+    ) -> Result<bool, SpmdError> {
+        let out_name = &program.assignment.lhs.tensor;
+        let mut progressed = false;
+        while self.pc < self.ops.len() {
+            match &self.ops[self.pc] {
+                SpmdOp::Send(m) | SpmdOp::ReduceSend(m) => {
+                    let payload = program.read_payload(&self.store, m, out_name)?;
+                    self.sent
+                        .push((m.clone(), program.exact_message_bytes(m, &payload)));
+                    // Nonblocking injection. A send can only fail if the
+                    // receiving rank's task was dropped, i.e. another
+                    // worker already hit an error — that error wins.
+                    let _ = senders[m.to].send(Packet {
+                        tag: m.tag,
+                        data: payload,
+                    });
+                }
+                SpmdOp::Recv(m) | SpmdOp::ReduceRecv(m) => {
+                    self.drain();
+                    match self.stash.remove(&m.tag) {
+                        Some(payload) => program.apply_recv(&mut self.store, m, payload),
+                        None => return Ok(progressed),
+                    }
+                }
+                SpmdOp::Compute { bounds, .. } => {
+                    program.compute(&mut self.store, bounds, skip_mask)?;
+                    self.peak_scratch = self.peak_scratch.max(self.store.scratch_bytes());
+                }
+                SpmdOp::RetireScratch { keep } => {
+                    self.store.retire_scratch(*keep);
+                }
+            }
+            self.pc += 1;
+            progressed = true;
+        }
+        self.finish_s = Some(start.elapsed().as_secs_f64());
+        Ok(true)
+    }
+
+    fn into_outcome(self) -> RankOutcome {
+        RankOutcome {
+            rank: self.rank,
+            store: self.store,
+            sent: self.sent,
+            peak_scratch: self.peak_scratch,
+            finish_s: self.finish_s.unwrap_or(0.0),
+        }
+    }
+}
+
+/// One pool worker: round-robins its owned ranks, parking briefly on a
+/// blocked rank's channel only when none of them can progress.
+fn run_worker(
+    program: &SpmdProgram,
+    mut tasks: Vec<RankTask<'_>>,
+    senders: &[Sender<Packet>],
+    skip_mask: &[bool],
+    start: Instant,
+    deadline: Instant,
+    abort: &AtomicBool,
+) -> Result<Vec<RankOutcome>, SpmdError> {
+    loop {
+        let mut progressed = false;
+        let mut all_done = true;
+        for t in tasks.iter_mut() {
+            if t.done() {
+                continue;
+            }
+            match t.advance(program, senders, skip_mask, start) {
+                Ok(p) => progressed |= p,
+                Err(e) => {
+                    abort.store(true, Ordering::Relaxed);
+                    return Err(e);
+                }
+            }
+            all_done &= t.done();
+        }
+        if all_done {
+            return Ok(tasks.into_iter().map(RankTask::into_outcome).collect());
+        }
+        if progressed {
+            continue;
+        }
+        // Every owned rank is blocked on a tag that hasn't arrived: park
+        // on the first blocked rank's channel for a slice, then re-sweep
+        // (another owned rank's packet may have landed meanwhile).
+        if abort.load(Ordering::Relaxed) {
+            return Err(SpmdError::Timeout("aborted by another rank".into()));
+        }
+        if Instant::now() >= deadline {
+            abort.store(true, Ordering::Relaxed);
+            let t = tasks.iter().find(|t| !t.done()).expect("a rank is blocked");
+            let tag = match &t.ops[t.pc] {
+                SpmdOp::Recv(m) | SpmdOp::ReduceRecv(m) => m.tag,
+                _ => unreachable!("only receives block"),
+            };
+            return Err(SpmdError::Timeout(format!(
+                "rank {} blocked on tag {} at op {}/{}",
+                t.rank,
+                tag,
+                t.pc,
+                t.ops.len()
+            )));
+        }
+        let t = tasks.iter_mut().find(|t| !t.done()).expect("not all done");
+        match t.rx.recv_timeout(Duration::from_micros(500)) {
+            Ok(p) => {
+                t.stash.insert(p.tag, p.data);
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            // All sender clones dropped: impossible while the spawning
+            // scope holds the originals; treat as an abort signal.
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(SpmdError::Timeout("channel disconnected".into()));
+            }
+        }
+    }
+}
+
+/// Executes `program` with rank threads over mpsc channels (the
+/// [`Transport::Threaded`] path of [`SpmdProgram::execute_with`]).
+///
+/// Output and statistics are bit-identical to the sequential transport;
+/// additionally [`SpmdResult::measured`] carries per-rank wall-clock
+/// finish times and the measured makespan.
+pub(crate) fn execute_threaded(
+    program: &SpmdProgram,
+    inputs: &BTreeMap<String, Vec<f64>>,
+    cfg: &ThreadedConfig,
+) -> Result<SpmdResult, SpmdError> {
+    let ranks = program.ranks();
+    let stores = program.seed_stores(inputs)?;
+    let skip_mask = program.skip_mask();
+    let workers = distal_runtime::executor::host_worker_count(cfg.threads)
+        .min(ranks)
+        .max(1);
+
+    // One inbound channel per rank; all ranks share clones of the send
+    // sides. The originals stay alive in this scope, so a worker never
+    // observes a disconnect while peers are still running.
+    let mut senders: Vec<Sender<Packet>> = Vec::with_capacity(ranks);
+    let mut receivers: Vec<Receiver<Packet>> = Vec::with_capacity(ranks);
+    for _ in 0..ranks {
+        let (tx, rx) = channel();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+
+    // Deterministic round-robin partition: worker w owns ranks
+    // w, w + workers, w + 2·workers, …
+    let mut partitions: Vec<Vec<RankTask<'_>>> = (0..workers).map(|_| Vec::new()).collect();
+    for (rank, (store, rx)) in stores.into_iter().zip(receivers).enumerate() {
+        partitions[rank % workers].push(RankTask {
+            rank,
+            ops: &program.programs[rank],
+            pc: 0,
+            store,
+            rx,
+            stash: BTreeMap::new(),
+            sent: Vec::new(),
+            peak_scratch: 0,
+            finish_s: None,
+        });
+    }
+
+    let abort = AtomicBool::new(false);
+    let start = Instant::now();
+    let deadline = start + cfg.watchdog;
+    let results: Vec<Result<Vec<RankOutcome>, SpmdError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = partitions
+            .into_iter()
+            .map(|tasks| {
+                let senders = senders.clone();
+                let (skip_mask, abort) = (&skip_mask, &abort);
+                scope.spawn(move || {
+                    run_worker(program, tasks, &senders, skip_mask, start, deadline, abort)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(_) => Err(SpmdError::Data("rank worker panicked".into())),
+            })
+            .collect()
+    });
+
+    // Surface the root-cause error: a worker that merely observed the
+    // abort flag reports a generic message, so a specific failure from
+    // any other worker takes precedence over it.
+    let mut first_err: Option<SpmdError> = None;
+    let mut outcomes: Vec<RankOutcome> = Vec::with_capacity(ranks);
+    for r in results {
+        match r {
+            Ok(o) => outcomes.extend(o),
+            Err(e) => {
+                let generic = matches!(&e, SpmdError::Timeout(m) if m == "aborted by another rank");
+                match &first_err {
+                    None => first_err = Some(e),
+                    Some(SpmdError::Timeout(m)) if m == "aborted by another rank" && !generic => {
+                        first_err = Some(e)
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    outcomes.sort_by_key(|o| o.rank);
+
+    let per_rank_s: Vec<f64> = outcomes.iter().map(|o| o.finish_s).collect();
+    let wall_s = per_rank_s.iter().copied().fold(0.0, f64::max);
+    let peak_scratch = outcomes.iter().map(|o| o.peak_scratch).max().unwrap_or(0);
+    // Aggregate statistics are order-independent sums, so concatenating
+    // per-rank send logs in rank order reproduces the sequential
+    // transport's CommStats exactly.
+    let sent: Vec<(Message, u64)> = outcomes.iter().flat_map(|o| o.sent.clone()).collect();
+    let weighted: Vec<(&Message, u64)> = sent.iter().map(|(m, b)| (m, *b)).collect();
+    let stats = CommStats::from_weighted(&program.grid, ranks, &weighted);
+
+    let mut stores: Vec<RankStore> = outcomes.into_iter().map(|o| o.store).collect();
+    let output = program.finalize_output(&mut stores)?;
+    Ok(SpmdResult {
+        output,
+        stats,
+        peak_scratch_bytes: peak_scratch,
+        measured: Some(MeasuredRun {
+            wall_s,
+            per_rank_s,
+            threads: workers,
+        }),
+    })
+}

@@ -11,6 +11,13 @@
 //!   read the freshly shifted tile rather than a stale one);
 //! * an *accumulator* for locally computed output contributions, folded
 //!   into home pieces (locally or through reduce messages) at the end.
+//!
+//! The store is transport-agnostic: the sequential VM mutates one
+//! `RankStore` per rank inside a single loop, while the threaded
+//! transport ([`crate::transport`]) gives each rank thread exclusive
+//! ownership of its store — either way the same op vocabulary drives the
+//! same buffer semantics, which is the root of the transports'
+//! bit-parity guarantee.
 
 use distal_machine::geom::{Point, Rect};
 use distal_machine::ELEM_BYTES;

@@ -85,5 +85,11 @@ pub mod prelude {
         Executor, ExecutorKind, Mode, ParallelExecutor, RunStats, Runtime, SerialExecutor,
     };
     pub use distal_sparse::SparseBuffer;
-    pub use distal_spmd::{AlphaBeta, CostBackend, SpmdBackend};
+    pub use distal_spmd::{AlphaBeta, CostBackend, SpmdBackend, ThreadedConfig, Transport};
 }
+
+/// Runs the code snippets in `ARCHITECTURE.md` as doctests, so the
+/// architecture guide can never drift from the compiling API.
+#[doc = include_str!("../ARCHITECTURE.md")]
+#[cfg(doctest)]
+pub struct ArchitectureDoctests;

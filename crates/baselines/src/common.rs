@@ -42,7 +42,18 @@ pub enum Phase {
     Untimed(Program),
 }
 
+impl std::fmt::Debug for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Phase::Kernel(_) => f.write_str("Phase::Kernel"),
+            Phase::Raw(_) => f.write_str("Phase::Raw"),
+            Phase::Untimed(_) => f.write_str("Phase::Untimed"),
+        }
+    }
+}
+
 /// A session plus an ordered list of phases (CTF-style pipelines).
+#[derive(Debug)]
 pub struct PhasedRun {
     /// The session owning all regions.
     pub session: Session,

@@ -2,8 +2,17 @@
 //! `BENCH_spmd.json` at the repo root.
 //!
 //! Usage: `cargo run --release -p distal-bench --bin spmd
-//! [--assert-depth log|N] [--threads N] [--assert-parity] [gx gy n]`
+//! [--assert-depth log|N] [--threads N] [--assert-parity]
+//! [--assert-verified] [gx gy n]`
 //! (defaults: 4 4 32, threads auto-sized to the host).
+//!
+//! `--assert-verified` is the static-analysis CI gate: every lowered
+//! program must pass the plan-time verifier (no error diagnostics), and
+//! verification must stay cheap — under 5% of the lowering wall time
+//! per row, with an absolute floor declaring sub-2ms verification free
+//! (the toy plans CI lowers finish in ~1ms, where fixed per-pass costs
+//! dominate any ratio). The per-row timings land in `BENCH_spmd.json`
+//! as `plan_s` / `verify_s`.
 //!
 //! Every configuration is executed twice — once on the sequential VM
 //! (the oracle) and once on the rank-per-thread channel transport —
@@ -32,12 +41,15 @@ fn fail(msg: &str) -> ! {
 fn main() {
     let mut assert_depth: Option<Option<usize>> = None; // Some(None) = log
     let mut assert_parity = false;
+    let mut assert_verified = false;
     let mut threads: usize = 0; // 0 = auto-size to the host
     let mut dims: Vec<i64> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--assert-parity" {
             assert_parity = true;
+        } else if a == "--assert-verified" {
+            assert_verified = true;
         } else if a == "--threads" {
             let v = args.next().unwrap_or_else(|| {
                 eprintln!("--threads requires an integer worker count");
@@ -107,6 +119,38 @@ fn main() {
 
     if rows.iter().any(|r| !r.verified) {
         fail("a lowered program diverged from the sequential oracle; see table");
+    }
+    if assert_verified {
+        if let Some(r) = rows.iter().find(|r| !r.statically_verified) {
+            fail(&format!(
+                "the static verifier rejected {} ({}); a clean lowering must prove clean",
+                r.algorithm, r.lowering
+            ));
+        }
+        // Overhead bound: verification must stay under 5% of the lowering
+        // wall time. The toy plans this gate runs on in CI lower in about
+        // a millisecond, where fixed per-pass costs dominate the ratio,
+        // so an absolute floor declares sub-2ms verification free; the 5%
+        // ratio is what binds once plans are large enough to matter.
+        const VERIFY_FREE_S: f64 = 2e-3;
+        if let Some(r) = rows
+            .iter()
+            .find(|r| r.verify_s > VERIFY_FREE_S && r.verify_s > 0.05 * r.plan_s)
+        {
+            fail(&format!(
+                "verification of {} ({}) took {:.1}us against {:.1}us of lowering — \
+                 over the 5% plan-time budget",
+                r.algorithm,
+                r.lowering,
+                r.verify_s * 1e6,
+                r.plan_s * 1e6
+            ));
+        }
+        println!(
+            "verification gate passed: all {} programs proved clean statically \
+             within the 5% plan-time budget",
+            rows.len()
+        );
     }
     if assert_parity {
         if let Some(r) = rows.iter().find(|r| !r.parity) {

@@ -58,6 +58,14 @@ pub struct SpmdBenchRow {
     pub depth: usize,
     /// α-β modeled makespan in seconds.
     pub makespan_s: f64,
+    /// Wall-clock seconds spent lowering the schedule to this program.
+    pub plan_s: f64,
+    /// Wall-clock seconds the static verifier spent on this program —
+    /// the `--assert-verified` gate holds it under 5% of `plan_s`.
+    pub verify_s: f64,
+    /// Whether the static verifier proved the program clean (no error
+    /// diagnostics) without executing it.
+    pub statically_verified: bool,
     /// Whether execution matched the sequential oracle.
     pub verified: bool,
     /// Rank-pool worker threads the threaded run used.
@@ -112,6 +120,7 @@ pub fn lower_algorithm(
 
 /// The shared inputs and oracle answer of one problem size (computed
 /// once per sweep; the sequential oracle is O(n³)).
+#[derive(Debug)]
 pub struct OracleCase {
     inputs: BTreeMap<String, Vec<f64>>,
     want: Vec<f64>,
@@ -134,10 +143,12 @@ impl OracleCase {
     }
 }
 
-/// Measures one lowered program: verifies the sequential execution
-/// against the oracle, then runs the same program on the threaded
-/// transport (`threads` pool workers, `0` = auto) for the measured
-/// wall-clock makespan and the sequential-vs-threaded parity bit.
+/// Measures one lowered program: runs the static verifier (timed, for
+/// the `--assert-verified` overhead gate), verifies the sequential
+/// execution against the oracle, then runs the same program on the
+/// threaded transport (`threads` pool workers, `0` = auto) for the
+/// measured wall-clock makespan and the sequential-vs-threaded parity
+/// bit. `plan_s` is the wall-clock lowering time the caller observed.
 pub fn measure(
     alg: MatmulAlgorithm,
     lowering: &str,
@@ -145,8 +156,13 @@ pub fn measure(
     program: &SpmdProgram,
     case: &OracleCase,
     threads: usize,
+    plan_s: f64,
 ) -> SpmdBenchRow {
     let stats = program.stats();
+    let verify_start = std::time::Instant::now();
+    let diagnostics = distal_spmd::verify_program(program);
+    let verify_s = verify_start.elapsed().as_secs_f64();
+    let statically_verified = !diagnostics.iter().any(|d| d.is_error());
     let depth = if program.collectives.is_empty() {
         collective::recognize(program)
             .iter()
@@ -193,6 +209,9 @@ pub fn measure(
         collectives: program.collectives.len(),
         depth,
         makespan_s,
+        plan_s,
+        verify_s,
+        statically_verified,
         verified,
         threads: measured.map_or(0, |m| m.threads),
         measured_s,
@@ -234,7 +253,9 @@ pub fn spmd_bench_with_programs(
         ("tree", CollectiveConfig::trees()),
         ("ring", CollectiveConfig::rings()),
     ] {
+        let plan_start = std::time::Instant::now();
         let program = lower_algorithm(MatmulAlgorithm::Summa, p, n, &config);
+        let plan_s = plan_start.elapsed().as_secs_f64();
         rows.push(measure(
             MatmulAlgorithm::Summa,
             lowering,
@@ -242,10 +263,13 @@ pub fn spmd_bench_with_programs(
             &program,
             &case,
             threads,
+            plan_s,
         ));
         programs.push(program);
     }
+    let plan_start = std::time::Instant::now();
     let cannon = lower_algorithm(MatmulAlgorithm::Cannon, p, n, &CollectiveConfig::trees());
+    let plan_s = plan_start.elapsed().as_secs_f64();
     rows.push(measure(
         MatmulAlgorithm::Cannon,
         "tree",
@@ -253,6 +277,7 @@ pub fn spmd_bench_with_programs(
         &cannon,
         &case,
         threads,
+        plan_s,
     ));
     programs.push(cannon);
     (rows, programs)
@@ -276,7 +301,7 @@ pub fn render(rows: &[SpmdBenchRow]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<16} {:>6} {:>6} {:>7} {:>9} {:>10} {:>7} {:>6} {:>12} {:>11} {:>7} {:>9} {:>7}",
+        "{:<16} {:>6} {:>6} {:>7} {:>9} {:>10} {:>7} {:>6} {:>12} {:>11} {:>7} {:>10} {:>8} {:>9} {:>7}",
         "algorithm",
         "mode",
         "n",
@@ -288,6 +313,8 @@ pub fn render(rows: &[SpmdBenchRow]) -> String {
         "modeled",
         "measured",
         "ratio",
+        "verify",
+        "static",
         "oracle",
         "parity"
     );
@@ -300,7 +327,7 @@ pub fn render(rows: &[SpmdBenchRow]) -> String {
             .join("x");
         let _ = writeln!(
             out,
-            "{:<16} {:>6} {:>6} {:>7} {:>9} {:>10} {:>6.0}% {:>6} {:>10.1}us {:>9.1}us {:>7.2} {:>9} {:>7}",
+            "{:<16} {:>6} {:>6} {:>7} {:>9} {:>10} {:>6.0}% {:>6} {:>10.1}us {:>9.1}us {:>7.2} {:>8.1}us {:>8} {:>9} {:>7}",
             r.algorithm,
             r.lowering,
             r.n,
@@ -312,6 +339,8 @@ pub fn render(rows: &[SpmdBenchRow]) -> String {
             r.makespan_s * 1e6,
             r.measured_s * 1e6,
             r.model_ratio,
+            r.verify_s * 1e6,
+            if r.statically_verified { "ok" } else { "REJECTED" },
             if r.verified { "ok" } else { "MISMATCH" },
             if r.parity { "ok" } else { "DIVERGED" }
         );
@@ -331,7 +360,9 @@ pub fn to_json(rows: &[SpmdBenchRow]) -> String {
             "    {{\"algorithm\": \"{}\", \"lowering\": \"{}\", \"n\": {}, \"ranks\": {}, \
              \"grid\": {:?}, \
              \"messages\": {}, \"bytes\": {}, \"neighbor_fraction\": {:.4}, \
-             \"collectives\": {}, \"depth\": {}, \"makespan_s\": {:.9}, \"verified\": {}, \
+             \"collectives\": {}, \"depth\": {}, \"makespan_s\": {:.9}, \
+             \"plan_s\": {:.9}, \"verify_s\": {:.9}, \"statically_verified\": {}, \
+             \"verified\": {}, \
              \"threads\": {}, \"measured_s\": {:.9}, \"model_ratio\": {:.4}, \
              \"parity\": {}}}{comma}",
             r.algorithm,
@@ -345,6 +376,9 @@ pub fn to_json(rows: &[SpmdBenchRow]) -> String {
             r.collectives,
             r.depth,
             r.makespan_s,
+            r.plan_s,
+            r.verify_s,
+            r.statically_verified,
             r.verified,
             r.threads,
             r.measured_s,
@@ -366,6 +400,8 @@ mod tests {
         let rows = spmd_bench(4, 4, 16);
         assert_eq!(rows.len(), 4);
         assert!(rows.iter().all(|r| r.verified));
+        assert!(rows.iter().all(|r| r.statically_verified));
+        assert!(rows.iter().all(|r| r.plan_s > 0.0 && r.verify_s > 0.0));
         let naive = rows.iter().find(|r| r.lowering == "naive").unwrap();
         let tree = rows
             .iter()
@@ -382,6 +418,8 @@ mod tests {
         let rows = spmd_bench(2, 2, 8);
         let j = to_json(&rows);
         assert!(j.contains("\"lowering\": \"tree\""));
+        assert!(j.contains("\"verify_s\""));
+        assert!(j.contains("\"statically_verified\": true"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 }

@@ -80,6 +80,10 @@ pub enum BackendError {
     Unsupported(String),
     /// A backend-specific execution failure.
     Backend(String),
+    /// Plan-time static verification rejected the lowered program. The
+    /// payload carries every finding (errors and warnings); each names
+    /// the offending rank/tensor/tag where attributable.
+    Verification(Vec<crate::diagnostic::Diagnostic>),
 }
 
 impl fmt::Display for BackendError {
@@ -91,6 +95,14 @@ impl fmt::Display for BackendError {
             BackendError::NoData(m) => write!(f, "no data: {m}"),
             BackendError::Unsupported(m) => write!(f, "unsupported: {m}"),
             BackendError::Backend(m) => write!(f, "backend error: {m}"),
+            BackendError::Verification(diags) => {
+                let errors = diags.iter().filter(|d| d.is_error()).count();
+                write!(f, "plan verification failed ({errors} error(s))")?;
+                for d in diags.iter().filter(|d| d.is_error()).take(3) {
+                    write!(f, "; {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -284,6 +296,14 @@ pub struct RuntimePlan {
     kernel: Arc<CompiledKernel>,
 }
 
+impl std::fmt::Debug for RuntimePlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimePlan")
+            .field("tensors", &self.tensors.keys().collect::<Vec<_>>())
+            .finish_non_exhaustive()
+    }
+}
+
 impl RuntimePlan {
     /// The compiled kernel (launch domain, programs, flops).
     pub fn kernel(&self) -> &CompiledKernel {
@@ -353,6 +373,14 @@ pub struct RuntimeInstance {
     session: Session,
     kernel: Arc<CompiledKernel>,
     mode: Mode,
+}
+
+impl std::fmt::Debug for RuntimeInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimeInstance")
+            .field("mode", &self.mode)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Pre-split name of [`RuntimeInstance`].

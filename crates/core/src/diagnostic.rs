@@ -1,0 +1,207 @@
+//! Structured findings from plan-time static verification.
+//!
+//! The SPMD verifier (`distal-verify`, wired into `SpmdBackend::plan` and
+//! `CostBackend::plan`) proves communication matching, deadlock freedom,
+//! buffer-hazard freedom, and shape legality over a lowered program
+//! *before* anything executes. Its findings surface through this type:
+//! every [`Diagnostic`] names the offending rank/tensor/tag where the
+//! analysis can attribute one, so a rejected plan reads like a compiler
+//! error, not a hung thread or a silently corrupted output.
+//!
+//! Diagnostics ride on [`Plan::diagnostics`](crate::plan::Plan::diagnostics)
+//! and [`Report::diagnostics`](crate::report::Report::diagnostics);
+//! error-severity findings abort planning with
+//! [`BackendError::Verification`](crate::backend::BackendError::Verification).
+
+use std::fmt;
+
+/// How severe a verification finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not provably wrong; the plan still executes.
+    Warning,
+    /// A proven violation: the plan is rejected at `Backend::plan` time.
+    Error,
+}
+
+/// What class of invariant a [`Diagnostic`] reports against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiagnosticKind {
+    /// A receive whose matching send does not exist: the receiver would
+    /// block forever (the case the runtime watchdog only catches after
+    /// its timeout).
+    LostMessage,
+    /// A send whose matching receive does not exist: the payload leaks
+    /// into the network (threaded transport) or the pending map
+    /// (sequential VM).
+    OrphanMessage,
+    /// More than one send or receive on a single tag: tag-keyed stashes
+    /// silently overwrite, so delivery becomes order-dependent.
+    DuplicateMessage,
+    /// A matched send/receive pair that disagrees on tensor, rectangle,
+    /// endpoints, byte count, or reduce semantics.
+    MessageMismatch,
+    /// A message rectangle, task access, or peer rank outside the owning
+    /// tensor's extents or the launch domain.
+    OutOfBounds,
+    /// Overlapping writes to the same tensor cells without reduction
+    /// semantics: the result depends on fold order (write-write race).
+    WriteHazard,
+    /// A received payload lands over data the rank reads in place
+    /// (unordered read-write overlap).
+    ReadHazard,
+    /// A cycle in the cross-rank happens-before graph: some set of ranks
+    /// waits on each other forever.
+    Deadlock,
+    /// Per-tensor byte conservation violated: bytes sent != bytes
+    /// received across the program.
+    ByteImbalance,
+    /// A structurally ill-formed program (e.g. empty rank list).
+    Malformed,
+}
+
+impl fmt::Display for DiagnosticKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DiagnosticKind::LostMessage => "lost-message",
+            DiagnosticKind::OrphanMessage => "orphan-message",
+            DiagnosticKind::DuplicateMessage => "duplicate-message",
+            DiagnosticKind::MessageMismatch => "message-mismatch",
+            DiagnosticKind::OutOfBounds => "out-of-bounds",
+            DiagnosticKind::WriteHazard => "write-hazard",
+            DiagnosticKind::ReadHazard => "read-hazard",
+            DiagnosticKind::Deadlock => "deadlock",
+            DiagnosticKind::ByteImbalance => "byte-imbalance",
+            DiagnosticKind::Malformed => "malformed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One structured verification finding, attributable to a rank, tensor,
+/// and/or message tag where the analysis can name them.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// The invariant class violated.
+    pub kind: DiagnosticKind,
+    /// Whether the finding rejects the plan.
+    pub severity: Severity,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// The offending rank, when attributable.
+    pub rank: Option<usize>,
+    /// The tensor involved, when attributable.
+    pub tensor: Option<String>,
+    /// The message tag involved, when attributable.
+    pub tag: Option<u64>,
+}
+
+impl Diagnostic {
+    /// An error-severity finding (rejects the plan).
+    pub fn error(kind: DiagnosticKind, message: impl Into<String>) -> Self {
+        Diagnostic {
+            kind,
+            severity: Severity::Error,
+            message: message.into(),
+            rank: None,
+            tensor: None,
+            tag: None,
+        }
+    }
+
+    /// A warning-severity finding (reported, not fatal).
+    pub fn warning(kind: DiagnosticKind, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(kind, message)
+        }
+    }
+
+    /// Attributes the finding to a rank.
+    #[must_use]
+    pub fn with_rank(mut self, rank: usize) -> Self {
+        self.rank = Some(rank);
+        self
+    }
+
+    /// Attributes the finding to a tensor.
+    #[must_use]
+    pub fn with_tensor(mut self, tensor: impl Into<String>) -> Self {
+        self.tensor = Some(tensor.into());
+        self
+    }
+
+    /// Attributes the finding to a message tag.
+    #[must_use]
+    pub fn with_tag(mut self, tag: u64) -> Self {
+        self.tag = Some(tag);
+        self
+    }
+
+    /// True for error-severity findings.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]",
+            match self.severity {
+                Severity::Warning => "warning",
+                Severity::Error => "error",
+            },
+            self.kind
+        )?;
+        if let Some(r) = self.rank {
+            write!(f, " rank {r}")?;
+        }
+        if let Some(t) = &self.tensor {
+            write!(f, " tensor '{t}'")?;
+        }
+        if let Some(t) = self.tag {
+            write!(f, " tag {t}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// True when no finding in `diags` is error-severity (the plan is legal;
+/// warnings may remain).
+pub fn verified_clean(diags: &[Diagnostic]) -> bool {
+    diags.iter().all(|d| !d.is_error())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_attribute_and_display() {
+        let d = Diagnostic::error(DiagnosticKind::LostMessage, "recv has no send")
+            .with_rank(3)
+            .with_tensor("B")
+            .with_tag(17);
+        assert!(d.is_error());
+        let s = d.to_string();
+        assert!(s.contains("error[lost-message]"), "{s}");
+        assert!(s.contains("rank 3"), "{s}");
+        assert!(s.contains("tensor 'B'"), "{s}");
+        assert!(s.contains("tag 17"), "{s}");
+
+        let w = Diagnostic::warning(DiagnosticKind::ReadHazard, "landing shadows home");
+        assert!(!w.is_error());
+        assert!(w.to_string().starts_with("warning[read-hazard]"));
+    }
+
+    #[test]
+    fn clean_means_no_errors() {
+        assert!(verified_clean(&[]));
+        let w = Diagnostic::warning(DiagnosticKind::ReadHazard, "x");
+        assert!(verified_clean(std::slice::from_ref(&w)));
+        let e = Diagnostic::error(DiagnosticKind::Deadlock, "x");
+        assert!(!verified_clean(&[w, e]));
+    }
+}

@@ -368,11 +368,21 @@ impl Kernel for TapeKernel {
     }
 }
 
+impl std::fmt::Debug for TapeKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TapeKernel")
+            .field("name", &self.name)
+            .field("tape_len", &self.tape.len())
+            .finish_non_exhaustive()
+    }
+}
+
 /// The generated dense GEMM: `A(i,j) += B(i,k) * C(k,j)` in the same
 /// `(i, ascending k, contiguous j)` order as the blocked
 /// [`crate::kernels::GemmKernel`] — bit-identical to it and to the
 /// interpreter — but with the inner loop over bounds-check-free row
 /// slices.
+#[derive(Debug)]
 pub struct GemmGenKernel;
 
 impl Kernel for GemmGenKernel {

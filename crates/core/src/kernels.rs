@@ -36,6 +36,7 @@ thread_local! {
 /// Task scalars carry `[lo, hi]` (inclusive) per variable, in
 /// [`Assignment::all_vars`] order; kernel args are the destination followed
 /// by the right-hand-side accesses in order.
+#[derive(Debug)]
 pub struct InterpreterKernel {
     assignment: Assignment,
     vars: Vec<IndexVar>,
@@ -177,6 +178,7 @@ fn eval_expr(e: &Expr, values: &mut impl Iterator<Item = f64>) -> f64 {
 /// the task scalars (`[ilo, ihi, jlo, jhi, klo, khi]`). Substituted for the
 /// interpreter on matmul leaves (the `CuBLAS::GeMM` substitution of
 /// Figure 2 line 40).
+#[derive(Debug)]
 pub struct GemmKernel;
 
 impl Kernel for GemmKernel {

@@ -65,6 +65,7 @@
 
 pub mod backend;
 pub mod cache;
+pub mod diagnostic;
 pub mod error;
 pub mod kernelgen;
 pub mod kernels;
@@ -85,6 +86,7 @@ pub use backend::{
     Backend, BackendError, RuntimeArtifact, RuntimeBackend, RuntimeInstance, RuntimePlan,
 };
 pub use cache::{CacheStats, PlanCache, PlanKey};
+pub use diagnostic::{verified_clean, Diagnostic, DiagnosticKind, Severity};
 pub use error::CompileError;
 pub use lower::{compile, CompileOptions, CompiledKernel};
 pub use machine::DistalMachine;

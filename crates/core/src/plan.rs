@@ -211,6 +211,15 @@ pub trait Plan: Send + Sync {
     /// for the plan's lifetime).
     fn tensors(&self) -> &BTreeMap<String, TensorSpec>;
 
+    /// Findings from plan-time static verification, when the backend ran
+    /// a verifier over the lowered program (warnings only — a plan with
+    /// error-severity findings is rejected at
+    /// [`Backend::plan`](crate::backend::Backend::plan) and never
+    /// constructed). Backends without a verifier report none.
+    fn diagnostics(&self) -> &[crate::diagnostic::Diagnostic] {
+        &[]
+    }
+
     /// Binds per-request data, producing an independent executable
     /// [`Instance`]. No lowering happens here: binding seeds data
     /// (regions or rank-VM inputs) and recomputes nnz-derived accounting

@@ -8,6 +8,7 @@
 //! α-β `CostReport` both normalize into it.
 
 use crate::cache::CacheStats;
+use crate::diagnostic::Diagnostic;
 use distal_runtime::stats::{KernelClassStats, RunStats};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -57,6 +58,10 @@ pub struct Report {
     /// Work executed per leaf-kernel variant (`tape`, `gemm.gen`,
     /// `interpreter`, …), when the backend tracks it. Empty otherwise.
     pub kernel_classes: BTreeMap<String, KernelClassStats>,
+    /// Findings from plan-time static verification (warnings only — an
+    /// error-severity finding rejects the plan before any report
+    /// exists). Empty on backends without a verifier.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl Report {
@@ -75,6 +80,7 @@ impl Report {
             peak_bytes: 0,
             cache: None,
             kernel_classes: BTreeMap::new(),
+            diagnostics: Vec::new(),
         }
     }
 
@@ -96,6 +102,7 @@ impl Report {
             peak_bytes: s.peak_mem_bytes.values().copied().max().unwrap_or(0),
             cache: None,
             kernel_classes: s.task_classes.clone(),
+            diagnostics: Vec::new(),
         }
     }
 
@@ -130,6 +137,12 @@ impl Report {
             e.tasks += v.tasks;
             e.flops += v.flops;
             e.busy_s += v.busy_s;
+        }
+        // Phases of one plan share its findings; don't repeat them.
+        for d in &other.diagnostics {
+            if !self.diagnostics.contains(d) {
+                self.diagnostics.push(d.clone());
+            }
         }
     }
 

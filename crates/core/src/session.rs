@@ -66,6 +66,14 @@ pub struct Session {
     regions: BTreeMap<String, RegionId>,
 }
 
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("regions", &self.regions.keys().collect::<Vec<_>>())
+            .finish_non_exhaustive()
+    }
+}
+
 impl Session {
     /// Creates a session on a fresh runtime.
     pub fn new(spec: MachineSpec, machine: DistalMachine, mode: Mode) -> Self {

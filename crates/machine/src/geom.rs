@@ -365,6 +365,7 @@ pub fn div_ceil(a: i64, b: i64) -> i64 {
 }
 
 /// Iterator over the points of a [`Rect`] in lexicographic order.
+#[derive(Debug)]
 pub struct PointIter {
     rect: Rect,
     next: Option<Point>,

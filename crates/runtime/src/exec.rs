@@ -203,6 +203,7 @@ impl Store {
 /// The runtime: a physical machine plus persistent region state.
 ///
 /// See the crate-level docs for an overview and example.
+#[derive(Debug)]
 pub struct Runtime {
     machine: PhysicalMachine,
     mode: Mode,

@@ -87,6 +87,16 @@ pub struct ExecCtx<'a> {
     pub(crate) record_copies: bool,
 }
 
+impl std::fmt::Debug for ExecCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecCtx")
+            .field("functional", &self.functional)
+            .field("record_copies", &self.record_copies)
+            .field("kernels", &self.kernels.len())
+            .finish_non_exhaustive()
+    }
+}
+
 /// Runs a built execution DAG to completion.
 pub trait Executor: Send + Sync {
     /// Executor name (appears in benchmark output).

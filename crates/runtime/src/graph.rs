@@ -98,6 +98,7 @@ pub struct CopyNode {
 pub struct ResourceId(pub u32);
 
 /// Resource-id layout helper.
+#[derive(Debug)]
 pub struct ResourceMap {
     procs: u32,
     mems: u32,

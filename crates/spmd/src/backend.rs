@@ -48,7 +48,9 @@ use crate::program::{SpmdProgram, SpmdResult};
 use crate::transport::Transport;
 use distal_core::backend::{Backend, BackendError};
 use distal_core::plan::{init_nnz, Bindings, Instance, Plan};
-use distal_core::{Problem, Provenance, Report, RuntimeBackend, Schedule, TensorInit, TensorSpec};
+use distal_core::{
+    Diagnostic, Problem, Provenance, Report, RuntimeBackend, Schedule, TensorInit, TensorSpec,
+};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -268,7 +270,26 @@ fn program_report(
         peak_bytes,
         cache: None,
         kernel_classes,
+        diagnostics: Vec::new(),
     }
+}
+
+/// Runs the static verifier over a freshly lowered plan program (unless
+/// the backend opted out). Error-severity findings reject the plan —
+/// executing it would hang, corrupt data, or index out of bounds — and
+/// warnings ride along on the plan for reports to surface.
+fn verify_plan_program(
+    verify: bool,
+    program: &SpmdProgram,
+) -> Result<Vec<Diagnostic>, BackendError> {
+    if !verify {
+        return Ok(Vec::new());
+    }
+    let diags = crate::verify::verify_program(program);
+    if diags.iter().any(|d| d.is_error()) {
+        return Err(BackendError::Verification(diags));
+    }
+    Ok(diags)
 }
 
 /// The static SPMD target (§8's "MPI-based backend for DISTAL"): lowers to
@@ -276,7 +297,7 @@ fn program_report(
 /// communication, recognizes and tree/ring-lowers collectives per
 /// [`CollectiveConfig`], executes on the deterministic rank VM, and prices
 /// the critical path under the α-β model.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct SpmdBackend {
     /// Collective recognition/lowering configuration.
     pub collectives: CollectiveConfig,
@@ -291,6 +312,22 @@ pub struct SpmdBackend {
     /// simulation (default) or real rank threads (see
     /// [`crate::transport`]).
     pub transport: Transport,
+    /// Statically verify every lowered plan (communication matching,
+    /// deadlock freedom, buffer hazards, bounds). On by default; see
+    /// [`SpmdBackend::with_unverified`].
+    pub verify: bool,
+}
+
+impl Default for SpmdBackend {
+    fn default() -> Self {
+        SpmdBackend {
+            collectives: CollectiveConfig::default(),
+            model: AlphaBeta::default(),
+            interpreted_leaves: false,
+            transport: Transport::default(),
+            verify: true,
+        }
+    }
 }
 
 impl SpmdBackend {
@@ -336,6 +373,15 @@ impl SpmdBackend {
         self.transport = Transport::threaded_with(threads);
         self
     }
+
+    /// Skips plan-time static verification. The opt-out is part of the
+    /// plan fingerprint, so verified and unverified plans never share a
+    /// cache entry.
+    #[must_use]
+    pub fn with_unverified(mut self) -> Self {
+        self.verify = false;
+        self
+    }
 }
 
 impl Backend for SpmdBackend {
@@ -348,22 +394,25 @@ impl Backend for SpmdBackend {
         // prices every bound instance's reports; the leaf-execution mode
         // and transport change what a bound instance runs.
         format!(
-            "{:?};{:?};interpreted_leaves={};transport={}",
+            "{:?};{:?};interpreted_leaves={};transport={};verify={}",
             self.collectives,
             self.model,
             self.interpreted_leaves,
-            self.transport.label()
+            self.transport.label(),
+            self.verify
         )
     }
 
     fn plan(&self, problem: &Problem, schedule: &Schedule) -> Result<Box<dyn Plan>, BackendError> {
         let mut program = plan_program(problem, schedule, &self.collectives)?;
         program.interpreted_leaves = self.interpreted_leaves;
+        let diagnostics = verify_plan_program(self.verify, &program)?;
         Ok(Box::new(SpmdPlan {
             tensors: problem.tensors().clone(),
             program: Arc::new(program),
             model: self.model,
             transport: self.transport.clone(),
+            diagnostics,
         }))
     }
 }
@@ -378,6 +427,18 @@ pub struct SpmdPlan {
     program: Arc<SpmdProgram>,
     model: AlphaBeta,
     transport: Transport,
+    // Warning-severity verifier findings (errors rejected the plan).
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl std::fmt::Debug for SpmdPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpmdPlan")
+            .field("tensors", &self.tensors.keys().collect::<Vec<_>>())
+            .field("ranks", &self.program.ranks())
+            .field("diagnostics", &self.diagnostics.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl SpmdPlan {
@@ -394,6 +455,10 @@ impl Plan for SpmdPlan {
 
     fn tensors(&self) -> &BTreeMap<String, TensorSpec> {
         &self.tensors
+    }
+
+    fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
     }
 
     fn bind(&self, bindings: &Bindings) -> Result<Box<dyn Instance>, BackendError> {
@@ -415,6 +480,7 @@ impl Plan for SpmdPlan {
             missing_inputs: missing,
             model: self.model,
             transport: self.transport.clone(),
+            diagnostics: self.diagnostics.clone(),
             result: None,
         }))
     }
@@ -428,7 +494,18 @@ pub struct SpmdInstance {
     missing_inputs: Vec<String>,
     model: AlphaBeta,
     transport: Transport,
+    diagnostics: Vec<Diagnostic>,
     result: Option<SpmdResult>,
+}
+
+impl std::fmt::Debug for SpmdInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpmdInstance")
+            .field("ranks", &self.program.ranks())
+            .field("inputs", &self.inputs.keys().collect::<Vec<_>>())
+            .field("executed", &self.result.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 /// Pre-split name of [`SpmdInstance`].
@@ -497,6 +574,7 @@ impl Instance for SpmdInstance {
             report.critical_path_s = m.wall_s;
             report.provenance = Provenance::Measured;
         }
+        report.diagnostics = self.diagnostics.clone();
         Ok(report)
     }
 
@@ -546,6 +624,10 @@ pub struct CostBackend {
     pub model: CostModel,
     /// Collective configuration for [`CostModel::AlphaBeta`] lowerings.
     pub collectives: CollectiveConfig,
+    /// Statically verify every α-β lowering (on by default; see
+    /// [`CostBackend::with_unverified`]). The runtime-sim path has no
+    /// message schedule to verify.
+    pub verify: bool,
 }
 
 impl CostBackend {
@@ -554,6 +636,7 @@ impl CostBackend {
         CostBackend {
             model: CostModel::RuntimeSim,
             collectives: CollectiveConfig::default(),
+            verify: true,
         }
     }
 
@@ -562,6 +645,7 @@ impl CostBackend {
         CostBackend {
             model: CostModel::AlphaBeta(model),
             collectives: CollectiveConfig::default(),
+            verify: true,
         }
     }
 
@@ -569,6 +653,14 @@ impl CostBackend {
     #[must_use]
     pub fn with_collectives(mut self, collectives: CollectiveConfig) -> Self {
         self.collectives = collectives;
+        self
+    }
+
+    /// Skips plan-time static verification (part of the plan fingerprint,
+    /// like [`SpmdBackend::with_unverified`]).
+    #[must_use]
+    pub fn with_unverified(mut self) -> Self {
+        self.verify = false;
         self
     }
 }
@@ -582,7 +674,10 @@ impl Backend for CostBackend {
         // The pricing model decides what a plan *is* (a wrapped runtime
         // sim vs a lowered program), and the collectives shape the α-β
         // lowering.
-        format!("{:?};{:?}", self.model, self.collectives)
+        format!(
+            "{:?};{:?};verify={}",
+            self.model, self.collectives, self.verify
+        )
     }
 
     fn plan(&self, problem: &Problem, schedule: &Schedule) -> Result<Box<dyn Plan>, BackendError> {
@@ -593,10 +688,12 @@ impl Backend for CostBackend {
             }
             CostModel::AlphaBeta(model) => {
                 let program = plan_program(problem, schedule, &self.collectives)?;
+                let diagnostics = verify_plan_program(self.verify, &program)?;
                 Ok(Box::new(CostPlan::AlphaBeta {
                     tensors: problem.tensors().clone(),
                     program: Arc::new(program),
                     model: *model,
+                    diagnostics,
                 }))
             }
         }
@@ -617,7 +714,21 @@ pub enum CostPlan {
         program: Arc<SpmdProgram>,
         /// The α-β parameters.
         model: AlphaBeta,
+        /// Warning-severity verifier findings (errors rejected the plan).
+        diagnostics: Vec<Diagnostic>,
     },
+}
+
+impl std::fmt::Debug for CostPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CostPlan::Sim(_) => f.write_str("CostPlan::Sim"),
+            CostPlan::AlphaBeta { program, .. } => f
+                .debug_struct("CostPlan::AlphaBeta")
+                .field("ranks", &program.ranks())
+                .finish_non_exhaustive(),
+        }
+    }
 }
 
 impl Plan for CostPlan {
@@ -632,6 +743,13 @@ impl Plan for CostPlan {
         }
     }
 
+    fn diagnostics(&self) -> &[Diagnostic] {
+        match self {
+            CostPlan::Sim(inner) => inner.diagnostics(),
+            CostPlan::AlphaBeta { diagnostics, .. } => diagnostics,
+        }
+    }
+
     fn bind(&self, bindings: &Bindings) -> Result<Box<dyn Instance>, BackendError> {
         match self {
             CostPlan::Sim(inner) => Ok(Box::new(CostInstance::Sim(inner.bind(bindings)?))),
@@ -639,6 +757,7 @@ impl Plan for CostPlan {
                 tensors,
                 program,
                 model,
+                ..
             } => {
                 bindings.validate(tensors)?;
                 let program = bound_program(program, tensors, |name, spec| {
@@ -669,6 +788,18 @@ pub enum CostInstance {
 
 /// Pre-split name of [`CostInstance`].
 pub type CostArtifact = CostInstance;
+
+impl std::fmt::Debug for CostInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CostInstance::Sim(_) => f.write_str("CostInstance::Sim"),
+            CostInstance::AlphaBeta { program, .. } => f
+                .debug_struct("CostInstance::AlphaBeta")
+                .field("ranks", &program.ranks())
+                .finish_non_exhaustive(),
+        }
+    }
+}
 
 impl Instance for CostInstance {
     fn backend(&self) -> &str {
@@ -831,6 +962,63 @@ mod tests {
                 Err(BackendError::UnknownTensor(t)) if t == "Z"
             ));
         }
+    }
+
+    #[test]
+    fn verification_is_on_by_default_and_fingerprinted() {
+        let verified = SpmdBackend::new();
+        assert!(verified.verify);
+        assert!(verified.config_fingerprint().contains("verify=true"));
+        let unverified = SpmdBackend::new().with_unverified();
+        assert!(unverified.config_fingerprint().contains("verify=false"));
+        assert!(CostBackend::alpha_beta(AlphaBeta::default())
+            .config_fingerprint()
+            .contains("verify=true"));
+        // The two settings must never share a cached plan.
+        let p = matmul_problem(8);
+        let schedule = Schedule::summa(2, 2, 4);
+        let mut cache = distal_core::PlanCache::new(8);
+        cache.get_or_plan(&verified, &p, &schedule).unwrap();
+        cache.get_or_plan(&unverified, &p, &schedule).unwrap();
+        assert_eq!(cache.stats().misses, 2, "verify flag must split keys");
+    }
+
+    #[test]
+    fn corrupted_program_is_a_verification_error() {
+        // A dropped send must reject the plan with structured diagnostics
+        // — and the opt-out must let the same corruption through.
+        let p = matmul_problem(8);
+        let mut program =
+            lower_problem(&p, &Schedule::summa(2, 2, 4), &CollectiveConfig::default()).unwrap();
+        let tag = program.messages().first().unwrap().tag;
+        let dropped = |op: &SpmdOp| op.is_send() && op.message().is_some_and(|m| m.tag == tag);
+        for ops in &mut program.programs {
+            ops.retain(|op| !dropped(op));
+        }
+        program.global.retain(|(_, op)| !dropped(op));
+        match verify_plan_program(true, &program) {
+            Err(BackendError::Verification(diags)) => {
+                assert!(diags.iter().any(|d| d.is_error()));
+                let shown = format!("{}", BackendError::Verification(diags));
+                assert!(shown.contains("lost-message"), "{shown}");
+            }
+            other => panic!("expected a verification rejection, got {other:?}"),
+        }
+        assert!(verify_plan_program(false, &program).unwrap().is_empty());
+    }
+
+    #[test]
+    fn clean_plans_carry_no_diagnostics() {
+        let p = matmul_problem(8);
+        let plan = SpmdBackend::new()
+            .plan(&p, &Schedule::summa(2, 2, 4))
+            .unwrap();
+        assert!(plan.diagnostics().is_empty());
+        let mut art = p
+            .compile(&SpmdBackend::new(), &Schedule::summa(2, 2, 4))
+            .unwrap();
+        let report = art.run().unwrap();
+        assert!(distal_core::verified_clean(&report.diagnostics));
     }
 
     #[test]

@@ -92,6 +92,7 @@ pub mod ops;
 pub mod program;
 pub mod stats;
 pub mod transport;
+pub mod verify;
 pub mod vm;
 
 pub use backend::{
@@ -105,3 +106,4 @@ pub use ops::{Message, SpmdOp};
 pub use program::{MeasuredRun, SpmdProgram, SpmdResult};
 pub use stats::CommStats;
 pub use transport::{ThreadedConfig, Transport};
+pub use verify::{to_verify_ir, verify_program};

@@ -47,7 +47,50 @@ use crate::vm::RankStore;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// The shared abort signal of one threaded execution. The first failing
+/// worker *trips* the cell with the root-cause error; workers that merely
+/// observe the abort afterwards re-surface that cause instead of a
+/// generic "aborted by another rank" — so callers see *why* the run died
+/// no matter which worker's error reaches them first at join time.
+struct AbortCell {
+    tripped: AtomicBool,
+    cause: Mutex<Option<SpmdError>>,
+}
+
+impl AbortCell {
+    fn new() -> Self {
+        AbortCell {
+            tripped: AtomicBool::new(false),
+            cause: Mutex::new(None),
+        }
+    }
+
+    /// Records `err` as the root cause (first writer wins) and raises the
+    /// abort flag.
+    fn trip(&self, err: &SpmdError) {
+        if let Ok(mut cause) = self.cause.lock() {
+            cause.get_or_insert_with(|| err.clone());
+        }
+        self.tripped.store(true, Ordering::Release);
+    }
+
+    fn tripped(&self) -> bool {
+        self.tripped.load(Ordering::Acquire)
+    }
+
+    /// The root cause another worker tripped the cell with. The fallback
+    /// covers a poisoned mutex (the tripping worker panicked mid-store).
+    fn cause(&self) -> SpmdError {
+        self.cause
+            .lock()
+            .ok()
+            .and_then(|c| c.clone())
+            .unwrap_or_else(|| SpmdError::Timeout("aborted by another rank".into()))
+    }
+}
 
 /// How [`SpmdProgram::execute_with`] runs the lowered rank programs.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -217,7 +260,7 @@ fn run_worker(
     skip_mask: &[bool],
     start: Instant,
     deadline: Instant,
-    abort: &AtomicBool,
+    abort: &AbortCell,
 ) -> Result<Vec<RankOutcome>, SpmdError> {
     loop {
         let mut progressed = false;
@@ -229,7 +272,13 @@ fn run_worker(
             match t.advance(program, senders, skip_mask, start) {
                 Ok(p) => progressed |= p,
                 Err(e) => {
-                    abort.store(true, Ordering::Relaxed);
+                    // Annotate with the failing rank before publishing:
+                    // peers and the caller all see who actually died.
+                    let e = match e {
+                        SpmdError::Data(m) => SpmdError::Data(format!("rank {}: {m}", t.rank)),
+                        other => other,
+                    };
+                    abort.trip(&e);
                     return Err(e);
                 }
             }
@@ -244,23 +293,24 @@ fn run_worker(
         // Every owned rank is blocked on a tag that hasn't arrived: park
         // on the first blocked rank's channel for a slice, then re-sweep
         // (another owned rank's packet may have landed meanwhile).
-        if abort.load(Ordering::Relaxed) {
-            return Err(SpmdError::Timeout("aborted by another rank".into()));
+        if abort.tripped() {
+            return Err(abort.cause());
         }
         if Instant::now() >= deadline {
-            abort.store(true, Ordering::Relaxed);
             let t = tasks.iter().find(|t| !t.done()).expect("a rank is blocked");
             let tag = match &t.ops[t.pc] {
                 SpmdOp::Recv(m) | SpmdOp::ReduceRecv(m) => m.tag,
                 _ => unreachable!("only receives block"),
             };
-            return Err(SpmdError::Timeout(format!(
+            let e = SpmdError::Timeout(format!(
                 "rank {} blocked on tag {} at op {}/{}",
                 t.rank,
                 tag,
                 t.pc,
                 t.ops.len()
-            )));
+            ));
+            abort.trip(&e);
+            return Err(e);
         }
         let t = tasks.iter_mut().find(|t| !t.done()).expect("not all done");
         match t.rx.recv_timeout(Duration::from_micros(500)) {
@@ -323,7 +373,7 @@ pub(crate) fn execute_threaded(
         });
     }
 
-    let abort = AtomicBool::new(false);
+    let abort = AbortCell::new();
     let start = Instant::now();
     let deadline = start + cfg.watchdog;
     let results: Vec<Result<Vec<RankOutcome>, SpmdError>> = std::thread::scope(|scope| {

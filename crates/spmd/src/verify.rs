@@ -1,0 +1,122 @@
+//! Adapter from [`SpmdProgram`] to the [`distal_verify`] event IR.
+//!
+//! The verifier is deliberately ignorant of this crate (it analyzes a
+//! generic message-passing IR), so the mapping lives here, next to the
+//! lowering whose invariants it encodes:
+//!
+//! * `Send`/`Recv` map directly; `ReduceSend`/`ReduceRecv` map with the
+//!   `fold` flag set. Messages of the *output* tensor also fold — the
+//!   gather lands them with `+=` regardless of op kind (see
+//!   `SpmdProgram::apply_recv`) — so overlapping output payloads are
+//!   legal and must not read as hazards.
+//! * `Compute` becomes a `Task` whose access rectangles project the leaf
+//!   bounds through each access's index variables, exactly the
+//!   projection `compute_generated` uses to gather operand faces.
+//! * `RetireScratch` becomes a `Fence`: landings before it are retired,
+//!   so the hazard pass's overlap window resets.
+//!
+//! [`verify_program`] is what `SpmdBackend::plan` and `CostBackend::plan`
+//! call — once per plan, cached with it, free on every subsequent bind.
+
+use crate::ops::{Message, SpmdOp};
+use crate::program::SpmdProgram;
+use distal_core::Diagnostic;
+use distal_ir::expr::IndexVar;
+use distal_machine::geom::{Point, Rect};
+use distal_verify::{Access, Event, Msg, VerifyProgram};
+use std::collections::BTreeMap;
+
+/// Lowers an [`SpmdProgram`] into the verifier's event IR.
+pub fn to_verify_ir(program: &SpmdProgram) -> VerifyProgram {
+    let out_name = &program.assignment.lhs.tensor;
+    let msg = |m: &Message, peer: usize, reduce: bool| Msg {
+        tag: m.tag,
+        peer,
+        tensor: m.tensor.clone(),
+        rect: m.rect.clone(),
+        bytes: program.message_bytes(m),
+        fold: reduce || m.tensor == *out_name,
+    };
+
+    // Hoisted once per program: the accesses of the (single) assignment
+    // with each index variable resolved to its position in the leaf
+    // bounds vector. `task_accesses` then only indexes.
+    let var_pos: BTreeMap<&IndexVar, usize> = program
+        .all_vars
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v, i))
+        .collect();
+    let a = &program.assignment;
+    let mut specs: Vec<(&str, bool, Vec<usize>)> = Vec::new();
+    specs.push((
+        a.lhs.tensor.as_str(),
+        true,
+        a.lhs.indices.iter().map(|v| var_pos[v]).collect(),
+    ));
+    for acc in a.input_accesses() {
+        specs.push((
+            acc.tensor.as_str(),
+            false,
+            acc.indices.iter().map(|v| var_pos[v]).collect(),
+        ));
+    }
+
+    let ranks = program
+        .programs
+        .iter()
+        .map(|ops| {
+            ops.iter()
+                .map(|op| match op {
+                    SpmdOp::Send(m) => Event::Send(msg(m, m.to, false)),
+                    SpmdOp::Recv(m) => Event::Recv(msg(m, m.from, false)),
+                    SpmdOp::ReduceSend(m) => Event::Send(msg(m, m.to, true)),
+                    SpmdOp::ReduceRecv(m) => Event::Recv(msg(m, m.from, true)),
+                    SpmdOp::Compute { bounds, .. } => Event::Task {
+                        accesses: task_accesses(&specs, bounds),
+                    },
+                    SpmdOp::RetireScratch { .. } => Event::Fence,
+                })
+                .collect()
+        })
+        .collect();
+
+    VerifyProgram {
+        tensors: program
+            .tensors
+            .iter()
+            .map(|t| (t.name.clone(), Rect::sized(&t.dims)))
+            .collect(),
+        ranks,
+        reduces: program.dist_reduces,
+    }
+}
+
+/// The tensor rectangles one leaf touches: the same bounds-through-indices
+/// projection `compute_generated` gathers operand faces with. Clamped-away
+/// leaves (any `hi < lo`) touch nothing. `specs` carries the assignment's
+/// accesses with index variables pre-resolved to bounds positions.
+fn task_accesses(specs: &[(&str, bool, Vec<usize>)], bounds: &[(i64, i64)]) -> Vec<Access> {
+    if bounds.iter().any(|(lo, hi)| hi < lo) {
+        return Vec::new();
+    }
+    specs
+        .iter()
+        .map(|(tensor, write, pos)| {
+            let lo: Vec<i64> = pos.iter().map(|&p| bounds[p].0).collect();
+            let hi: Vec<i64> = pos.iter().map(|&p| bounds[p].1).collect();
+            Access {
+                tensor: (*tensor).to_string(),
+                rect: Rect::new(Point::new(lo), Point::new(hi)),
+                write: *write,
+            }
+        })
+        .collect()
+}
+
+/// Runs all four static verification passes over a lowered program. An
+/// empty result proves it well-formed; error-severity findings mean
+/// executing it would hang, corrupt data, or index out of bounds.
+pub fn verify_program(program: &SpmdProgram) -> Vec<Diagnostic> {
+    distal_verify::verify(&to_verify_ir(program))
+}

@@ -148,6 +148,39 @@ fn watchdog_catches_a_lost_send() {
 }
 
 #[test]
+fn peers_surface_the_root_cause_of_an_abort() {
+    // Delete one *receive*: its rank later computes against data that
+    // never landed and dies with a Data error. Every other rank merely
+    // observes the abort — but the error the caller sees must still be
+    // the root cause, naming the rank that died, never the generic
+    // "aborted by another rank".
+    let (mut program, inputs) = lowered(MatmulAlgorithm::Summa, 4, 8);
+    let lost_tag = program
+        .messages()
+        .first()
+        .map(|m| m.tag)
+        .expect("SUMMA communicates");
+    let is_lost_recv =
+        |op: &distal_spmd::SpmdOp| !op.is_send() && op.message().is_some_and(|m| m.tag == lost_tag);
+    for ops in &mut program.programs {
+        ops.retain(|op| !is_lost_recv(op));
+    }
+    program.global.retain(|(_, op)| !is_lost_recv(op));
+    // Run wide enough that other workers sit blocked and observe the
+    // abort rather than erroring themselves.
+    match program.execute_with(&inputs, &watchdog(4)) {
+        Err(SpmdError::Data(msg)) => {
+            assert!(
+                msg.contains("rank") && msg.contains("no valid local copy"),
+                "root cause should name the dead rank and its failure: {msg}"
+            );
+            assert!(!msg.contains("aborted by another rank"), "{msg}");
+        }
+        other => panic!("expected the root-cause Data error, got {other:?}"),
+    }
+}
+
+#[test]
 fn threaded_parity_holds_without_collective_lowering() {
     // The naive point-to-point program exercises the raw owner fans
     // (many sends with one source) rather than tree/ring splices.

@@ -1,0 +1,274 @@
+//! Pass 3 — buffer-hazard detection.
+//!
+//! Ranks share no memory, so the hazards here are *semantic* races over
+//! the logical tensor state, the exact conditions under which the
+//! threaded transport's "any interleaving is bit-identical" argument
+//! breaks down:
+//!
+//! * **Cross-rank write-write** — two ranks' leaf tasks write overlapping
+//!   rectangles of the same tensor in a program without reduction
+//!   semantics. The final gather *folds* contributions, so overlapping
+//!   writes double-count: silent numeric corruption, no crash.
+//! * **Unordered landings** — two non-fold receives land overlapping
+//!   rectangles of one tensor within the same scratch generation (between
+//!   fences). Lookups then depend on stash/arrival order, which the
+//!   threaded transport does not fix.
+//! * **Landing shadowing a read** (warning) — a payload lands over a
+//!   rectangle a task already read in the same generation; legal under
+//!   per-rank program order, but a refactoring hazard worth surfacing.
+
+use crate::{Event, VerifyProgram};
+use distal_core::{Diagnostic, DiagnosticKind};
+use distal_machine::geom::Rect;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Checks for write-write and unordered read-write overlaps. See the
+/// module docs for the three conditions.
+pub fn check(program: &VerifyProgram) -> Vec<Diagnostic> {
+    let mut diags = cross_rank_writes(program);
+    diags.extend(landings(program));
+    diags
+}
+
+/// All task-write rectangles, grouped by tensor as `(rank, rect)` pairs.
+/// A rank re-writing the identical rectangle across steps (the common
+/// steady-state shape — SUMMA accumulates into one output tile every
+/// step) is recorded once.
+fn write_sets(program: &VerifyProgram) -> BTreeMap<&str, Vec<(usize, &Rect)>> {
+    let mut by_tensor: BTreeMap<&str, Vec<(usize, &Rect)>> = BTreeMap::new();
+    for (rank, events) in program.ranks.iter().enumerate() {
+        for ev in events {
+            if let Event::Task { accesses } = ev {
+                for a in accesses.iter().filter(|a| a.write) {
+                    if a.rect.volume() > 0 {
+                        let rects = by_tensor.entry(a.tensor.as_str()).or_default();
+                        let dup = rects
+                            .iter()
+                            .rev()
+                            .take_while(|(r, _)| *r == rank)
+                            .any(|(_, rect)| *rect == &a.rect);
+                        if !dup {
+                            rects.push((rank, &a.rect));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    by_tensor
+}
+
+/// Write-write: overlapping task writes on different ranks without
+/// reduction semantics. One diagnostic per (rank pair, tensor), on the
+/// first overlap found.
+///
+/// Runs as a plane sweep along dimension 0 per tensor: rectangles are
+/// sorted by their low coordinate and each is compared only against
+/// later ones whose dim-0 interval still reaches it. A clean tiling
+/// (the overwhelmingly common case on the plan path) costs
+/// `O(R log R + neighbours)` per tensor instead of the naive
+/// `O(p² · R²)` pairwise scan.
+fn cross_rank_writes(program: &VerifyProgram) -> Vec<Diagnostic> {
+    if program.reduces {
+        // Distributed reductions fold every contribution; overlapping
+        // output writes are the algorithm, not a hazard.
+        return Vec::new();
+    }
+    let mut diags = Vec::new();
+    let mut reported: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for (tensor, mut rects) in write_sets(program) {
+        reported.clear();
+        rects.sort_by_key(|(_, r)| r.lo()[0]);
+        for i in 0..rects.len() {
+            let (rank_a, ra) = rects[i];
+            for &(rank_b, rb) in &rects[i + 1..] {
+                if rb.lo()[0] > ra.hi()[0] {
+                    break;
+                }
+                if rank_a == rank_b || !ra.overlaps(rb) {
+                    continue;
+                }
+                let (a, b) = (rank_a.min(rank_b), rank_a.max(rank_b));
+                if !reported.insert((a, b)) {
+                    continue;
+                }
+                diags.push(
+                    Diagnostic::error(
+                        DiagnosticKind::WriteHazard,
+                        format!(
+                            "ranks {a} and {b} both write {tensor}[{}] (rank {rank_a} writes \
+                             [{ra}], rank {rank_b} writes [{rb}]) without reduction semantics; \
+                             the fold double-counts",
+                            ra.intersection(rb)
+                        ),
+                    )
+                    .with_rank(a)
+                    .with_tensor(tensor),
+                );
+            }
+        }
+    }
+    diags
+}
+
+/// Unordered landings and landing-over-read shadows, per rank, per
+/// scratch generation.
+fn landings(program: &VerifyProgram) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (rank, events) in program.ranks.iter().enumerate() {
+        // Landings and task reads of the current generation, by tensor.
+        let mut landed: BTreeMap<&str, Vec<(u64, &Rect)>> = BTreeMap::new();
+        let mut read: BTreeMap<&str, Vec<&Rect>> = BTreeMap::new();
+        for ev in events {
+            match ev {
+                Event::Fence => {
+                    landed.clear();
+                    read.clear();
+                }
+                Event::Recv(m) if !m.fold => {
+                    if let Some(prev) = landed
+                        .get(m.tensor.as_str())
+                        .and_then(|v| v.iter().find(|(_, r)| r.overlaps(&m.rect)))
+                    {
+                        diags.push(
+                            Diagnostic::error(
+                                DiagnosticKind::WriteHazard,
+                                format!(
+                                    "rank {rank} receives {}[{}] (tag {}) overlapping the \
+                                     [{}] landed by tag {} in the same scratch generation; \
+                                     lookups become arrival-order dependent",
+                                    m.tensor, m.rect, m.tag, prev.1, prev.0
+                                ),
+                            )
+                            .with_rank(rank)
+                            .with_tensor(&m.tensor)
+                            .with_tag(m.tag),
+                        );
+                    }
+                    if let Some(shadowed) = read
+                        .get(m.tensor.as_str())
+                        .and_then(|v| v.iter().find(|r| r.overlaps(&m.rect)))
+                    {
+                        diags.push(
+                            Diagnostic::warning(
+                                DiagnosticKind::ReadHazard,
+                                format!(
+                                    "rank {rank} receives {}[{}] (tag {}) over the [{shadowed}] \
+                                     a task already read this generation; later reads see \
+                                     different data",
+                                    m.tensor, m.rect, m.tag
+                                ),
+                            )
+                            .with_rank(rank)
+                            .with_tensor(&m.tensor)
+                            .with_tag(m.tag),
+                        );
+                    }
+                    landed
+                        .entry(m.tensor.as_str())
+                        .or_default()
+                        .push((m.tag, &m.rect));
+                }
+                Event::Task { accesses } => {
+                    for a in accesses.iter().filter(|a| !a.write) {
+                        if a.rect.volume() > 0 {
+                            read.entry(a.tensor.as_str()).or_default().push(&a.rect);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{clean_pair, msg, rect2};
+    use crate::Access;
+
+    #[test]
+    fn clean_pair_has_no_hazards() {
+        assert!(check(&clean_pair()).is_empty());
+    }
+
+    #[test]
+    fn aliased_output_is_a_write_hazard() {
+        let mut p = clean_pair();
+        // Make rank 1 write rank 0's output rectangle too.
+        for ev in &mut p.ranks[1] {
+            if let Event::Task { accesses } = ev {
+                for a in accesses.iter_mut().filter(|a| a.write) {
+                    a.rect = rect2((0, 0), (3, 3));
+                }
+            }
+        }
+        let diags = check(&p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].kind, DiagnosticKind::WriteHazard);
+        assert_eq!(diags[0].tensor.as_deref(), Some("A"));
+
+        // The same overlap under reduction semantics is the algorithm.
+        p.reduces = true;
+        assert!(check(&p).is_empty());
+    }
+
+    #[test]
+    fn overlapping_landings_in_one_generation_flagged() {
+        let mut p = clean_pair();
+        let extra = Event::Recv(msg(7, 0, "B", rect2((1, 0), (2, 3))));
+        p.ranks[1].insert(1, extra);
+        let diags = check(&p);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.kind == DiagnosticKind::WriteHazard && d.rank == Some(1)),
+            "{diags:?}"
+        );
+        // A fence between the two landings retires the first: no hazard.
+        let mut fenced = clean_pair();
+        fenced.ranks[1].insert(1, Event::Recv(msg(7, 0, "B", rect2((1, 0), (2, 3)))));
+        fenced.ranks[1].insert(1, Event::Fence);
+        assert!(check(&fenced)
+            .iter()
+            .all(|d| d.kind != DiagnosticKind::WriteHazard));
+    }
+
+    #[test]
+    fn landing_over_a_prior_read_warns() {
+        let mut p = clean_pair();
+        // Rank 1: task reads B, then a payload lands over the same rect.
+        p.ranks[1] = vec![
+            Event::Recv(msg(1, 0, "B", rect2((0, 0), (1, 3)))),
+            Event::Task {
+                accesses: vec![Access {
+                    tensor: "B".into(),
+                    rect: rect2((0, 0), (1, 3)),
+                    write: false,
+                }],
+            },
+            Event::Recv(msg(8, 0, "B", rect2((0, 0), (1, 3)))),
+            Event::Fence,
+        ];
+        let diags = check(&p);
+        // Tag 8 overlaps both the earlier landing (error) and the read
+        // (warning).
+        assert!(diags
+            .iter()
+            .any(|d| d.kind == DiagnosticKind::ReadHazard && !d.is_error() && d.tag == Some(8)));
+    }
+
+    #[test]
+    fn fold_receives_may_overlap() {
+        let mut p = clean_pair();
+        let mut m1 = msg(7, 0, "A", rect2((0, 0), (1, 3)));
+        let mut m2 = msg(8, 0, "A", rect2((0, 0), (1, 3)));
+        m1.fold = true;
+        m2.fold = true;
+        p.ranks[1].push(Event::Recv(m1));
+        p.ranks[1].push(Event::Recv(m2));
+        assert!(check(&p).is_empty());
+    }
+}

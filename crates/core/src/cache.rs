@@ -1,4 +1,5 @@
-//! Keyed plan reuse: [`PlanKey`] + a bounded LRU [`PlanCache`].
+//! Keyed plan reuse: [`PlanKey`], a bounded LRU [`PlanCache`], and its
+//! concurrent sharded front [`ShardedPlanCache`].
 //!
 //! Serving workloads compile the *same* (statement, shapes + formats,
 //! machine, schedule) bundle over and over with fresh operand values.
@@ -30,7 +31,8 @@ use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// A canonical, stable identity for one compilation: the backend, the
 /// statement, the tensors (shape, level formats, distribution, memory),
@@ -136,8 +138,13 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Hit/miss/eviction counters of a [`PlanCache`], surfaced in
-/// [`Report::cache`].
+/// Hit/miss/eviction counters of a [`PlanCache`] or
+/// [`ShardedPlanCache`], surfaced in [`Report::cache`].
+///
+/// A snapshot is *coherent*: `hits + misses == requests()` always holds,
+/// even when taken from a [`ShardedPlanCache`] under concurrent traffic
+/// (counters there are atomics, but snapshots are validated — a torn
+/// read is never returned).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups that reused a cached plan.
@@ -153,16 +160,25 @@ pub struct CacheStats {
     pub len: usize,
     /// Capacity bound.
     pub capacity: usize,
+    /// Counted lookups (`hits + misses`); kept as its own tracked counter
+    /// so concurrent snapshots can be *validated* against it rather than
+    /// recomputed from possibly-torn parts.
+    requests: u64,
 }
 
 impl CacheStats {
+    /// Counted lookups. Failed plannings count in neither bucket, so this
+    /// equals `hits + misses` in every coherent snapshot.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
     /// Hits per lookup (0.0 when no lookups happened).
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
+        if self.requests == 0 {
             return 0.0;
         }
-        self.hits as f64 / total as f64
+        self.hits as f64 / self.requests as f64
     }
 }
 
@@ -170,10 +186,11 @@ impl fmt::Display for CacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} hits / {} misses / {} evictions ({}/{} cached, {:.0}% hit rate)",
+            "{} hits / {} misses / {} evictions over {} requests ({}/{} cached, {:.0}% hit rate)",
             self.hits,
             self.misses,
             self.evictions,
+            self.requests,
             self.len,
             self.capacity,
             self.hit_rate() * 100.0
@@ -200,6 +217,7 @@ pub struct PlanCache {
     hits: u64,
     misses: u64,
     evictions: u64,
+    requests: u64,
 }
 
 impl PlanCache {
@@ -212,6 +230,7 @@ impl PlanCache {
             hits: 0,
             misses: 0,
             evictions: 0,
+            requests: 0,
         }
     }
 
@@ -236,10 +255,12 @@ impl PlanCache {
         if let Some(e) = self.entries.get_mut(&key) {
             e.last_used = tick;
             self.hits += 1;
+            self.requests += 1;
             return Ok(Arc::clone(&e.plan));
         }
         let plan: Arc<dyn Plan> = Arc::from(backend.plan(problem, schedule)?);
         self.misses += 1;
+        self.requests += 1;
         self.insert_entry(key, Arc::clone(&plan));
         Ok(plan)
     }
@@ -253,6 +274,7 @@ impl PlanCache {
         let e = self.entries.get_mut(key)?;
         e.last_used = tick;
         self.hits += 1;
+        self.requests += 1;
         Some(Arc::clone(&e.plan))
     }
 
@@ -270,6 +292,7 @@ impl PlanCache {
     /// never serialize on each other's lowering.
     pub fn insert_planned(&mut self, key: PlanKey, plan: Arc<dyn Plan>) {
         self.misses += 1;
+        self.requests += 1;
         self.insert(key, plan);
     }
 
@@ -303,6 +326,7 @@ impl PlanCache {
             evictions: self.evictions,
             len: self.entries.len(),
             capacity: self.capacity,
+            requests: self.requests,
         }
     }
 
@@ -333,6 +357,322 @@ impl fmt::Debug for PlanCache {
         f.debug_struct("PlanCache")
             .field("stats", &self.stats())
             .finish()
+    }
+}
+
+/// One in-flight planning: the leader publishes its result here and
+/// followers block on the condvar instead of re-running `Backend::plan`.
+struct Flight {
+    result: Mutex<Option<Result<Arc<dyn Plan>, BackendError>>>,
+    ready: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, result: Result<Arc<dyn Plan>, BackendError>) {
+        let mut slot = self.result.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(result);
+        }
+        drop(slot);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<Arc<dyn Plan>, BackendError> {
+        let mut slot = self.result.lock().expect("poisoned flight slot");
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self.ready.wait(slot).expect("poisoned flight slot");
+        }
+    }
+}
+
+struct Shard {
+    lru: PlanCache,
+    inflight: HashMap<PlanKey, Arc<Flight>>,
+}
+
+/// A concurrent, sharded front of [`PlanCache`] for serving traffic.
+///
+/// Keys land on one of N shards by [`PlanKey::digest`]; each shard is an
+/// independent bounded-LRU [`PlanCache`] behind its own mutex, so
+/// lookups of unrelated keys never contend. Global counters are atomics
+/// but every update happens while a shard lock is held, which makes a
+/// *coherent* snapshot possible (see [`ShardedPlanCache::stats`]).
+///
+/// # Single-flight
+///
+/// A miss stampede — many threads asking for the same cold key — runs
+/// [`Backend::plan`] exactly once: the first thread in (the *leader*)
+/// registers an in-flight entry and plans **outside** the shard lock;
+/// everyone else arriving before the plan lands waits on that entry and
+/// receives the shared `Arc<dyn Plan>` (or the leader's error, cloned).
+/// The leader's lookup counts the one miss; followers count hits, so
+/// after a cold stampede `misses` equals the number of *distinct* keys
+/// requested, regardless of thread count.
+pub struct ShardedPlanCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    requests: AtomicU64,
+    len: AtomicU64,
+    /// Bumped (under a shard lock) after every counter update; lets
+    /// `stats` detect a snapshot raced by a concurrent update.
+    version: AtomicU64,
+    per_shard_capacity: usize,
+}
+
+impl ShardedPlanCache {
+    /// A cache of `shards` independent LRU shards (minimum 1) holding at
+    /// most `capacity` plans in total. The per-shard bound is
+    /// `ceil(capacity / shards)`, so the enforced total —
+    /// [`CacheStats::capacity`] — is `shards * ceil(capacity / shards)`,
+    /// which may round up slightly from the requested figure.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard_capacity = capacity.max(1).div_ceil(shards);
+        ShardedPlanCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        lru: PlanCache::new(per_shard_capacity),
+                        inflight: HashMap::new(),
+                    })
+                })
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            len: AtomicU64::new(0),
+            version: AtomicU64::new(0),
+            per_shard_capacity,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total capacity actually enforced (`shards * per-shard bound`).
+    pub fn capacity(&self) -> usize {
+        self.per_shard_capacity * self.shards.len()
+    }
+
+    fn shard_of(&self, key: &PlanKey) -> &Mutex<Shard> {
+        &self.shards[(key.digest() % self.shards.len() as u64) as usize]
+    }
+
+    /// Records counter deltas. Callers must hold the owning shard's lock
+    /// — that discipline is what makes the lock-all fallback in `stats`
+    /// a true quiescent point.
+    fn record(&self, hits: u64, misses: u64, evictions: u64, len_delta: i64) {
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(misses, Ordering::Relaxed);
+        self.evictions.fetch_add(evictions, Ordering::Relaxed);
+        self.requests.fetch_add(hits + misses, Ordering::Relaxed);
+        if len_delta >= 0 {
+            self.len.fetch_add(len_delta as u64, Ordering::Relaxed);
+        } else {
+            self.len
+                .fetch_sub(len_delta.unsigned_abs(), Ordering::Relaxed);
+        }
+        self.version.fetch_add(1, Ordering::Release);
+    }
+
+    /// The plan for (backend, problem, schedule): cached if present,
+    /// planned once otherwise — even under a stampede (see the type-level
+    /// docs). Lock-hold discipline matches
+    /// [`PlanCache::get`]/[`PlanCache::insert_planned`]: the shard lock
+    /// covers only lookup and bookkeeping, never `Backend::plan`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Backend::plan`] errors (followers of a failed flight
+    /// receive a clone). Nothing is inserted and no counter moves, same
+    /// as [`PlanCache::get_or_plan`].
+    pub fn get_or_plan(
+        &self,
+        backend: &dyn Backend,
+        problem: &Problem,
+        schedule: &Schedule,
+    ) -> Result<Arc<dyn Plan>, BackendError> {
+        let key = PlanKey::new(backend, problem, schedule);
+        self.get_or_plan_keyed(&key, || backend.plan(problem, schedule).map(Arc::from))
+    }
+
+    /// [`ShardedPlanCache::get_or_plan`] with a caller-computed key and
+    /// planning closure — the serving engine's entry point, where the key
+    /// is computed once at admission and reused across a batch.
+    pub fn get_or_plan_keyed(
+        &self,
+        key: &PlanKey,
+        plan: impl FnOnce() -> Result<Arc<dyn Plan>, BackendError>,
+    ) -> Result<Arc<dyn Plan>, BackendError> {
+        let shard = self.shard_of(key);
+        let flight = {
+            let mut s = shard.lock().expect("poisoned cache shard");
+            if let Some(found) = s.lru.get(key) {
+                self.record(1, 0, 0, 0);
+                return Ok(found);
+            }
+            match s.inflight.get(key) {
+                Some(flight) => Arc::clone(flight), // follower: wait below
+                None => {
+                    // Leader: register the flight, then plan with the
+                    // shard unlocked so other keys keep flowing.
+                    let flight = Arc::new(Flight::new());
+                    s.inflight.insert(key.clone(), Arc::clone(&flight));
+                    drop(s);
+                    let mut guard = FlightGuard {
+                        cache: self,
+                        shard,
+                        key,
+                        flight: &flight,
+                        landed: false,
+                    };
+                    let result: Result<Arc<dyn Plan>, BackendError> = plan();
+                    guard.land(result.clone());
+                    return result;
+                }
+            }
+        };
+        let result = flight.wait()?;
+        // The flight succeeded; this lookup is a hit on the shared plan.
+        let _s = shard.lock().expect("poisoned cache shard");
+        self.record(1, 0, 0, 0);
+        Ok(result)
+    }
+
+    /// A coherent snapshot of the counters: `hits + misses ==
+    /// requests()`, always. Atomics are read optimistically and validated
+    /// against the version counter (retrying on a detected race); under
+    /// pathological contention it falls back to locking every shard,
+    /// which quiesces updates entirely.
+    pub fn stats(&self) -> CacheStats {
+        for _ in 0..64 {
+            let v1 = self.version.load(Ordering::Acquire);
+            let snapshot = CacheStats {
+                hits: self.hits.load(Ordering::Relaxed),
+                misses: self.misses.load(Ordering::Relaxed),
+                evictions: self.evictions.load(Ordering::Relaxed),
+                len: self.len.load(Ordering::Relaxed) as usize,
+                capacity: self.capacity(),
+                requests: self.requests.load(Ordering::Relaxed),
+            };
+            let v2 = self.version.load(Ordering::Acquire);
+            if v1 == v2 && snapshot.hits + snapshot.misses == snapshot.requests {
+                return snapshot;
+            }
+        }
+        // Quiesce: counter updates only happen under shard locks, so
+        // holding all of them makes the atomics momentarily stable.
+        let _guards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("poisoned cache shard"))
+            .collect();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len: self.len.load(Ordering::Relaxed) as usize,
+            capacity: self.capacity(),
+            requests: self.requests.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Attaches a coherent stats snapshot to a report ([`Report::cache`]).
+    pub fn annotate(&self, report: &mut Report) {
+        report.cache = Some(self.stats());
+    }
+
+    /// Plans currently cached across all shards.
+    pub fn len(&self) -> usize {
+        self.stats().len
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached plan (counters keep accumulating). In-flight
+    /// plannings are unaffected and will insert on landing.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut s = shard.lock().expect("poisoned cache shard");
+            let dropped = s.lru.len() as i64;
+            s.lru.clear();
+            self.record(0, 0, 0, -dropped);
+        }
+    }
+}
+
+impl fmt::Debug for ShardedPlanCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedPlanCache")
+            .field("shards", &self.shards.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Publishes the leader's planning result exactly once — including when
+/// the planning closure panics, so followers see an error instead of
+/// blocking forever on a flight nobody will land.
+struct FlightGuard<'a> {
+    cache: &'a ShardedPlanCache,
+    shard: &'a Mutex<Shard>,
+    key: &'a PlanKey,
+    flight: &'a Arc<Flight>,
+    landed: bool,
+}
+
+impl FlightGuard<'_> {
+    fn land(&mut self, result: Result<Arc<dyn Plan>, BackendError>) {
+        self.landed = true;
+        let mut s = self.shard.lock().expect("poisoned cache shard");
+        s.inflight.remove(self.key);
+        if let Ok(plan) = &result {
+            let before = s.lru.stats();
+            s.lru.insert_planned(self.key.clone(), Arc::clone(plan));
+            let after = s.lru.stats();
+            self.cache.record(
+                0,
+                1,
+                after.evictions - before.evictions,
+                after.len as i64 - before.len as i64,
+            );
+        }
+        drop(s);
+        self.flight.publish(result);
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.landed {
+            return;
+        }
+        // The planning closure panicked. Unregister the flight and fail
+        // the followers; counters stay untouched, as for any failed plan.
+        if let Ok(mut s) = self.shard.lock() {
+            s.inflight.remove(self.key);
+        }
+        self.flight.publish(Err(BackendError::Backend(
+            "planning panicked mid-flight".to_string(),
+        )));
     }
 }
 
@@ -487,5 +827,150 @@ mod tests {
         assert!(cache.get(&PlanKey::new(&backend, &p, &s8)).is_none());
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn requests_counts_hits_plus_misses_never_failures() {
+        let backend = RuntimeBackend::model();
+        let mut cache = PlanCache::new(4);
+        let p = problem(8);
+        let s = Schedule::summa(2, 2, 4);
+        cache.get_or_plan(&backend, &p, &s).unwrap(); // miss
+        cache.get_or_plan(&backend, &p, &s).unwrap(); // hit
+        cache.get(&PlanKey::new(&backend, &p, &s)).unwrap(); // hit
+        let machine = DistalMachine::flat(Grid::grid2(2, 2), ProcKind::Cpu);
+        let broken = Problem::new(MachineSpec::small(2), machine);
+        assert!(cache.get_or_plan(&backend, &broken, &s).is_err());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.requests()), (2, 1, 3));
+        assert_eq!(stats.hits + stats.misses, stats.requests());
+    }
+
+    #[test]
+    fn sharded_stampede_one_key_plans_exactly_once() {
+        use std::sync::Barrier;
+        const THREADS: usize = 16;
+        let cache = ShardedPlanCache::new(8, 4);
+        let backend = RuntimeBackend::functional();
+        let p = problem(8);
+        let s = Schedule::summa(2, 2, 4);
+        let barrier = Barrier::new(THREADS);
+        // `compile_count` is thread-local: summing each thread's delta
+        // across the stampede counts every lowering wherever it ran.
+        let lowered: u64 = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let before = crate::lower::compile_count();
+                        barrier.wait();
+                        let plan = cache.get_or_plan(&backend, &p, &s).unwrap();
+                        assert_eq!(plan.backend(), "runtime");
+                        crate::lower::compile_count() - before
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(lowered, 1, "single-flight must lower exactly once");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "misses == distinct keys");
+        assert_eq!(stats.hits, THREADS as u64 - 1);
+        assert_eq!(stats.requests(), THREADS as u64);
+        assert_eq!(stats.hits + stats.misses, stats.requests());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn sharded_eviction_stays_bounded_under_concurrent_insert() {
+        let cache = ShardedPlanCache::new(4, 2);
+        let backend = RuntimeBackend::model();
+        let p = problem(16);
+        // 12 distinct keys (chunk sizes) racing into a 2-shard cache that
+        // holds 4 plans total.
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = &cache;
+                let backend = &backend;
+                let p = &p;
+                scope.spawn(move || {
+                    for chunk in 1..=12 {
+                        let s = Schedule::summa(2, 2, chunk);
+                        cache.get_or_plan(backend, p, &s).unwrap();
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert!(stats.len <= cache.capacity());
+        assert_eq!(stats.len, cache.len());
+        assert_eq!(stats.hits + stats.misses, stats.requests());
+        assert_eq!(stats.requests(), 48);
+        // Every miss either still sits in the cache or was evicted.
+        assert_eq!(stats.misses, stats.evictions + stats.len as u64);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().evictions, stats.evictions);
+    }
+
+    #[test]
+    fn sharded_failed_plans_fail_followers_and_count_nothing() {
+        use std::sync::Barrier;
+        const THREADS: usize = 8;
+        let cache = ShardedPlanCache::new(4, 2);
+        let backend = RuntimeBackend::functional();
+        let machine = DistalMachine::flat(Grid::grid2(2, 2), ProcKind::Cpu);
+        let broken = Problem::new(MachineSpec::small(2), machine);
+        let s = Schedule::summa(2, 2, 4);
+        let barrier = Barrier::new(THREADS);
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let cache = &cache;
+                let backend = &backend;
+                let broken = &broken;
+                let s = &s;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    assert!(cache.get_or_plan(backend, broken, s).is_err());
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.requests()), (0, 0, 0));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn sharded_stats_snapshots_stay_coherent_under_load() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let cache = ShardedPlanCache::new(4, 4);
+        let backend = RuntimeBackend::model();
+        let p = problem(8);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for t in 0..2 {
+                let cache = &cache;
+                let backend = &backend;
+                let p = &p;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut chunk = 1 + t;
+                    while !stop.load(Ordering::Relaxed) {
+                        let s = Schedule::summa(2, 2, chunk);
+                        cache.get_or_plan(backend, p, &s).unwrap();
+                        chunk = chunk % 8 + 1;
+                    }
+                });
+            }
+            for _ in 0..200 {
+                let stats = cache.stats();
+                assert_eq!(
+                    stats.hits + stats.misses,
+                    stats.requests(),
+                    "torn stats snapshot: {stats:?}"
+                );
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
     }
 }

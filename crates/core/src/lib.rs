@@ -85,7 +85,7 @@ pub use backend::Backend as Target;
 pub use backend::{
     Backend, BackendError, RuntimeArtifact, RuntimeBackend, RuntimeInstance, RuntimePlan,
 };
-pub use cache::{CacheStats, PlanCache, PlanKey};
+pub use cache::{CacheStats, PlanCache, PlanKey, ShardedPlanCache};
 pub use diagnostic::{verified_clean, Diagnostic, DiagnosticKind, Severity};
 pub use error::CompileError;
 pub use lower::{compile, CompileOptions, CompiledKernel};

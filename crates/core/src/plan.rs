@@ -234,7 +234,12 @@ pub trait Plan: Send + Sync {
 
 /// A plan bound to data: the common executable surface every backend
 /// exposes (previously named `Artifact`, which remains as an alias).
-pub trait Instance {
+///
+/// Instances are `Send` so a serving worker can bind on one thread and
+/// hand the instance elsewhere; they are deliberately *not* required to
+/// be `Sync` — each request owns its instance exclusively, and all
+/// sharing happens one level up at the `Arc<dyn Plan>`.
+pub trait Instance: Send {
     /// The producing backend's name.
     fn backend(&self) -> &str;
 
@@ -380,6 +385,18 @@ mod tests {
             .filter(|v| v.to_bits() != 0)
             .count() as u64;
         assert_eq!(nnz, stored);
+    }
+
+    #[test]
+    fn plans_share_across_threads_and_instances_move() {
+        // The serving engine's whole contract, statically: one
+        // `Arc<dyn Plan>` is shared by every worker, and each bound
+        // `Instance` moves to (and is owned by) exactly one request.
+        fn assert_send<T: Send + ?Sized>() {}
+        fn assert_sync<T: Sync + ?Sized>() {}
+        assert_send::<std::sync::Arc<dyn Plan>>();
+        assert_sync::<std::sync::Arc<dyn Plan>>();
+        assert_send::<Box<dyn Instance>>();
     }
 
     #[test]

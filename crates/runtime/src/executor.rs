@@ -147,26 +147,66 @@ impl ParallelExecutor {
     }
 }
 
+std::thread_local! {
+    /// Per-thread cap on pool sizes resolved by [`host_worker_count`]
+    /// (0 = uncapped). Scoped via [`with_thread_budget`].
+    static THREAD_BUDGET: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// The calling thread's worker budget (0 = uncapped). See
+/// [`with_thread_budget`].
+pub fn thread_budget() -> usize {
+    THREAD_BUDGET.with(|b| b.get())
+}
+
+/// Runs `f` with every pool sized on this thread capped at `budget`
+/// workers (minimum 1), restoring the previous budget afterwards — even
+/// on panic.
+///
+/// This is the oversubscription fix for nested parallelism: a serving
+/// engine running W worker threads gives each a budget of
+/// `host cores / W`, so the [`ParallelExecutor`] and threaded SPMD rank
+/// pools those workers spin up while binding plans share the host
+/// instead of multiplying against it (8 serving threads × p = 16 ranks
+/// would otherwise mean 128 OS threads). The budget caps *every*
+/// resolution on the thread, including explicit requests and
+/// `DISTAL_THREADS`, because it is set by the layer that actually knows
+/// how much of the host this thread owns.
+pub fn with_thread_budget<R>(budget: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_BUDGET.with(|b| b.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_BUDGET.with(|b| b.replace(budget.max(1))));
+    f()
+}
+
 /// Resolves a requested thread count against the host: an explicit
 /// `requested > 0` wins, then a positive `DISTAL_THREADS` environment
-/// variable, then one worker per available core. Shared by the
-/// work-stealing [`ParallelExecutor`] and the SPMD backend's threaded
-/// rank transport, so `DISTAL_THREADS` caps both kinds of pools.
+/// variable, then one worker per available core — all clamped to the
+/// calling thread's [`with_thread_budget`] scope, when one is active.
+/// Shared by the work-stealing [`ParallelExecutor`] and the SPMD
+/// backend's threaded rank transport, so `DISTAL_THREADS` and serving
+/// budgets cap both kinds of pools.
 pub fn host_worker_count(requested: usize) -> usize {
+    let budget = thread_budget();
+    let cap = |n: usize| if budget > 0 { n.min(budget) } else { n };
     if requested > 0 {
-        return requested;
+        return cap(requested);
     }
     if let Some(n) = std::env::var("DISTAL_THREADS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
     {
         if n > 0 {
-            return n;
+            return cap(n);
         }
     }
-    std::thread::available_parallelism()
+    cap(std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1)
+        .unwrap_or(1))
 }
 
 impl Executor for ParallelExecutor {
@@ -609,6 +649,32 @@ mod tests {
         assert_eq!(serial_stats.copies, parallel_stats.copies);
         assert_eq!(serial_stats.makespan_s, parallel_stats.makespan_s);
         assert_eq!(serial_stats.bytes_by_class, parallel_stats.bytes_by_class);
+    }
+
+    #[test]
+    fn thread_budget_caps_every_resolution() {
+        // No budget: explicit requests resolve as asked.
+        assert_eq!(host_worker_count(8), 8);
+        with_thread_budget(2, || {
+            // Explicit requests, env fallbacks, and host-core defaults are
+            // all clamped inside the scope...
+            assert_eq!(host_worker_count(8), 2);
+            assert!(host_worker_count(0) <= 2);
+            assert_eq!(ParallelExecutor::new(16).worker_count(), 2);
+            assert_eq!(thread_budget(), 2);
+            // ...and nested scopes narrow but never widen past their own.
+            with_thread_budget(1, || assert_eq!(host_worker_count(8), 1));
+            assert_eq!(host_worker_count(8), 2);
+        });
+        // The budget is scoped: gone after the closure returns.
+        assert_eq!(thread_budget(), 0);
+        assert_eq!(host_worker_count(8), 8);
+        // A budget on this thread does not leak to others.
+        with_thread_budget(1, || {
+            std::thread::scope(|s| {
+                s.spawn(|| assert_eq!(host_worker_count(4), 4));
+            });
+        });
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! | [`baselines`] | `distal-baselines` | ScaLAPACK / CTF / COSMA re-implementations |
 //! | [`spmd`] | `distal-spmd` | static SPMD/MPI-style backend with compile-time communication (§8) |
 //! | [`autosched`] | `distal-autosched` | automatic schedule + format selection (§9) |
+//! | [`serve`] | `distal-serve` | concurrent serving engine: sharded plan cache + batched admission |
 //!
 //! # Quickstart (Figure 2)
 //!
@@ -63,6 +64,7 @@ pub use distal_format as format;
 pub use distal_ir as ir;
 pub use distal_machine as machine;
 pub use distal_runtime as runtime;
+pub use distal_serve as serve;
 pub use distal_sparse as sparse;
 pub use distal_spmd as spmd;
 
@@ -74,7 +76,7 @@ pub mod prelude {
     pub use distal_core::{
         Artifact, Backend, BackendError, Bindings, CacheStats, CompileError, CompiledKernel,
         DistalMachine, Instance, LeafKind, Plan, PlanCache, PlanKey, Problem, Provenance, Report,
-        RuntimeBackend, Schedule, Session, TensorInit, TensorSpec,
+        RuntimeBackend, Schedule, Session, ShardedPlanCache, TensorInit, TensorSpec,
     };
     pub use distal_format::{Format, LevelFormat, TensorDistribution};
     pub use distal_ir::expr::Assignment;
@@ -84,6 +86,7 @@ pub mod prelude {
     pub use distal_runtime::{
         Executor, ExecutorKind, Mode, ParallelExecutor, RunStats, Runtime, SerialExecutor,
     };
+    pub use distal_serve::{ServeConfig, ServeRequest, ServeResponse, ServingEngine};
     pub use distal_sparse::SparseBuffer;
     pub use distal_spmd::{AlphaBeta, CostBackend, SpmdBackend, ThreadedConfig, Transport};
 }

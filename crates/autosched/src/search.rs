@@ -11,7 +11,8 @@
 
 use crate::space::{enumerate_candidates, AutoschedError, Candidate, SpaceOptions};
 use distal_core::{
-    Backend, CacheStats, DistalMachine, PlanCache, Problem, RuntimeBackend, TensorSpec,
+    Backend, CacheStats, DistalMachine, Lint, LintConfig, PlanCache, Problem, RuntimeBackend,
+    TensorSpec,
 };
 use distal_machine::spec::{MachineSpec, MemKind, ProcKind};
 use std::collections::BTreeMap;
@@ -30,6 +31,13 @@ pub struct SearchConfig {
     /// Score placement traffic too (off by default: the paper's framing is
     /// that data is already distributed and computation shapes to it).
     pub include_placement: bool,
+    /// Schedule-admission lints (`distal_core::lint`) used as a pre-cost
+    /// pruner: candidates with denied findings are rejected before any
+    /// lowering or cost modelling is spent on them. The stock configs
+    /// additionally deny [`Lint::LoadImbalance`] — an imbalanced (or
+    /// empty-part) candidate never beats its balanced sibling from the
+    /// same enumeration, so costing it is pure waste.
+    pub lint: LintConfig,
 }
 
 impl SearchConfig {
@@ -40,6 +48,7 @@ impl SearchConfig {
             proc_kind: ProcKind::Cpu,
             space: SpaceOptions::new(MemKind::Sys),
             include_placement: false,
+            lint: LintConfig::new().deny(Lint::LoadImbalance),
         }
     }
 
@@ -51,6 +60,7 @@ impl SearchConfig {
             proc_kind: ProcKind::Gpu,
             space: SpaceOptions::new(MemKind::Fb),
             include_placement: false,
+            lint: LintConfig::new().deny(Lint::LoadImbalance),
         }
     }
 
@@ -75,6 +85,9 @@ pub struct Evaluation {
     /// `None` when the candidate compiled and ran; `Some(reason)` when it
     /// was rejected (out of memory, oversized grid, failing schedule).
     pub infeasible: Option<String>,
+    /// True when the admission linter's legality passes rejected the
+    /// candidate *before* costing — no lowering or model time was spent.
+    pub pruned: bool,
 }
 
 impl Evaluation {
@@ -115,6 +128,12 @@ impl SearchResult {
     /// The evaluation of the named candidate.
     pub fn named(&self, name: &str) -> Option<&Evaluation> {
         self.evaluations.iter().find(|e| e.candidate.name == name)
+    }
+
+    /// How many candidates the admission linter pruned before costing
+    /// (the `search` stat the benches report and CI gates).
+    pub fn pruned_candidates(&self) -> usize {
+        self.evaluations.iter().filter(|e| e.pruned).count()
     }
 }
 
@@ -248,6 +267,7 @@ impl AutoScheduler {
             makespan_s: f64::INFINITY,
             comm_bytes: 0,
             infeasible: Some(reason),
+            pruned: false,
         };
         let machine = DistalMachine::flat(candidate.grid.clone(), self.config.proc_kind);
         let mut problem = Problem::new(self.config.spec.clone(), machine);
@@ -265,6 +285,18 @@ impl AutoScheduler {
             if let Err(e) = problem.fill(name, 0.0) {
                 return infeasible(candidate, e.to_string());
             }
+        }
+        // Pre-cost pruning: run the admission linter's passes over the
+        // candidate. A denied finding means the schedule cannot lower (or
+        // would execute wrongly), so neither a lowering nor a cost-model
+        // evaluation is spent on it.
+        let lint = distal_core::lint_schedule(&problem, &candidate.schedule, &self.config.lint);
+        if let Some(first) = lint.iter().find(|d| d.is_error()) {
+            let reason = format!("lint: {first}");
+            return Evaluation {
+                pruned: true,
+                ..infeasible(candidate, reason)
+            };
         }
         // Look up under the lock, but plan *outside* it: a cache miss
         // must not serialize concurrent scorers on this lowering.
@@ -307,6 +339,7 @@ impl AutoScheduler {
             makespan_s: makespan,
             comm_bytes: compute.bytes_moved,
             infeasible: None,
+            pruned: false,
         }
     }
 }
@@ -432,6 +465,39 @@ mod tests {
             assert_eq!(a.makespan_s, b.makespan_s);
             assert_eq!(a.comm_bytes, b.comm_bytes);
         }
+    }
+
+    #[test]
+    fn illegal_candidates_are_pruned_before_costing() {
+        // Exhaustive 8-way grids over extent-4 loops necessarily contain divides
+        // with more parts than iterations: the admission linter rejects
+        // those before any planning happens.
+        let mut config = SearchConfig::cpu(MachineSpec::small(4));
+        config.space.exhaustive_grids = true;
+        let scheduler = AutoScheduler::new(config);
+        let result = scheduler
+            .search("A(i,j) = B(i,k) * C(k,j)", &matmul_dims(4))
+            .unwrap();
+        let pruned = result.pruned_candidates();
+        assert!(
+            pruned >= 1,
+            "an 8-way grid dimension over an extent-4 loop must be pruned"
+        );
+        for e in result.evaluations.iter().filter(|e| e.pruned) {
+            assert!(!e.feasible());
+            let reason = e.infeasible.as_deref().unwrap();
+            assert!(reason.starts_with("lint: "), "unexpected reason {reason:?}");
+        }
+        // Zero lowering work on pruned candidates: they never even reach
+        // the plan cache, so cache traffic is bounded by the survivors.
+        let stats = scheduler.cache_stats();
+        let survivors = result.evaluations.len() - pruned;
+        assert!(
+            (stats.hits + stats.misses) as usize <= survivors,
+            "pruned candidates consulted the plan cache"
+        );
+        // The legal candidates are unaffected by the pruner.
+        assert!(result.best().expect("legal candidates remain").feasible());
     }
 
     #[test]

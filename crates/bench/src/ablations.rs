@@ -209,6 +209,47 @@ pub fn ablate_autoschedule(nodes: usize, n: i64) -> Vec<Ablation> {
     out
 }
 
+/// Admission-pruning statistics of one auto-schedule search (the
+/// `--assert-pruning` CI gate).
+#[derive(Clone, Copy, Debug)]
+pub struct PruningStats {
+    /// Candidates the search enumerated.
+    pub candidates: usize,
+    /// Candidates the admission linter rejected *before* costing — no
+    /// lowering or cost-model time was spent on them.
+    pub pruned_candidates: usize,
+    /// Schedule lowerings the whole search performed (for the gate that
+    /// pruned candidates cost zero lowerings: this must be bounded by the
+    /// surviving candidate count).
+    pub lowerings: u64,
+}
+
+/// Runs the full-space search over *exhaustive* grid factorizations at a
+/// deliberately small extent, so the space contains over-partitioned
+/// candidates (e.g. an 8-way grid dimension over a 4-iteration loop) that
+/// the admission linter must prune before any lowering is spent on them.
+pub fn autoschedule_pruning(nodes: usize, n: i64) -> PruningStats {
+    use distal_autosched::{AutoScheduler, SearchConfig};
+    use std::collections::BTreeMap;
+
+    let mut config = SearchConfig::cpu(distal_machine::spec::MachineSpec::small(nodes));
+    config.space.exhaustive_grids = true;
+    let scheduler = AutoScheduler::new(config);
+    let dims: BTreeMap<String, Vec<i64>> = ["A", "B", "C"]
+        .iter()
+        .map(|t| (t.to_string(), vec![n, n]))
+        .collect();
+    let before = distal_core::lower::compile_count();
+    let result = scheduler
+        .search("A(i,j) = B(i,k) * C(k,j)", &dims)
+        .expect("search");
+    PruningStats {
+        candidates: result.evaluations.len(),
+        pruned_candidates: result.pruned_candidates(),
+        lowerings: distal_core::lower::compile_count() - before,
+    }
+}
+
 /// Renders ablation rows.
 pub fn render(title: &str, rows: &[Ablation]) -> String {
     let mut out = String::new();
@@ -279,6 +320,16 @@ mod tests {
             .map(|r| r.makespan_s)
             .fold(f64::INFINITY, f64::min);
         assert!(auto <= best_hand * 1.05, "auto {auto} vs hand {best_hand}");
+    }
+
+    #[test]
+    fn exhaustive_space_contains_pruned_candidates() {
+        // Lowering counters are process-global and other tests lower
+        // concurrently, so the zero-lowerings-on-pruned bound is gated in
+        // the single-threaded `ablations` binary, not here.
+        let stats = autoschedule_pruning(4, 4);
+        assert!(stats.pruned_candidates >= 1, "{stats:?}");
+        assert!(stats.candidates > stats.pruned_candidates, "{stats:?}");
     }
 
     #[test]

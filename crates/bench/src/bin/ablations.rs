@@ -1,14 +1,36 @@
 //! Runs the design-choice ablations (rotate, communicate granularity,
 //! communication/computation overlap, data layout, auto-scheduling).
 //!
-//! Usage: `cargo run --release -p distal-bench --bin ablations [nodes] [n]`
+//! Usage: `cargo run --release -p distal-bench --bin ablations
+//! [--assert-pruning] [nodes] [n]`
+//!
+//! `--assert-pruning` is the admission-pruner CI gate: a full-space
+//! search over exhaustive grid factorizations at a small extent must
+//! prune at least one illegal candidate before costing, and the pruned
+//! candidates must cost zero lowerings (total lowerings bounded by the
+//! surviving candidate count).
 
 use distal_bench::ablations;
 
+fn fail(msg: &str) -> ! {
+    eprintln!("ablations gate FAILED: {msg}");
+    std::process::exit(3);
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let nodes: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
-    let n: i64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(40000);
+    let mut assert_pruning = false;
+    let mut nums: Vec<i64> = Vec::new();
+    for a in std::env::args().skip(1) {
+        if a == "--assert-pruning" {
+            assert_pruning = true;
+        } else if let Ok(v) = a.parse() {
+            nums.push(v);
+        } else {
+            eprintln!("ignoring unrecognized argument '{a}'");
+        }
+    }
+    let nodes: usize = nums.first().map(|v| *v as usize).unwrap_or(16);
+    let n: i64 = nums.get(1).copied().unwrap_or(40000);
     print!(
         "{}",
         ablations::render(
@@ -48,4 +70,33 @@ fn main() {
             &ablations::ablate_autoschedule(nodes, n.min(16384))
         )
     );
+
+    // The pruning stats run on a fixed small configuration whose
+    // exhaustive grid space provably contains illegal candidates (8-way
+    // grid dimensions over 4-iteration loops).
+    let stats = ablations::autoschedule_pruning(4, 4);
+    println!();
+    println!(
+        "auto-scheduling admission pruning: {} of {} candidates pruned \
+         before costing ({} lowerings spent)",
+        stats.pruned_candidates, stats.candidates, stats.lowerings
+    );
+    if assert_pruning {
+        if stats.pruned_candidates == 0 {
+            fail("the exhaustive search space pruned no candidates");
+        }
+        let survivors = (stats.candidates - stats.pruned_candidates) as u64;
+        if stats.lowerings > survivors {
+            fail(&format!(
+                "{} lowerings for {survivors} surviving candidates — pruned \
+                 candidates must cost zero lowerings",
+                stats.lowerings
+            ));
+        }
+        println!(
+            "pruning gate passed: {} candidates pruned pre-cost, lowerings \
+             bounded by the {survivors} survivors",
+            stats.pruned_candidates
+        );
+    }
 }

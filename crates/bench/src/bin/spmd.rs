@@ -3,7 +3,7 @@
 //!
 //! Usage: `cargo run --release -p distal-bench --bin spmd
 //! [--assert-depth log|N] [--threads N] [--assert-parity]
-//! [--assert-verified] [gx gy n]`
+//! [--assert-verified] [--assert-lint-overhead] [gx gy n]`
 //! (defaults: 4 4 32, threads auto-sized to the host).
 //!
 //! `--assert-verified` is the static-analysis CI gate: every lowered
@@ -13,6 +13,12 @@
 //! (the toy plans CI lowers finish in ~1ms, where fixed per-pass costs
 //! dominate any ratio). The per-row timings land in `BENCH_spmd.json`
 //! as `plan_s` / `verify_s`.
+//!
+//! `--assert-lint-overhead` is the schedule-admission CI gate: the
+//! admission linter (`distal_core::lint`, run by every `Backend::plan`
+//! before lowering) must cost under 2% of the lowering wall time per
+//! row, with an absolute floor declaring sub-0.5ms lint passes free.
+//! The per-row timing lands in `BENCH_spmd.json` as `lint_s`.
 //!
 //! Every configuration is executed twice — once on the sequential VM
 //! (the oracle) and once on the rank-per-thread channel transport —
@@ -42,6 +48,7 @@ fn main() {
     let mut assert_depth: Option<Option<usize>> = None; // Some(None) = log
     let mut assert_parity = false;
     let mut assert_verified = false;
+    let mut assert_lint_overhead = false;
     let mut threads: usize = 0; // 0 = auto-size to the host
     let mut dims: Vec<i64> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -50,6 +57,8 @@ fn main() {
             assert_parity = true;
         } else if a == "--assert-verified" {
             assert_verified = true;
+        } else if a == "--assert-lint-overhead" {
+            assert_lint_overhead = true;
         } else if a == "--threads" {
             let v = args.next().unwrap_or_else(|| {
                 eprintln!("--threads requires an integer worker count");
@@ -149,6 +158,31 @@ fn main() {
         println!(
             "verification gate passed: all {} programs proved clean statically \
              within the 5% plan-time budget",
+            rows.len()
+        );
+    }
+    if assert_lint_overhead {
+        // Admission must stay effectively free next to lowering: under 2%
+        // of the plan wall time per row. Like the verifier gate, a small
+        // absolute floor keeps CI's ~1ms toy lowerings from turning fixed
+        // per-pass costs into a flaky ratio.
+        const LINT_FREE_S: f64 = 5e-4;
+        if let Some(r) = rows
+            .iter()
+            .find(|r| r.lint_s > LINT_FREE_S && r.lint_s > 0.02 * r.plan_s)
+        {
+            fail(&format!(
+                "admission lint of {} ({}) took {:.1}us against {:.1}us of lowering — \
+                 over the 2% plan-time budget",
+                r.algorithm,
+                r.lowering,
+                r.lint_s * 1e6,
+                r.plan_s * 1e6
+            ));
+        }
+        println!(
+            "lint overhead gate passed: admission cost under 2% of plan time \
+             on all {} rows",
             rows.len()
         );
     }

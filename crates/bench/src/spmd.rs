@@ -60,6 +60,10 @@ pub struct SpmdBenchRow {
     pub makespan_s: f64,
     /// Wall-clock seconds spent lowering the schedule to this program.
     pub plan_s: f64,
+    /// Wall-clock seconds the admission linter (`distal_core::lint`)
+    /// spent on the schedule — the `--assert-lint-overhead` gate holds
+    /// it under 2% of `plan_s`.
+    pub lint_s: f64,
     /// Wall-clock seconds the static verifier spent on this program —
     /// the `--assert-verified` gate holds it under 5% of `plan_s`.
     pub verify_s: f64,
@@ -105,6 +109,23 @@ pub fn lower_algorithm(
     n: i64,
     config: &CollectiveConfig,
 ) -> SpmdProgram {
+    lower_algorithm_timed(alg, p, n, config).0
+}
+
+/// [`lower_algorithm`], also timing the admission linter on the same
+/// `(problem, schedule)` (the `lint_s` column of the sweep). The linter
+/// must find no errors — these are the known-good Figure 9 schedules.
+///
+/// # Panics
+///
+/// Panics when the lowering fails or the linter rejects the schedule (a
+/// bench-harness bug, not a measurement).
+pub fn lower_algorithm_timed(
+    alg: MatmulAlgorithm,
+    p: i64,
+    n: i64,
+    config: &CollectiveConfig,
+) -> (SpmdProgram, f64) {
     let (problem, schedule) = matmul_problem_on(
         alg,
         MachineSpec::small(8),
@@ -115,7 +136,17 @@ pub fn lower_algorithm(
         (n / 4).max(1),
     )
     .unwrap_or_else(|e| panic!("{alg:?}: {e}"));
-    lower_problem(&problem, &schedule, config).unwrap_or_else(|e| panic!("{alg:?}: {e}"))
+    let lint_start = std::time::Instant::now();
+    let diagnostics =
+        distal_core::lint_schedule(&problem, &schedule, &distal_core::LintConfig::default());
+    let lint_s = lint_start.elapsed().as_secs_f64();
+    assert!(
+        !diagnostics.iter().any(|d| d.is_error()),
+        "{alg:?}: {diagnostics:?}"
+    );
+    let program =
+        lower_problem(&problem, &schedule, config).unwrap_or_else(|e| panic!("{alg:?}: {e}"));
+    (program, lint_s)
 }
 
 /// The shared inputs and oracle answer of one problem size (computed
@@ -148,7 +179,9 @@ impl OracleCase {
 /// execution against the oracle, then runs the same program on the
 /// threaded transport (`threads` pool workers, `0` = auto) for the
 /// measured wall-clock makespan and the sequential-vs-threaded parity
-/// bit. `plan_s` is the wall-clock lowering time the caller observed.
+/// bit. `plan_s` is the wall-clock lowering time the caller observed,
+/// `lint_s` the admission-lint time.
+#[allow(clippy::too_many_arguments)]
 pub fn measure(
     alg: MatmulAlgorithm,
     lowering: &str,
@@ -157,6 +190,7 @@ pub fn measure(
     case: &OracleCase,
     threads: usize,
     plan_s: f64,
+    lint_s: f64,
 ) -> SpmdBenchRow {
     let stats = program.stats();
     let verify_start = std::time::Instant::now();
@@ -210,6 +244,7 @@ pub fn measure(
         depth,
         makespan_s,
         plan_s,
+        lint_s,
         verify_s,
         statically_verified,
         verified,
@@ -254,7 +289,7 @@ pub fn spmd_bench_with_programs(
         ("ring", CollectiveConfig::rings()),
     ] {
         let plan_start = std::time::Instant::now();
-        let program = lower_algorithm(MatmulAlgorithm::Summa, p, n, &config);
+        let (program, lint_s) = lower_algorithm_timed(MatmulAlgorithm::Summa, p, n, &config);
         let plan_s = plan_start.elapsed().as_secs_f64();
         rows.push(measure(
             MatmulAlgorithm::Summa,
@@ -264,11 +299,13 @@ pub fn spmd_bench_with_programs(
             &case,
             threads,
             plan_s,
+            lint_s,
         ));
         programs.push(program);
     }
     let plan_start = std::time::Instant::now();
-    let cannon = lower_algorithm(MatmulAlgorithm::Cannon, p, n, &CollectiveConfig::trees());
+    let (cannon, lint_s) =
+        lower_algorithm_timed(MatmulAlgorithm::Cannon, p, n, &CollectiveConfig::trees());
     let plan_s = plan_start.elapsed().as_secs_f64();
     rows.push(measure(
         MatmulAlgorithm::Cannon,
@@ -278,6 +315,7 @@ pub fn spmd_bench_with_programs(
         &case,
         threads,
         plan_s,
+        lint_s,
     ));
     programs.push(cannon);
     (rows, programs)
@@ -301,7 +339,7 @@ pub fn render(rows: &[SpmdBenchRow]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<16} {:>6} {:>6} {:>7} {:>9} {:>10} {:>7} {:>6} {:>12} {:>11} {:>7} {:>10} {:>8} {:>9} {:>7}",
+        "{:<16} {:>6} {:>6} {:>7} {:>9} {:>10} {:>7} {:>6} {:>12} {:>11} {:>7} {:>10} {:>10} {:>8} {:>9} {:>7}",
         "algorithm",
         "mode",
         "n",
@@ -313,6 +351,7 @@ pub fn render(rows: &[SpmdBenchRow]) -> String {
         "modeled",
         "measured",
         "ratio",
+        "lint",
         "verify",
         "static",
         "oracle",
@@ -327,7 +366,7 @@ pub fn render(rows: &[SpmdBenchRow]) -> String {
             .join("x");
         let _ = writeln!(
             out,
-            "{:<16} {:>6} {:>6} {:>7} {:>9} {:>10} {:>6.0}% {:>6} {:>10.1}us {:>9.1}us {:>7.2} {:>8.1}us {:>8} {:>9} {:>7}",
+            "{:<16} {:>6} {:>6} {:>7} {:>9} {:>10} {:>6.0}% {:>6} {:>10.1}us {:>9.1}us {:>7.2} {:>8.1}us {:>8.1}us {:>8} {:>9} {:>7}",
             r.algorithm,
             r.lowering,
             r.n,
@@ -339,6 +378,7 @@ pub fn render(rows: &[SpmdBenchRow]) -> String {
             r.makespan_s * 1e6,
             r.measured_s * 1e6,
             r.model_ratio,
+            r.lint_s * 1e6,
             r.verify_s * 1e6,
             if r.statically_verified { "ok" } else { "REJECTED" },
             if r.verified { "ok" } else { "MISMATCH" },
@@ -361,7 +401,7 @@ pub fn to_json(rows: &[SpmdBenchRow]) -> String {
              \"grid\": {:?}, \
              \"messages\": {}, \"bytes\": {}, \"neighbor_fraction\": {:.4}, \
              \"collectives\": {}, \"depth\": {}, \"makespan_s\": {:.9}, \
-             \"plan_s\": {:.9}, \"verify_s\": {:.9}, \"statically_verified\": {}, \
+             \"plan_s\": {:.9}, \"lint_s\": {:.9}, \"verify_s\": {:.9}, \"statically_verified\": {}, \
              \"verified\": {}, \
              \"threads\": {}, \"measured_s\": {:.9}, \"model_ratio\": {:.4}, \
              \"parity\": {}}}{comma}",
@@ -377,6 +417,7 @@ pub fn to_json(rows: &[SpmdBenchRow]) -> String {
             r.depth,
             r.makespan_s,
             r.plan_s,
+            r.lint_s,
             r.verify_s,
             r.statically_verified,
             r.verified,
@@ -401,7 +442,9 @@ mod tests {
         assert_eq!(rows.len(), 4);
         assert!(rows.iter().all(|r| r.verified));
         assert!(rows.iter().all(|r| r.statically_verified));
-        assert!(rows.iter().all(|r| r.plan_s > 0.0 && r.verify_s > 0.0));
+        assert!(rows
+            .iter()
+            .all(|r| r.plan_s > 0.0 && r.lint_s > 0.0 && r.verify_s > 0.0));
         let naive = rows.iter().find(|r| r.lowering == "naive").unwrap();
         let tree = rows
             .iter()
@@ -418,6 +461,7 @@ mod tests {
         let rows = spmd_bench(2, 2, 8);
         let j = to_json(&rows);
         assert!(j.contains("\"lowering\": \"tree\""));
+        assert!(j.contains("\"lint_s\""));
         assert!(j.contains("\"verify_s\""));
         assert!(j.contains("\"statically_verified\": true"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());

@@ -48,6 +48,7 @@
 //! ```
 
 use crate::error::CompileError;
+use crate::lint::LintConfig;
 use crate::lower::{CompileOptions, CompiledKernel};
 use crate::plan::{init_nnz, Bindings, Instance, Plan};
 use crate::problem::Problem;
@@ -181,6 +182,9 @@ pub struct RuntimeBackend {
     pub executor: Option<ExecutorKind>,
     /// Compile options threaded into the lowering.
     pub options: CompileOptions,
+    /// Schedule-admission lint configuration (see [`crate::lint`]):
+    /// denied findings reject the plan, warned findings ride on it.
+    pub lint: LintConfig,
 }
 
 impl RuntimeBackend {
@@ -190,6 +194,7 @@ impl RuntimeBackend {
             mode: Mode::Functional,
             executor: None,
             options: CompileOptions::default(),
+            lint: LintConfig::default(),
         }
     }
 
@@ -199,6 +204,7 @@ impl RuntimeBackend {
             mode: Mode::Model,
             executor: None,
             options: CompileOptions::default(),
+            lint: LintConfig::default(),
         }
     }
 
@@ -213,6 +219,13 @@ impl RuntimeBackend {
     #[must_use]
     pub fn with_executor(mut self, kind: ExecutorKind) -> Self {
         self.executor = Some(kind);
+        self
+    }
+
+    /// Overrides the schedule-admission lint configuration.
+    #[must_use]
+    pub fn with_lints(mut self, lint: LintConfig) -> Self {
+        self.lint = lint;
         self
     }
 
@@ -244,8 +257,15 @@ impl Backend for RuntimeBackend {
     fn config_fingerprint(&self) -> String {
         // Mode decides functional vs model plans, the executor is baked
         // into bound sessions, and the options steer the lowering — all
-        // plan-relevant. Debug covers every field.
-        format!("{:?};{:?};{:?}", self.mode, self.executor, self.options)
+        // plan-relevant. The lint fingerprint keeps differently-configured
+        // admissions from aliasing in the plan cache.
+        format!(
+            "{:?};{:?};{:?};lint={}",
+            self.mode,
+            self.executor,
+            self.options,
+            self.lint.fingerprint()
+        )
     }
 
     fn plan(&self, problem: &Problem, schedule: &Schedule) -> Result<Box<dyn Plan>, BackendError> {
@@ -255,6 +275,9 @@ impl Backend for RuntimeBackend {
                 BackendError::Compile(CompileError::Expression("problem has no statement".into()))
             })?
             .clone();
+        // Schedule admission: denied findings reject the plan before any
+        // lowering; warned findings ride on the plan and its reports.
+        let diagnostics = crate::lint::admit(problem, schedule, &self.lint)?;
         let tensors = problem.tensors().clone();
         // A throwaway planning session: registers the tensors (allocating
         // the region ids the kernel's programs will reference) and runs
@@ -277,6 +300,7 @@ impl Backend for RuntimeBackend {
             tensors,
             regions,
             kernel: Arc::new(kernel),
+            diagnostics,
         }))
     }
 }
@@ -294,6 +318,8 @@ pub struct RuntimePlan {
     // Shared with every instance the plan binds — binding never copies
     // the lowered programs.
     kernel: Arc<CompiledKernel>,
+    // Admission warnings (denied findings never produce a plan).
+    diagnostics: Vec<crate::diagnostic::Diagnostic>,
 }
 
 impl std::fmt::Debug for RuntimePlan {
@@ -318,6 +344,10 @@ impl Plan for RuntimePlan {
 
     fn tensors(&self) -> &BTreeMap<String, TensorSpec> {
         &self.tensors
+    }
+
+    fn diagnostics(&self) -> &[crate::diagnostic::Diagnostic] {
+        &self.diagnostics
     }
 
     fn bind(&self, bindings: &Bindings) -> Result<Box<dyn Instance>, BackendError> {
@@ -363,6 +393,7 @@ impl Plan for RuntimePlan {
             session,
             kernel: Arc::clone(&self.kernel),
             mode: self.backend.mode,
+            diagnostics: self.diagnostics.clone(),
         }))
     }
 }
@@ -373,6 +404,7 @@ pub struct RuntimeInstance {
     session: Session,
     kernel: Arc<CompiledKernel>,
     mode: Mode,
+    diagnostics: Vec<crate::diagnostic::Diagnostic>,
 }
 
 impl std::fmt::Debug for RuntimeInstance {
@@ -422,7 +454,9 @@ impl Instance for RuntimeInstance {
 
     fn execute(&mut self) -> Result<Report, BackendError> {
         let stats = self.session.execute(&self.kernel)?;
-        Ok(Report::from_run_stats("runtime", self.provenance(), &stats))
+        let mut report = Report::from_run_stats("runtime", self.provenance(), &stats);
+        report.diagnostics = self.diagnostics.clone();
+        Ok(report)
     }
 
     fn read(&self, tensor: &str) -> Result<Vec<f64>, BackendError> {

@@ -8,6 +8,11 @@
 //! analysis can attribute one, so a rejected plan reads like a compiler
 //! error, not a hung thread or a silently corrupted output.
 //!
+//! The schedule admission linter (`crate::lint`, wired into every
+//! `Backend::plan` *before* lowering) emits the same type for its legality
+//! and performance passes; its findings additionally carry the offending
+//! schedule command index, the loop variable, and a fix-it hint.
+//!
 //! Diagnostics ride on [`Plan::diagnostics`](crate::plan::Plan::diagnostics)
 //! and [`Report::diagnostics`](crate::report::Report::diagnostics);
 //! error-severity findings abort planning with
@@ -58,6 +63,46 @@ pub enum DiagnosticKind {
     ByteImbalance,
     /// A structurally ill-formed program (e.g. empty rank list).
     Malformed,
+    /// A schedule command names a loop variable the statement (or the
+    /// schedule so far) never introduced.
+    UnknownLoopVar,
+    /// A schedule command introduces a loop variable that already exists
+    /// (or lists the same variable twice).
+    DuplicateLoopVar,
+    /// The shape a `distribute`/`distribute_onto` requests does not match
+    /// the machine grid (wrong dimension count, wrong extents, or more
+    /// distributed iterations than processors).
+    GridMismatch,
+    /// A `divide`/`split` chunk or part count that is non-positive or
+    /// larger than the loop's extent.
+    BadChunk,
+    /// A `communicate` at a nonexistent loop level or naming a tensor the
+    /// statement never accesses.
+    BadCommunicate,
+    /// A loop variable distributed more than once (directly or through a
+    /// derived half of an already-distributed variable).
+    Redistribution,
+    /// A coordinate-range (blocked/cyclic) distribution over a tensor
+    /// dimension stored as a `Compressed` level: position-space splits of
+    /// compressed coordinates are not coordinate ranges.
+    CompressedDistribution,
+    /// Performance: a divide/split that does not divide the loop extent
+    /// leaves some processors with larger tiles (reported with the
+    /// computed imbalance ratio).
+    LoadImbalance,
+    /// Performance: a broadcast (`*`) machine dimension replicates a
+    /// tensor past the configured byte threshold.
+    ReplicationBlowup,
+    /// Performance: a communication fan the collective recognizer provably
+    /// cannot rewrite into a tree/ring (per-destination payloads differ).
+    UnrewritableFan,
+    /// Performance: a large tensor left undistributed on a multi-processor
+    /// machine serializes its traffic through one rank.
+    UndistributedTensor,
+    /// Performance: a schedule parameter tied to the data size makes the
+    /// serving `PlanKey` cardinality unbounded (every shape compiles a
+    /// fresh plan).
+    PlanCardinality,
 }
 
 impl fmt::Display for DiagnosticKind {
@@ -73,6 +118,18 @@ impl fmt::Display for DiagnosticKind {
             DiagnosticKind::Deadlock => "deadlock",
             DiagnosticKind::ByteImbalance => "byte-imbalance",
             DiagnosticKind::Malformed => "malformed",
+            DiagnosticKind::UnknownLoopVar => "unknown-loop-var",
+            DiagnosticKind::DuplicateLoopVar => "duplicate-loop-var",
+            DiagnosticKind::GridMismatch => "grid-mismatch",
+            DiagnosticKind::BadChunk => "bad-chunk",
+            DiagnosticKind::BadCommunicate => "bad-communicate",
+            DiagnosticKind::Redistribution => "re-distribution",
+            DiagnosticKind::CompressedDistribution => "compressed-distribution",
+            DiagnosticKind::LoadImbalance => "load-imbalance",
+            DiagnosticKind::ReplicationBlowup => "replication-blowup",
+            DiagnosticKind::UnrewritableFan => "unrewritable-fan",
+            DiagnosticKind::UndistributedTensor => "undistributed-tensor",
+            DiagnosticKind::PlanCardinality => "plan-cardinality",
         };
         f.write_str(s)
     }
@@ -94,6 +151,14 @@ pub struct Diagnostic {
     pub tensor: Option<String>,
     /// The message tag involved, when attributable.
     pub tag: Option<u64>,
+    /// The zero-based index of the offending schedule command, when the
+    /// finding comes from schedule admission.
+    pub command: Option<usize>,
+    /// The loop variable involved, when attributable.
+    pub var: Option<String>,
+    /// A machine-applicable fix-it hint ("use chunk 16", "distribute onto
+    /// 2x2"), when the analysis can compute one.
+    pub fixit: Option<String>,
 }
 
 impl Diagnostic {
@@ -106,6 +171,9 @@ impl Diagnostic {
             rank: None,
             tensor: None,
             tag: None,
+            command: None,
+            var: None,
+            fixit: None,
         }
     }
 
@@ -138,6 +206,27 @@ impl Diagnostic {
         self
     }
 
+    /// Attributes the finding to a schedule command (zero-based index).
+    #[must_use]
+    pub fn with_command(mut self, command: usize) -> Self {
+        self.command = Some(command);
+        self
+    }
+
+    /// Attributes the finding to a loop variable.
+    #[must_use]
+    pub fn with_var(mut self, var: impl Into<String>) -> Self {
+        self.var = Some(var.into());
+        self
+    }
+
+    /// Attaches a fix-it hint.
+    #[must_use]
+    pub fn with_fixit(mut self, fixit: impl Into<String>) -> Self {
+        self.fixit = Some(fixit.into());
+        self
+    }
+
     /// True for error-severity findings.
     pub fn is_error(&self) -> bool {
         self.severity == Severity::Error
@@ -155,16 +244,26 @@ impl fmt::Display for Diagnostic {
             },
             self.kind
         )?;
+        if let Some(c) = self.command {
+            write!(f, " command {c}")?;
+        }
         if let Some(r) = self.rank {
             write!(f, " rank {r}")?;
         }
         if let Some(t) = &self.tensor {
             write!(f, " tensor '{t}'")?;
         }
+        if let Some(v) = &self.var {
+            write!(f, " var '{v}'")?;
+        }
         if let Some(t) = self.tag {
             write!(f, " tag {t}")?;
         }
-        write!(f, ": {}", self.message)
+        write!(f, ": {}", self.message)?;
+        if let Some(fix) = &self.fixit {
+            write!(f, "; fix: {fix}")?;
+        }
+        Ok(())
     }
 }
 
@@ -194,6 +293,29 @@ mod tests {
         let w = Diagnostic::warning(DiagnosticKind::ReadHazard, "landing shadows home");
         assert!(!w.is_error());
         assert!(w.to_string().starts_with("warning[read-hazard]"));
+    }
+
+    #[test]
+    fn schedule_attribution_and_fixit_display() {
+        let d = Diagnostic::error(DiagnosticKind::BadChunk, "7 parts do not fit")
+            .with_command(2)
+            .with_var("ko")
+            .with_fixit("use 4 parts");
+        let s = d.to_string();
+        assert!(s.contains("error[bad-chunk]"), "{s}");
+        assert!(s.contains("command 2"), "{s}");
+        assert!(s.contains("var 'ko'"), "{s}");
+        assert!(s.ends_with("; fix: use 4 parts"), "{s}");
+        // Lint kinds render in kebab case.
+        for (k, text) in [
+            (DiagnosticKind::UnknownLoopVar, "unknown-loop-var"),
+            (DiagnosticKind::GridMismatch, "grid-mismatch"),
+            (DiagnosticKind::Redistribution, "re-distribution"),
+            (DiagnosticKind::LoadImbalance, "load-imbalance"),
+            (DiagnosticKind::PlanCardinality, "plan-cardinality"),
+        ] {
+            assert_eq!(k.to_string(), text);
+        }
     }
 
     #[test]

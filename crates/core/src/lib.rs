@@ -69,6 +69,7 @@ pub mod diagnostic;
 pub mod error;
 pub mod kernelgen;
 pub mod kernels;
+pub mod lint;
 pub mod lower;
 pub mod machine;
 pub mod mapper;
@@ -88,6 +89,7 @@ pub use backend::{
 pub use cache::{CacheStats, PlanCache, PlanKey, ShardedPlanCache};
 pub use diagnostic::{verified_clean, Diagnostic, DiagnosticKind, Severity};
 pub use error::CompileError;
+pub use lint::{admit, lint_schedule, Lint, LintConfig, LintLevel};
 pub use lower::{compile, CompileOptions, CompiledKernel};
 pub use machine::DistalMachine;
 pub use mapper::GridMapper;

@@ -142,12 +142,19 @@ pub fn compile(
     options: &CompileOptions,
 ) -> Result<CompiledKernel, CompileError> {
     COMPILATIONS.with(|c| c.set(c.get() + 1));
-    // Extents from tensor dims.
+    // Extents from tensor dims. Every access is resolved and arity-checked
+    // here, so the body below can look tensors up infallibly.
     let mut dims_map = BTreeMap::new();
     for acc in assignment.accesses() {
-        let b = tensors
-            .get(&acc.tensor)
-            .ok_or_else(|| CompileError::UnknownTensor(acc.tensor.clone()))?;
+        let b = binding(tensors, &acc.tensor)?;
+        if acc.indices.len() != b.dims.len() {
+            return Err(CompileError::Format(format!(
+                "tensor '{}' is {}-dimensional but accessed with {} indices",
+                acc.tensor,
+                b.dims.len(),
+                acc.indices.len()
+            )));
+        }
         dims_map.insert(acc.tensor.clone(), b.dims.clone());
     }
     let extents = assignment
@@ -222,19 +229,20 @@ pub fn compile(
     let streaming = is_streaming(assignment);
 
     // Tensors discarded per sequential iteration: those communicated at a
-    // sequential program loop.
-    let mut seq_comm_tensors: BTreeSet<String> = BTreeSet::new();
+    // sequential program loop. Communicate tags may name tensors the
+    // statement never accesses, so resolve them to regions now.
+    let mut seq_comm_regions: BTreeMap<String, RegionId> = BTreeMap::new();
     for l in cin.loops[n_dist..cut].iter() {
         for t in &l.communicate {
             if *t != assignment.lhs.tensor {
-                seq_comm_tensors.insert(t.clone());
+                seq_comm_regions.insert(t.clone(), binding(tensors, t)?.region);
             }
         }
     }
 
     // ---- Compute program ----
     let mut compute = Program::new();
-    let out_binding = &tensors[&assignment.lhs.tensor];
+    let out_binding = binding(tensors, &assignment.lhs.tensor)?;
     if fill_output {
         compute.push(Op::Fill {
             region: out_binding.region,
@@ -250,11 +258,10 @@ pub fn compile(
     // generated dense GEMM for pure matmul products, and a tape-compiled
     // einsum otherwise. `compile` runs at plan time, so a cached plan
     // re-binds without ever re-specializing.
-    let compressed_inputs: Vec<bool> = assignment
-        .input_accesses()
-        .iter()
-        .map(|acc| tensors[&acc.tensor].format.has_compressed())
-        .collect();
+    let mut compressed_inputs: Vec<bool> = Vec::new();
+    for acc in assignment.input_accesses() {
+        compressed_inputs.push(binding(tensors, &acc.tensor)?.format.has_compressed());
+    }
     let leaf_kernel: Arc<dyn distal_runtime::kernel::Kernel> = match schedule.leaf_choice() {
         Some((_, crate::schedule::LeafKind::Gemm)) => {
             if !is_matmul(assignment) || !crate::kernels::rhs_is_access_product(assignment) {
@@ -306,9 +313,9 @@ pub fn compile(
         // than home tiles, which steers systolic schedules to pull from
         // their neighbours' buffers (Figure 12) rather than the owners.
         if !seq_extents.is_empty() {
-            for t in &seq_comm_tensors {
+            for region in seq_comm_regions.values() {
                 compute.push(Op::DiscardScratch {
-                    region: tensors[t].region,
+                    region: *region,
                     keep_recent: options.discard_keep,
                 });
             }
@@ -358,7 +365,7 @@ pub fn compile(
                 ));
             }
             for acc in assignment.input_accesses() {
-                let b = &tensors[&acc.tensor];
+                let b = binding(tensors, &acc.tensor)?;
                 let rect = access_rect(&acc.indices, &cin, &env, &b.dims);
                 bytes += rect.volume() as f64 * 8.0;
                 let mem_kind = options.compute_mem.unwrap_or(b.format.mem);
@@ -387,9 +394,9 @@ pub fn compile(
     }
     // Retire the final iteration's buffers.
     if !seq_extents.is_empty() {
-        for t in &seq_comm_tensors {
+        for region in seq_comm_regions.values() {
             compute.push(Op::DiscardScratch {
-                region: tensors[t].region,
+                region: *region,
                 keep_recent: options.discard_keep,
             });
         }
@@ -435,7 +442,7 @@ pub fn compile(
         if !placed.insert(name.clone()) {
             continue; // each tensor is placed once
         }
-        let b = &tensors[name.as_str()];
+        let b = binding(tensors, name)?;
         if !b.format.is_distributed() {
             continue;
         }
@@ -469,6 +476,17 @@ pub fn compile(
         output: assignment.lhs.tensor.clone(),
         assignment: assignment.clone(),
     })
+}
+
+/// Looks a tensor binding up by name, as a typed error instead of a map
+/// indexing panic.
+fn binding<'a>(
+    tensors: &'a BTreeMap<String, TensorBinding>,
+    name: &str,
+) -> Result<&'a TensorBinding, CompileError> {
+    tensors
+        .get(name)
+        .ok_or_else(|| CompileError::UnknownTensor(name.to_string()))
 }
 
 /// The rectangle an access touches under a loop-variable environment.
@@ -637,6 +655,28 @@ mod tests {
             compile(&a, &bindings(8), &machine, &phys, &Schedule::new(), &CompileOptions::default()),
             Err(CompileError::UnknownTensor(t)) if t == "Z"
         ));
+    }
+
+    #[test]
+    fn access_arity_mismatch_is_a_typed_error() {
+        let machine = DistalMachine::flat(Grid::grid2(2, 2), ProcKind::Cpu);
+        let phys = PhysicalMachine::new(MachineSpec::small(2));
+        let a = distal_ir::expr::kernels::matmul();
+        let mut b = bindings(8);
+        b.get_mut("B").unwrap().dims = vec![8]; // B(i,k) accessed 2-d
+        let err = compile(
+            &a,
+            &b,
+            &machine,
+            &phys,
+            &Schedule::new(),
+            &CompileOptions::default(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, CompileError::Format(ref m) if m.contains("1-dimensional")),
+            "{err:?}"
+        );
     }
 
     #[test]

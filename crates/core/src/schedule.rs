@@ -278,88 +278,97 @@ impl Schedule {
     ///
     /// # Errors
     ///
-    /// Propagates the first failing command's [`ScheduleError`].
+    /// The first failing command's [`ScheduleError`], wrapped in
+    /// [`ScheduleError::AtCommand`] with the command's index and stable
+    /// `Display` so late failures name their schedule location.
     pub fn apply(&self, cin: &mut ConcreteNotation) -> Result<(), ScheduleError> {
         APPLICATIONS.with(|c| c.set(c.get() + 1));
-        for cmd in &self.cmds {
-            match cmd {
-                SchedCmd::Divide {
-                    var,
-                    outer,
-                    inner,
-                    parts,
-                } => {
-                    cin.divide(
-                        &IndexVar::new(var),
-                        IndexVar::new(outer),
-                        IndexVar::new(inner),
-                        *parts,
-                    )?;
-                }
-                SchedCmd::Split {
-                    var,
-                    outer,
-                    inner,
-                    chunk,
-                } => {
-                    cin.split(
-                        &IndexVar::new(var),
-                        IndexVar::new(outer),
-                        IndexVar::new(inner),
-                        *chunk,
-                    )?;
-                }
-                SchedCmd::Reorder(order) => {
-                    cin.reorder(&ivs_owned(order))?;
-                }
-                SchedCmd::Distribute(vars) => {
-                    cin.distribute(&ivs_owned(vars))?;
-                }
-                SchedCmd::DistributeOnto {
-                    targets,
-                    dist,
-                    local,
+        for (idx, cmd) in self.cmds.iter().enumerate() {
+            Self::apply_cmd(cin, cmd)
+                .map_err(|e| ScheduleError::at_command(idx, cmd.to_string(), e))?;
+        }
+        Ok(())
+    }
+
+    /// Applies one command (no location wrapping; `apply` adds it).
+    fn apply_cmd(cin: &mut ConcreteNotation, cmd: &SchedCmd) -> Result<(), ScheduleError> {
+        match cmd {
+            SchedCmd::Divide {
+                var,
+                outer,
+                inner,
+                parts,
+            } => {
+                cin.divide(
+                    &IndexVar::new(var),
+                    IndexVar::new(outer),
+                    IndexVar::new(inner),
+                    *parts,
+                )?;
+            }
+            SchedCmd::Split {
+                var,
+                outer,
+                inner,
+                chunk,
+            } => {
+                cin.split(
+                    &IndexVar::new(var),
+                    IndexVar::new(outer),
+                    IndexVar::new(inner),
+                    *chunk,
+                )?;
+            }
+            SchedCmd::Reorder(order) => {
+                cin.reorder(&ivs_owned(order))?;
+            }
+            SchedCmd::Distribute(vars) => {
+                cin.distribute(&ivs_owned(vars))?;
+            }
+            SchedCmd::DistributeOnto {
+                targets,
+                dist,
+                local,
+                dims,
+            } => {
+                cin.distribute_onto(
+                    &ivs_owned(targets),
+                    &ivs_owned(dist),
+                    &ivs_owned(local),
                     dims,
-                } => {
-                    cin.distribute_onto(
-                        &ivs_owned(targets),
-                        &ivs_owned(dist),
-                        &ivs_owned(local),
-                        dims,
-                    )?;
-                }
-                SchedCmd::Communicate { tensors, var } => {
-                    let names: Vec<&str> = tensors.iter().map(String::as_str).collect();
-                    cin.communicate(&names, &IndexVar::new(var))?;
-                }
-                SchedCmd::Rotate {
-                    target,
-                    over,
-                    result,
-                } => {
-                    cin.rotate(
-                        &IndexVar::new(target),
-                        &ivs_owned(over),
-                        IndexVar::new(result),
-                    )?;
-                }
-                SchedCmd::Parallelize(var) => {
-                    cin.parallelize(&IndexVar::new(var))?;
-                }
-                SchedCmd::Collapse { a, b, fused } => {
-                    cin.collapse(&IndexVar::new(a), &IndexVar::new(b), IndexVar::new(fused))?;
-                }
-                SchedCmd::Substitute { vars, leaf } => {
-                    // A backend directive, not a loop rewrite: validate the
-                    // named loops exist and record it in the s.t. trail.
-                    for v in vars {
-                        let iv = IndexVar::new(v);
-                        if !cin.solver.knows(&iv) {
-                            return Err(ScheduleError::UnknownLoopVar(v.clone()));
-                        }
+                )?;
+            }
+            SchedCmd::Communicate { tensors, var } => {
+                let names: Vec<&str> = tensors.iter().map(String::as_str).collect();
+                cin.communicate(&names, &IndexVar::new(var))?;
+            }
+            SchedCmd::Rotate {
+                target,
+                over,
+                result,
+            } => {
+                cin.rotate(
+                    &IndexVar::new(target),
+                    &ivs_owned(over),
+                    IndexVar::new(result),
+                )?;
+            }
+            SchedCmd::Parallelize(var) => {
+                cin.parallelize(&IndexVar::new(var))?;
+            }
+            SchedCmd::Collapse { a, b, fused } => {
+                cin.collapse(&IndexVar::new(a), &IndexVar::new(b), IndexVar::new(fused))?;
+            }
+            SchedCmd::Substitute { vars, leaf } => {
+                // A backend directive, not a loop rewrite: validate the
+                // named loops exist and record it in the s.t. trail.
+                for v in vars {
+                    let iv = IndexVar::new(v);
+                    if !cin.solver.knows(&iv) {
+                        return Err(ScheduleError::UnknownLoopVar(v.clone()));
                     }
-                    cin.note(format!("substitute({}, {leaf:?})", vars.join(", ")));
                 }
+                cin.note(format!("substitute({}, {leaf:?})", vars.join(", ")));
             }
         }
         Ok(())
@@ -513,6 +522,34 @@ mod tests {
         let mut cin = matmul_cin(8);
         let s = Schedule::new().divide("zz", "a", "b", 2);
         assert!(s.apply(&mut cin).is_err());
+    }
+
+    #[test]
+    fn apply_errors_carry_command_index_and_display() {
+        // The third command (index 2) names a loop that never existed.
+        let mut cin = matmul_cin(8);
+        let s = Schedule::new()
+            .divide("i", "io", "ii", 2)
+            .divide("j", "jo", "ji", 2)
+            .communicate(&["A"], "nope");
+        let err = s.apply(&mut cin).unwrap_err();
+        match &err {
+            ScheduleError::AtCommand {
+                index,
+                command,
+                inner,
+            } => {
+                assert_eq!(*index, 2);
+                assert_eq!(command, "communicate(A @ nope)");
+                assert_eq!(**inner, ScheduleError::UnknownLoopVar("nope".into()));
+            }
+            other => panic!("expected AtCommand, got {other:?}"),
+        }
+        assert_eq!(
+            err.to_string(),
+            "command 2 `communicate(A @ nope)`: 'nope' is not a loop variable"
+        );
+        assert_eq!(err.root(), &ScheduleError::UnknownLoopVar("nope".into()));
     }
 
     #[test]

@@ -32,6 +32,46 @@ pub enum ScheduleError {
     /// `distribute` would leave distributed loops non-contiguous or not
     /// outermost, which code generation cannot lower.
     NonContiguousDistribution,
+    /// A compound command's argument lists have mismatched lengths (e.g.
+    /// `distribute_onto` with 2 targets but 3 grid dimensions).
+    ArityMismatch(String),
+    /// A failing command located in its schedule: the zero-based command
+    /// index, the command's stable `Display`, and the underlying error.
+    /// Produced by `Schedule::apply` so late errors read like compiler
+    /// diagnostics instead of bare variable names.
+    AtCommand {
+        /// Zero-based position of the failing command in the schedule.
+        index: usize,
+        /// The command's stable textual form.
+        command: String,
+        /// The underlying failure.
+        inner: Box<ScheduleError>,
+    },
+}
+
+impl ScheduleError {
+    /// Wraps `inner` with its schedule location. Already-located errors
+    /// pass through unchanged (no double wrapping).
+    #[must_use]
+    pub fn at_command(index: usize, command: String, inner: ScheduleError) -> Self {
+        match inner {
+            located @ ScheduleError::AtCommand { .. } => located,
+            inner => ScheduleError::AtCommand {
+                index,
+                command,
+                inner: Box::new(inner),
+            },
+        }
+    }
+
+    /// The underlying error, unwrapping any [`ScheduleError::AtCommand`]
+    /// location.
+    pub fn root(&self) -> &ScheduleError {
+        match self {
+            ScheduleError::AtCommand { inner, .. } => inner.root(),
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for ScheduleError {
@@ -44,6 +84,12 @@ impl fmt::Display for ScheduleError {
             ScheduleError::NonContiguousDistribution => {
                 write!(f, "distributed loops must be outermost and contiguous")
             }
+            ScheduleError::ArityMismatch(msg) => write!(f, "arity mismatch: {msg}"),
+            ScheduleError::AtCommand {
+                index,
+                command,
+                inner,
+            } => write!(f, "command {index} `{command}`: {inner}"),
         }
     }
 }
@@ -309,11 +355,9 @@ impl ConcreteNotation {
     ///
     /// # Errors
     ///
-    /// Propagates errors from the underlying `divide`/`reorder`/`distribute`.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the argument lists have different lengths.
+    /// [`ScheduleError::ArityMismatch`] when the argument lists have
+    /// different lengths; otherwise propagates errors from the underlying
+    /// `divide`/`reorder`/`distribute`.
     pub fn distribute_onto(
         &mut self,
         targets: &[IndexVar],
@@ -321,9 +365,19 @@ impl ConcreteNotation {
         local: &[IndexVar],
         grid_dims: &[i64],
     ) -> Result<&mut Self, ScheduleError> {
-        assert_eq!(targets.len(), dist.len());
-        assert_eq!(targets.len(), local.len());
-        assert_eq!(targets.len(), grid_dims.len());
+        if targets.len() != dist.len()
+            || targets.len() != local.len()
+            || targets.len() != grid_dims.len()
+        {
+            return Err(ScheduleError::ArityMismatch(format!(
+                "distribute_onto needs equal-length lists, got {} targets, {} dist, \
+                 {} local, {} grid dims",
+                targets.len(),
+                dist.len(),
+                local.len(),
+                grid_dims.len()
+            )));
+        }
         for i in 0..targets.len() {
             self.divide(&targets[i], dist[i].clone(), local[i].clone(), grid_dims[i])?;
         }
@@ -489,6 +543,30 @@ mod tests {
         cin.parallelize(&iv("j")).unwrap();
         assert!(cin.loops[1].parallelized);
         assert!(format!("{cin}").contains("parallelize(j)"));
+    }
+
+    #[test]
+    fn distribute_onto_arity_is_an_error_not_a_panic() {
+        let mut cin = matmul_cin(4);
+        let err = cin
+            .distribute_onto(&[iv("i"), iv("j")], &[iv("io")], &[iv("ii")], &[2, 2])
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::ArityMismatch(_)));
+        assert!(err.to_string().contains("2 targets"), "{err}");
+    }
+
+    #[test]
+    fn at_command_locates_and_unwraps() {
+        let inner = ScheduleError::UnknownLoopVar("zz".into());
+        let located = ScheduleError::at_command(3, "divide(zz -> a,b into 2)".into(), inner);
+        assert_eq!(
+            located.to_string(),
+            "command 3 `divide(zz -> a,b into 2)`: 'zz' is not a loop variable"
+        );
+        assert_eq!(located.root(), &ScheduleError::UnknownLoopVar("zz".into()));
+        // Re-wrapping keeps the original location.
+        let again = ScheduleError::at_command(9, "other".into(), located.clone());
+        assert_eq!(again, located);
     }
 
     #[test]

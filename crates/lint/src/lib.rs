@@ -1,0 +1,42 @@
+//! Schedule admission lints for DISTAL.
+//!
+//! The analyzer itself lives in [`distal_core::lint`] (so every backend's
+//! `plan` can call it without a dependency cycle); this crate is its
+//! public face, re-exporting the API and hosting the mutation test suite
+//! (`tests/mutations.rs`) that pins each lint's exact diagnostic — kind,
+//! offending command index, and fix-it text.
+//!
+//! # Example
+//!
+//! ```
+//! use distal_lint::{admit, Lint, LintConfig};
+//! # use distal_core::{DistalMachine, Problem, Schedule, TensorSpec};
+//! # use distal_format::Format;
+//! # use distal_machine::grid::Grid;
+//! # use distal_machine::spec::{MachineSpec, MemKind, ProcKind};
+//! let machine = DistalMachine::flat(Grid::grid2(2, 2), ProcKind::Cpu);
+//! let mut problem = Problem::new(MachineSpec::small(2), machine);
+//! problem.statement("A(i,j) = B(i,k) * C(k,j)")?;
+//! let tiles = Format::parse("xy->xy", MemKind::Sys)?;
+//! for name in ["A", "B", "C"] {
+//!     problem.tensor(TensorSpec::new(name, vec![16, 16], tiles.clone()))?;
+//! }
+//!
+//! // The Figure 2 SUMMA schedule admits cleanly, even with every lint
+//! // promoted to an error...
+//! let config = LintConfig::deny_all();
+//! assert!(admit(&problem, &Schedule::summa(2, 2, 4), &config).is_ok());
+//!
+//! // ...while a schedule for the wrong grid is rejected with a fix-it.
+//! let err = admit(&problem, &Schedule::summa(4, 1, 4), &config).unwrap_err();
+//! let distal_core::BackendError::Verification(diags) = err else { panic!() };
+//! assert_eq!(diags[0].command, Some(0));
+//! assert_eq!(
+//!     diags[0].fixit.as_deref(),
+//!     Some("distribute onto 2x2 (the machine grid)")
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use distal_core::lint::{admit, lint_schedule, Lint, LintConfig, LintLevel};
+pub use distal_core::{verified_clean, Diagnostic, DiagnosticKind, Severity};

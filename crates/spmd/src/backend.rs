@@ -49,7 +49,8 @@ use crate::transport::Transport;
 use distal_core::backend::{Backend, BackendError};
 use distal_core::plan::{init_nnz, Bindings, Instance, Plan};
 use distal_core::{
-    Diagnostic, Problem, Provenance, Report, RuntimeBackend, Schedule, TensorInit, TensorSpec,
+    Diagnostic, LintConfig, Problem, Provenance, Report, RuntimeBackend, Schedule, TensorInit,
+    TensorSpec,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -316,6 +317,10 @@ pub struct SpmdBackend {
     /// deadlock freedom, buffer hazards, bounds). On by default; see
     /// [`SpmdBackend::with_unverified`].
     pub verify: bool,
+    /// Schedule-admission lint configuration (`distal_core::lint`):
+    /// denied findings reject the plan before lowering, warned findings
+    /// ride on the plan and its reports.
+    pub lint: LintConfig,
 }
 
 impl Default for SpmdBackend {
@@ -326,6 +331,7 @@ impl Default for SpmdBackend {
             interpreted_leaves: false,
             transport: Transport::default(),
             verify: true,
+            lint: LintConfig::default(),
         }
     }
 }
@@ -382,6 +388,13 @@ impl SpmdBackend {
         self.verify = false;
         self
     }
+
+    /// Overrides the schedule-admission lint configuration.
+    #[must_use]
+    pub fn with_lints(mut self, lint: LintConfig) -> Self {
+        self.lint = lint;
+        self
+    }
 }
 
 impl Backend for SpmdBackend {
@@ -394,19 +407,23 @@ impl Backend for SpmdBackend {
         // prices every bound instance's reports; the leaf-execution mode
         // and transport change what a bound instance runs.
         format!(
-            "{:?};{:?};interpreted_leaves={};transport={};verify={}",
+            "{:?};{:?};interpreted_leaves={};transport={};verify={};lint={}",
             self.collectives,
             self.model,
             self.interpreted_leaves,
             self.transport.label(),
-            self.verify
+            self.verify,
+            self.lint.fingerprint()
         )
     }
 
     fn plan(&self, problem: &Problem, schedule: &Schedule) -> Result<Box<dyn Plan>, BackendError> {
+        // Schedule admission first: denied findings reject the plan
+        // before any lowering happens.
+        let mut diagnostics = distal_core::lint::admit(problem, schedule, &self.lint)?;
         let mut program = plan_program(problem, schedule, &self.collectives)?;
         program.interpreted_leaves = self.interpreted_leaves;
-        let diagnostics = verify_plan_program(self.verify, &program)?;
+        diagnostics.extend(verify_plan_program(self.verify, &program)?);
         Ok(Box::new(SpmdPlan {
             tensors: problem.tensors().clone(),
             program: Arc::new(program),
@@ -628,6 +645,8 @@ pub struct CostBackend {
     /// [`CostBackend::with_unverified`]). The runtime-sim path has no
     /// message schedule to verify.
     pub verify: bool,
+    /// Schedule-admission lint configuration (`distal_core::lint`).
+    pub lint: LintConfig,
 }
 
 impl CostBackend {
@@ -637,6 +656,7 @@ impl CostBackend {
             model: CostModel::RuntimeSim,
             collectives: CollectiveConfig::default(),
             verify: true,
+            lint: LintConfig::default(),
         }
     }
 
@@ -646,6 +666,7 @@ impl CostBackend {
             model: CostModel::AlphaBeta(model),
             collectives: CollectiveConfig::default(),
             verify: true,
+            lint: LintConfig::default(),
         }
     }
 
@@ -663,6 +684,13 @@ impl CostBackend {
         self.verify = false;
         self
     }
+
+    /// Overrides the schedule-admission lint configuration.
+    #[must_use]
+    pub fn with_lints(mut self, lint: LintConfig) -> Self {
+        self.lint = lint;
+        self
+    }
 }
 
 impl Backend for CostBackend {
@@ -675,20 +703,28 @@ impl Backend for CostBackend {
         // sim vs a lowered program), and the collectives shape the α-β
         // lowering.
         format!(
-            "{:?};{:?};verify={}",
-            self.model, self.collectives, self.verify
+            "{:?};{:?};verify={};lint={}",
+            self.model,
+            self.collectives,
+            self.verify,
+            self.lint.fingerprint()
         )
     }
 
     fn plan(&self, problem: &Problem, schedule: &Schedule) -> Result<Box<dyn Plan>, BackendError> {
         match &self.model {
             CostModel::RuntimeSim => {
-                let inner = RuntimeBackend::model().plan(problem, schedule)?;
+                // The wrapped runtime backend runs admission itself, under
+                // this backend's configuration — lint runs exactly once.
+                let inner = RuntimeBackend::model()
+                    .with_lints(self.lint.clone())
+                    .plan(problem, schedule)?;
                 Ok(Box::new(CostPlan::Sim(inner)))
             }
             CostModel::AlphaBeta(model) => {
+                let mut diagnostics = distal_core::lint::admit(problem, schedule, &self.lint)?;
                 let program = plan_program(problem, schedule, &self.collectives)?;
-                let diagnostics = verify_plan_program(self.verify, &program)?;
+                diagnostics.extend(verify_plan_program(self.verify, &program)?);
                 Ok(Box::new(CostPlan::AlphaBeta {
                     tensors: problem.tensors().clone(),
                     program: Arc::new(program),
@@ -1056,7 +1092,7 @@ mod tests {
     }
 
     #[test]
-    fn grid_mismatch_is_unsupported() {
+    fn grid_mismatch_is_caught_at_admission() {
         let machine = DistalMachine::flat(Grid::grid2(4, 1), ProcKind::Cpu);
         let mut p = Problem::new(MachineSpec::small(2), machine);
         p.statement("A(i,j) = B(i,k) * C(k,j)").unwrap();
@@ -1064,8 +1100,29 @@ mod tests {
         for t in ["A", "B", "C"] {
             p.tensor(TensorSpec::new(t, vec![8, 8], f.clone())).unwrap();
         }
+        // Admission rejects the mismatched grid before lowering, with a
+        // structured fix-it naming the machine shape.
+        match p.compile(&SpmdBackend::new(), &Schedule::summa(2, 2, 4)) {
+            Err(BackendError::Verification(diags)) => {
+                let d = diags
+                    .iter()
+                    .find(|d| d.kind == distal_core::DiagnosticKind::GridMismatch)
+                    .expect("grid-mismatch diagnostic");
+                assert_eq!(d.command, Some(0));
+                assert_eq!(
+                    d.fixit.as_deref(),
+                    Some("distribute onto 4x1 (the machine grid)")
+                );
+            }
+            Err(other) => panic!("expected an admission rejection, got {other:?}"),
+            Ok(_) => panic!("expected an admission rejection, got a plan"),
+        }
+        // With the lint allowed, the lowering's own guard still refuses.
         assert!(matches!(
-            p.compile(&SpmdBackend::new(), &Schedule::summa(2, 2, 4)),
+            p.compile(
+                &SpmdBackend::new().with_lints(LintConfig::allow_all()),
+                &Schedule::summa(2, 2, 4)
+            ),
             Err(BackendError::Unsupported(_))
         ));
     }

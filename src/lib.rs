@@ -15,6 +15,7 @@
 //! | [`mod@format`] | `distal-format` | tensor distribution notation (`T xy ↦ xy0 M`) + per-dimension level formats |
 //! | [`sparse`] | `distal-sparse` | CSR-style compressed storage and sparse leaf kernels (SpMV/SpMM/SDDMM) |
 //! | [`core`] | `distal-core` | the compiler: sessions, schedules, lowering |
+//! | [`lint`] | `distal-lint` | schedule admission: legality typechecker + performance lints |
 //! | [`algs`] | `distal-algs` | Figure 9 algorithms + §7.2 higher-order kernels |
 //! | [`baselines`] | `distal-baselines` | ScaLAPACK / CTF / COSMA re-implementations |
 //! | [`spmd`] | `distal-spmd` | static SPMD/MPI-style backend with compile-time communication (§8) |
@@ -62,6 +63,7 @@ pub use distal_baselines as baselines;
 pub use distal_core as core;
 pub use distal_format as format;
 pub use distal_ir as ir;
+pub use distal_lint as lint;
 pub use distal_machine as machine;
 pub use distal_runtime as runtime;
 pub use distal_serve as serve;
@@ -75,8 +77,9 @@ pub mod prelude {
     pub use distal_algs::setup::RunConfig;
     pub use distal_core::{
         Artifact, Backend, BackendError, Bindings, CacheStats, CompileError, CompiledKernel,
-        DistalMachine, Instance, LeafKind, Plan, PlanCache, PlanKey, Problem, Provenance, Report,
-        RuntimeBackend, Schedule, Session, ShardedPlanCache, TensorInit, TensorSpec,
+        Diagnostic, DiagnosticKind, DistalMachine, Instance, LeafKind, Lint, LintConfig, LintLevel,
+        Plan, PlanCache, PlanKey, Problem, Provenance, Report, RuntimeBackend, Schedule, Session,
+        Severity, ShardedPlanCache, TensorInit, TensorSpec,
     };
     pub use distal_format::{Format, LevelFormat, TensorDistribution};
     pub use distal_ir::expr::Assignment;
